@@ -1,0 +1,53 @@
+"""Bench T2 — §4.3: aggregate query precision over a longer run.
+
+"We increased the experimental run length and study the query
+SELECT AVG(a) FROM t.  To our surprise the differences were marginal
+and the graphs came out similar to Figure 3."
+
+Assertions:
+
+* tuple-level precision of the aggregate's input decays exactly like
+  Figure 3 (≈ 1/(1+0.8t) at the end of the run);
+* the AVG *value* stays accurate (relative error ≲ a few percent) —
+  the error vanishes behind the data's own noise;
+* the spread between policies is marginal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_aggregate_precision
+
+from conftest import BENCH_SEED
+
+
+def test_aggregate_precision_long_run(once):
+    epochs = 30
+    result = once(
+        run_aggregate_precision,
+        seed=BENCH_SEED,
+        epochs=epochs,
+        queries_per_epoch=20,
+    )
+    tuple_panels = result.data["tuple_precision"]
+    value_panels = result.data["value_precision"]
+
+    floor = 1.0 / (1.0 + 0.8 * epochs)
+    for dist, series_by_policy in tuple_panels.items():
+        for policy, series in series_by_policy.items():
+            series = np.asarray(series)
+            # "Similar to Figure 3": same hyperbolic decay.
+            assert abs(series[-1] - floor) < 0.05, f"{dist}/{policy}"
+            assert np.all(np.diff(series) < 0.03)
+
+    for dist, series_by_policy in value_panels.items():
+        for policy, series in series_by_policy.items():
+            series = np.asarray(series)
+            # The AVG answer itself barely moves.
+            assert series[-1] > 0.85, f"{dist}/{policy} AVG drifted"
+            assert series.mean() > 0.9
+
+    # "The differences were marginal."
+    for dist, spread in result.data["spreads"].items():
+        assert spread < 0.12, f"{dist}: policy spread {spread} not marginal"

@@ -1,0 +1,41 @@
+"""Bench C1 — §1: the storage economics of forgetting.
+
+The paper's Glacier arithmetic must come out with the right ordering:
+keeping forgotten data hot is the most expensive option, cold storage
+cuts the keep rate by roughly the hot/cold price ratio but charges for
+retrieval, summaries are nearly free, deletion is free and final.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_coldstore_economics
+
+from conftest import BENCH_SEED
+
+
+def test_coldstore_economics(once):
+    result = once(run_coldstore_economics, seed=BENCH_SEED)
+    d = result.data["dispositions"]
+
+    hot = d["mark (keep hot)"]
+    cold = d["cold storage"]
+    summary = d["summary"]
+    delete = d["delete"]
+
+    # Keep-cost ordering: hot > cold > summary > delete.
+    assert hot["usd_per_tb_year"] > cold["usd_per_tb_year"]
+    assert cold["usd_per_tb_year"] > summary["usd_per_tb_year"]
+    assert summary["usd_per_tb_year"] > delete["usd_per_tb_year"] == 0.0
+
+    # The paper's headline rate survives the unit conversion: hot tier
+    # is several times the $48/TB-yr Glacier rate.
+    assert hot["usd_per_tb_year"] >= 4 * 48.0
+
+    # Information-retention ordering.
+    assert hot["retention"].startswith("full")
+    assert cold["retention"] == "full (on request)"
+    assert summary["retention"] == "aggregates only"
+    assert delete["retention"] == "none"
+
+    # Summaries compress the forgotten payload by orders of magnitude.
+    assert summary["resident_bytes"] < 0.05 * hot["resident_bytes"]

@@ -1,0 +1,35 @@
+"""Bench C2 — §4.4: compression postpones forgetting.
+
+At a fixed byte budget the best codec must (a) beat 8 B/value on every
+distribution, (b) therefore hold strictly more tuples, and (c) produce
+strictly higher end-of-run precision than the uncompressed budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_compression_budget
+
+from conftest import BENCH_SEED
+
+
+def test_compression_budget(once):
+    result = once(run_compression_budget, seed=BENCH_SEED)
+
+    for dist, facts in result.data.items():
+        per_codec = facts["bytes_per_value"]
+        # Raw is exactly 8 B/value plus a vanishing header share.
+        assert 8.0 <= per_codec["raw"] < 8.01
+
+        # Frame-of-reference always wins on bounded integer domains.
+        assert per_codec["for"] < 3.0, f"{dist}: FOR {per_codec['for']}"
+        assert facts["best_codec"] == "for"
+
+        # More tuples at the same budget...
+        assert facts["capacity_best"] > 2 * facts["capacity_raw"], dist
+        # ...means later forgetting and better precision.
+        assert facts["final_E_best"] > facts["final_E_raw"] + 0.1, dist
+
+    # Distribution-specific codec facts: RLE expands on random data,
+    # dictionary approaches the entropy of the skewed distribution.
+    assert result.data["uniform"]["bytes_per_value"]["rle"] > 8.0
+    assert result.data["zipfian"]["bytes_per_value"]["dict"] < 3.0

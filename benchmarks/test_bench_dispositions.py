@@ -1,0 +1,45 @@
+"""Bench I1 — §1: stop-indexing and summary disposition mechanics.
+
+"A complete scan will fetch all data, but a fast index-based query
+evaluation will skip the forgotten data" — recall and cost must split
+exactly that way, and summaries must answer whole-table aggregates
+exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_dispositions
+
+from conftest import BENCH_SEED
+
+
+def test_disposition_mechanics(once):
+    result = once(run_dispositions, seed=BENCH_SEED)
+    plans = result.data["plans"]
+
+    scan = plans["scan (stop-indexing)"]
+    sorted_plan = plans["sorted index"]
+    brin = plans["BRIN index"]
+    brin_clustered = plans["BRIN index (clustered data)"]
+
+    # The visibility asymmetry: the scan sees everything...
+    assert scan["recall"] == 1.0
+    # ...while index plans see only the amnesiac fifth (50% volatility
+    # over 8 epochs leaves 2000/10000 active).
+    assert 0.1 < sorted_plan["recall"] < 0.35
+    assert abs(sorted_plan["recall"] - brin["recall"]) < 1e-9
+
+    # And the cost asymmetry: the sorted index touches orders of
+    # magnitude fewer tuples than the scan.
+    assert scan["tuples_touched"] == 10_000
+    assert sorted_plan["tuples_touched"] < 0.05 * scan["tuples_touched"]
+    # BRIN only pays off when value order follows storage order.
+    assert brin_clustered["tuples_touched"] < 0.2 * brin["tuples_touched"]
+
+    # Summaries answer every whole-table aggregate exactly, while the
+    # mark-only database drifts on the mass-sensitive ones.
+    aggregates = result.data["aggregates"]
+    for function, errors in aggregates.items():
+        assert errors["with_summaries_error"] < 1e-9, function
+    assert aggregates["sum"]["mark_only_error"] > 0.5
+    assert aggregates["count"]["mark_only_error"] > 0.5

@@ -1,0 +1,36 @@
+"""Benches A3/A4 — the §4.4 semantics-aware extension policies."""
+
+from __future__ import annotations
+
+from repro.experiments import run_distribution_alignment, run_pair_preservation
+
+from conftest import BENCH_SEED
+
+
+def test_pair_preserving_avg_error(once):
+    """A3: pair-forgetting 'would retain the precision as long as
+    possible' for AVG — beat uniform amnesia on symmetric data."""
+    result = once(run_pair_preservation, seed=BENCH_SEED, queries_per_epoch=10)
+    errors = result.data["mean_error"]
+    for dist in ("uniform", "normal"):
+        assert (
+            errors[dist]["pair"] < errors[dist]["uniform"]
+        ), f"{dist}: pair {errors[dist]['pair']} vs uniform {errors[dist]['uniform']}"
+        # And the absolute drift is tiny.
+        assert errors[dist]["pair"] < 0.02
+
+
+def test_distribution_aligned_divergence(once):
+    """A4: aligning with the oracle histogram beats blind forgetting by
+    an order of magnitude on the JS-divergence drift metric."""
+    result = once(run_distribution_alignment, seed=BENCH_SEED)
+    finals = result.data["final_js"]
+    for dist, by_policy in finals.items():
+        assert by_policy["dist"] < 0.1 * by_policy["uniform"], (
+            f"{dist}: aligned {by_policy['dist']} vs uniform "
+            f"{by_policy['uniform']}"
+        )
+        # Stratified deliberately flattens, so it must drift *more*
+        # than uniform on skewed data — it optimises coverage instead.
+        if dist == "zipfian":
+            assert by_policy["stratified"] > by_policy["uniform"]

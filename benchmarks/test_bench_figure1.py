@@ -1,0 +1,65 @@
+"""Bench F1 — Figure 1: the database amnesia map.
+
+Regenerates the paper's first figure (dbsize=1000, upd-perc=0.20,
+10 update batches) and asserts the published qualitative shapes:
+
+* fifo: hard cutoff — everything before the sliding window is gone,
+  the window itself fully active;
+* uniform: survival brightens monotonically toward the newest cohort;
+* ante: the initial cohort retains most of its data while the oldest
+  update cohorts form the "black hole";
+* area: intermediate between uniform speckle and fifo contiguity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure1
+
+from conftest import BENCH_SEED
+
+
+def test_figure1_amnesia_map(once):
+    result = once(run_figure1, seed=BENCH_SEED)
+    maps = {k: np.asarray(v) for k, v in result.data["cohort_activity"].items()}
+
+    fifo = maps["fifo"]
+    # 3000 tuples inserted, 1000 survive: the last cohorts form the
+    # window.  Cohorts fully outside are exactly 0, inside exactly 1.
+    assert fifo[0] == 0.0 and fifo[1] == 0.0
+    assert fifo[-1] == 1.0 and fifo[-2] == 1.0
+    assert np.all(np.diff(fifo) >= 0.0), "fifo map must be a step function"
+
+    uniform = maps["uniform"]
+    # Geometric survival: newest cohorts brightest; allow small noise
+    # in the middle but require the overall trend and the bright tail.
+    assert uniform[-1] > 0.7
+    assert uniform[0] < 0.3
+    assert uniform[-1] > uniform[0]
+    smoothed = np.convolve(uniform, np.ones(3) / 3, mode="valid")
+    assert np.all(np.diff(smoothed) > -0.12), "uniform map trend must rise"
+
+    ante = maps["ante"]
+    # "Retains most of the data at point 0, and then forgets all
+    # updates, starting from the oldest ones."
+    assert ante[0] > 0.5, "initial cohort must retain most data"
+    black_hole = ante[1:5].mean()
+    assert black_hole < 0.25, "oldest updates must form the black hole"
+    assert ante[0] > 2 * black_hole
+    assert ante[-1] > black_hole, "newest updates only partially forgotten"
+
+    area = maps["area"]
+    # Uniform-fifo hybrid: old darker than new on average.
+    assert area[-3:].mean() > area[:3].mean()
+    assert 0.0 < area.mean() < 1.0
+
+
+def test_figure1_constant_budget(once):
+    result = once(run_figure1, seed=BENCH_SEED + 1, epochs=6)
+    for fractions in result.data["cohort_activity"].values():
+        fractions = np.asarray(fractions)
+        # Weighted by cohort sizes (1000 + 6x200), survivors must equal
+        # DBSIZE exactly — the simulator's storage-budget invariant.
+        sizes = np.array([1000] + [200] * 6)
+        assert int(round((fractions * sizes).sum())) == 1000

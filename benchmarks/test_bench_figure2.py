@@ -1,0 +1,52 @@
+"""Bench F2 — Figure 2: the database *rot* map.
+
+"The data distribution in combination with the amnesia has a strong
+impact on what you retain from the past" (§4.1).  The assertions pin
+that claim down:
+
+* the four distributions must produce visibly different maps;
+* the skewed (zipfian) dataset must retain more of its *oldest* update
+  cohorts than the uniform dataset — hot values accumulate access
+  frequency and the rot shield protects them;
+* serial data, where every value is queried equally rarely, must keep
+  the freshest cohort fully alive (high-water-mark protection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure2
+
+from conftest import BENCH_SEED
+
+
+def test_figure2_rot_map(once):
+    result = once(
+        run_figure2,
+        seed=BENCH_SEED,
+        queries_per_epoch=400,
+    )
+    maps = {k: np.asarray(v) for k, v in result.data["cohort_activity"].items()}
+    assert set(maps) == {"serial", "uniform", "normal", "zipfian"}
+
+    # Distributions are the differential factor: pairwise L1 distances
+    # between maps must be clearly non-zero.
+    names = list(maps)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            distance = float(np.abs(maps[a] - maps[b]).mean())
+            assert distance > 0.01, f"{a} vs {b} rot maps are identical"
+
+    # Hot-value protection: zipfian keeps more of the old update
+    # cohorts than uniform does.
+    assert maps["zipfian"][1:5].mean() > maps["uniform"][1:5].mean()
+
+    # The freshest cohort is protected by the high-water mark.
+    for name, fractions in maps.items():
+        assert fractions[-1] == 1.0, f"{name}: fresh cohort must survive"
+
+    # Budget invariant (1000 + 10x200 inserted, 1000 active).
+    sizes = np.array([1000] + [200] * 10)
+    for fractions in maps.values():
+        assert int(round((fractions * sizes).sum())) == 1000

@@ -1,0 +1,65 @@
+"""Bench F3 — Figure 3: range query precision over the timeline.
+
+Regenerates the precision-vs-batches series at upd-perc=0.80 for all
+five policies on uniform and zipfian data, asserting:
+
+* precision starts near the one-round floor (~0.55) and decays
+  monotonically, as the paper's curves do;
+* by batch 10 every value-blind policy sits near the active-fraction
+  floor 1/(1+0.8·10) ≈ 0.11 — "converges to the same values in the
+  long run";
+* rot retains clearly more precision on zipfian data (the learned
+  frequency shield), the one policy split this substrate reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure3
+
+from conftest import BENCH_SEED
+
+
+def test_figure3_range_precision(once):
+    result = once(
+        run_figure3,
+        seed=BENCH_SEED,
+        queries_per_epoch=300,
+        distributions=("uniform", "zipfian"),
+    )
+    panels = result.data["precision"]
+
+    for dist, series_by_policy in panels.items():
+        for policy, series in series_by_policy.items():
+            series = np.asarray(series)
+            assert series.shape == (10,)
+            # Paper curves decay from ~0.55-0.9 toward ~0.1.
+            assert 0.4 < series[0] <= 1.0, f"{dist}/{policy} start {series[0]}"
+            assert series[-1] < 0.35, f"{dist}/{policy} end {series[-1]}"
+            # Monotone decay up to small sampling noise.
+            assert np.all(np.diff(series) < 0.03), f"{dist}/{policy} not decaying"
+
+    # Long-run convergence across distributions (value-blind policies).
+    for policy in ("fifo", "uniform", "ante", "area"):
+        finals = [panels[d][policy][-1] for d in panels]
+        assert max(finals) - min(finals) < 0.05, f"{policy} diverges long-run"
+
+    # Rot's learned shield pays off on skewed data.
+    assert panels["zipfian"]["rot"][-1] > 1.3 * panels["zipfian"]["uniform"][-1]
+    assert panels["zipfian"]["rot"][0] > panels["uniform"]["rot"][0]
+
+
+def test_figure3_floor_tracks_active_fraction(once):
+    """E under value-blind amnesia ≈ active fraction 1/(1+0.8t)."""
+    result = once(
+        run_figure3,
+        seed=BENCH_SEED + 1,
+        queries_per_epoch=300,
+        distributions=("uniform",),
+        policies=("uniform",),
+    )
+    series = np.asarray(result.data["precision"]["uniform"]["uniform"])
+    t = np.arange(1, 11)
+    floor = 1.0 / (1.0 + 0.8 * t)
+    assert np.all(np.abs(series - floor) < 0.08)

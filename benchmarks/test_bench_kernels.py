@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the hot kernels.
+
+These measure raw throughput of the substrate operations every
+experiment leans on: bitmap flips, weighted victim sampling, query
+execution, codec encode/decode, and index probes.  Useful for catching
+performance regressions when extending the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amnesia import (
+    AreaAmnesia,
+    RotAmnesia,
+    UniformAmnesia,
+    weighted_sample_without_replacement,
+)
+from repro.compression import make_codec
+from repro.indexes import BlockRangeIndex, SortedIndex
+from repro.query import QueryExecutor, RangePredicate, RangeQuery
+from repro.storage import Table
+
+from conftest import BENCH_SEED
+
+N_ROWS = 100_000
+
+
+@pytest.fixture(scope="module")
+def big_table():
+    rng = np.random.default_rng(BENCH_SEED)
+    table = Table("bench", ["a"])
+    table.insert_batch(0, {"a": rng.integers(0, 10_000, N_ROWS)})
+    return table
+
+
+def test_bench_insert_batch(benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.integers(0, 10_000, N_ROWS)
+
+    def build():
+        table = Table("bench", ["a"])
+        table.insert_batch(0, {"a": values})
+        return table
+
+    table = benchmark(build)
+    assert table.total_rows == N_ROWS
+
+
+def test_bench_forget_bulk(benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.integers(0, 10_000, N_ROWS)
+    victims = rng.choice(N_ROWS, size=N_ROWS // 2, replace=False)
+
+    def forget():
+        table = Table("bench", ["a"])
+        table.insert_batch(0, {"a": values})
+        return table.forget(victims, epoch=1)
+
+    flipped = benchmark(forget)
+    assert flipped == N_ROWS // 2
+
+
+def test_bench_weighted_sampling(benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    candidates = np.arange(N_ROWS)
+    weights = rng.random(N_ROWS)
+    out = benchmark(
+        weighted_sample_without_replacement, candidates, weights, 1000, rng
+    )
+    assert out.size == 1000
+
+
+def test_bench_range_query(benchmark, big_table):
+    executor = QueryExecutor(big_table, record_access=False)
+    query = RangeQuery(RangePredicate("a", 4000, 4200))
+    result = benchmark(executor.execute_range, query, 1)
+    assert result.oracle_count > 0
+
+
+@pytest.mark.parametrize("policy_factory", [UniformAmnesia, RotAmnesia, AreaAmnesia])
+def test_bench_policy_selection(benchmark, policy_factory):
+    rng = np.random.default_rng(BENCH_SEED)
+    table = Table("bench", ["a"])
+    table.insert_batch(0, {"a": rng.integers(0, 10_000, 20_000)})
+    policy = policy_factory()
+    victims = benchmark(policy.select_victims, table, 2000, 1, rng)
+    assert np.unique(victims).size == 2000
+
+
+@pytest.mark.parametrize("codec_name", ["rle", "dict", "for"])
+def test_bench_codec_roundtrip(benchmark, codec_name):
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.integers(0, 1000, 65_536)
+    codec = make_codec(codec_name)
+
+    def roundtrip():
+        return codec.decode(codec.encode(values))
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, values)
+
+
+def test_bench_sorted_index_probe(benchmark, big_table):
+    index = SortedIndex(big_table, "a")
+    probe = benchmark(index.lookup_range, 4000, 4200)
+    assert probe.count > 0
+    big_table.remove_observer(index)
+
+
+def test_bench_brin_probe(benchmark, big_table):
+    index = BlockRangeIndex(big_table, "a", block_size=512)
+    probe = benchmark(index.lookup_range, 4000, 4200)
+    assert probe.count > 0
+    big_table.remove_observer(index)

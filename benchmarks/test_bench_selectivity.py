@@ -1,0 +1,31 @@
+"""Bench T3 — §4.2: the selectivity factor does not improve precision.
+
+"Increasing the selectivity factor does not improve the precision,
+because it affects the complete database, active and forgotten."
+
+The sweep spans nearly two decades of S; final E must stay within a
+narrow band for every policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_selectivity
+
+from conftest import BENCH_SEED
+
+
+def test_selectivity_sweep_is_flat(once):
+    result = once(
+        run_selectivity,
+        seed=BENCH_SEED,
+        queries_per_epoch=200,
+    )
+    finals = result.data["final_precision"]
+    for policy, by_s in finals.items():
+        values = np.array(list(by_s.values()))
+        spread = float(values.max() - values.min())
+        assert spread < 0.05, f"{policy}: E varies {spread} across S"
+        # All values pinned near the active-fraction floor ≈ 0.111.
+        assert np.all(np.abs(values - 0.111) < 0.06), f"{policy}: {values}"

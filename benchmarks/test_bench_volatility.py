@@ -1,0 +1,36 @@
+"""Bench T1 — §4.2: low (10%) vs high (80%) update volatility.
+
+"We experimented with both low (10%) and high update volatility (80%)"
+— the shape: high volatility forgets more per round, so precision
+decays strictly faster for every policy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_volatility
+
+from conftest import BENCH_SEED
+
+
+def test_volatility_low_vs_high(once):
+    result = once(
+        run_volatility,
+        seed=BENCH_SEED,
+        queries_per_epoch=200,
+    )
+    panels = result.data["precision"]
+    low = panels["0.1"]
+    high = panels["0.8"]
+
+    for policy in low:
+        low_series = low[policy]
+        high_series = high[policy]
+        # Strict dominance at every timeline point.
+        for t, (lo, hi) in enumerate(zip(low_series, high_series)):
+            assert lo > hi, f"{policy} at t={t}: low {lo} <= high {hi}"
+        # And by a wide margin at the end (~0.52 vs ~0.12 analytically).
+        assert low_series[-1] > 2.5 * high_series[-1]
+
+    # Analytic anchors: 1/(1+0.1·10) = 0.5, 1/(1+0.8·10) ≈ 0.111.
+    assert abs(low["uniform"][-1] - 0.5) < 0.08
+    assert abs(high["uniform"][-1] - 0.111) < 0.05

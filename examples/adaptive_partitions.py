@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Adaptive partitioning: budget follows the workload.
+
+§4.4: "it might be worth to study amnesia in the context of adaptive
+partitioning.  Each partition can then be tuned to provide the best
+precision for a subset of the workload."
+
+A two-partition store ingests a uniform stream while the dashboard only
+ever reads the low half of the domain.  With rebalancing on, the hot
+partition's budget — and therefore its precision — grows at the cold
+partition's expense.
+
+Run with::
+
+    python examples/adaptive_partitions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amnesia import UniformAmnesia
+from repro.partitioning import PartitionedAmnesiaDatabase
+from repro.plotting import render_table
+
+DOMAIN = 10_000
+HOT_HIGH = 3_000
+TOTAL_BUDGET = 2_000
+BATCHES = 10
+BATCH_SIZE = 2_000
+
+
+def run(adaptive: bool) -> dict:
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, DOMAIN // 2, DOMAIN),
+        TOTAL_BUDGET,
+        policy_factory=UniformAmnesia,
+        seed=99,
+    )
+    rng = np.random.default_rng(4)
+    hot = cold = None
+    for _ in range(BATCHES):
+        store.insert({"a": rng.integers(0, DOMAIN, BATCH_SIZE)})
+        for _ in range(25):
+            hot = store.range_query(0, HOT_HIGH)
+        cold = store.range_query(DOMAIN // 2, DOMAIN)
+        if adaptive:
+            store.rebalance(floor=TOTAL_BUDGET // 10)
+    return {
+        "mode": "adaptive" if adaptive else "static",
+        "hot-range precision": round(hot.precision, 3),
+        "cold-range precision": round(cold.precision, 3),
+        "budgets": store.stats()["budgets"],
+    }
+
+
+def main() -> None:
+    rows = [run(adaptive=False), run(adaptive=True)]
+    print(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title=(
+                f"Adaptive vs static partition budgets "
+                f"({BATCHES * BATCH_SIZE:,} tuples into {TOTAL_BUDGET:,})"
+            ),
+        )
+    )
+    print(
+        "\nWith rebalancing, the partition serving the dashboard's "
+        "queries keeps\nmost of the budget: better precision exactly "
+        "where the workload looks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate every figure and table of the paper in one run.
+
+Equivalent to ``python -m repro run all`` but callable as a script and
+with a compact progress trail.  Expect a few minutes at the paper's
+full query counts.
+
+Run with::
+
+    python examples/paper_figures.py [--fast]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+#: Reduced query batches for --fast runs (shape-preserving).
+_FAST_OVERRIDES = {
+    "F2": {"queries_per_epoch": 300},
+    "F3": {"queries_per_epoch": 200},
+    "T1": {"queries_per_epoch": 200},
+    "T2": {"queries_per_epoch": 20},
+    "T3": {"queries_per_epoch": 200},
+    "A2": {"queries_per_epoch": 200},
+}
+
+
+def main(argv: list[str]) -> int:
+    fast = "--fast" in argv
+    for experiment_id, runner in EXPERIMENTS.items():
+        kwargs = _FAST_OVERRIDES.get(experiment_id, {}) if fast else {}
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+        print("=" * 72)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: a database that forgets.
+
+Builds an :class:`~repro.AmnesiaDatabase` with a 10 000-tuple budget and
+rot amnesia, streams in 50 000 sensor-style readings, and shows what the
+amnesiac database still knows — and what it silently lost — using the
+library's exact precision accounting.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AmnesiaDatabase
+from repro.amnesia import RotAmnesia
+
+BUDGET = 10_000
+BATCHES = 10
+BATCH_SIZE = 5_000
+DOMAIN = 100_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    db = AmnesiaDatabase(budget=BUDGET, policy=RotAmnesia(high_water_mark=1))
+
+    print(f"Streaming {BATCHES} batches of {BATCH_SIZE} readings "
+          f"into a {BUDGET}-tuple budget...\n")
+    for batch in range(BATCHES):
+        readings = rng.integers(0, DOMAIN, BATCH_SIZE)
+        db.insert({"a": readings})
+        # Query between batches so the rot policy can learn which
+        # values the application cares about (the hot low range).
+        for _ in range(50):
+            low = int(rng.integers(0, DOMAIN // 10))
+            db.range_query("a", low, low + DOMAIN // 100)
+
+    stats = db.stats()
+    print("Database state after the stream:")
+    for key, value in stats.items():
+        print(f"  {key:15s} {value}")
+
+    print("\nWhat does a range query still see?")
+    result = db.range_query("a", 0, DOMAIN // 10)  # the learned-hot range
+    print(f"  hot range  : returned {result.rf:5d} tuples, "
+          f"missed {result.mf:5d} -> precision {result.precision:.3f}")
+    result = db.range_query("a", DOMAIN // 2, DOMAIN // 2 + DOMAIN // 10)
+    print(f"  cold range : returned {result.rf:5d} tuples, "
+          f"missed {result.mf:5d} -> precision {result.precision:.3f}")
+
+    print("\nAnd the headline aggregate?")
+    agg = db.aggregate("avg", "a")
+    print(f"  SELECT AVG(a): amnesiac {agg.amnesiac_value:,.1f} vs "
+          f"oracle {agg.oracle_value:,.1f} "
+          f"(relative error {agg.relative_error:.4f})")
+
+    print("\nThe rot policy kept the queried range much sharper than the "
+          "rest —\nthat asymmetry is the paper's central trade.")
+
+
+if __name__ == "__main__":
+    main()

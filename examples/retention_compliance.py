@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Privacy-act retention: forgetting as a legal obligation.
+
+"Observations that are constrained by a Data Privacy Act should be
+forgotten within the legally defined time frame" (§1).  The
+:class:`~repro.amnesia.PrivacyRetentionWrapper` turns any amnesia
+policy into a compliant one: tuples past the retention limit are purged
+*unconditionally*, even when that overshoots the storage budget; only
+the remaining quota is spent at the inner policy's discretion.
+
+Run with::
+
+    python examples/retention_compliance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AmnesiaDatabase
+from repro.amnesia import PrivacyRetentionWrapper, RotAmnesia
+from repro.plotting import render_table
+
+BUDGET = 4_000
+BATCH_SIZE = 1_000
+BATCHES = 10
+#: Legal retention period, in insert batches.
+MAX_AGE = 3
+
+
+def main() -> None:
+    policy = PrivacyRetentionWrapper(
+        RotAmnesia(high_water_mark=1), max_age_epochs=MAX_AGE
+    )
+    db = AmnesiaDatabase(budget=BUDGET, policy=policy)
+    rng = np.random.default_rng(11)
+
+    rows = []
+    for batch in range(1, BATCHES + 1):
+        db.insert({"a": rng.integers(0, 100_000, BATCH_SIZE)})
+        # A few queries so the inner rot policy has signal.
+        for _ in range(20):
+            low = int(rng.integers(0, 90_000))
+            db.range_query("a", low, low + 2_000)
+
+        # Compliance audit: no active tuple may exceed the legal age.
+        table = db.table
+        active = table.active_positions()
+        ages = db.epoch - table.insert_epochs()[active]
+        oldest = int(ages.max()) if active.size else 0
+        rows.append(
+            [
+                batch,
+                db.active_count,
+                oldest,
+                "PASS" if oldest < MAX_AGE else "VIOLATION",
+            ]
+        )
+
+    print(
+        render_table(
+            ["batch", "active tuples", "oldest active age", "audit"],
+            rows,
+            title=(
+                f"Retention compliance (limit: {MAX_AGE} batches, "
+                f"budget: {BUDGET} tuples)"
+            ),
+        )
+    )
+    assert all(r[3] == "PASS" for r in rows), "retention violated!"
+    print(
+        "\nEvery audit passes: the privacy wrapper purges expired tuples "
+        "before\nthe discretionary policy spends the rest of the quota.  "
+        "Note the active\ncount can dip below budget right after a purge — "
+        "the law outranks the\nstorage target."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Scientific-instrument stream under a fixed memory budget.
+
+The paper's opening scenario: "in a scientific instrument the sensors
+transmit with smaller rates than what they are capable of" — the naive
+fix is to drop data at the source.  This example keeps the full rate
+and lets the DBMS forget instead, comparing three strategies on a
+monitoring workload that mostly inspects *recent anomalies*:
+
+* **fifo** — the stream-buffer baseline (only fresh data survives);
+* **uniform** — blind reservoir-style forgetting;
+* **rot** — query-aware forgetting that learns the anomaly band.
+
+Run with::
+
+    python examples/streaming_sensor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AmnesiaDatabase
+from repro.amnesia import FifoAmnesia, RotAmnesia, UniformAmnesia
+from repro.plotting import render_table
+
+BUDGET = 5_000
+BATCHES = 12
+BATCH_SIZE = 2_000
+#: Sensor reading range; anomalies live in the top decile.
+DOMAIN = 10_000
+ANOMALY_LOW = 9_000
+
+
+def sensor_batch(rng: np.random.Generator) -> np.ndarray:
+    """Mostly normal readings with a 3 % anomaly tail."""
+    normal = rng.normal(DOMAIN / 2, DOMAIN / 10, BATCH_SIZE).astype(np.int64)
+    normal = np.clip(normal, 0, DOMAIN)
+    anomalies = rng.integers(ANOMALY_LOW, DOMAIN, max(BATCH_SIZE // 33, 1))
+    batch = np.concatenate([normal[: BATCH_SIZE - anomalies.size], anomalies])
+    rng.shuffle(batch)
+    return batch
+
+
+def run_strategy(name: str, policy) -> dict:
+    rng = np.random.default_rng(42)  # same stream for every strategy
+    db = AmnesiaDatabase(budget=BUDGET, policy=policy)
+    anomaly_precision = []
+    for _ in range(BATCHES):
+        db.insert({"a": sensor_batch(rng)})
+        # The monitoring dashboard hammers the anomaly band.
+        for _ in range(30):
+            result = db.range_query("a", ANOMALY_LOW, DOMAIN)
+        anomaly_precision.append(result.precision)
+    baseline = db.range_query("a", 0, ANOMALY_LOW)
+    return {
+        "strategy": name,
+        "anomaly precision (final)": round(anomaly_precision[-1], 3),
+        "anomaly precision (mean)": round(
+            float(np.mean(anomaly_precision)), 3
+        ),
+        "bulk precision (final)": round(baseline.precision, 3),
+        "tuples held": db.active_count,
+    }
+
+
+def main() -> None:
+    ingested = BATCHES * BATCH_SIZE
+    print(
+        f"Sensor stream: {ingested:,} readings into a {BUDGET:,}-tuple "
+        f"budget ({ingested / BUDGET:.0f}x oversubscribed).\n"
+    )
+    rows = [
+        run_strategy("fifo (stream buffer)", FifoAmnesia()),
+        run_strategy("uniform (reservoir)", UniformAmnesia()),
+        run_strategy("rot (query-aware)", RotAmnesia(high_water_mark=1,
+                                                     frequency_exponent=2.0)),
+    ]
+    print(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Anomaly-band monitoring under amnesia",
+        )
+    )
+    print(
+        "\nRot amnesia learns that the dashboard cares about the anomaly "
+        "band and\nsacrifices bulk readings instead — FIFO and uniform "
+        "treat both alike."
+    )
+
+
+if __name__ == "__main__":
+    main()

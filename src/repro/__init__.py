@@ -1,0 +1,52 @@
+"""repro — A Database System with Amnesia (Kersten & Sidirourgos, CIDR 2017).
+
+A production-quality reproduction of the paper's Data Amnesia
+Simulator: a columnar DBMS skeleton whose tables *forget* tuples under
+pluggable amnesia policies, with exact information-precision accounting
+against the never-forgetting oracle.
+
+Quick start::
+
+    import numpy as np
+    from repro import AmnesiaDatabase
+    from repro.amnesia import RotAmnesia
+
+    db = AmnesiaDatabase(budget=10_000, policy=RotAmnesia())
+    db.insert({"a": np.random.default_rng(0).integers(0, 1000, 20_000)})
+    result = db.range_query("a", 100, 200)
+    print(result.rf, result.mf, result.precision)
+
+Experiment reproduction lives in :mod:`repro.experiments`; see
+``python -m repro --help`` for the command-line harness.
+"""
+
+from ._util.errors import (
+    AmnesiaError,
+    ColdStoreError,
+    CompressionError,
+    ConfigError,
+    LifecycleError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from .core import AmnesiaDatabase, AmnesiaSimulator, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmnesiaDatabase",
+    "AmnesiaSimulator",
+    "SimulationConfig",
+    "ReproError",
+    "ConfigError",
+    "StorageError",
+    "SchemaError",
+    "QueryError",
+    "AmnesiaError",
+    "ColdStoreError",
+    "CompressionError",
+    "LifecycleError",
+    "__version__",
+]

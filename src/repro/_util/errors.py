@@ -1,0 +1,94 @@
+"""Exception hierarchy for the amnesia simulator.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of NumPy,
+for instance) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "StorageError",
+    "SchemaError",
+    "UnknownColumnError",
+    "QueryError",
+    "AmnesiaError",
+    "InsufficientVictimsError",
+    "IndexError_",
+    "ColdStoreError",
+    "CompressionError",
+    "LifecycleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated."""
+
+
+class SchemaError(StorageError):
+    """A table schema operation is invalid (duplicate column, bad arity)."""
+
+
+class UnknownColumnError(SchemaError, KeyError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        detail = f"unknown column {name!r}"
+        if available:
+            detail += f" (available: {', '.join(available)})"
+        super().__init__(detail)
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.args[0]
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be evaluated."""
+
+
+class AmnesiaError(ReproError):
+    """An amnesia policy failed to produce a valid victim set."""
+
+
+class InsufficientVictimsError(AmnesiaError):
+    """The policy was asked for more victims than there are active tuples."""
+
+    def __init__(self, requested: int, active: int):
+        self.requested = requested
+        self.active = active
+        super().__init__(
+            f"requested {requested} victims but only {active} active tuples"
+        )
+
+
+class IndexError_(ReproError):
+    """An index maintenance or probe operation failed.
+
+    The trailing underscore avoids shadowing the builtin ``IndexError``
+    while keeping the name recognisable.
+    """
+
+
+class ColdStoreError(ReproError):
+    """A cold-storage operation failed (missing segment, double archive)."""
+
+
+class CompressionError(ReproError):
+    """A codec could not encode or decode a block."""
+
+
+class LifecycleError(ReproError):
+    """A forgotten-data disposition was applied inconsistently."""

@@ -1,0 +1,65 @@
+"""Deterministic random-number plumbing.
+
+The simulator is a randomized process three times over: the data stream,
+the query workload, and most amnesia policies all draw random numbers.
+Reproducibility of every figure therefore hinges on disciplined seeding.
+
+This module provides :func:`spawn`, which derives *named*, statistically
+independent child generators from a root seed.  Naming (rather than
+positional spawning) means adding a new consumer does not perturb the
+streams of existing ones — experiment results stay stable as the library
+grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "make_rng", "spawn", "derive_seed"]
+
+#: Seed used whenever the caller does not supply one.  Chosen arbitrarily
+#: but fixed so that ad-hoc runs are reproducible too.
+DEFAULT_SEED = 20170108  # CIDR 2017 opening day
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from ``root_seed`` and ``name``.
+
+    The derivation hashes the pair with SHA-256, so child streams are
+    independent for all practical purposes and insensitive to the order
+    in which they are created.
+
+    >>> derive_seed(1, "data") == derive_seed(1, "data")
+    True
+    >>> derive_seed(1, "data") != derive_seed(1, "queries")
+    True
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, an existing generator (returned unchanged),
+    or ``None`` (uses :data:`DEFAULT_SEED`).  Centralising this glue
+    keeps ``rng`` arguments uniform across the library.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn(root_seed: int, name: str) -> np.random.Generator:
+    """Return a named child generator derived from ``root_seed``.
+
+    >>> a = spawn(42, "data")
+    >>> b = spawn(42, "data")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    return np.random.default_rng(derive_seed(root_seed, name))

@@ -1,0 +1,108 @@
+"""Small argument-validation helpers.
+
+These raise :class:`~repro._util.errors.ConfigError` with uniform
+messages.  Using helpers instead of inline ``if`` chains keeps the
+constructors of configuration objects short and the error text
+consistent across the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_fraction",
+    "check_probability",
+    "check_in",
+    "check_positive_float",
+    "check_non_negative_float",
+    "as_int_array",
+]
+
+T = TypeVar("T")
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer >= 1, else raise ConfigError."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer >= 0, else raise ConfigError."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive_zero: bool = False) -> float:
+    """Return ``value`` if it lies in ``(0, 1]`` (or ``[0, 1]``)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {value!r}") from None
+    low_ok = value >= 0.0 if inclusive_zero else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if inclusive_zero else "(0, 1]"
+        raise ConfigError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``."""
+    return check_fraction(value, name, inclusive_zero=True)
+
+
+def check_positive_float(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number > 0."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value) or value <= 0.0:
+        raise ConfigError(f"{name} must be a finite number > 0, got {value}")
+    return value
+
+
+def check_non_negative_float(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number >= 0."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value) or value < 0.0:
+        raise ConfigError(f"{name} must be a finite number >= 0, got {value}")
+    return value
+
+
+def check_in(value: T, options: Sequence[T], name: str) -> T:
+    """Return ``value`` if it is one of ``options``."""
+    if value not in options:
+        rendered = ", ".join(repr(o) for o in options)
+        raise ConfigError(f"{name} must be one of {rendered}, got {value!r}")
+    return value
+
+
+def as_int_array(values, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``int64`` array, validating shape."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ConfigError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ConfigError(f"{name} must be numeric, got dtype {arr.dtype}")
+        if not np.all(arr == np.floor(arr)):
+            raise ConfigError(f"{name} must contain integers only")
+    return arr.astype(np.int64, copy=False)

@@ -1,0 +1,156 @@
+"""Spatially biased amnesia (paper §3.3): mold areas.
+
+Mimics spatially correlated decay ("areas already infected with mold"):
+the policy maintains up to ``K`` *areas* — contiguous intervals of the
+storage space it has already forgotten — and, per victim, either starts
+a new mold spot at a random active tuple or extends one of the existing
+areas in a random direction:
+
+    "keep a list of areas of forgotten tuples, say K, and set n to a
+    value between 1 .. K+1.  If n = K+1, then we start new mold for a
+    tuple by randomly selecting a new active starting point.  Otherwise,
+    we look into the database tiling and extend the n-th area of
+    forgotten tuples in either direction."
+
+The emergent map is the paper's "uniform-fifo combination": old regions
+accumulate holes (fifo-ish darkening), young regions look uniformly
+speckled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from ..storage.table import Table
+from .base import AmnesiaPolicy
+
+__all__ = ["AreaAmnesia"]
+
+
+class _CandidateFeed:
+    """Shuffled stream of selectable positions with O(1) amortised pops.
+
+    Entries may become stale (chosen through an area walk); pops skip
+    them by consulting the shared selectable mask.
+    """
+
+    def __init__(self, mask: np.ndarray, rng: np.random.Generator):
+        self._mask = mask
+        order = np.flatnonzero(mask)
+        rng.shuffle(order)
+        self._order = order
+        self._cursor = 0
+
+    def pop(self) -> int | None:
+        """Next still-selectable position, or None when exhausted."""
+        while self._cursor < self._order.size:
+            position = int(self._order[self._cursor])
+            self._cursor += 1
+            if self._mask[position]:
+                return position
+        return None
+
+
+class AreaAmnesia(AmnesiaPolicy):
+    """Forget by growing up to ``max_areas`` contiguous holes.
+
+    Parameters
+    ----------
+    max_areas:
+        The paper's K — the size of the mold-area list.  Each victim
+        starts a new mold with probability ``1/(K+1)``, so *small* K
+        seeds fresh specks constantly (uniform-like speckle) while
+        *large* K concentrates forgetting into a few long-lived
+        contiguous holes.  Ablation A1 sweeps this knob.
+    """
+
+    name = "area"
+
+    def __init__(self, max_areas: int = 8):
+        if max_areas < 1:
+            raise ConfigError(f"max_areas must be >= 1, got {max_areas}")
+        self.max_areas = int(max_areas)
+        # Areas are inclusive [lo, hi] position intervals, oldest first.
+        self._areas: list[list[int]] = []
+
+    def reset(self) -> None:
+        self._areas = []
+
+    @property
+    def areas(self) -> list[tuple[int, int]]:
+        """Current mold areas as (lo, hi) tuples (for tests/analysis)."""
+        return [(lo, hi) for lo, hi in self._areas]
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _walk(
+        mask: np.ndarray, start: int, step: int
+    ) -> int | None:
+        """First selectable position from ``start`` moving by ``step``."""
+        position = start
+        limit = mask.shape[0]
+        while 0 <= position < limit:
+            if mask[position]:
+                return position
+            position += step
+        return None
+
+    def _extend_area(
+        self, area: list[int], mask: np.ndarray, rng: np.random.Generator
+    ) -> int | None:
+        """Try to grow ``area`` one tuple in a random direction."""
+        lo, hi = area
+        go_left_first = rng.random() < 0.5
+        directions = [(-1, lo - 1), (1, hi + 1)]
+        if not go_left_first:
+            directions.reverse()
+        for step, start in directions:
+            victim = self._walk(mask, start, step)
+            if victim is not None:
+                area[0] = min(area[0], victim)
+                area[1] = max(area[1], victim)
+                return victim
+        return None
+
+    def select_victims(self, table, n, epoch, rng, exclude=None):
+        candidates = self._candidates(table, exclude)
+        self._require(candidates, n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+
+        # Selectable = active minus exclusions; consumed as we choose.
+        mask = table.active_mask().copy()
+        if exclude is not None and len(exclude):
+            mask[np.asarray(exclude, dtype=np.int64)] = False
+        feed = _CandidateFeed(mask, rng)
+
+        victims = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            victim = None
+            # The paper's draw: n uniform in 1..K+1 with K the list
+            # capacity.  n = K+1 starts a new mold; a draw naming a
+            # not-yet-existing slot bootstraps one too.
+            draw = int(rng.integers(1, self.max_areas + 2))
+            if draw <= len(self._areas):
+                victim = self._extend_area(self._areas[draw - 1], mask, rng)
+            if victim is None:
+                # New-mold draw, or the chosen area is wedged against
+                # other holes and cannot grow.
+                victim = feed.pop()
+                if victim is None:
+                    # Cannot happen: _require guaranteed n candidates and
+                    # each iteration consumes exactly one.
+                    raise RuntimeError("area amnesia exhausted candidates")
+                if len(self._areas) >= self.max_areas:
+                    # The list is full: the new mold recycles the
+                    # stalest slot, keeping K live growth points.
+                    self._areas.pop(0)
+                self._areas.append([victim, victim])
+            mask[victim] = False
+            victims[i] = victim
+        return victims
+
+    def __repr__(self) -> str:
+        return f"AreaAmnesia(max_areas={self.max_areas})"

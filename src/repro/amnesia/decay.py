@@ -1,0 +1,86 @@
+"""Human-forgetting-curve amnesia (paper §5).
+
+The related-work section points at "neurological inspired models of the
+human short term memory system" (Freedman & Adams; Bahr & Wood) as an
+"effective tool for shrinking and managing the database".  This module
+implements the classic Ebbinghaus retention model as an amnesia policy:
+
+* a tuple's *memory strength* starts at ``base_strength`` and grows by
+  ``reinforcement`` with every query result it appears in (spaced
+  repetition: recall strengthens the trace);
+* its retention probability after ``age`` epochs is
+  ``exp(-age / strength)``;
+* the forgetting weight is ``1 - retention`` — old, rarely recalled
+  tuples fade, while anything the workload keeps touching survives.
+
+Compared to :class:`~repro.amnesia.rot.RotAmnesia` (pure frequency with
+an age gate) the decay policy trades smoothly between recency and
+frequency with two interpretable knobs, no hard threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from .base import AmnesiaPolicy
+from .sampling import weighted_sample_without_replacement
+
+__all__ = ["EbbinghausAmnesia"]
+
+
+class EbbinghausAmnesia(AmnesiaPolicy):
+    """Forget along the exponential human forgetting curve.
+
+    Parameters
+    ----------
+    base_strength:
+        Memory strength (in epochs) of a never-accessed tuple: the age
+        at which its retention drops to ``1/e``.
+    reinforcement:
+        Strength added per recorded access.  0 reduces the policy to a
+        purely temporal exponential-decay strategy.
+
+    >>> policy = EbbinghausAmnesia(base_strength=2.0, reinforcement=1.0)
+    >>> policy.name
+    'ebbinghaus'
+    """
+
+    name = "ebbinghaus"
+
+    def __init__(self, base_strength: float = 2.0, reinforcement: float = 1.0):
+        if base_strength <= 0:
+            raise ConfigError(
+                f"base_strength must be > 0, got {base_strength}"
+            )
+        if reinforcement < 0:
+            raise ConfigError(
+                f"reinforcement must be >= 0, got {reinforcement}"
+            )
+        self.base_strength = float(base_strength)
+        self.reinforcement = float(reinforcement)
+
+    def retention(self, table, positions: np.ndarray, epoch: int) -> np.ndarray:
+        """Retention probability of each tuple at ``epoch`` (for analysis)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        ages = (epoch - table.insert_epochs()[positions]).astype(np.float64)
+        ages = np.maximum(ages, 0.0)
+        strength = (
+            self.base_strength
+            + self.reinforcement * table.access_counts()[positions]
+        )
+        return np.exp(-ages / strength)
+
+    def select_victims(self, table, n, epoch, rng, exclude=None):
+        candidates = self._candidates(table, exclude)
+        self._require(candidates, n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        weights = 1.0 - self.retention(table, candidates, epoch)
+        return weighted_sample_without_replacement(candidates, weights, n, rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"EbbinghausAmnesia(base_strength={self.base_strength}, "
+            f"reinforcement={self.reinforcement})"
+        )

@@ -1,0 +1,71 @@
+"""Policy registry: build amnesia strategies by short name.
+
+The experiment harness, the CLI and the benchmarks all refer to
+policies by the names the paper uses in its figure legends (``fifo``,
+``uniform``, ``ante``, ``rot``, ``area`` ...).  The registry maps those
+names to constructors and forwards keyword arguments, so parameter
+sweeps stay one-liners.
+"""
+
+from __future__ import annotations
+
+from .._util.errors import ConfigError
+from .area import AreaAmnesia
+from .base import AmnesiaPolicy
+from .decay import EbbinghausAmnesia
+from .extensions import (
+    CostBasedAmnesia,
+    DistributionAlignedAmnesia,
+    PairPreservingAmnesia,
+    StratifiedAmnesia,
+)
+from .rot import OveruseAmnesia, RotAmnesia
+from .temporal import (
+    AnterogradeAmnesia,
+    FifoAmnesia,
+    RetrogradeAmnesia,
+    UniformAmnesia,
+)
+
+__all__ = ["POLICY_NAMES", "FIGURE1_POLICIES", "FIGURE3_POLICIES", "make_policy"]
+
+_FACTORIES = {
+    "fifo": FifoAmnesia,
+    "uniform": UniformAmnesia,
+    "retro": RetrogradeAmnesia,
+    "ante": AnterogradeAmnesia,
+    "rot": RotAmnesia,
+    "overuse": OveruseAmnesia,
+    "area": AreaAmnesia,
+    "ebbinghaus": EbbinghausAmnesia,
+    "pair": PairPreservingAmnesia,
+    "dist": DistributionAlignedAmnesia,
+    "stratified": StratifiedAmnesia,
+    "cost": CostBasedAmnesia,
+}
+
+#: Names accepted by :func:`make_policy`.
+POLICY_NAMES = tuple(_FACTORIES)
+
+#: The strategies shown in the paper's Figure 1 (rot is Figure 2).
+FIGURE1_POLICIES = ("fifo", "uniform", "ante", "area")
+
+#: The strategies compared in Figure 3.
+FIGURE3_POLICIES = ("fifo", "uniform", "ante", "rot", "area")
+
+
+def make_policy(name: str, **kwargs) -> AmnesiaPolicy:
+    """Construct a policy by short name.
+
+    >>> make_policy("fifo").name
+    'fifo'
+    >>> make_policy("rot", high_water_mark=2).high_water_mark
+    2
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown amnesia policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None
+    return factory(**kwargs)

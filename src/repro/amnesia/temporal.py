@@ -1,0 +1,141 @@
+"""Temporally biased amnesia (paper §3.1).
+
+Four strategies keyed on *when* a tuple arrived:
+
+* :class:`FifoAmnesia` — a sliding buffer over the timeline: the oldest
+  active tuples are forgotten deterministically.  The streaming-database
+  scenario, and the extreme case of retrograde amnesia.
+* :class:`UniformAmnesia` — every active tuple is equally likely to be
+  forgotten at each round (reservoir-sampling-like); the paper's
+  "easy to understand baseline".  Old tuples have survived more rounds,
+  so the map still brightens toward the present.
+* :class:`RetrogradeAmnesia` — "can't recall old memories": forgetting
+  probability grows with age (a randomized softening of FIFO).
+* :class:`AnterogradeAmnesia` — "can not accumulate new memories":
+  recently added tuples are preferentially forgotten, so the initial
+  database survives and updates are eaten oldest-update-first, opening
+  the paper's "black hole" over the update timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from ..storage.table import Table
+from .base import AmnesiaPolicy
+from .sampling import (
+    uniform_sample_without_replacement,
+    weighted_sample_without_replacement,
+)
+
+__all__ = [
+    "FifoAmnesia",
+    "UniformAmnesia",
+    "RetrogradeAmnesia",
+    "AnterogradeAmnesia",
+]
+
+
+class FifoAmnesia(AmnesiaPolicy):
+    """Forget the oldest active tuples, deterministically.
+
+    Row positions are assigned in insertion order, so "oldest" is simply
+    "lowest position".  The active set is always the suffix of the
+    timeline — exactly the paper's sliding stream buffer.
+    """
+
+    name = "fifo"
+
+    def select_victims(self, table, n, epoch, rng, exclude=None):
+        candidates = self._candidates(table, exclude)
+        self._require(candidates, n)
+        # Candidates are ascending by construction: take the head.
+        return candidates[:n]
+
+
+class UniformAmnesia(AmnesiaPolicy):
+    """Forget uniformly at random among active tuples.
+
+    "At any round of amnesia, a tuple has the same probability to be
+    forgotten, but older tuples have been a candidate to be forgotten
+    multiple times" (§3.1) — the geometric brightening of Figure 1's
+    second band emerges from repetition, not from the per-round weights.
+    """
+
+    name = "uniform"
+
+    def select_victims(self, table, n, epoch, rng, exclude=None):
+        candidates = self._candidates(table, exclude)
+        self._require(candidates, n)
+        return uniform_sample_without_replacement(candidates, n, rng)
+
+
+class _AgeBiasedAmnesia(AmnesiaPolicy):
+    """Shared machinery: forgetting probability as a power of timeline rank.
+
+    Each active tuple gets weight ``((rank + 1) / m) ** bias`` where
+    ``rank`` orders candidates oldest→newest (retrograde) or
+    newest→oldest (anterograde) and ``m`` is the candidate count.  A
+    larger ``bias`` concentrates forgetting harder on the targeted end;
+    ``bias = 0`` degrades to uniform amnesia.
+    """
+
+    #: Which end of the timeline the weight favours.
+    _newest_heavy: bool = False
+
+    def __init__(self, bias: float = 4.0):
+        if bias < 0:
+            raise ConfigError(f"bias must be >= 0, got {bias}")
+        self.bias = float(bias)
+
+    def _weights(self, candidates: np.ndarray) -> np.ndarray:
+        m = candidates.size
+        ranks = np.arange(1, m + 1, dtype=np.float64)
+        if not self._newest_heavy:
+            # Candidates ascend by position: rank 1 = oldest.  Weight
+            # must peak at the oldest, so flip the ranks.
+            ranks = ranks[::-1]
+        return (ranks / m) ** self.bias
+
+    def select_victims(self, table, n, epoch, rng, exclude=None):
+        candidates = self._candidates(table, exclude)
+        self._require(candidates, n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        weights = self._weights(candidates)
+        return weighted_sample_without_replacement(candidates, weights, n, rng)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(bias={self.bias})"
+
+
+class RetrogradeAmnesia(_AgeBiasedAmnesia):
+    """Old memories fade: forgetting probability grows with tuple age.
+
+    ``bias → ∞`` approaches FIFO; the default ``bias = 4`` keeps a
+    visible random fringe around the sliding window.
+    """
+
+    name = "retro"
+    _newest_heavy = False
+
+
+class AnterogradeAmnesia(_AgeBiasedAmnesia):
+    """New memories don't stick: recent tuples are forgotten first.
+
+    "This strategy prioritizes historical data, and a new piece of
+    information is only remembered if it appears too often" (§3.1).
+    With the default ``bias = 6`` most of each fresh update batch is
+    forgotten within its first rounds, and surviving update tuples keep
+    facing elevated risk while they remain among the newest —
+    reproducing Figure 1's bright initial cohort ("retains most of the
+    data at point 0"), black hole over the oldest updates, and
+    partially bright tail.
+    """
+
+    name = "ante"
+    _newest_heavy = True
+
+    def __init__(self, bias: float = 6.0):
+        super().__init__(bias=bias)

@@ -1,0 +1,107 @@
+"""Command-line experiment harness.
+
+Usage::
+
+    python -m repro list                 # show the experiment index
+    python -m repro run F1               # reproduce one experiment
+    python -m repro run all              # reproduce everything
+    python -m repro run F3 --seed 7      # override the root seed
+
+Every experiment prints the same rows/series the paper's figures and
+tables report, rendered as ASCII heat maps, line charts and tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+_DESCRIPTIONS = {
+    "F1": "Figure 1 — database amnesia map after 10 update batches",
+    "F2": "Figure 2 — database rot map per data distribution",
+    "F3": "Figure 3 — range query precision over the timeline",
+    "T1": "§4.2 — low vs high update volatility",
+    "T2": "§4.3 — aggregate (AVG) precision over a longer run",
+    "T3": "§4.2 — selectivity factor sweep",
+    "A1": "ablation — area policy hole count K",
+    "A2": "ablation — rot high-water mark / frequency shield",
+    "A2b": "ablation — anterograde recency bias",
+    "A3": "§4.4 — pair-preserving amnesia vs baselines",
+    "A4": "§4.4 — distribution-aligned amnesia drift",
+    "C1": "§1 — storage economics of forgetting (Glacier model)",
+    "C2": "§4.4 — compression postpones forgetting",
+    "I1": "§1 — stop-indexing and summary disposition mechanics",
+    "X1": "extension — human-forgetting-curve (Ebbinghaus) amnesia",
+    "X2": "extension — adaptive partition budgets",
+    "X3": "extension — referential integrity (restrict/cascade)",
+    "X4": "extension — histogram micro-model summaries",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-amnesia",
+        description=(
+            "Reproduction harness for 'A Database System with Amnesia' "
+            "(CIDR 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, seed: int | None, out) -> None:
+    runner = EXPERIMENTS[experiment_id]
+    result = runner(seed=seed) if seed is not None else runner()
+    print(result.render(), file=out)
+    print(file=out)
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(
+                f"{experiment_id:4s} {_DESCRIPTIONS.get(experiment_id, '')}",
+                file=out,
+            )
+        return 0
+
+    target = args.experiment.upper()
+    if target == "ALL":
+        for experiment_id in EXPERIMENTS:
+            _run_one(experiment_id, args.seed, out)
+        return 0
+    by_upper = {experiment_id.upper(): experiment_id for experiment_id in EXPERIMENTS}
+    if target not in by_upper:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(by_upper[target], args.seed, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Storage-economics model (paper §1).
+
+The paper grounds its motivation in 2016 cloud prices:
+
+    "AWS Glacier charges $48 per TB/year ... data retrieval cost is
+    $2.5–30 per TB and can take up to 12 hours."
+
+:class:`StorageCostModel` captures those numbers (and a hot-tier
+counterpart) so the cold-storage experiments can report dollar and
+latency figures for each forgotten-data disposition.  The absolute
+numbers matter less than the *ordering* they induce — hot retention is
+cheap to read and expensive to keep; cold retention is the reverse;
+deletion is free and destroys information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util.validation import check_non_negative_float, check_positive_float
+
+__all__ = ["StorageCostModel", "GLACIER_2016", "TierUsage"]
+
+_TB = 1024.0**4
+
+
+@dataclass(frozen=True)
+class StorageCostModel:
+    """Prices and latencies for a two-tier (hot/cold) hierarchy.
+
+    All prices are USD; sizes are bytes; durations are hours unless the
+    field name says otherwise.
+    """
+
+    cold_storage_usd_per_tb_year: float = 48.0
+    cold_retrieval_usd_per_tb: float = 30.0
+    cold_retrieval_latency_hours: float = 12.0
+    hot_storage_usd_per_tb_year: float = 360.0
+    hot_retrieval_usd_per_tb: float = 0.0
+    hot_retrieval_latency_hours: float = 50e-9 / 3600.0  # ~DRAM access
+
+    def __post_init__(self) -> None:
+        check_non_negative_float(
+            self.cold_storage_usd_per_tb_year, "cold_storage_usd_per_tb_year"
+        )
+        check_non_negative_float(
+            self.cold_retrieval_usd_per_tb, "cold_retrieval_usd_per_tb"
+        )
+        check_non_negative_float(
+            self.cold_retrieval_latency_hours, "cold_retrieval_latency_hours"
+        )
+        check_positive_float(
+            self.hot_storage_usd_per_tb_year, "hot_storage_usd_per_tb_year"
+        )
+        check_non_negative_float(
+            self.hot_retrieval_usd_per_tb, "hot_retrieval_usd_per_tb"
+        )
+        check_non_negative_float(
+            self.hot_retrieval_latency_hours, "hot_retrieval_latency_hours"
+        )
+
+    # -- storage -----------------------------------------------------------
+
+    def cold_storage_cost(self, nbytes: int, years: float) -> float:
+        """Dollars to keep ``nbytes`` in the cold tier for ``years``."""
+        return (nbytes / _TB) * self.cold_storage_usd_per_tb_year * years
+
+    def hot_storage_cost(self, nbytes: int, years: float) -> float:
+        """Dollars to keep ``nbytes`` in the hot tier for ``years``."""
+        return (nbytes / _TB) * self.hot_storage_usd_per_tb_year * years
+
+    # -- retrieval ------------------------------------------------------------
+
+    def cold_retrieval_cost(self, nbytes: int) -> float:
+        """Dollars to pull ``nbytes`` back from the cold tier."""
+        return (nbytes / _TB) * self.cold_retrieval_usd_per_tb
+
+    def hot_retrieval_cost(self, nbytes: int) -> float:
+        """Dollars to read ``nbytes`` from the hot tier."""
+        return (nbytes / _TB) * self.hot_retrieval_usd_per_tb
+
+    def breakeven_reads_per_year(self) -> float:
+        """Cold-tier reads/year of the full dataset at which hot wins.
+
+        Keeping data hot costs ``hot - cold`` extra dollars per TB-year;
+        every cold read of the full dataset costs the retrieval fee.
+        Above this read rate, hot retention is the cheaper choice —
+        the quantitative core of the paper's "using this data becomes
+        prohibitively more expensive over time" argument.
+        """
+        premium = self.hot_storage_usd_per_tb_year - self.cold_storage_usd_per_tb_year
+        if self.cold_retrieval_usd_per_tb <= 0:
+            return float("inf")
+        return max(premium, 0.0) / self.cold_retrieval_usd_per_tb
+
+
+#: The paper's quoted 2016 AWS Glacier price point.
+GLACIER_2016 = StorageCostModel()
+
+
+@dataclass
+class TierUsage:
+    """Running usage counters for one tier (mutable accumulator)."""
+
+    stored_bytes: int = 0
+    retrieved_bytes: int = 0
+    retrieval_ops: int = 0
+
+    def record_store(self, nbytes: int) -> None:
+        """Account ``nbytes`` entering the tier."""
+        self.stored_bytes += int(nbytes)
+
+    def record_retrieval(self, nbytes: int) -> None:
+        """Account ``nbytes`` read back from the tier."""
+        self.retrieved_bytes += int(nbytes)
+        self.retrieval_ops += 1

@@ -1,0 +1,175 @@
+"""The cold tier: an archive for forgotten tuples.
+
+"A more cost-effective option is to move forgotten data to cheap slow
+cold-storage" (§1).  The :class:`ColdStore` simulates that tier: it
+receives the values of forgotten tuples segment by segment, remembers
+them by position, accounts storage/retrieval against a
+:class:`~repro.coldstore.cost_model.StorageCostModel`, and can *recover*
+tuples on explicit request — mirroring the paper's stance that cold
+data "will never show up in query results, unless the user takes the
+action and recovers" it (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util.errors import ColdStoreError
+from .cost_model import StorageCostModel, TierUsage
+
+__all__ = ["ColdSegment", "ColdStore"]
+
+_INT64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ColdSegment:
+    """One archived batch: positions plus their column values."""
+
+    segment_id: int
+    epoch: int
+    positions: np.ndarray
+    values_by_column: dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        """Logical archived payload size."""
+        per_row = _INT64_BYTES * (1 + len(self.values_by_column))
+        return int(self.positions.size) * per_row
+
+
+class ColdStore:
+    """Archive of forgotten tuples with cost accounting.
+
+    >>> import numpy as np
+    >>> store = ColdStore()
+    >>> _ = store.archive(epoch=1, positions=np.array([3, 4]),
+    ...                   values_by_column={"a": np.array([30, 40])})
+    >>> store.contains(np.array([3, 5])).tolist()
+    [True, False]
+    >>> store.retrieve(np.array([4]))["a"].tolist()
+    [40]
+    """
+
+    def __init__(self, cost_model: StorageCostModel | None = None):
+        self.cost_model = cost_model or StorageCostModel()
+        self.usage = TierUsage()
+        self._segments: list[ColdSegment] = []
+        self._position_to_segment: dict[int, int] = {}
+
+    # -- archiving ------------------------------------------------------
+
+    def archive(
+        self,
+        epoch: int,
+        positions: np.ndarray,
+        values_by_column: dict[str, np.ndarray],
+    ) -> ColdSegment:
+        """Store one forgotten batch; positions must be new to the tier."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            raise ColdStoreError("cannot archive an empty segment")
+        if np.unique(positions).size != positions.size:
+            raise ColdStoreError("archive positions must be distinct")
+        for name, values in values_by_column.items():
+            if np.asarray(values).shape != positions.shape:
+                raise ColdStoreError(
+                    f"column {name!r} values must align with positions"
+                )
+        clashes = [p for p in positions.tolist() if p in self._position_to_segment]
+        if clashes:
+            raise ColdStoreError(
+                f"positions already archived: {clashes[:5]}"
+            )
+        segment = ColdSegment(
+            segment_id=len(self._segments),
+            epoch=int(epoch),
+            positions=positions.copy(),
+            values_by_column={
+                name: np.asarray(values, dtype=np.int64).copy()
+                for name, values in values_by_column.items()
+            },
+        )
+        self._segments.append(segment)
+        for p in positions.tolist():
+            self._position_to_segment[p] = segment.segment_id
+        self.usage.record_store(segment.nbytes)
+        return segment
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        """Number of archived segments."""
+        return len(self._segments)
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of archived tuples."""
+        return len(self._position_to_segment)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total logical bytes resident in the tier."""
+        return self.usage.stored_bytes
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean per position: is it archived here?"""
+        positions = np.asarray(positions, dtype=np.int64)
+        return np.array(
+            [int(p) in self._position_to_segment for p in positions], dtype=bool
+        )
+
+    def segments(self) -> list[ColdSegment]:
+        """All archived segments, oldest first."""
+        return list(self._segments)
+
+    # -- retrieval -------------------------------------------------------------
+
+    def retrieve(self, positions: np.ndarray) -> dict[str, np.ndarray]:
+        """Fetch archived values for ``positions`` (cost-accounted).
+
+        Returns ``{column: values}`` aligned with the requested
+        positions.  Raises if any position was never archived.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            raise ColdStoreError("cannot retrieve an empty position set")
+        missing = [
+            p for p in positions.tolist() if p not in self._position_to_segment
+        ]
+        if missing:
+            raise ColdStoreError(f"positions not in cold storage: {missing[:5]}")
+
+        columns = self._segments[0].values_by_column.keys() if self._segments else ()
+        out = {name: np.empty(positions.size, dtype=np.int64) for name in columns}
+        for i, p in enumerate(positions.tolist()):
+            segment = self._segments[self._position_to_segment[p]]
+            row = int(np.flatnonzero(segment.positions == p)[0])
+            for name in out:
+                out[name][i] = segment.values_by_column[name][row]
+        nbytes = positions.size * _INT64_BYTES * (1 + len(out))
+        self.usage.record_retrieval(nbytes)
+        return out
+
+    # -- economics ---------------------------------------------------------------
+
+    def storage_cost(self, years: float) -> float:
+        """Dollars to keep the current archive for ``years``."""
+        return self.cost_model.cold_storage_cost(self.stored_bytes, years)
+
+    def retrieval_cost_so_far(self) -> float:
+        """Dollars spent on retrievals so far."""
+        return self.cost_model.cold_retrieval_cost(self.usage.retrieved_bytes)
+
+    def retrieval_latency_so_far(self) -> float:
+        """Hours of retrieval latency incurred (one fetch = one trip)."""
+        return self.usage.retrieval_ops * self.cost_model.cold_retrieval_latency_hours
+
+    def __repr__(self) -> str:
+        return (
+            f"ColdStore(segments={self.segment_count}, tuples={self.tuple_count}, "
+            f"bytes={self.stored_bytes})"
+        )

@@ -1,0 +1,29 @@
+"""Lossless integer codecs: compression postpones forgetting (§4.4)."""
+
+from .bitpack import bits_needed, pack_ints, unpack_ints
+from .codecs import (
+    CODEC_NAMES,
+    Codec,
+    CompressedBlock,
+    DictionaryCodec,
+    FrameOfReferenceCodec,
+    RawCodec,
+    RleCodec,
+    best_codec,
+    make_codec,
+)
+
+__all__ = [
+    "bits_needed",
+    "pack_ints",
+    "unpack_ints",
+    "CODEC_NAMES",
+    "Codec",
+    "CompressedBlock",
+    "DictionaryCodec",
+    "FrameOfReferenceCodec",
+    "RawCodec",
+    "RleCodec",
+    "best_codec",
+    "make_codec",
+]

@@ -1,0 +1,7 @@
+"""Core: simulation configuration, the amnesia simulator, the facade."""
+
+from .config import SimulationConfig
+from .database import AmnesiaDatabase
+from .simulator import AmnesiaSimulator
+
+__all__ = ["SimulationConfig", "AmnesiaDatabase", "AmnesiaSimulator"]

@@ -1,0 +1,90 @@
+"""Simulation configuration.
+
+One frozen dataclass captures every knob of the paper's experimental
+setup (§2): the storage budget DBSIZE, the update volatility
+(upd-perc), run length, query batch size and the root seed from which
+all component generators are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .._util.rng import DEFAULT_SEED
+from .._util.validation import (
+    check_fraction,
+    check_non_negative_int,
+    check_positive_int,
+)
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulator run.
+
+    Defaults reproduce the paper's headline setting:
+    ``dbsize=1000, upd-perc=0.20``, 10 update batches, 1000 queries per
+    batch (§2.3, §4.1).
+
+    Attributes
+    ----------
+    dbsize:
+        The constant storage budget in tuples (paper's DBSIZE).
+    update_fraction:
+        Fraction of DBSIZE inserted (and therefore forgotten) per epoch
+        — the paper's ``upd-perc`` / volatility knob.
+    epochs:
+        Number of update batches after the initial load.
+    queries_per_epoch:
+        Size of the query batch fired before each update batch.  0
+        disables querying (map-only runs such as Figure 1).
+    column:
+        Name of the value column under study.
+    seed:
+        Root seed; data, query and policy streams are derived from it
+        by name so they are mutually independent.
+    histogram_bins:
+        Bin count for the divergence diagnostics (0 disables them).
+    """
+
+    dbsize: int = 1000
+    update_fraction: float = 0.20
+    epochs: int = 10
+    queries_per_epoch: int = 1000
+    column: str = "a"
+    seed: int = DEFAULT_SEED
+    histogram_bins: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.dbsize, "dbsize")
+        check_fraction(self.update_fraction, "update_fraction")
+        check_positive_int(self.epochs, "epochs")
+        check_non_negative_int(self.queries_per_epoch, "queries_per_epoch")
+        check_non_negative_int(self.histogram_bins, "histogram_bins")
+        if not self.column:
+            raise ValueError("column name must be non-empty")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"dbsize * update_fraction must round to >= 1 tuple per "
+                f"batch, got {self.dbsize} * {self.update_fraction}"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Tuples inserted (and forgotten) per epoch: F = dbsize · upd-perc."""
+        return int(round(self.dbsize * self.update_fraction))
+
+    @property
+    def total_insertions(self) -> int:
+        """Tuples ever inserted over a full run."""
+        return self.dbsize + self.epochs * self.batch_size
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """Return a copy with the given fields replaced.
+
+        >>> SimulationConfig().with_(update_fraction=0.8).batch_size
+        800
+        """
+        return replace(self, **changes)

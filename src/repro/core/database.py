@@ -1,0 +1,173 @@
+"""The public facade: a database that forgets.
+
+:class:`AmnesiaDatabase` is the library's "downstream user" API: a
+single-table columnar store with a tuple budget and a pluggable amnesia
+policy.  Unlike the :class:`~repro.core.simulator.AmnesiaSimulator`
+(which drives scripted experiments), the facade is event-driven — every
+insert advances the timeline and triggers forgetting as soon as the
+budget is exceeded, and queries can be issued at any point.
+
+>>> import numpy as np
+>>> from repro.amnesia import FifoAmnesia
+>>> db = AmnesiaDatabase(budget=100, policy=FifoAmnesia(), columns=("a",))
+>>> _ = db.insert({"a": np.arange(150)})
+>>> db.active_count
+100
+>>> db.range_query("a", 0, 50).rf   # the first 50 rows were forgotten
+0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from .._util.rng import DEFAULT_SEED, spawn
+from ..amnesia.base import AmnesiaPolicy
+from ..query.executor import QueryExecutor
+from ..query.predicates import RangePredicate
+from ..query.queries import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateResult,
+    RangeQuery,
+    RangeResult,
+)
+from ..storage.table import Table
+
+__all__ = ["AmnesiaDatabase"]
+
+
+class AmnesiaDatabase:
+    """A self-pruning columnar store with a fixed tuple budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of active tuples (the paper's DBSIZE).
+    policy:
+        Amnesia strategy invoked whenever an insert pushes the active
+        count above the budget.
+    columns:
+        Column names (all int64).
+    seed:
+        Seed for the policy's random stream.
+    disposition:
+        Optional forgotten-data disposition (see :mod:`repro.lifecycle`).
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        policy: AmnesiaPolicy,
+        columns=("a",),
+        seed: int = DEFAULT_SEED,
+        disposition=None,
+        table_name: str = "amnesia_db",
+    ):
+        if budget < 1:
+            raise ConfigError(f"budget must be >= 1, got {budget}")
+        self.budget = int(budget)
+        self.policy = policy
+        self.table = Table(table_name, columns)
+        self.executor = QueryExecutor(self.table, record_access=True)
+        self._policy_rng = spawn(seed, "facade-policy")
+        self._epoch = 0
+        self._disposition = disposition
+        if disposition is not None:
+            self.table.add_observer(disposition)
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current timeline position (one tick per insert call)."""
+        return self._epoch
+
+    @property
+    def active_count(self) -> int:
+        """Tuples currently visible to queries."""
+        return self.table.active_count
+
+    @property
+    def total_rows(self) -> int:
+        """Tuples ever inserted."""
+        return self.table.total_rows
+
+    @property
+    def disposition(self):
+        """The forgotten-data disposition, if any."""
+        return self._disposition
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, values_by_column: dict) -> np.ndarray:
+        """Insert a batch; forget down to the budget if needed.
+
+        Returns the positions of the inserted rows.  Each call advances
+        the epoch by one, so policies measuring age-in-epochs see every
+        insert batch as a new cohort.
+        """
+        self._epoch += 1
+        positions = self.table.insert_batch(self._epoch, values_by_column)
+        self.policy.on_insert(self.table, positions, self._epoch)
+        self.enforce_budget()
+        return positions
+
+    def enforce_budget(self) -> None:
+        """Forget down to the budget now (used after budget changes)."""
+        excess = max(self.table.active_count - self.budget, 0)
+        if excess == 0 and not self.policy.allows_overshoot:
+            return
+        # Overshooting policies (privacy wrappers) must run every epoch
+        # even when the budget holds: mandatory purges do not wait for
+        # storage pressure.
+        victims = self.policy.select_victims(
+            self.table, excess, self._epoch, self._policy_rng
+        )
+        victims = self.policy.validate_victims(self.table, victims, excess)
+        if victims.size:
+            self.table.forget(victims, self._epoch)
+
+    # -- reads ---------------------------------------------------------------
+
+    def range_query(self, column: str, low: int, high: int) -> RangeResult:
+        """``SELECT * WHERE low <= column < high`` with precision bookkeeping."""
+        query = RangeQuery(RangePredicate(column, low, high))
+        return self.executor.execute_range(query, self._epoch)
+
+    def aggregate(
+        self,
+        function: AggregateFunction | str,
+        column: str,
+        low: int | None = None,
+        high: int | None = None,
+    ) -> AggregateResult:
+        """Aggregate over the whole table or over a range window."""
+        predicate = None
+        if (low is None) != (high is None):
+            raise ConfigError("supply both low and high, or neither")
+        if low is not None and high is not None:
+            predicate = RangePredicate(column, low, high)
+        query = AggregateQuery(AggregateFunction(function), column, predicate)
+        return self.executor.execute_aggregate(query, self._epoch)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational snapshot for dashboards and examples."""
+        return {
+            "epoch": self._epoch,
+            "budget": self.budget,
+            "active_rows": self.table.active_count,
+            "total_rows": self.table.total_rows,
+            "forgotten_rows": self.table.forgotten_count,
+            "policy": self.policy.name,
+            "cohorts": len(self.table.cohorts),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AmnesiaDatabase(budget={self.budget}, policy={self.policy.name!r}, "
+            f"active={self.active_count}/{self.total_rows})"
+        )

@@ -1,0 +1,220 @@
+"""The Data Amnesia Simulator (paper §2).
+
+Drives the full experimental loop in a "query dominant environment,
+where a batch of queries is followed by a batch of updates, immediately
+followed by applying an amnesia algorithm to guarantee that the
+database is always of DBSIZE" (§2.3):
+
+.. code-block:: text
+
+    epoch 0:   load DBSIZE tuples
+    epoch e:   run Q queries      -> precision metrics, access counts
+               insert F tuples    -> cohort e
+               forget >= F tuples -> storage budget restored
+               snapshot           -> amnesia map row, epoch report
+
+The simulator owns three independent random streams (data, queries,
+policy), all derived from ``config.seed`` by name, so any component can
+be swapped without perturbing the others' randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from .._util.rng import spawn
+from ..amnesia.base import AmnesiaPolicy
+from ..datagen.distributions import ValueDistribution
+from ..metrics.maps import AmnesiaMap
+from ..metrics.precision import BatchPrecisionCollector
+from ..metrics.reports import EpochReport, RunReport
+from ..query.executor import QueryExecutor
+from ..query.generators import RangeQueryGenerator
+from ..stats.divergence import js_divergence
+from ..stats.histograms import EquiWidthHistogram
+from ..storage.table import Table
+from .config import SimulationConfig
+
+__all__ = ["AmnesiaSimulator"]
+
+
+class AmnesiaSimulator:
+    """Orchestrates one amnesia experiment.
+
+    Parameters
+    ----------
+    config:
+        Run parameters (budget, volatility, epochs, query batch size).
+    distribution:
+        Value distribution feeding the update stream.
+    policy:
+        The amnesia strategy under study.
+    workload:
+        Optional query generator (anything with a
+        ``batch(table, n) -> list`` method).  Defaults to the paper's
+        Figure 3 range-query generator at S = 0.01 anchored on active
+        tuples.
+    disposition:
+        Optional forgotten-data disposition (see :mod:`repro.lifecycle`)
+        registered as a table observer for the whole run.
+
+    >>> from repro.amnesia import FifoAmnesia
+    >>> from repro.datagen import UniformDistribution
+    >>> sim = AmnesiaSimulator(
+    ...     SimulationConfig(dbsize=100, epochs=2, queries_per_epoch=10),
+    ...     UniformDistribution(1000),
+    ...     FifoAmnesia(),
+    ... )
+    >>> report = sim.run()
+    >>> [r.active_rows for r in report.epochs]
+    [100, 100, 100]
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        distribution: ValueDistribution,
+        policy: AmnesiaPolicy,
+        workload=None,
+        disposition=None,
+    ):
+        self.config = config
+        self.distribution = distribution
+        self.policy = policy
+        self._data_rng = spawn(config.seed, "data")
+        self._policy_rng = spawn(config.seed, "policy")
+        if workload is None and config.queries_per_epoch > 0:
+            workload = RangeQueryGenerator(
+                config.column,
+                selectivity=0.01,
+                anchor="active",
+                rng=spawn(config.seed, "queries"),
+            )
+        self.workload = workload
+        self.table = Table("amnesia_sim", [config.column])
+        self.executor = QueryExecutor(self.table, record_access=True)
+        self.map = AmnesiaMap()
+        self._disposition = disposition
+        if disposition is not None:
+            self.table.add_observer(disposition)
+        self._epoch = -1
+        self._reports: list[EpochReport] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def current_epoch(self) -> int:
+        """Last completed epoch (-1 before the initial load)."""
+        return self._epoch
+
+    @property
+    def reports(self) -> list[EpochReport]:
+        """Epoch reports accumulated so far."""
+        return list(self._reports)
+
+    def load_initial(self) -> EpochReport:
+        """Epoch 0: fill the table up to DBSIZE."""
+        if self._epoch >= 0:
+            raise ConfigError("initial load already performed")
+        values = self.distribution.sample(self.config.dbsize, self._data_rng)
+        self.table.insert_batch(0, {self.config.column: values})
+        self.policy.on_insert(self.table, self.table.cohorts[0].positions(), 0)
+        self._epoch = 0
+        report = self._snapshot(inserted=self.config.dbsize, forgotten=0, precision=None)
+        return report
+
+    def step(self) -> EpochReport:
+        """Advance one epoch: queries, then inserts, then amnesia."""
+        if self._epoch < 0:
+            raise ConfigError("call load_initial() before step()")
+        epoch = self._epoch + 1
+
+        precision = self._run_query_batch(epoch)
+        inserted = self._run_insert_batch(epoch)
+        forgotten = self._run_amnesia(epoch)
+
+        self._epoch = epoch
+        return self._snapshot(
+            inserted=inserted, forgotten=forgotten, precision=precision
+        )
+
+    def run(self) -> RunReport:
+        """Execute the configured number of epochs and return the report."""
+        if self._epoch < 0:
+            self.load_initial()
+        while self._epoch < self.config.epochs:
+            self.step()
+        return RunReport(
+            policy_name=self.policy.name,
+            distribution_name=self.distribution.name,
+            dbsize=self.config.dbsize,
+            update_fraction=self.config.update_fraction,
+            epochs=list(self._reports),
+        )
+
+    # -- phases ------------------------------------------------------------
+
+    def _run_query_batch(self, epoch: int):
+        if self.workload is None or self.config.queries_per_epoch == 0:
+            return None
+        collector = BatchPrecisionCollector()
+        queries = self.workload.batch(self.table, self.config.queries_per_epoch)
+        for query in queries:
+            collector.add(self.executor.execute(query, epoch))
+        return collector.summary()
+
+    def _run_insert_batch(self, epoch: int) -> int:
+        n = self.config.batch_size
+        values = self.distribution.sample(n, self._data_rng)
+        positions = self.table.insert_batch(epoch, {self.config.column: values})
+        self.policy.on_insert(self.table, positions, epoch)
+        return n
+
+    def _run_amnesia(self, epoch: int) -> int:
+        quota = max(self.table.active_count - self.config.dbsize, 0)
+        if quota == 0 and not self.policy.allows_overshoot:
+            # A previous overshoot (privacy purge) left the table under
+            # budget; nothing to forget this round.
+            return 0
+        # Overshooting policies run every epoch: mandatory purges do
+        # not wait for storage pressure.
+        victims = self.policy.select_victims(
+            self.table, quota, epoch, self._policy_rng
+        )
+        victims = self.policy.validate_victims(self.table, victims, quota)
+        if victims.size == 0:
+            return 0
+        return self.table.forget(victims, epoch)
+
+    # -- reporting --------------------------------------------------------------
+
+    def _divergence(self) -> float | None:
+        bins = self.config.histogram_bins
+        if bins == 0:
+            return None
+        all_values = self.table.values(self.config.column)
+        if all_values.size == 0:
+            return None
+        lo, hi = int(all_values.min()), int(all_values.max())
+        oracle = EquiWidthHistogram.from_values(all_values, lo, hi, bins=bins)
+        active = EquiWidthHistogram.from_values(
+            self.table.active_values(self.config.column), lo, hi, bins=bins
+        )
+        return js_divergence(active.counts, oracle.counts)
+
+    def _snapshot(self, inserted: int, forgotten: int, precision) -> EpochReport:
+        activity = self.table.cohort_activity()
+        self.map.add_snapshot(self._epoch, activity)
+        report = EpochReport(
+            epoch=self._epoch,
+            active_rows=self.table.active_count,
+            total_rows=self.table.total_rows,
+            inserted=inserted,
+            forgotten=forgotten,
+            precision=precision,
+            cohort_activity=activity,
+            divergence_js=self._divergence(),
+        )
+        self._reports.append(report)
+        return report

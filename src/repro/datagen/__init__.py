@@ -1,0 +1,25 @@
+"""Data generators: the paper's four value distributions + update streams."""
+
+from .distributions import (
+    DEFAULT_DOMAIN,
+    DISTRIBUTION_NAMES,
+    NormalDistribution,
+    SerialDistribution,
+    UniformDistribution,
+    ValueDistribution,
+    ZipfianDistribution,
+    make_distribution,
+)
+from .streams import UpdateStream
+
+__all__ = [
+    "DEFAULT_DOMAIN",
+    "DISTRIBUTION_NAMES",
+    "NormalDistribution",
+    "SerialDistribution",
+    "UniformDistribution",
+    "ValueDistribution",
+    "ZipfianDistribution",
+    "make_distribution",
+    "UpdateStream",
+]

@@ -1,0 +1,99 @@
+"""A hash index for point lookups.
+
+Maps each value to the list of positions holding it.  Range probes
+degrade to per-value lookups, so the hash index is only competitive for
+narrow ranges — the dispositions experiment uses it for point-query
+workloads and the sorted/BRIN indexes for ranges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .base import Index, ProbeResult
+
+__all__ = ["HashIndex"]
+
+_INT64_BYTES = 8
+
+
+class HashIndex(Index):
+    """value → positions mapping with eager forget maintenance.
+
+    >>> import numpy as np
+    >>> from repro.storage import Table
+    >>> t = Table("obs", ["a"])
+    >>> _ = t.insert_batch(0, {"a": [7, 7, 3]})
+    >>> idx = HashIndex(t, "a")
+    >>> sorted(idx.lookup_value(7).positions.tolist())
+    [0, 1]
+    """
+
+    # -- structure ops ---------------------------------------------------
+
+    def _build(self, positions: np.ndarray, values: np.ndarray) -> None:
+        self._buckets: dict[int, set[int]] = defaultdict(set)
+        self._entry_count = 0
+        self._insert(positions, values)
+
+    def _free(self) -> None:
+        self._buckets = defaultdict(set)
+        self._entry_count = 0
+
+    def _insert(self, positions: np.ndarray, values: np.ndarray) -> None:
+        for position, value in zip(positions.tolist(), values.tolist()):
+            self._buckets[int(value)].add(int(position))
+        self._entry_count += int(positions.size)
+
+    def _forget(self, positions: np.ndarray) -> None:
+        values = self.table.values(self.column)[positions]
+        for position, value in zip(positions.tolist(), values.tolist()):
+            bucket = self._buckets.get(int(value))
+            if bucket is not None and int(position) in bucket:
+                bucket.remove(int(position))
+                self._entry_count -= 1
+                if not bucket:
+                    del self._buckets[int(value)]
+
+    # -- probes ----------------------------------------------------------------
+
+    def lookup_value(self, value: int) -> ProbeResult:
+        self._require_built()
+        bucket = self._buckets.get(int(value), ())
+        positions = np.fromiter(bucket, dtype=np.int64, count=len(bucket))
+        return ProbeResult(
+            positions=np.sort(positions), entries_touched=len(bucket) + 1
+        )
+
+    def lookup_range(self, low: int, high: int) -> ProbeResult:
+        self._require_built()
+        touched = 0
+        chunks: list[np.ndarray] = []
+        for value in range(int(low), int(high)):
+            probe = self.lookup_value(value)
+            touched += probe.entries_touched
+            if probe.count:
+                chunks.append(probe.positions)
+        positions = (
+            np.sort(np.concatenate(chunks)) if chunks else np.empty(0, dtype=np.int64)
+        )
+        return ProbeResult(positions=positions, entries_touched=touched)
+
+    def nbytes(self) -> int:
+        if self._dropped:
+            return 0
+        # Keys + entries, ignoring Python object overhead on purpose:
+        # the experiments compare *logical* footprints.
+        return (len(self._buckets) + self._entry_count) * _INT64_BYTES
+
+    @property
+    def entry_count(self) -> int:
+        """Live (position, value) entries."""
+        return self._entry_count
+
+    @property
+    def distinct_values(self) -> int:
+        """Distinct values currently indexed."""
+        return len(self._buckets)

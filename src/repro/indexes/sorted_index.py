@@ -1,0 +1,138 @@
+"""A sorted (value-ordered) secondary index.
+
+Entries are (value, position) pairs kept in value order, probed by
+binary search.  Inserts land in an unsorted *delta* buffer that is
+merged into the sorted run once it outgrows a threshold — the classic
+read-optimised/write-buffer split of columnar systems.  Forgetting
+marks entries invalid via a tombstone bitmap ("stop indexing the
+forgotten data"); tombstones are physically purged at merge time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Index, ProbeResult
+
+__all__ = ["SortedIndex"]
+
+
+class SortedIndex(Index):
+    """Binary-searchable (value, position) index with a delta buffer.
+
+    >>> import numpy as np
+    >>> from repro.storage import Table
+    >>> t = Table("obs", ["a"])
+    >>> _ = t.insert_batch(0, {"a": [5, 1, 9, 1]})
+    >>> idx = SortedIndex(t, "a")
+    >>> sorted(idx.lookup_range(1, 6).positions.tolist())
+    [0, 1, 3]
+    >>> t.forget(np.array([1]), epoch=1)
+    1
+    >>> sorted(idx.lookup_range(1, 6).positions.tolist())
+    [0, 3]
+    """
+
+    #: Delta entries beyond which the next operation triggers a merge.
+    DEFAULT_MERGE_THRESHOLD = 4096
+
+    def __init__(self, table, column, merge_threshold: int = DEFAULT_MERGE_THRESHOLD):
+        self.merge_threshold = int(merge_threshold)
+        super().__init__(table, column)
+
+    # -- structure ops ---------------------------------------------------
+
+    def _build(self, positions: np.ndarray, values: np.ndarray) -> None:
+        order = np.argsort(values, kind="stable")
+        self._values = values[order].copy()
+        self._positions = positions[order].copy()
+        self._alive = np.ones(self._positions.size, dtype=bool)
+        self._delta_positions: list[np.ndarray] = []
+        self._delta_values: list[np.ndarray] = []
+        self._delta_size = 0
+        self._forgotten: set[int] = set()
+
+    def _free(self) -> None:
+        self._values = np.empty(0, dtype=np.int64)
+        self._positions = np.empty(0, dtype=np.int64)
+        self._alive = np.empty(0, dtype=bool)
+        self._delta_positions = []
+        self._delta_values = []
+        self._delta_size = 0
+        self._forgotten = set()
+
+    def _insert(self, positions: np.ndarray, values: np.ndarray) -> None:
+        self._delta_positions.append(np.asarray(positions, dtype=np.int64).copy())
+        self._delta_values.append(np.asarray(values, dtype=np.int64).copy())
+        self._delta_size += int(positions.size)
+        if self._delta_size > self.merge_threshold:
+            self._merge()
+
+    def _forget(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.int64)
+        # Tombstone the sorted run via a position->slot lookup.
+        if self._positions.size:
+            slots = np.flatnonzero(np.isin(self._positions, positions))
+            self._alive[slots] = False
+        self._forgotten.update(int(p) for p in positions.tolist())
+
+    def _merge(self) -> None:
+        """Fold the delta into the sorted run, purging tombstones."""
+        parts_values = [self._values[self._alive]]
+        parts_positions = [self._positions[self._alive]]
+        for values, positions in zip(self._delta_values, self._delta_positions):
+            keep = np.array(
+                [int(p) not in self._forgotten for p in positions.tolist()],
+                dtype=bool,
+            )
+            parts_values.append(values[keep])
+            parts_positions.append(positions[keep])
+        values = np.concatenate(parts_values)
+        positions = np.concatenate(parts_positions)
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._positions = positions[order]
+        self._alive = np.ones(self._positions.size, dtype=bool)
+        self._delta_positions = []
+        self._delta_values = []
+        self._delta_size = 0
+        self._forgotten = set()
+
+    # -- probes ----------------------------------------------------------------
+
+    def lookup_range(self, low: int, high: int) -> ProbeResult:
+        self._require_built()
+        touched = 0
+        out: list[np.ndarray] = []
+        lo = int(np.searchsorted(self._values, low, side="left"))
+        hi = int(np.searchsorted(self._values, high, side="left"))
+        touched += hi - lo
+        if hi > lo:
+            alive = self._alive[lo:hi]
+            out.append(self._positions[lo:hi][alive])
+        for values, positions in zip(self._delta_values, self._delta_positions):
+            touched += int(values.size)
+            mask = (values >= low) & (values < high)
+            if mask.any():
+                candidates = positions[mask]
+                keep = np.array(
+                    [int(p) not in self._forgotten for p in candidates.tolist()],
+                    dtype=bool,
+                )
+                out.append(candidates[keep])
+        positions = (
+            np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+        )
+        return ProbeResult(positions=positions, entries_touched=touched)
+
+    def nbytes(self) -> int:
+        if self._dropped:
+            return 0
+        run = self._values.nbytes + self._positions.nbytes + self._alive.nbytes
+        delta = sum(v.nbytes + p.nbytes for v, p in zip(self._delta_values, self._delta_positions))
+        return int(run + delta)
+
+    @property
+    def delta_size(self) -> int:
+        """Entries waiting in the unsorted write buffer."""
+        return self._delta_size

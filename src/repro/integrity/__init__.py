@@ -1,0 +1,5 @@
+"""Referential integrity under amnesia: foreign keys, restrict/cascade."""
+
+from .constraints import ForeignKey, ReferentialAmnesiaWrapper
+
+__all__ = ["ForeignKey", "ReferentialAmnesiaWrapper"]

@@ -1,0 +1,22 @@
+"""Forgotten-data dispositions and disposition-aware execution (§1)."""
+
+from .dispositions import (
+    ColdStorageDisposition,
+    Disposition,
+    HardDeleteDisposition,
+    MarkOnlyDisposition,
+    StopIndexingDisposition,
+    SummaryDisposition,
+)
+from .executor import DispositionExecutor, PlanOutcome
+
+__all__ = [
+    "ColdStorageDisposition",
+    "Disposition",
+    "HardDeleteDisposition",
+    "MarkOnlyDisposition",
+    "StopIndexingDisposition",
+    "SummaryDisposition",
+    "DispositionExecutor",
+    "PlanOutcome",
+]

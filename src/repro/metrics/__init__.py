@@ -1,0 +1,13 @@
+"""Information precision metrics, amnesia maps and run reports (§2.3)."""
+
+from .maps import AmnesiaMap
+from .precision import BatchPrecisionCollector, BatchPrecisionSummary
+from .reports import EpochReport, RunReport
+
+__all__ = [
+    "AmnesiaMap",
+    "BatchPrecisionCollector",
+    "BatchPrecisionSummary",
+    "EpochReport",
+    "RunReport",
+]

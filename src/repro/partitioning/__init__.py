@@ -1,0 +1,9 @@
+"""Adaptive partitioned amnesia: per-range budgets tuned to the workload."""
+
+from .partitioned import (
+    MergedRangeResult,
+    Partition,
+    PartitionedAmnesiaDatabase,
+)
+
+__all__ = ["MergedRangeResult", "Partition", "PartitionedAmnesiaDatabase"]

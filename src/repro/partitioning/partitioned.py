@@ -1,0 +1,310 @@
+"""Adaptive partitioned amnesia (paper §4.4).
+
+    "Instead of user defined partitioning schemes, it might be worth to
+    study amnesia in the context of adaptive partitioning.  Each
+    partition can then be tuned to provide the best precision for a
+    subset of the workload."
+
+A :class:`PartitionedAmnesiaDatabase` splits the value domain into
+range partitions, each backed by its own
+:class:`~repro.core.database.AmnesiaDatabase` with its own budget and
+policy.  Queries fan out to the overlapping partitions, results merge
+exactly, and per-partition query traffic is tracked so that
+:meth:`~PartitionedAmnesiaDatabase.rebalance` can *move budget toward
+the partitions the workload actually reads* — hot regions keep more
+history, cold regions forget aggressively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util.errors import ConfigError, QueryError
+from .._util.rng import DEFAULT_SEED, derive_seed
+from ..amnesia.base import AmnesiaPolicy
+from ..core.database import AmnesiaDatabase
+from ..query.queries import AggregateFunction
+
+__all__ = ["MergedRangeResult", "Partition", "PartitionedAmnesiaDatabase"]
+
+
+@dataclass(frozen=True)
+class MergedRangeResult:
+    """A range result merged across partitions (counts only)."""
+
+    rf: int
+    mf: int
+
+    @property
+    def oracle_count(self) -> int:
+        """RF + MF across all partitions."""
+        return self.rf + self.mf
+
+    @property
+    def precision(self) -> float:
+        """P_F over the merged result (1.0 when nothing matches)."""
+        return 1.0 if self.oracle_count == 0 else self.rf / self.oracle_count
+
+
+class Partition:
+    """One value-range shard: ``[low, high)`` with its own amnesia."""
+
+    def __init__(
+        self,
+        index: int,
+        low: int,
+        high: int,
+        budget: int,
+        policy: AmnesiaPolicy,
+        column: str,
+        seed: int,
+    ):
+        if high <= low:
+            raise ConfigError(f"partition range [{low}, {high}) is empty")
+        self.index = index
+        self.low = int(low)
+        self.high = int(high)
+        self.column = column
+        self.db = AmnesiaDatabase(
+            budget=budget,
+            policy=policy,
+            columns=(column,),
+            seed=seed,
+            table_name=f"partition_{index}",
+        )
+        self.query_hits = 0
+
+    @property
+    def budget(self) -> int:
+        """Current tuple budget of this shard."""
+        return self.db.budget
+
+    def covers(self, low: int, high: int) -> bool:
+        """Does ``[low, high)`` intersect this partition's range?"""
+        return low < self.high and high > self.low
+
+    def set_budget(self, budget: int) -> None:
+        """Adjust the budget; shrinking forgets down immediately."""
+        if budget < 1:
+            raise ConfigError(f"partition budget must be >= 1, got {budget}")
+        self.db.budget = int(budget)
+        self.db.enforce_budget()
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.index}: [{self.low}, {self.high}), "
+            f"budget={self.budget}, active={self.db.active_count})"
+        )
+
+
+class PartitionedAmnesiaDatabase:
+    """Range-partitioned store with per-partition amnesia.
+
+    Parameters
+    ----------
+    column:
+        The partitioning (and only) column.
+    boundaries:
+        Sorted cut points ``[b0, b1, ..., bP]`` defining partitions
+        ``[b_i, b_{i+1})``.  Values outside ``[b0, bP)`` are clamped
+        into the edge partitions.
+    total_budget:
+        Tuple budget shared by all partitions (split evenly at start).
+    policy_factory:
+        Zero-argument callable producing a fresh policy per partition
+        (policies are stateful, so they must not be shared).
+
+    >>> from repro.amnesia import FifoAmnesia
+    >>> pdb = PartitionedAmnesiaDatabase(
+    ...     "a", [0, 500, 1000], total_budget=100,
+    ...     policy_factory=FifoAmnesia,
+    ... )
+    >>> pdb.partition_count
+    2
+    """
+
+    def __init__(
+        self,
+        column: str,
+        boundaries,
+        total_budget: int,
+        policy_factory,
+        seed: int = DEFAULT_SEED,
+    ):
+        bounds = [int(b) for b in boundaries]
+        if len(bounds) < 2:
+            raise ConfigError("need at least two boundaries (one partition)")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigError(f"boundaries must be strictly increasing: {bounds}")
+        n_partitions = len(bounds) - 1
+        if total_budget < n_partitions:
+            raise ConfigError(
+                f"total_budget {total_budget} cannot cover "
+                f"{n_partitions} partitions"
+            )
+        self.column = column
+        self.total_budget = int(total_budget)
+        base = total_budget // n_partitions
+        remainder = total_budget - base * n_partitions
+        self._partitions = [
+            Partition(
+                index=i,
+                low=lo,
+                high=hi,
+                budget=base + (1 if i < remainder else 0),
+                policy=policy_factory(),
+                column=column,
+                seed=derive_seed(seed, f"partition-{i}"),
+            )
+            for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+        ]
+        self._bounds = bounds
+
+    # -- topology --------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        """Number of shards."""
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> tuple[Partition, ...]:
+        """The shards, in range order."""
+        return tuple(self._partitions)
+
+    @property
+    def active_count(self) -> int:
+        """Active tuples across all shards."""
+        return sum(p.db.active_count for p in self._partitions)
+
+    @property
+    def total_rows(self) -> int:
+        """Tuples ever inserted across all shards."""
+        return sum(p.db.total_rows for p in self._partitions)
+
+    def _partition_of(self, values: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._bounds, values, side="right") - 1
+        return np.clip(idx, 0, self.partition_count - 1)
+
+    # -- writes -------------------------------------------------------------
+
+    def insert(self, values_by_column: dict) -> None:
+        """Route a batch to partitions by value and insert."""
+        if set(values_by_column) != {self.column}:
+            raise QueryError(
+                f"partitioned store holds only column {self.column!r}"
+            )
+        values = np.asarray(values_by_column[self.column], dtype=np.int64)
+        owners = self._partition_of(values)
+        for i, partition in enumerate(self._partitions):
+            chunk = values[owners == i]
+            if chunk.size:
+                partition.db.insert({self.column: chunk})
+
+    # -- reads ----------------------------------------------------------------
+
+    def range_query(self, low: int, high: int) -> MergedRangeResult:
+        """Fan a range query out and merge RF/MF exactly."""
+        rf = mf = 0
+        for partition in self._partitions:
+            if not partition.covers(low, high):
+                continue
+            partition.query_hits += 1
+            result = partition.db.range_query(self.column, low, high)
+            rf += result.rf
+            mf += result.mf
+        return MergedRangeResult(rf=rf, mf=mf)
+
+    def aggregate(self, function: AggregateFunction | str) -> tuple[float | None, float | None]:
+        """Whole-store aggregate: (amnesiac, oracle), merged exactly.
+
+        AVG merges through per-partition SUM and COUNT; MIN/MAX/SUM/
+        COUNT merge directly.
+        """
+        function = AggregateFunction(function)
+        if function in (AggregateFunction.VAR, AggregateFunction.STD):
+            raise QueryError(
+                "variance aggregates are not supported across partitions"
+            )
+
+        def merged(kind: str) -> tuple[float | None, float | None]:
+            amnesiac_parts, oracle_parts = [], []
+            for partition in self._partitions:
+                result = partition.db.aggregate(kind, self.column)
+                if result.amnesiac_value is not None:
+                    amnesiac_parts.append(result.amnesiac_value)
+                if result.oracle_value is not None:
+                    oracle_parts.append(result.oracle_value)
+            combine = {
+                "sum": sum, "count": sum, "min": min, "max": max,
+            }[kind]
+            return (
+                combine(amnesiac_parts) if amnesiac_parts else None,
+                combine(oracle_parts) if oracle_parts else None,
+            )
+
+        if function is AggregateFunction.AVG:
+            amnesiac_sum, oracle_sum = merged("sum")
+            amnesiac_count, oracle_count = merged("count")
+            amnesiac = (
+                amnesiac_sum / amnesiac_count
+                if amnesiac_sum is not None and amnesiac_count
+                else None
+            )
+            oracle = (
+                oracle_sum / oracle_count
+                if oracle_sum is not None and oracle_count
+                else None
+            )
+            return amnesiac, oracle
+        return merged(function.value)
+
+    # -- adaptation ----------------------------------------------------------------
+
+    def rebalance(self, floor: int = 1) -> dict[int, int]:
+        """Reallocate budget proportionally to observed query traffic.
+
+        Each partition receives at least ``floor`` tuples; the rest of
+        the total budget is split by (hits + 1) shares, so an untouched
+        store still decays gracefully instead of starving instantly.
+        Shrunken partitions forget down immediately; hit counters reset
+        so the next window adapts afresh.  Returns {partition: budget}.
+        """
+        if floor < 1:
+            raise ConfigError(f"floor must be >= 1, got {floor}")
+        if floor * self.partition_count > self.total_budget:
+            raise ConfigError("floor exceeds the total budget")
+        shares = np.array(
+            [p.query_hits + 1 for p in self._partitions], dtype=np.float64
+        )
+        spare = self.total_budget - floor * self.partition_count
+        raw = shares / shares.sum() * spare
+        budgets = np.floor(raw).astype(int) + floor
+        leftover = self.total_budget - int(budgets.sum())
+        order = np.argsort(-(raw - np.floor(raw)))
+        for i in range(leftover):
+            budgets[order[i % self.partition_count]] += 1
+        for partition, budget in zip(self._partitions, budgets):
+            partition.set_budget(int(budget))
+            partition.query_hits = 0
+        return {p.index: p.budget for p in self._partitions}
+
+    def stats(self) -> dict:
+        """Operational snapshot across shards."""
+        return {
+            "partitions": self.partition_count,
+            "total_budget": self.total_budget,
+            "active_rows": self.active_count,
+            "total_rows": self.total_rows,
+            "budgets": [p.budget for p in self._partitions],
+            "query_hits": [p.query_hits for p in self._partitions],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedAmnesiaDatabase(column={self.column!r}, "
+            f"partitions={self.partition_count}, "
+            f"budget={self.total_budget})"
+        )

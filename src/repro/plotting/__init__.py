@@ -1,0 +1,13 @@
+"""ASCII rendering: heat maps, line charts, tables (no plotting deps)."""
+
+from .heatmap import render_heatmap, shade
+from .linechart import SERIES_MARKERS, render_linechart
+from .tables import render_table
+
+__all__ = [
+    "render_heatmap",
+    "shade",
+    "SERIES_MARKERS",
+    "render_linechart",
+    "render_table",
+]

@@ -1,0 +1,71 @@
+"""ASCII heat maps: the paper's amnesia maps (Figures 1–2).
+
+The paper renders "the brighter the colored area is, the more tuples
+are still accessible" — here brightness becomes the classic five-level
+block ramp ``" ░▒▓█"``.  One labelled row per policy/distribution, one
+column per timeline cohort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+
+__all__ = ["shade", "render_heatmap"]
+
+#: Brightness ramp, darkest (nothing active) to brightest (all active).
+_RAMP = " ░▒▓█"
+
+
+def shade(fraction: float, width: int = 1) -> str:
+    """Map an active fraction in [0, 1] to a block character run.
+
+    >>> shade(0.0), shade(1.0), shade(0.5)
+    (' ', '█', '▒')
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError(f"fraction {fraction} outside [0, 1]")
+    level = min(int(fraction * len(_RAMP)), len(_RAMP) - 1)
+    return _RAMP[level] * width
+
+def render_heatmap(
+    rows: dict[str, np.ndarray],
+    *,
+    title: str = "",
+    cell_width: int = 5,
+    x_label: str = "Timeline",
+) -> str:
+    """Render labelled rows of fractions as an ASCII heat map.
+
+    ``rows`` maps a label (policy or distribution name) to a 1-D array
+    of active fractions per timeline cohort.  All rows must have equal
+    length.
+
+    >>> art = render_heatmap({"fifo": np.array([0.0, 1.0])}, title="demo")
+    >>> "fifo" in art and "█" in art
+    True
+    """
+    if not rows:
+        raise ConfigError("heat map needs at least one row")
+    lengths = {len(v) for v in rows.values()}
+    if len(lengths) != 1:
+        raise ConfigError(f"heat map rows must be equal length, got {lengths}")
+    (n_cols,) = lengths
+    if n_cols == 0:
+        raise ConfigError("heat map rows must be non-empty")
+
+    label_width = max(len(label) for label in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for label, fractions in rows.items():
+        cells = "".join(
+            shade(float(f), width=cell_width) for f in np.asarray(fractions)
+        )
+        lines.append(f"{label:>{label_width}} |{cells}|")
+    axis = "".join(f"{i:^{cell_width}d}" for i in range(n_cols))
+    lines.append(f"{'':>{label_width}}  {axis}")
+    lines.append(f"{'':>{label_width}}  {x_label:^{n_cols * cell_width}}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""ASCII line charts: the paper's precision-over-time plots (Figure 3).
+
+Multiple named series share one canvas; each series gets a distinct
+marker.  The y axis is fixed to [0, 1] by default because every metric
+plotted (precision, error margin, active fraction) lives there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+
+__all__ = ["render_linechart", "SERIES_MARKERS"]
+
+#: Marker cycle, mirroring the paper's five-policy legends.
+SERIES_MARKERS = "*+xo#%@&"
+
+
+def render_linechart(
+    series: dict[str, np.ndarray],
+    *,
+    title: str = "",
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    x_label: str = "Timeline",
+) -> str:
+    """Render named series as an ASCII chart with a legend.
+
+    All series must share one x grid (their indexes).  Values are
+    clipped into [y_min, y_max].
+
+    >>> chart = render_linechart({"fifo": np.array([1.0, 0.5, 0.2])})
+    >>> "fifo" in chart
+    True
+    """
+    if not series:
+        raise ConfigError("line chart needs at least one series")
+    if height < 4:
+        raise ConfigError(f"height must be >= 4, got {height}")
+    if y_max <= y_min:
+        raise ConfigError(f"y range [{y_min}, {y_max}] is empty")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ConfigError(f"series must be equal length, got {lengths}")
+    (n_points,) = lengths
+    if n_points == 0:
+        raise ConfigError("series must be non-empty")
+    if len(series) > len(SERIES_MARKERS):
+        raise ConfigError(
+            f"at most {len(SERIES_MARKERS)} series supported, got {len(series)}"
+        )
+
+    col_width = 4
+    canvas_width = n_points * col_width
+    canvas = [[" "] * canvas_width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        clipped = min(max(value, y_min), y_max)
+        scaled = (clipped - y_min) / (y_max - y_min)
+        return int(round((1.0 - scaled) * (height - 1)))
+
+    markers = {}
+    for marker, (label, values) in zip(SERIES_MARKERS, series.items()):
+        markers[label] = marker
+        for i, value in enumerate(np.asarray(values, dtype=np.float64)):
+            row = row_of(float(value))
+            col = i * col_width + col_width // 2
+            canvas[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for i, row in enumerate(canvas):
+        y_value = y_max - (y_max - y_min) * i / (height - 1)
+        lines.append(f"{y_value:5.2f} |{''.join(row)}")
+    lines.append(f"{'':5s} +{'-' * canvas_width}")
+    axis = "".join(f"{i + 1:^{col_width}d}" for i in range(n_points))
+    lines.append(f"{'':5s}  {axis}")
+    lines.append(f"{'':5s}  {x_label:^{canvas_width}}")
+    legend = "   ".join(f"{marker} {label}" for label, marker in markers.items())
+    lines.append("")
+    lines.append(f"      {legend}")
+    return "\n".join(lines)

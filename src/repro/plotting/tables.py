@@ -1,0 +1,66 @@
+"""Plain-text tables for experiment reports.
+
+One helper, :func:`render_table`, used by every experiment module and
+the CLI to print the rows the paper's tables would contain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .._util.errors import ConfigError
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(render_table(["policy", "E"], [["fifo", 0.25]]))
+    policy  E
+    ------  ----
+    fifo    0.25
+    """
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ConfigError("table needs at least one column")
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

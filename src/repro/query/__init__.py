@@ -1,0 +1,45 @@
+"""Query layer: predicates, query objects, generators, executor."""
+
+from .executor import QueryExecutor
+from .generators import (
+    ANCHORS,
+    AggregateQueryGenerator,
+    MixedWorkload,
+    RangeQueryGenerator,
+)
+from .predicates import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from .queries import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateResult,
+    RangeQuery,
+    RangeResult,
+)
+
+__all__ = [
+    "QueryExecutor",
+    "ANCHORS",
+    "AggregateQueryGenerator",
+    "MixedWorkload",
+    "RangeQueryGenerator",
+    "AndPredicate",
+    "NotPredicate",
+    "OrPredicate",
+    "PointPredicate",
+    "Predicate",
+    "RangePredicate",
+    "TruePredicate",
+    "AggregateFunction",
+    "AggregateQuery",
+    "AggregateResult",
+    "RangeQuery",
+    "RangeResult",
+]

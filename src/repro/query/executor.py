@@ -1,0 +1,124 @@
+"""Query execution against the amnesiac and oracle views.
+
+The executor evaluates every predicate over the *complete* value history
+(the oracle view — possible because forgetting only clears bitmap bits)
+and splits matches by the activity bitmap:
+
+* active matches  → what the amnesiac DBMS answers (R_F);
+* forgotten matches → what it silently misses (M_F).
+
+It also performs access accounting: tuples appearing in a result get
+their access frequency bumped, which is the signal the rot and overuse
+policies learn from (§3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import QueryError
+from ..storage.table import Table
+from .queries import (
+    AggregateQuery,
+    AggregateResult,
+    RangeQuery,
+    RangeResult,
+)
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Evaluates queries on a :class:`~repro.storage.Table`.
+
+    Parameters
+    ----------
+    table:
+        The table to query.
+    record_access:
+        When True (default), active tuples contributing to a result have
+        their access frequency incremented — required by query-based
+        amnesia.  Disable for read-only analysis passes that must not
+        perturb policy state.
+
+    >>> import numpy as np
+    >>> from repro.storage import Table
+    >>> from repro.query import RangeQuery, RangePredicate
+    >>> t = Table("obs", ["a"])
+    >>> _ = t.insert_batch(0, {"a": [1, 5, 9]})
+    >>> t.forget(np.array([1]), epoch=1)
+    1
+    >>> r = QueryExecutor(t).execute_range(RangeQuery(RangePredicate("a", 0, 10)), epoch=1)
+    >>> (r.rf, r.mf, r.precision)
+    (2, 1, 0.6666666666666666)
+    """
+
+    def __init__(self, table: Table, *, record_access: bool = True):
+        self.table = table
+        self.record_access = record_access
+
+    # -- internals -------------------------------------------------------
+
+    def _values_for(self, columns: tuple[str, ...]) -> dict[str, np.ndarray]:
+        if self.table.total_rows == 0:
+            raise QueryError(f"table {self.table.name!r} is empty")
+        return {name: self.table.values(name) for name in columns}
+
+    def _split_matches(self, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a predicate mask into (active, forgotten) positions."""
+        active_mask = self.table.active_mask()
+        active = np.flatnonzero(mask & active_mask)
+        missed = np.flatnonzero(mask & ~active_mask)
+        return active, missed
+
+    # -- range queries ------------------------------------------------------
+
+    def execute_range(self, query: RangeQuery, epoch: int) -> RangeResult:
+        """Run a range query; returns both views' match sets."""
+        columns = query.columns
+        if not columns:
+            raise QueryError("range query predicate references no column")
+        values = self._values_for(columns)
+        mask = query.predicate.mask(values)
+        active, missed = self._split_matches(mask)
+        if self.record_access:
+            self.table.record_access(active, epoch)
+        return RangeResult(
+            query=query, active_positions=active, missed_positions=missed
+        )
+
+    # -- aggregate queries -----------------------------------------------------
+
+    def execute_aggregate(self, query: AggregateQuery, epoch: int) -> AggregateResult:
+        """Run an aggregate; computes amnesiac and oracle values."""
+        if not self.table.has_column(query.column):
+            raise QueryError(
+                f"aggregate column {query.column!r} not in table "
+                f"{self.table.name!r}"
+            )
+        values = self._values_for(query.columns)
+        mask = query.effective_predicate().mask(values)
+        active, missed = self._split_matches(mask)
+        column_values = values[query.column]
+        amnesiac = query.function.compute(column_values[active])
+        oracle_positions = np.concatenate([active, missed])
+        oracle = query.function.compute(column_values[oracle_positions])
+        if self.record_access:
+            self.table.record_access(active, epoch)
+        return AggregateResult(
+            query=query,
+            amnesiac_value=amnesiac,
+            oracle_value=oracle,
+            active_matches=int(active.size),
+            oracle_matches=int(active.size + missed.size),
+        )
+
+    # -- generic dispatch -------------------------------------------------------
+
+    def execute(self, query, epoch: int):
+        """Dispatch on query type (convenience for mixed batches)."""
+        if isinstance(query, RangeQuery):
+            return self.execute_range(query, epoch)
+        if isinstance(query, AggregateQuery):
+            return self.execute_aggregate(query, epoch)
+        raise QueryError(f"unsupported query type {type(query).__name__}")

@@ -1,0 +1,201 @@
+"""Selection predicates over integer columns.
+
+The paper carves out "a well understood subspace" of SELECT-PROJECT-JOIN
+queries (§2.2): range predicates over one attribute, optionally combined.
+Predicates are pure value-level objects — they map a value array to a
+boolean mask and know nothing about activity bitmaps, which is what lets
+the executor evaluate the same predicate against both the amnesiac and
+the oracle view.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._util.errors import QueryError
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "RangePredicate",
+    "PointPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+]
+
+
+class Predicate(ABC):
+    """A boolean condition over one or more integer columns."""
+
+    @property
+    @abstractmethod
+    def columns(self) -> tuple[str, ...]:
+        """Names of the columns this predicate reads."""
+
+    @abstractmethod
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        """Boolean mask of rows satisfying the predicate.
+
+        ``values_by_column`` must contain equal-length arrays for every
+        column in :attr:`columns`.
+        """
+
+    def _column_values(
+        self, values_by_column: dict[str, np.ndarray], name: str
+    ) -> np.ndarray:
+        try:
+            return values_by_column[name]
+        except KeyError:
+            raise QueryError(
+                f"predicate needs column {name!r} but executor supplied "
+                f"{sorted(values_by_column)}"
+            ) from None
+
+    # Composition sugar -------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "AndPredicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "OrPredicate":
+        return OrPredicate(self, other)
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row: the whole-table aggregate's predicate."""
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return ()
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        if values_by_column:
+            n = len(next(iter(values_by_column.values())))
+        else:
+            raise QueryError(
+                "TruePredicate needs at least one column array to size its mask"
+            )
+        return np.ones(n, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "TruePredicate()"
+
+
+class RangePredicate(Predicate):
+    """Half-open range ``low <= column < high``.
+
+    This mirrors the paper's generated ranges:
+    ``attr >= v - S*RANGE and attr < v + S*RANGE`` (§4.2).
+
+    >>> p = RangePredicate("a", 2, 5)
+    >>> p.mask({"a": np.array([1, 2, 4, 5])}).tolist()
+    [False, True, True, False]
+    """
+
+    def __init__(self, column: str, low: int, high: int):
+        if high < low:
+            raise QueryError(f"range [{low}, {high}) is reversed")
+        self.column = column
+        self.low = int(low)
+        self.high = int(high)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    @property
+    def width(self) -> int:
+        """Number of integer values the range can match."""
+        return self.high - self.low
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        values = self._column_values(values_by_column, self.column)
+        return (values >= self.low) & (values < self.high)
+
+    def __repr__(self) -> str:
+        return f"RangePredicate({self.column!r}, {self.low}, {self.high})"
+
+
+class PointPredicate(Predicate):
+    """Equality ``column == value`` (a width-1 range, kept for clarity)."""
+
+    def __init__(self, column: str, value: int):
+        self.column = column
+        self.value = int(value)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        values = self._column_values(values_by_column, self.column)
+        return values == self.value
+
+    def __repr__(self) -> str:
+        return f"PointPredicate({self.column!r}, {self.value})"
+
+
+class _Composite(Predicate):
+    """Shared plumbing for boolean combinators."""
+
+    def __init__(self, *children: Predicate):
+        if not children:
+            raise QueryError("composite predicate needs at least one child")
+        self.children = tuple(children)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for child in self.children:
+            for name in child.columns:
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+
+class AndPredicate(_Composite):
+    """Conjunction of child predicates."""
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        out = self.children[0].mask(values_by_column)
+        for child in self.children[1:]:
+            out = out & child.mask(values_by_column)
+        return out
+
+    def __repr__(self) -> str:
+        return f"AndPredicate({', '.join(map(repr, self.children))})"
+
+
+class OrPredicate(_Composite):
+    """Disjunction of child predicates."""
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        out = self.children[0].mask(values_by_column)
+        for child in self.children[1:]:
+            out = out | child.mask(values_by_column)
+        return out
+
+    def __repr__(self) -> str:
+        return f"OrPredicate({', '.join(map(repr, self.children))})"
+
+
+class NotPredicate(Predicate):
+    """Negation of a child predicate."""
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def mask(self, values_by_column: dict[str, np.ndarray]) -> np.ndarray:
+        return ~self.child.mask(values_by_column)
+
+    def __repr__(self) -> str:
+        return f"NotPredicate({self.child!r})"

@@ -1,0 +1,26 @@
+"""Statistics substrate: histograms, streaming moments, divergences, Zipf."""
+
+from .divergence import (
+    earth_movers_distance,
+    js_divergence,
+    kl_divergence,
+    normalize,
+    total_variation,
+)
+from .histograms import EquiDepthHistogram, EquiWidthHistogram
+from .moments import StreamingMoments
+from .zipf import fit_zipf_exponent, gini_coefficient, top_share
+
+__all__ = [
+    "earth_movers_distance",
+    "js_divergence",
+    "kl_divergence",
+    "normalize",
+    "total_variation",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "StreamingMoments",
+    "fit_zipf_exponent",
+    "gini_coefficient",
+    "top_share",
+]

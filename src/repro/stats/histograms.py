@@ -1,0 +1,157 @@
+"""Histograms over integer value domains.
+
+Two classic shapes:
+
+* :class:`EquiWidthHistogram` — fixed-width bins over ``[lo, hi]``;
+  used by the distribution-aligned amnesia policy (§4.4: "forget tuples
+  that do not change the data distribution for all active records") and
+  by the divergence metrics.
+* :class:`EquiDepthHistogram` — quantile boundaries computed from a
+  sample; used for workload analysis and adaptive partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import ConfigError
+from .._util.validation import check_positive_int
+
+__all__ = ["EquiWidthHistogram", "EquiDepthHistogram"]
+
+
+class EquiWidthHistogram:
+    """Fixed-width bins over an inclusive integer range ``[lo, hi]``.
+
+    Values outside the range are clamped into the edge bins, matching
+    how the simulator clamps generated values into the domain.
+
+    >>> h = EquiWidthHistogram(0, 9, bins=2)
+    >>> h.add(np.array([0, 1, 2, 9]))
+    >>> h.counts.tolist()
+    [3, 1]
+    """
+
+    def __init__(self, lo: int, hi: int, bins: int = 64):
+        if hi < lo:
+            raise ConfigError(f"histogram range [{lo}, {hi}] is reversed")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.bins = check_positive_int(bins, "bins")
+        self._counts = np.zeros(self.bins, dtype=np.int64)
+        self._total = 0
+        # Width in value units; at least 1 so bin_of is well defined for
+        # degenerate single-value ranges.
+        self._width = max((self.hi - self.lo + 1) / self.bins, 1e-12)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bin counts (read-only view)."""
+        out = self._counts
+        out.flags.writeable = False
+        return out
+
+    @property
+    def total(self) -> int:
+        """Total number of values added."""
+        return self._total
+
+    def bin_of(self, values: np.ndarray) -> np.ndarray:
+        """Bin index of each value (clamped to edge bins)."""
+        values = np.asarray(values, dtype=np.float64)
+        idx = np.floor((values - self.lo) / self._width).astype(np.int64)
+        return np.clip(idx, 0, self.bins - 1)
+
+    def add(self, values: np.ndarray) -> None:
+        """Accumulate values into the histogram."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        # counts() is writable internally; the property returns a
+        # read-only alias of the same buffer.
+        self._counts.flags.writeable = True
+        np.add.at(self._counts, self.bin_of(values), 1)
+        self._total += int(values.size)
+
+    def remove(self, values: np.ndarray) -> None:
+        """Remove previously added values (counts must not go negative)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        self._counts.flags.writeable = True
+        np.add.at(self._counts, self.bin_of(values), -1)
+        self._total -= int(values.size)
+        if self._total < 0 or (self._counts < 0).any():
+            raise ConfigError("histogram remove() exceeded previously added counts")
+
+    def pmf(self) -> np.ndarray:
+        """Normalised bin probabilities (uniform if empty)."""
+        if self._total == 0:
+            return np.full(self.bins, 1.0 / self.bins)
+        return self._counts / self._total
+
+    def bin_edges(self) -> np.ndarray:
+        """Bin boundaries: ``bins + 1`` float edges from lo to hi+1."""
+        return self.lo + np.arange(self.bins + 1) * self._width
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, lo: int, hi: int, bins: int = 64
+    ) -> "EquiWidthHistogram":
+        """Build a histogram directly from a value array."""
+        hist = cls(lo, hi, bins=bins)
+        hist.add(values)
+        return hist
+
+    def copy(self) -> "EquiWidthHistogram":
+        """Independent deep copy."""
+        clone = EquiWidthHistogram(self.lo, self.hi, bins=self.bins)
+        clone._counts = self._counts.copy()
+        clone._total = self._total
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"EquiWidthHistogram(lo={self.lo}, hi={self.hi}, "
+            f"bins={self.bins}, total={self._total})"
+        )
+
+
+class EquiDepthHistogram:
+    """Quantile (equi-depth) boundaries computed from a sample.
+
+    Unlike :class:`EquiWidthHistogram` this one is immutable: it captures
+    the distribution of the sample given at construction.
+
+    >>> h = EquiDepthHistogram.from_values(np.arange(100), bins=4)
+    >>> h.boundaries.tolist()
+    [0.0, 24.75, 49.5, 74.25, 99.0]
+    """
+
+    def __init__(self, boundaries: np.ndarray):
+        boundaries = np.asarray(boundaries, dtype=np.float64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise ConfigError("boundaries must be a 1-D array with >= 2 edges")
+        if np.any(np.diff(boundaries) < 0):
+            raise ConfigError("boundaries must be non-decreasing")
+        self.boundaries = boundaries
+        self.bins = boundaries.size - 1
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, bins: int = 16) -> "EquiDepthHistogram":
+        """Compute ``bins`` equi-depth buckets from ``values``."""
+        bins = check_positive_int(bins, "bins")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ConfigError("cannot build an equi-depth histogram from no values")
+        quantiles = np.linspace(0.0, 1.0, bins + 1)
+        return cls(np.quantile(values, quantiles))
+
+    def bin_of(self, values: np.ndarray) -> np.ndarray:
+        """Bucket index of each value (clamped to the outer buckets)."""
+        values = np.asarray(values, dtype=np.float64)
+        idx = np.searchsorted(self.boundaries, values, side="right") - 1
+        return np.clip(idx, 0, self.bins - 1)
+
+    def __repr__(self) -> str:
+        return f"EquiDepthHistogram(bins={self.bins})"

@@ -1,0 +1,123 @@
+"""Streaming moment accumulators (Welford's algorithm).
+
+Aggregate-precision experiments and forgotten-data summaries both need
+numerically stable running statistics that can be (a) updated in batches
+and (b) merged.  :class:`StreamingMoments` provides count, mean,
+variance, min, max and sum with Chan's parallel merge rule.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util.errors import ConfigError
+
+__all__ = ["StreamingMoments"]
+
+
+class StreamingMoments:
+    """Running count/mean/M2/min/max over a stream of numbers.
+
+    >>> m = StreamingMoments()
+    >>> m.update(np.array([1.0, 2.0, 3.0]))
+    >>> m.count, m.mean, round(m.variance, 6)
+    (3, 2.0, 0.666667)
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def push(self, value: float) -> None:
+        """Add a single observation."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def update(self, values: np.ndarray) -> None:
+        """Add a batch of observations (merged via Chan's rule)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        other = StreamingMoments()
+        other.count = int(values.size)
+        other.mean = float(values.mean())
+        other._m2 = float(((values - other.mean) ** 2).sum())
+        other.min = float(values.min())
+        other.max = float(values.max())
+        other.total = float(values.sum())
+        self.merge(other)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator into this one (Chan et al.)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other.mean - self.mean
+        combined = n1 + n2
+        self.mean += delta * n2 / combined
+        self._m2 += other._m2 + delta * delta * n1 * n2 / combined
+        self.count = combined
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Sample (Bessel-corrected) variance."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for reports and summaries)."""
+        if self.count == 0:
+            raise ConfigError("no observations accumulated")
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "min": self.min,
+            "max": self.max,
+            "sum": self.total,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )

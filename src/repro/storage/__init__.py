@@ -1,0 +1,28 @@
+"""Columnar storage substrate: columns, bitmaps, tables, cohorts.
+
+This package implements the "skeleton of a columnar DBMS" from paper
+§2.1: integer columns, an activity bitmap that realises forgetting by
+marking (never by destroying), per-tuple amnesia metadata and cohort
+bookkeeping for the amnesia maps.
+"""
+
+from .bitmap import Bitmap
+from .catalog import Catalog
+from .cohorts import Cohort, CohortLog
+from .column import IntColumn
+from .io import load_table, save_table
+from .table import Table, TableObserver
+from .vectors import GrowableIntVector
+
+__all__ = [
+    "Bitmap",
+    "Catalog",
+    "Cohort",
+    "CohortLog",
+    "IntColumn",
+    "GrowableIntVector",
+    "Table",
+    "TableObserver",
+    "load_table",
+    "save_table",
+]

@@ -1,0 +1,188 @@
+"""A growable bitmap over tuple positions.
+
+The amnesia simulator's central trick (paper §2.3) is that tuples are
+never physically destroyed: each table carries a bitmap of *active*
+positions, and "forgetting" a tuple merely clears its bit.  That keeps
+the oracle (the complete history) available for exact precision
+accounting while the amnesiac view sees only set bits.
+
+:class:`Bitmap` wraps a NumPy boolean array with amortised O(1) append,
+constant-time population count (maintained incrementally), and the bulk
+set/clear operations the policies need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .._util.errors import StorageError
+
+__all__ = ["Bitmap"]
+
+_INITIAL_CAPACITY = 64
+
+
+class Bitmap:
+    """Growable bitmap with an incrementally maintained popcount.
+
+    Positions are dense integers ``0 .. len(self) - 1``.  Bits beyond the
+    logical length do not exist; indexing them raises ``IndexError``.
+
+    >>> bm = Bitmap()
+    >>> bm.extend(5, value=True)
+    >>> bm.clear_many(np.array([1, 3]))
+    2
+    >>> bm.count_set()
+    3
+    >>> bm.set_positions().tolist()
+    [0, 2, 4]
+    """
+
+    __slots__ = ("_bits", "_length", "_set_count")
+
+    def __init__(self, initial_capacity: int = _INITIAL_CAPACITY):
+        if initial_capacity < 1:
+            raise StorageError("initial_capacity must be >= 1")
+        self._bits = np.zeros(initial_capacity, dtype=bool)
+        self._length = 0
+        self._set_count = 0
+
+    # -- size & growth ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (always >= ``len(self)``)."""
+        return int(self._bits.shape[0])
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self._bits.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(cap * 2, needed, _INITIAL_CAPACITY)
+        grown = np.zeros(new_cap, dtype=bool)
+        grown[: self._length] = self._bits[: self._length]
+        self._bits = grown
+
+    def extend(self, n: int, *, value: bool = True) -> None:
+        """Append ``n`` new positions, all set to ``value``."""
+        if n < 0:
+            raise StorageError(f"cannot extend by negative count {n}")
+        if n == 0:
+            return
+        self._ensure_capacity(self._length + n)
+        self._bits[self._length : self._length + n] = value
+        self._length += n
+        if value:
+            self._set_count += n
+
+    # -- point access ---------------------------------------------------
+
+    def _check_position(self, position: int) -> int:
+        position = int(position)
+        if not 0 <= position < self._length:
+            raise IndexError(
+                f"position {position} out of range for bitmap of length {self._length}"
+            )
+        return position
+
+    def __getitem__(self, position: int) -> bool:
+        return bool(self._bits[self._check_position(position)])
+
+    def set(self, position: int) -> None:
+        """Set one bit (idempotent)."""
+        position = self._check_position(position)
+        if not self._bits[position]:
+            self._bits[position] = True
+            self._set_count += 1
+
+    def clear(self, position: int) -> None:
+        """Clear one bit (idempotent)."""
+        position = self._check_position(position)
+        if self._bits[position]:
+            self._bits[position] = False
+            self._set_count -= 1
+
+    # -- bulk operations ------------------------------------------------
+
+    def _check_positions(
+        self, positions: np.ndarray, *, dedupe: bool = False
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return positions
+        if positions.min() < 0 or positions.max() >= self._length:
+            raise IndexError(
+                f"positions out of range [0, {self._length}) for bulk bit operation"
+            )
+        # Mutating ops must dedupe: counting a duplicate twice would
+        # corrupt the incrementally maintained popcount.
+        return np.unique(positions) if dedupe else positions
+
+    def set_many(self, positions: np.ndarray) -> int:
+        """Set many bits; return how many actually flipped."""
+        positions = self._check_positions(positions, dedupe=True)
+        if positions.size == 0:
+            return 0
+        flipped = int(np.count_nonzero(~self._bits[positions]))
+        self._bits[positions] = True
+        self._set_count += flipped
+        return flipped
+
+    def clear_many(self, positions: np.ndarray) -> int:
+        """Clear many bits; return how many actually flipped."""
+        positions = self._check_positions(positions, dedupe=True)
+        if positions.size == 0:
+            return 0
+        flipped = int(np.count_nonzero(self._bits[positions]))
+        self._bits[positions] = False
+        self._set_count -= flipped
+        return flipped
+
+    def test_many(self, positions: np.ndarray) -> np.ndarray:
+        """Return a boolean array: the bit value at each position."""
+        positions = self._check_positions(positions)
+        return self._bits[positions].copy()
+
+    # -- views ------------------------------------------------------------
+
+    def view(self) -> np.ndarray:
+        """Read-only boolean view of the logical bits.
+
+        The view shares memory with the bitmap; callers must not write
+        through it (it is flagged non-writeable).
+        """
+        out = self._bits[: self._length]
+        out.flags.writeable = False
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """Independent boolean copy of the logical bits."""
+        return self._bits[: self._length].copy()
+
+    def set_positions(self) -> np.ndarray:
+        """Positions of set bits, ascending."""
+        return np.flatnonzero(self._bits[: self._length])
+
+    def clear_positions(self) -> np.ndarray:
+        """Positions of clear bits, ascending."""
+        return np.flatnonzero(~self._bits[: self._length])
+
+    def count_set(self) -> int:
+        """Number of set bits (O(1), maintained incrementally)."""
+        return self._set_count
+
+    def count_clear(self) -> int:
+        """Number of clear bits (O(1))."""
+        return self._length - self._set_count
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._length):
+            yield bool(self._bits[i])
+
+    def __repr__(self) -> str:
+        return f"Bitmap(length={self._length}, set={self._set_count})"

@@ -1,0 +1,68 @@
+"""A minimal catalog: named tables.
+
+The paper's simulator has a fixed schema ("a collection of columns",
+§2.1); a catalog is nevertheless useful for the examples and the CLI,
+where several tables (e.g. per-sensor streams) coexist in one run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .._util.errors import SchemaError
+from .table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of tables by name.
+
+    >>> cat = Catalog()
+    >>> t = cat.create_table("obs", ["a"])
+    >>> cat.get("obs") is t
+    True
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, column_names) -> Table:
+        """Create and register a new table."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, column_names)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table) -> None:
+        """Register an externally constructed table."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog (its data is unreferenced)."""
+        if name not in self._tables:
+            raise SchemaError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def names(self) -> list[str]:
+        """All registered table names."""
+        return list(self._tables)

@@ -1,0 +1,126 @@
+"""Cohort (update-batch) bookkeeping.
+
+The paper's amnesia maps (Figures 1 and 2) plot, per update batch, the
+fraction of that batch's tuples still active after a run.  To draw them
+we must remember which contiguous range of row positions each epoch
+inserted.  Rows are appended strictly in epoch order, so a cohort is a
+half-open interval ``[start, stop)`` of positions.
+
+Epoch 0 is the initial load; epochs ``1..n`` are update batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util.errors import StorageError
+
+__all__ = ["Cohort", "CohortLog"]
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One insertion batch: ``epoch`` inserted positions ``[start, stop)``."""
+
+    epoch: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of tuples inserted in this cohort."""
+        return self.stop - self.start
+
+    def positions(self) -> np.ndarray:
+        """Row positions belonging to this cohort, ascending."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    def __contains__(self, position: int) -> bool:
+        return self.start <= int(position) < self.stop
+
+
+class CohortLog:
+    """Append-only log of insertion cohorts.
+
+    Maintains the invariant that cohorts are contiguous, non-overlapping
+    and in strictly increasing epoch order — i.e. they tile ``[0,
+    total_rows)`` exactly.
+
+    >>> log = CohortLog()
+    >>> _ = log.record(epoch=0, start=0, stop=1000)
+    >>> _ = log.record(epoch=1, start=1000, stop=1200)
+    >>> log.epoch_of(np.array([0, 999, 1000])).tolist()
+    [0, 0, 1]
+    """
+
+    __slots__ = ("_cohorts", "_starts")
+
+    def __init__(self) -> None:
+        self._cohorts: list[Cohort] = []
+        self._starts: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._cohorts)
+
+    def __iter__(self):
+        return iter(self._cohorts)
+
+    def __getitem__(self, index: int) -> Cohort:
+        return self._cohorts[index]
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows covered by all cohorts."""
+        return self._cohorts[-1].stop if self._cohorts else 0
+
+    @property
+    def latest_epoch(self) -> int:
+        """Epoch of the most recent cohort (-1 when empty)."""
+        return self._cohorts[-1].epoch if self._cohorts else -1
+
+    def record(self, epoch: int, start: int, stop: int) -> Cohort:
+        """Record a new cohort, enforcing contiguity and epoch order."""
+        if stop < start:
+            raise StorageError(f"cohort range [{start}, {stop}) is reversed")
+        expected_start = self.total_rows
+        if start != expected_start:
+            raise StorageError(
+                f"cohort must start at {expected_start}, got {start}"
+            )
+        if self._cohorts and epoch <= self._cohorts[-1].epoch:
+            raise StorageError(
+                f"cohort epochs must increase: {epoch} after {self._cohorts[-1].epoch}"
+            )
+        cohort = Cohort(epoch=int(epoch), start=int(start), stop=int(stop))
+        self._cohorts.append(cohort)
+        self._starts.append(cohort.start)
+        return cohort
+
+    def by_epoch(self, epoch: int) -> Cohort:
+        """Return the cohort inserted at ``epoch``."""
+        for cohort in self._cohorts:
+            if cohort.epoch == epoch:
+                return cohort
+        raise KeyError(f"no cohort recorded for epoch {epoch}")
+
+    def epoch_of(self, positions: np.ndarray) -> np.ndarray:
+        """Map row positions to the epoch that inserted them.
+
+        Vectorised via binary search over cohort start offsets.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        total = self.total_rows
+        if positions.min() < 0 or positions.max() >= total:
+            raise IndexError(f"positions out of range [0, {total}) in epoch_of")
+        starts = np.asarray(self._starts, dtype=np.int64)
+        idx = np.searchsorted(starts, positions, side="right") - 1
+        epochs = np.asarray([c.epoch for c in self._cohorts], dtype=np.int64)
+        return epochs[idx]
+
+    def epochs(self) -> list[int]:
+        """All recorded epochs, in order."""
+        return [c.epoch for c in self._cohorts]

@@ -1,0 +1,120 @@
+"""Growable integer columns.
+
+The paper's simulator is "a skeleton of a columnar DBMS ... tables
+filled with integers in the range R = 0..DOMAIN" (§2.1).  A column here
+is an append-only ``int64`` vector with amortised O(1) append and
+zero-copy read views.  Append-only is deliberate: amnesia never rewrites
+values, it only flips activity bits, so the value vector is immutable
+history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import StorageError
+from .._util.validation import as_int_array
+
+__all__ = ["IntColumn"]
+
+_INITIAL_CAPACITY = 64
+
+
+class IntColumn:
+    """An append-only, growable vector of 64-bit integers.
+
+    >>> col = IntColumn("a")
+    >>> col.append_many([3, 1, 2])
+    >>> len(col)
+    3
+    >>> col.values().tolist()
+    [3, 1, 2]
+    """
+
+    __slots__ = ("name", "_data", "_length")
+
+    def __init__(self, name: str, initial_capacity: int = _INITIAL_CAPACITY):
+        if not name:
+            raise StorageError("column name must be non-empty")
+        if initial_capacity < 1:
+            raise StorageError("initial_capacity must be >= 1")
+        self.name = name
+        self._data = np.empty(initial_capacity, dtype=np.int64)
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (always >= ``len(self)``)."""
+        return int(self._data.shape[0])
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self._data.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(cap * 2, needed, _INITIAL_CAPACITY)
+        grown = np.empty(new_cap, dtype=np.int64)
+        grown[: self._length] = self._data[: self._length]
+        self._data = grown
+
+    def append(self, value: int) -> int:
+        """Append one value; return its row position."""
+        self._ensure_capacity(self._length + 1)
+        self._data[self._length] = value
+        self._length += 1
+        return self._length - 1
+
+    def append_many(self, values) -> None:
+        """Append a 1-D array of integers."""
+        arr = as_int_array(values, f"column {self.name!r} values")
+        if arr.size == 0:
+            return
+        self._ensure_capacity(self._length + arr.size)
+        self._data[self._length : self._length + arr.size] = arr
+        self._length += arr.size
+
+    def __getitem__(self, position: int) -> int:
+        position = int(position)
+        if not 0 <= position < self._length:
+            raise IndexError(
+                f"position {position} out of range for column of length {self._length}"
+            )
+        return int(self._data[position])
+
+    def values(self) -> np.ndarray:
+        """Read-only view of all values appended so far (zero copy)."""
+        out = self._data[: self._length]
+        out.flags.writeable = False
+        return out
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Gather values at ``positions`` (a copy)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if positions.min() < 0 or positions.max() >= self._length:
+            raise IndexError(
+                f"positions out of range [0, {self._length}) in take()"
+            )
+        return self._data[positions].copy()
+
+    def min(self) -> int:
+        """Minimum value appended so far."""
+        if self._length == 0:
+            raise StorageError(f"column {self.name!r} is empty")
+        return int(self._data[: self._length].min())
+
+    def max(self) -> int:
+        """Maximum value appended so far."""
+        if self._length == 0:
+            raise StorageError(f"column {self.name!r} is empty")
+        return int(self._data[: self._length].max())
+
+    def nbytes(self) -> int:
+        """Logical (uncompressed) byte size of the column payload."""
+        return self._length * np.dtype(np.int64).itemsize
+
+    def __repr__(self) -> str:
+        return f"IntColumn(name={self.name!r}, length={self._length})"

@@ -1,0 +1,133 @@
+"""Growable *mutable* integer vectors for per-tuple metadata.
+
+:class:`~repro.storage.column.IntColumn` is append-only because data
+values are immutable history.  Tuple *metadata* — access counters,
+forgotten-at epochs — must be updated in place, so this module provides
+a growable vector with bulk read/write, used by
+:class:`~repro.storage.table.Table`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util.errors import StorageError
+
+__all__ = ["GrowableIntVector"]
+
+_INITIAL_CAPACITY = 64
+
+
+class GrowableIntVector:
+    """A growable ``int64`` vector supporting in-place bulk updates.
+
+    >>> v = GrowableIntVector(fill=0)
+    >>> v.extend(4)
+    >>> v.add_at(np.array([1, 3]), 5)
+    >>> v.values().tolist()
+    [0, 5, 0, 5]
+    """
+
+    __slots__ = ("_data", "_length", "_fill")
+
+    def __init__(self, fill: int = 0, initial_capacity: int = _INITIAL_CAPACITY):
+        if initial_capacity < 1:
+            raise StorageError("initial_capacity must be >= 1")
+        self._data = np.full(initial_capacity, fill, dtype=np.int64)
+        self._length = 0
+        self._fill = int(fill)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self._data.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(cap * 2, needed, _INITIAL_CAPACITY)
+        grown = np.full(new_cap, self._fill, dtype=np.int64)
+        grown[: self._length] = self._data[: self._length]
+        self._data = grown
+
+    def extend(self, n: int, *, value: int | None = None) -> None:
+        """Append ``n`` slots initialised to ``value`` (default: fill)."""
+        if n < 0:
+            raise StorageError(f"cannot extend by negative count {n}")
+        if n == 0:
+            return
+        self._ensure_capacity(self._length + n)
+        self._data[self._length : self._length + n] = (
+            self._fill if value is None else int(value)
+        )
+        self._length += n
+
+    def extend_with(self, values) -> None:
+        """Append explicit values."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise StorageError("extend_with expects a 1-D array")
+        if arr.size == 0:
+            return
+        self._ensure_capacity(self._length + arr.size)
+        self._data[self._length : self._length + arr.size] = arr
+        self._length += arr.size
+
+    def _check_positions(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return positions
+        if positions.min() < 0 or positions.max() >= self._length:
+            raise IndexError(
+                f"positions out of range [0, {self._length}) for vector update"
+            )
+        return positions
+
+    def __getitem__(self, position: int) -> int:
+        position = int(position)
+        if not 0 <= position < self._length:
+            raise IndexError(
+                f"position {position} out of range for vector of length {self._length}"
+            )
+        return int(self._data[position])
+
+    def set_at(self, positions: np.ndarray, value: int) -> None:
+        """Set ``positions`` to a scalar ``value``."""
+        positions = self._check_positions(positions)
+        if positions.size:
+            self._data[positions] = int(value)
+
+    def add_at(self, positions: np.ndarray, delta: int = 1) -> None:
+        """Add ``delta`` at ``positions``.
+
+        Duplicate positions accumulate (``np.add.at`` semantics), which
+        is exactly what access-frequency counting needs when one query
+        batch touches a tuple several times.
+        """
+        positions = self._check_positions(positions)
+        if positions.size:
+            np.add.at(self._data, positions, int(delta))
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Gather values at ``positions`` (a copy)."""
+        positions = self._check_positions(positions)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._data[positions].copy()
+
+    def overwrite(self, values) -> None:
+        """Replace the full logical contents (for checkpoint restore)."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.shape != (self._length,):
+            raise StorageError(
+                f"overwrite expects {self._length} values, got {arr.shape}"
+            )
+        self._data[: self._length] = arr
+
+    def values(self) -> np.ndarray:
+        """Read-only view of the logical contents (zero copy)."""
+        out = self._data[: self._length]
+        out.flags.writeable = False
+        return out
+
+    def __repr__(self) -> str:
+        return f"GrowableIntVector(length={self._length})"

@@ -1,0 +1,11 @@
+"""Summaries of forgotten data: min/max/avg plus histogram micro-models."""
+
+from .histogram_summary import HistogramSummaryStore
+from .summary import ColumnSummary, ForgottenSummary, SummaryStore
+
+__all__ = [
+    "ColumnSummary",
+    "ForgottenSummary",
+    "HistogramSummaryStore",
+    "SummaryStore",
+]

@@ -1,0 +1,211 @@
+"""Aggregate summaries of forgotten data.
+
+The paper's fourth disposition option (§1): "keep a summary, i.e., a
+few aggregated values (min, max, avg) of all the forgotten data.  This
+will reduce the storage drastically but the DBMS will only be able to
+answer specific aggregation queries without making available any other
+details."
+
+A :class:`ForgottenSummary` keeps, per forgetting event and column, the
+five additive statistics (count, sum, sum of squares, min, max).  From
+those the :class:`SummaryStore` can answer whole-table COUNT, SUM, AVG,
+MIN, MAX and VAR over *forgotten + active* data exactly, and
+range-restricted aggregates approximately under a uniformity
+assumption — quantified in experiment I1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util.errors import LifecycleError
+from ..query.queries import AggregateFunction
+
+__all__ = ["ColumnSummary", "ForgottenSummary", "SummaryStore"]
+
+_INT64_BYTES = 8
+#: Stored statistics per column summary (count, sum, sumsq, min, max).
+_STATS_PER_COLUMN = 5
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Additive statistics of one column over one forgotten batch."""
+
+    count: int
+    total: float
+    total_sq: float
+    min: int
+    max: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "ColumnSummary":
+        """Summarise a non-empty value array."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            raise LifecycleError("cannot summarise an empty value array")
+        as_float = values.astype(np.float64)
+        return cls(
+            count=int(values.size),
+            total=float(as_float.sum()),
+            total_sq=float((as_float**2).sum()),
+            min=int(values.min()),
+            max=int(values.max()),
+        )
+
+    def merge(self, other: "ColumnSummary") -> "ColumnSummary":
+        """Combine two summaries (all statistics are additive)."""
+        return ColumnSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            total_sq=self.total_sq + other.total_sq,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    @property
+    def mean(self) -> float:
+        """Average of the summarised values."""
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the summarised values."""
+        return max(self.total_sq / self.count - self.mean**2, 0.0)
+
+
+@dataclass(frozen=True)
+class ForgottenSummary:
+    """Summaries of all columns for one forgetting event."""
+
+    epoch: int
+    tuple_count: int
+    columns: dict[str, ColumnSummary]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the summary itself (tiny, by design)."""
+        return len(self.columns) * _STATS_PER_COLUMN * _INT64_BYTES
+
+
+class SummaryStore:
+    """Accumulates per-event summaries and answers aggregate queries.
+
+    >>> import numpy as np
+    >>> store = SummaryStore()
+    >>> _ = store.add(epoch=1, values_by_column={"a": np.array([1, 3])})
+    >>> _ = store.add(epoch=2, values_by_column={"a": np.array([5])})
+    >>> store.combined("a").count
+    3
+    >>> store.combined("a").mean
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._events: list[ForgottenSummary] = []
+
+    def add(self, epoch: int, values_by_column: dict[str, np.ndarray]) -> ForgottenSummary:
+        """Summarise one forgotten batch and retain the summary."""
+        if not values_by_column:
+            raise LifecycleError("summary event needs at least one column")
+        columns = {
+            name: ColumnSummary.from_values(values)
+            for name, values in values_by_column.items()
+        }
+        counts = {s.count for s in columns.values()}
+        if len(counts) != 1:
+            raise LifecycleError("summary columns must cover the same tuples")
+        event = ForgottenSummary(
+            epoch=int(epoch), tuple_count=counts.pop(), columns=columns
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def event_count(self) -> int:
+        """Number of forgetting events summarised."""
+        return len(self._events)
+
+    @property
+    def tuple_count(self) -> int:
+        """Total tuples covered by all summaries."""
+        return sum(e.tuple_count for e in self._events)
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage of all summaries."""
+        return sum(e.nbytes for e in self._events)
+
+    def events(self) -> list[ForgottenSummary]:
+        """All summaries, oldest first."""
+        return list(self._events)
+
+    def combined(self, column: str) -> ColumnSummary:
+        """Merge every event's summary for ``column``."""
+        relevant = [e.columns[column] for e in self._events if column in e.columns]
+        if not relevant:
+            raise LifecycleError(f"no summaries recorded for column {column!r}")
+        merged = relevant[0]
+        for summary in relevant[1:]:
+            merged = merged.merge(summary)
+        return merged
+
+    # -- query answering -------------------------------------------------
+
+    def answer(self, function: AggregateFunction, column: str) -> float:
+        """Whole-population aggregate over all *forgotten* tuples."""
+        summary = self.combined(column)
+        if function is AggregateFunction.COUNT:
+            return float(summary.count)
+        if function is AggregateFunction.SUM:
+            return summary.total
+        if function is AggregateFunction.AVG:
+            return summary.mean
+        if function is AggregateFunction.MIN:
+            return float(summary.min)
+        if function is AggregateFunction.MAX:
+            return float(summary.max)
+        if function is AggregateFunction.VAR:
+            return summary.variance
+        if function is AggregateFunction.STD:
+            return float(np.sqrt(summary.variance))
+        raise LifecycleError(f"summaries cannot answer {function}")
+
+    def combined_with_active(
+        self,
+        function: AggregateFunction,
+        column: str,
+        active_values: np.ndarray,
+    ) -> float | None:
+        """Aggregate over active ∪ forgotten using summaries for the latter.
+
+        COUNT/SUM/AVG/MIN/MAX combine exactly; VAR/STD combine exactly
+        via the sum-of-squares identity.  This is what lets a
+        summary-keeping amnesiac database answer §4.3's
+        ``SELECT AVG(a) FROM t`` with zero error despite forgetting.
+        """
+        active_values = np.asarray(active_values, dtype=np.int64)
+        if self.event_count == 0 or not any(
+            column in e.columns for e in self._events
+        ):
+            return function.compute(active_values)
+        summary = self.combined(column)
+        if active_values.size:
+            summary = summary.merge(ColumnSummary.from_values(active_values))
+        if function is AggregateFunction.COUNT:
+            return float(summary.count)
+        if function is AggregateFunction.SUM:
+            return summary.total
+        if function is AggregateFunction.AVG:
+            return summary.mean
+        if function is AggregateFunction.MIN:
+            return float(summary.min)
+        if function is AggregateFunction.MAX:
+            return float(summary.max)
+        if function is AggregateFunction.VAR:
+            return summary.variance
+        if function is AggregateFunction.STD:
+            return float(np.sqrt(summary.variance))
+        raise LifecycleError(f"summaries cannot answer {function}")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import Table
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table():
+    """A 100-row single-column table, values 0..99 (epoch 0)."""
+    table = Table("t", ["a"])
+    table.insert_batch(0, {"a": np.arange(100)})
+    return table
+
+
+@pytest.fixture
+def epoch_table():
+    """A table with three insert batches (epochs 0, 1, 2), 60 rows.
+
+    Values encode the epoch: epoch e inserted 20 values e*100..e*100+19.
+    """
+    table = Table("t", ["a"])
+    for epoch in range(3):
+        table.insert_batch(
+            epoch, {"a": np.arange(epoch * 100, epoch * 100 + 20)}
+        )
+    return table

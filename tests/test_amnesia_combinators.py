@@ -1,0 +1,144 @@
+"""Tests for privacy retention, composite policies and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.amnesia import (
+    POLICY_NAMES,
+    CompositeAmnesia,
+    FifoAmnesia,
+    PrivacyRetentionWrapper,
+    RotAmnesia,
+    UniformAmnesia,
+    make_policy,
+)
+from repro.storage import Table
+
+
+class TestPrivacyRetention:
+    def test_expired_detection(self, epoch_table):
+        wrapper = PrivacyRetentionWrapper(UniformAmnesia(), max_age_epochs=2)
+        expired = wrapper.expired(epoch_table, epoch=2)
+        # Epoch-0 tuples (positions 0..19) have age 2 >= 2.
+        assert sorted(expired.tolist()) == list(range(20))
+
+    def test_expired_always_selected(self, epoch_table, rng):
+        wrapper = PrivacyRetentionWrapper(UniformAmnesia(), max_age_epochs=2)
+        victims = wrapper.select_victims(epoch_table, 5, 2, rng)
+        # Overshoot: all 20 expired returned although only 5 were asked.
+        assert victims.size == 20
+        assert sorted(victims.tolist()) == list(range(20))
+
+    def test_quota_topped_up_by_inner(self, epoch_table, rng):
+        wrapper = PrivacyRetentionWrapper(FifoAmnesia(), max_age_epochs=3)
+        # Nothing expired at epoch 2 with limit 3; inner fifo fills all 5.
+        victims = wrapper.select_victims(epoch_table, 5, 2, rng)
+        assert victims.tolist() == [0, 1, 2, 3, 4]
+
+    def test_mixed_expired_plus_discretionary(self, epoch_table, rng):
+        wrapper = PrivacyRetentionWrapper(FifoAmnesia(), max_age_epochs=2)
+        victims = wrapper.select_victims(epoch_table, 25, 2, rng)
+        assert victims.size == 25
+        # 20 expired + 5 oldest discretionary (epoch-1 head).
+        assert sorted(victims.tolist()) == list(range(25))
+
+    def test_overshoot_flag_and_validation(self, epoch_table, rng):
+        wrapper = PrivacyRetentionWrapper(UniformAmnesia(), max_age_epochs=2)
+        victims = wrapper.select_victims(epoch_table, 5, 2, rng)
+        out = wrapper.validate_victims(epoch_table, victims, 5)
+        assert out.size == 20  # overshoot accepted
+
+    def test_name_and_reset(self):
+        wrapper = PrivacyRetentionWrapper(RotAmnesia(), max_age_epochs=2)
+        assert wrapper.name == "privacy(rot)"
+        wrapper.reset()  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PrivacyRetentionWrapper(UniformAmnesia(), max_age_epochs=0)
+
+    def test_respects_exclusion(self, epoch_table, rng):
+        wrapper = PrivacyRetentionWrapper(FifoAmnesia(), max_age_epochs=2)
+        victims = wrapper.select_victims(
+            epoch_table, 5, 2, rng, exclude=np.arange(10)
+        )
+        # Excluded expired tuples are not re-selected.
+        assert not np.isin(victims, np.arange(10)).any()
+
+
+class TestComposite:
+    def test_exact_count_no_duplicates(self, small_table, rng):
+        mix = CompositeAmnesia(
+            [(0.5, FifoAmnesia()), (0.5, UniformAmnesia())]
+        )
+        victims = mix.select_victims(small_table, 40, 1, rng)
+        assert victims.size == 40
+        assert np.unique(victims).size == 40
+
+    def test_weights_shape_selection(self, small_table, rng):
+        """90% fifo mixture mostly takes the oldest positions."""
+        mix = CompositeAmnesia(
+            [(9.0, FifoAmnesia()), (1.0, UniformAmnesia())]
+        )
+        totals = []
+        for _ in range(30):
+            victims = mix.select_victims(small_table, 20, 1, rng)
+            totals.append((victims < 30).mean())
+        assert np.mean(totals) > 0.7
+
+    def test_name_lists_components(self):
+        mix = CompositeAmnesia([(1.0, FifoAmnesia()), (3.0, RotAmnesia())])
+        assert mix.name == "mix(fifo:0.25,rot:0.75)"
+        assert len(mix.policies) == 2
+
+    def test_rejects_overshooting_members(self):
+        with pytest.raises(ConfigError):
+            CompositeAmnesia(
+                [(1.0, PrivacyRetentionWrapper(FifoAmnesia(), 2))]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CompositeAmnesia([])
+        with pytest.raises(ConfigError):
+            CompositeAmnesia([(0.0, FifoAmnesia())])
+
+    def test_zero_victims(self, small_table, rng):
+        mix = CompositeAmnesia([(1.0, FifoAmnesia())])
+        assert mix.select_victims(small_table, 0, 1, rng).size == 0
+
+    def test_reset_propagates(self, small_table, rng):
+        from repro.amnesia import AreaAmnesia
+
+        area = AreaAmnesia(max_areas=2)
+        mix = CompositeAmnesia([(1.0, area)])
+        mix.select_victims(small_table, 10, 1, rng)
+        assert area.areas
+        mix.reset()
+        assert area.areas == []
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in POLICY_NAMES:
+            kwargs = {"column": "a"} if name in ("pair", "dist", "stratified") else {}
+            policy = make_policy(name, **kwargs)
+            assert policy.name == name
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("rot", high_water_mark=3)
+        assert policy.high_water_mark == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_policy("total-recall")
+
+    def test_registry_covers_paper_figures(self):
+        from repro.amnesia import FIGURE1_POLICIES, FIGURE3_POLICIES
+
+        assert set(FIGURE1_POLICIES) <= set(POLICY_NAMES)
+        assert set(FIGURE3_POLICIES) <= set(POLICY_NAMES)
+        assert "rot" in FIGURE3_POLICIES and "rot" not in FIGURE1_POLICIES

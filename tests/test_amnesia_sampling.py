@@ -1,0 +1,126 @@
+"""Tests for repro.amnesia.sampling: the weighted-sampling kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import AmnesiaError
+from repro.amnesia import (
+    uniform_sample_without_replacement,
+    weighted_sample_without_replacement,
+)
+
+
+class TestUniformSampling:
+    def test_basic(self, rng):
+        out = uniform_sample_without_replacement(np.arange(100), 10, rng)
+        assert out.size == 10
+        assert np.unique(out).size == 10
+        assert np.isin(out, np.arange(100)).all()
+
+    def test_full_draw(self, rng):
+        out = uniform_sample_without_replacement(np.arange(5), 5, rng)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_zero_draw(self, rng):
+        assert uniform_sample_without_replacement(np.arange(5), 0, rng).size == 0
+
+    def test_overdraw_raises(self, rng):
+        with pytest.raises(AmnesiaError):
+            uniform_sample_without_replacement(np.arange(3), 4, rng)
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(AmnesiaError):
+            uniform_sample_without_replacement(np.arange(3), -1, rng)
+
+
+class TestWeightedSampling:
+    def test_distinct_and_from_candidates(self, rng):
+        candidates = np.arange(50) * 3
+        weights = rng.random(50)
+        out = weighted_sample_without_replacement(candidates, weights, 20, rng)
+        assert out.size == 20
+        assert np.unique(out).size == 20
+        assert np.isin(out, candidates).all()
+
+    def test_zero_weight_excluded_when_possible(self, rng):
+        candidates = np.arange(10)
+        weights = np.zeros(10)
+        weights[7] = 1.0
+        for _ in range(20):
+            out = weighted_sample_without_replacement(candidates, weights, 1, rng)
+            assert out.tolist() == [7]
+
+    def test_zero_weights_fill_after_positive_exhausted(self, rng):
+        candidates = np.arange(5)
+        weights = np.array([0.0, 0.0, 0.0, 1.0, 1.0])
+        out = weighted_sample_without_replacement(candidates, weights, 5, rng)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_all_zero_weights_degrade_to_uniform(self, rng):
+        candidates = np.arange(10)
+        out = weighted_sample_without_replacement(
+            candidates, np.zeros(10), 4, rng
+        )
+        assert np.unique(out).size == 4
+
+    def test_heavier_weight_sampled_more(self, rng):
+        """Statistical check: 100:1 weight ratio shows in frequencies."""
+        candidates = np.arange(2)
+        weights = np.array([100.0, 1.0])
+        hits = sum(
+            weighted_sample_without_replacement(candidates, weights, 1, rng)[0] == 0
+            for _ in range(500)
+        )
+        assert hits > 450
+
+    def test_matches_theoretical_first_draw_distribution(self, rng):
+        """First-draw inclusion matches w_i / sum(w) within tolerance."""
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        counts = np.zeros(4)
+        trials = 4000
+        for _ in range(trials):
+            pick = weighted_sample_without_replacement(
+                np.arange(4), weights, 1, rng
+            )[0]
+            counts[pick] += 1
+        observed = counts / trials
+        expected = weights / weights.sum()
+        assert np.abs(observed - expected).max() < 0.03
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(AmnesiaError):
+            weighted_sample_without_replacement(
+                np.arange(3), np.ones(4), 1, rng
+            )
+
+    def test_negative_weights_rejected(self, rng):
+        with pytest.raises(AmnesiaError):
+            weighted_sample_without_replacement(
+                np.arange(3), np.array([1.0, -1.0, 1.0]), 1, rng
+            )
+
+    def test_nan_weights_rejected(self, rng):
+        with pytest.raises(AmnesiaError):
+            weighted_sample_without_replacement(
+                np.arange(3), np.array([1.0, np.nan, 1.0]), 1, rng
+            )
+
+    def test_overdraw_raises(self, rng):
+        with pytest.raises(AmnesiaError):
+            weighted_sample_without_replacement(
+                np.arange(3), np.ones(3), 4, rng
+            )
+
+    def test_zero_draw(self, rng):
+        out = weighted_sample_without_replacement(
+            np.arange(3), np.ones(3), 0, rng
+        )
+        assert out.size == 0
+
+    def test_full_positive_pool_draw(self, rng):
+        out = weighted_sample_without_replacement(
+            np.arange(4), np.ones(4), 4, rng
+        )
+        assert sorted(out.tolist()) == [0, 1, 2, 3]

@@ -1,0 +1,145 @@
+"""Tests for repro.amnesia.temporal: fifo, uniform, retro, ante."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import (
+    AmnesiaError,
+    ConfigError,
+    InsufficientVictimsError,
+)
+from repro.amnesia import (
+    AnterogradeAmnesia,
+    FifoAmnesia,
+    RetrogradeAmnesia,
+    UniformAmnesia,
+)
+from repro.storage import Table
+
+
+class TestFifo:
+    def test_forgets_oldest(self, small_table, rng):
+        victims = FifoAmnesia().select_victims(small_table, 10, 1, rng)
+        assert victims.tolist() == list(range(10))
+
+    def test_skips_already_forgotten(self, small_table, rng):
+        small_table.forget(np.arange(5), epoch=1)
+        victims = FifoAmnesia().select_victims(small_table, 5, 2, rng)
+        assert victims.tolist() == [5, 6, 7, 8, 9]
+
+    def test_respects_exclusion(self, small_table, rng):
+        victims = FifoAmnesia().select_victims(
+            small_table, 3, 1, rng, exclude=np.array([0, 2])
+        )
+        assert victims.tolist() == [1, 3, 4]
+
+    def test_overdraw_raises(self, small_table, rng):
+        with pytest.raises(InsufficientVictimsError):
+            FifoAmnesia().select_victims(small_table, 101, 1, rng)
+
+    def test_sliding_window_emerges(self, rng):
+        """Repeated fifo rounds leave exactly the newest suffix."""
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})
+        policy = FifoAmnesia()
+        for epoch in range(1, 4):
+            table.insert_batch(epoch, {"a": np.arange(20)})
+            victims = policy.select_victims(table, 20, epoch, rng)
+            table.forget(victims, epoch)
+        active = table.active_positions()
+        assert active.tolist() == list(range(60, 160))
+
+
+class TestUniform:
+    def test_exact_count_distinct_active(self, small_table, rng):
+        victims = UniformAmnesia().select_victims(small_table, 40, 1, rng)
+        assert victims.size == 40
+        assert np.unique(victims).size == 40
+        assert small_table.is_active(victims).all()
+
+    def test_roughly_uniform_over_positions(self, rng):
+        """No systematic bias toward either end of the timeline."""
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(1000)})
+        policy = UniformAmnesia()
+        hits = np.zeros(1000)
+        for _ in range(200):
+            victims = policy.select_victims(table, 100, 1, rng)
+            hits[victims] += 1
+        old_half, new_half = hits[:500].sum(), hits[500:].sum()
+        assert abs(old_half - new_half) / (old_half + new_half) < 0.05
+
+
+class TestAgeBiased:
+    def test_retro_prefers_old(self, small_table, rng):
+        policy = RetrogradeAmnesia(bias=4.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            victims = policy.select_victims(small_table, 10, 1, rng)
+            hits[victims] += 1
+        assert hits[:20].sum() > 3 * hits[80:].sum()
+
+    def test_ante_prefers_new(self, small_table, rng):
+        policy = AnterogradeAmnesia(bias=4.0)
+        hits = np.zeros(100)
+        for _ in range(100):
+            victims = policy.select_victims(small_table, 10, 1, rng)
+            hits[victims] += 1
+        assert hits[80:].sum() > 3 * hits[:20].sum()
+
+    def test_bias_zero_degrades_to_uniform(self, small_table, rng):
+        policy = RetrogradeAmnesia(bias=0.0)
+        hits = np.zeros(100)
+        for _ in range(200):
+            victims = policy.select_victims(small_table, 10, 1, rng)
+            hits[victims] += 1
+        assert abs(hits[:50].sum() - hits[50:].sum()) / hits.sum() < 0.06
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(ConfigError):
+            RetrogradeAmnesia(bias=-1.0)
+        with pytest.raises(ConfigError):
+            AnterogradeAmnesia(bias=-0.5)
+
+    def test_zero_victims(self, small_table, rng):
+        assert AnterogradeAmnesia().select_victims(small_table, 0, 1, rng).size == 0
+
+    def test_ante_default_bias(self):
+        assert AnterogradeAmnesia().bias == 6.0
+
+    def test_names(self):
+        assert FifoAmnesia().name == "fifo"
+        assert UniformAmnesia().name == "uniform"
+        assert RetrogradeAmnesia().name == "retro"
+        assert AnterogradeAmnesia().name == "ante"
+
+
+class TestValidateVictims:
+    def test_accepts_exact_set(self, small_table, rng):
+        policy = UniformAmnesia()
+        victims = policy.select_victims(small_table, 5, 1, rng)
+        out = policy.validate_victims(small_table, victims, 5)
+        assert out.size == 5
+
+    def test_rejects_duplicates(self, small_table):
+        with pytest.raises(AmnesiaError):
+            UniformAmnesia().validate_victims(
+                small_table, np.array([1, 1, 2]), 3
+            )
+
+    def test_rejects_wrong_count(self, small_table):
+        with pytest.raises(AmnesiaError):
+            UniformAmnesia().validate_victims(small_table, np.array([1]), 2)
+
+    def test_rejects_forgotten_victims(self, small_table):
+        small_table.forget(np.array([3]), epoch=1)
+        with pytest.raises(AmnesiaError):
+            UniformAmnesia().validate_victims(small_table, np.array([3]), 1)
+
+    def test_rejects_2d(self, small_table):
+        with pytest.raises(AmnesiaError):
+            UniformAmnesia().validate_victims(
+                small_table, np.zeros((2, 2), dtype=np.int64), 4
+            )

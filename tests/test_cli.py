@@ -1,0 +1,78 @@
+"""Tests for the command-line harness."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "F1", "--seed", "7"])
+        assert args.command == "run"
+        assert args.experiment == "F1"
+        assert args.seed == 7
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in text
+
+    def test_unknown_experiment_fails(self):
+        out = io.StringIO()
+        assert main(["run", "ZZ"], out=out) == 2
+
+    def test_run_lowercase_accepted(self, monkeypatch):
+        calls = {}
+
+        def fake_runner(seed=None):
+            calls["seed"] = seed
+
+            class R:
+                def render(self):
+                    return "ok"
+
+            return R()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", fake_runner)
+        out = io.StringIO()
+        assert main(["run", "f1", "--seed", "3"], out=out) == 0
+        assert calls["seed"] == 3
+        assert "ok" in out.getvalue()
+
+    def test_run_all(self, monkeypatch):
+        ran = []
+
+        def make_fake(experiment_id):
+            def fake_runner():
+                ran.append(experiment_id)
+
+                class R:
+                    def render(self):
+                        return experiment_id
+
+                return R()
+
+            return fake_runner
+
+        for experiment_id in list(EXPERIMENTS):
+            monkeypatch.setitem(EXPERIMENTS, experiment_id, make_fake(experiment_id))
+        out = io.StringIO()
+        assert main(["run", "all"], out=out) == 0
+        assert ran == list(EXPERIMENTS)

@@ -1,0 +1,198 @@
+"""Tests for repro.coldstore and repro.summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ColdStoreError, ConfigError, LifecycleError
+from repro.coldstore import GLACIER_2016, ColdStore, StorageCostModel
+from repro.query import AggregateFunction
+from repro.summaries import ColumnSummary, SummaryStore
+
+_TB = 1024.0**4
+
+
+class TestCostModel:
+    def test_paper_prices(self):
+        assert GLACIER_2016.cold_storage_usd_per_tb_year == 48.0
+        assert GLACIER_2016.cold_retrieval_usd_per_tb == 30.0
+        assert GLACIER_2016.cold_retrieval_latency_hours == 12.0
+
+    def test_storage_cost_scales(self):
+        model = StorageCostModel()
+        assert model.cold_storage_cost(int(_TB), 1.0) == pytest.approx(48.0)
+        assert model.cold_storage_cost(int(_TB) // 2, 2.0) == pytest.approx(48.0)
+        assert model.hot_storage_cost(int(_TB), 1.0) == pytest.approx(360.0)
+
+    def test_retrieval_cost(self):
+        model = StorageCostModel()
+        assert model.cold_retrieval_cost(int(_TB)) == pytest.approx(30.0)
+        assert model.hot_retrieval_cost(int(_TB)) == 0.0
+
+    def test_breakeven(self):
+        model = StorageCostModel()
+        # (360 - 48) / 30 = 10.4 full reads per year.
+        assert model.breakeven_reads_per_year() == pytest.approx(10.4)
+
+    def test_breakeven_free_retrieval(self):
+        model = StorageCostModel(cold_retrieval_usd_per_tb=0.0)
+        assert model.breakeven_reads_per_year() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StorageCostModel(cold_storage_usd_per_tb_year=-1.0)
+        with pytest.raises(ConfigError):
+            StorageCostModel(hot_storage_usd_per_tb_year=0.0)
+
+
+class TestColdStore:
+    def test_archive_and_retrieve(self):
+        store = ColdStore()
+        store.archive(1, np.array([3, 4]), {"a": np.array([30, 40])})
+        store.archive(2, np.array([9]), {"a": np.array([90])})
+        assert store.segment_count == 2
+        assert store.tuple_count == 3
+        out = store.retrieve(np.array([9, 3]))
+        assert out["a"].tolist() == [90, 30]
+
+    def test_contains(self):
+        store = ColdStore()
+        store.archive(1, np.array([5]), {"a": np.array([50])})
+        assert store.contains(np.array([5, 6])).tolist() == [True, False]
+
+    def test_double_archive_rejected(self):
+        store = ColdStore()
+        store.archive(1, np.array([5]), {"a": np.array([50])})
+        with pytest.raises(ColdStoreError):
+            store.archive(2, np.array([5]), {"a": np.array([50])})
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ColdStoreError):
+            ColdStore().archive(1, np.array([5, 5]), {"a": np.array([1, 2])})
+
+    def test_misaligned_values_rejected(self):
+        with pytest.raises(ColdStoreError):
+            ColdStore().archive(1, np.array([5]), {"a": np.array([1, 2])})
+
+    def test_empty_archive_rejected(self):
+        with pytest.raises(ColdStoreError):
+            ColdStore().archive(1, np.empty(0, dtype=np.int64), {"a": np.empty(0)})
+
+    def test_missing_retrieve_rejected(self):
+        store = ColdStore()
+        store.archive(1, np.array([5]), {"a": np.array([50])})
+        with pytest.raises(ColdStoreError):
+            store.retrieve(np.array([6]))
+        with pytest.raises(ColdStoreError):
+            store.retrieve(np.empty(0, dtype=np.int64))
+
+    def test_cost_accounting(self):
+        store = ColdStore()
+        store.archive(1, np.array([1, 2]), {"a": np.array([10, 20])})
+        assert store.stored_bytes == 2 * 16  # positions + one column
+        assert store.retrieval_cost_so_far() == 0.0
+        store.retrieve(np.array([1]))
+        assert store.usage.retrieval_ops == 1
+        assert store.retrieval_cost_so_far() > 0.0
+        assert store.retrieval_latency_so_far() == pytest.approx(12.0)
+        assert store.storage_cost(1.0) > 0.0
+
+    def test_archived_values_are_copies(self):
+        values = np.array([10, 20])
+        store = ColdStore()
+        store.archive(1, np.array([1, 2]), {"a": values})
+        values[0] = 999
+        assert store.retrieve(np.array([1]))["a"][0] == 10
+
+
+class TestColumnSummary:
+    def test_from_values(self):
+        summary = ColumnSummary.from_values(np.array([1, 3, 5]))
+        assert summary.count == 3
+        assert summary.total == 9.0
+        assert summary.mean == 3.0
+        assert summary.min == 1 and summary.max == 5
+        assert summary.variance == pytest.approx(np.array([1, 3, 5]).var())
+
+    def test_merge_matches_concat(self, rng):
+        x = rng.integers(0, 100, 500)
+        y = rng.integers(50, 400, 300)
+        merged = ColumnSummary.from_values(x).merge(ColumnSummary.from_values(y))
+        both = np.concatenate([x, y])
+        assert merged.count == 800
+        assert merged.mean == pytest.approx(both.mean())
+        assert merged.variance == pytest.approx(both.var())
+        assert merged.min == both.min() and merged.max == both.max()
+
+    def test_empty_rejected(self):
+        with pytest.raises(LifecycleError):
+            ColumnSummary.from_values(np.empty(0, dtype=np.int64))
+
+
+class TestSummaryStore:
+    def test_accumulation(self):
+        store = SummaryStore()
+        store.add(1, {"a": np.array([1, 3])})
+        store.add(2, {"a": np.array([5])})
+        assert store.event_count == 2
+        assert store.tuple_count == 3
+        assert store.combined("a").mean == 3.0
+        assert store.nbytes == 2 * 5 * 8
+
+    def test_answers(self):
+        store = SummaryStore()
+        store.add(1, {"a": np.array([2, 4, 6])})
+        assert store.answer(AggregateFunction.AVG, "a") == 4.0
+        assert store.answer(AggregateFunction.SUM, "a") == 12.0
+        assert store.answer(AggregateFunction.COUNT, "a") == 3.0
+        assert store.answer(AggregateFunction.MIN, "a") == 2.0
+        assert store.answer(AggregateFunction.MAX, "a") == 6.0
+        assert store.answer(AggregateFunction.VAR, "a") == pytest.approx(
+            np.array([2, 4, 6]).var()
+        )
+
+    def test_combined_with_active_exact(self, rng):
+        forgotten = rng.integers(0, 1000, 400)
+        active = rng.integers(0, 1000, 600)
+        store = SummaryStore()
+        store.add(1, {"a": forgotten})
+        union = np.concatenate([forgotten, active])
+        for fn in (AggregateFunction.AVG, AggregateFunction.SUM,
+                   AggregateFunction.MIN, AggregateFunction.MAX,
+                   AggregateFunction.COUNT, AggregateFunction.VAR,
+                   AggregateFunction.STD):
+            expected = fn.compute(union)
+            assert store.combined_with_active(fn, "a", active) == pytest.approx(
+                expected
+            ), fn
+
+    def test_combined_with_active_no_summaries(self):
+        store = SummaryStore()
+        active = np.array([1, 2, 3])
+        assert store.combined_with_active(
+            AggregateFunction.AVG, "a", active
+        ) == pytest.approx(2.0)
+
+    def test_combined_with_empty_active(self):
+        store = SummaryStore()
+        store.add(1, {"a": np.array([4, 8])})
+        out = store.combined_with_active(
+            AggregateFunction.AVG, "a", np.empty(0, dtype=np.int64)
+        )
+        assert out == 6.0
+
+    def test_missing_column(self):
+        store = SummaryStore()
+        with pytest.raises(LifecycleError):
+            store.combined("a")
+
+    def test_mismatched_column_counts_rejected(self):
+        with pytest.raises(LifecycleError):
+            SummaryStore().add(
+                1, {"a": np.array([1, 2]), "b": np.array([1])}
+            )
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(LifecycleError):
+            SummaryStore().add(1, {})

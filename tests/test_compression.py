@@ -1,0 +1,141 @@
+"""Tests for repro.compression: bitpack + codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import CompressionError
+from repro.compression import (
+    CODEC_NAMES,
+    DictionaryCodec,
+    FrameOfReferenceCodec,
+    RawCodec,
+    RleCodec,
+    best_codec,
+    bits_needed,
+    make_codec,
+    pack_ints,
+    unpack_ints,
+)
+
+
+class TestBitpack:
+    def test_bits_needed(self):
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+
+    def test_bits_needed_negative(self):
+        with pytest.raises(CompressionError):
+            bits_needed(-1)
+
+    @pytest.mark.parametrize("bits", [1, 3, 7, 8, 13, 32, 63])
+    def test_roundtrip_random(self, bits, rng):
+        values = rng.integers(0, 1 << bits, 1000, dtype=np.uint64)
+        packed = pack_ints(values, bits)
+        assert packed.nbytes == int(np.ceil(1000 * bits / 8))
+        out = unpack_ints(packed, bits, 1000)
+        assert np.array_equal(out, values.astype(np.int64))
+
+    def test_roundtrip_empty(self):
+        assert pack_ints(np.empty(0, dtype=np.uint64), 4).size == 0
+        assert unpack_ints(np.empty(0, dtype=np.uint8), 4, 0).size == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_ints(np.array([8]), bits=3)
+
+    def test_bad_bits(self):
+        with pytest.raises(CompressionError):
+            pack_ints(np.array([1]), bits=0)
+        with pytest.raises(CompressionError):
+            unpack_ints(np.array([0], dtype=np.uint8), bits=65, count=1)
+
+    def test_negative_count(self):
+        with pytest.raises(CompressionError):
+            unpack_ints(np.array([0], dtype=np.uint8), bits=4, count=-1)
+
+
+@pytest.mark.parametrize("codec_name", CODEC_NAMES)
+class TestCodecContract:
+    def test_roundtrip_random(self, codec_name, rng):
+        codec = make_codec(codec_name)
+        values = rng.integers(0, 10_000, 5000)
+        block = codec.encode(values)
+        assert block.codec_name == codec_name
+        assert block.n_values == 5000
+        assert np.array_equal(codec.decode(block), values)
+
+    def test_roundtrip_empty(self, codec_name):
+        codec = make_codec(codec_name)
+        block = codec.encode(np.empty(0, dtype=np.int64))
+        assert codec.decode(block).size == 0
+        assert block.bytes_per_value == float("inf")
+
+    def test_roundtrip_constant(self, codec_name):
+        codec = make_codec(codec_name)
+        values = np.full(1000, 42, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_roundtrip_negative_values(self, codec_name):
+        codec = make_codec(codec_name)
+        values = np.array([-100, -1, 0, 1, 100], dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_rejects_wrong_block(self, codec_name):
+        codec = make_codec(codec_name)
+        other = [n for n in CODEC_NAMES if n != codec_name][0]
+        block = make_codec(other).encode(np.arange(4))
+        with pytest.raises(CompressionError):
+            codec.decode(block)
+
+    def test_rejects_2d(self, codec_name):
+        with pytest.raises(CompressionError):
+            make_codec(codec_name).encode(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestCompressionRatios:
+    def test_rle_wins_on_runs(self):
+        values = np.repeat(np.arange(10), 1000)
+        block = RleCodec().encode(values)
+        assert block.nbytes < 0.01 * RawCodec().encode(values).nbytes
+
+    def test_rle_expands_on_random(self, rng):
+        values = rng.integers(0, 1 << 40, 1000)
+        assert RleCodec().encode(values).nbytes > RawCodec().encode(values).nbytes
+
+    def test_dictionary_wins_on_low_cardinality(self, rng):
+        values = rng.choice([3, 17, 99], size=10_000)
+        block = DictionaryCodec().encode(values)
+        # 2 bits/value + tiny dictionary.
+        assert block.bytes_per_value < 0.3
+
+    def test_for_wins_on_small_spread(self, rng):
+        values = rng.integers(1_000_000, 1_000_100, 10_000)
+        block = FrameOfReferenceCodec().encode(values)
+        assert block.bytes_per_value < 1.0  # 7 bits each
+
+    def test_best_codec_picks_minimum(self, rng):
+        values = np.repeat(7, 10_000)
+        best = best_codec(values)
+        assert best.codec_name == "rle"
+        for name in CODEC_NAMES:
+            assert best.nbytes <= make_codec(name).encode(values).nbytes
+
+    def test_compressed_nbytes_helper(self, rng):
+        values = rng.integers(0, 100, 100)
+        codec = FrameOfReferenceCodec()
+        assert codec.compressed_nbytes(values) == codec.encode(values).nbytes
+
+
+class TestRegistry:
+    def test_make_codec(self):
+        for name in CODEC_NAMES:
+            assert make_codec(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(CompressionError):
+            make_codec("zstd")

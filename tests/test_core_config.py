@@ -1,0 +1,67 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationConfig
+from repro._util.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_baseline(self):
+        config = SimulationConfig()
+        assert config.dbsize == 1000
+        assert config.update_fraction == 0.20
+        assert config.epochs == 10
+        assert config.queries_per_epoch == 1000
+        assert config.batch_size == 200
+        assert config.total_insertions == 3000
+
+    def test_high_volatility(self):
+        config = SimulationConfig(update_fraction=0.80)
+        assert config.batch_size == 800
+        assert config.total_insertions == 9000
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dbsize": 0},
+            {"update_fraction": 0.0},
+            {"update_fraction": 1.5},
+            {"epochs": 0},
+            {"queries_per_epoch": -1},
+            {"histogram_bins": -1},
+            {"column": ""},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises((ConfigError, ValueError)):
+            SimulationConfig(**kwargs)
+
+    def test_rejects_sub_tuple_batches(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(dbsize=2, update_fraction=0.1)
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(AttributeError):
+            config.dbsize = 5
+
+
+class TestWith:
+    def test_with_replaces(self):
+        config = SimulationConfig().with_(update_fraction=0.8, epochs=30)
+        assert config.update_fraction == 0.8
+        assert config.epochs == 30
+        assert config.dbsize == 1000
+
+    def test_with_validates(self):
+        with pytest.raises((ConfigError, ValueError)):
+            SimulationConfig().with_(dbsize=-5)
+
+    def test_with_empty_is_copy(self):
+        config = SimulationConfig()
+        assert config.with_() == config

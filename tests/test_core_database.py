@@ -1,0 +1,113 @@
+"""Tests for repro.core.database: the AmnesiaDatabase facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AmnesiaDatabase
+from repro._util.errors import ConfigError
+from repro.amnesia import FifoAmnesia, PrivacyRetentionWrapper, UniformAmnesia
+
+
+class TestBudgetEnforcement:
+    def test_insert_below_budget_keeps_all(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(50)})
+        assert db.active_count == 50
+        assert db.total_rows == 50
+
+    def test_insert_above_budget_forgets_down(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(150)})
+        assert db.active_count == 100
+        assert db.total_rows == 150
+
+    def test_fifo_keeps_newest(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(150)})
+        assert db.range_query("a", 0, 50).rf == 0
+        assert db.range_query("a", 50, 150).rf == 100
+
+    def test_epoch_advances_per_insert(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(10)})
+        db.insert({"a": np.arange(10)})
+        assert db.epoch == 2
+        assert len(db.table.cohorts) == 2
+
+    def test_budget_validated(self):
+        with pytest.raises(ConfigError):
+            AmnesiaDatabase(budget=0, policy=FifoAmnesia())
+
+
+class TestQueries:
+    def test_range_query_precision(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(200)})
+        result = db.range_query("a", 90, 110)
+        assert result.rf == 10  # 100..109 survive
+        assert result.mf == 10
+        assert result.precision == 0.5
+
+    def test_aggregate_whole_table(self):
+        db = AmnesiaDatabase(budget=10, policy=FifoAmnesia())
+        db.insert({"a": np.arange(20)})
+        result = db.aggregate("avg", "a")
+        assert result.amnesiac_value == pytest.approx(14.5)
+        assert result.oracle_value == pytest.approx(9.5)
+
+    def test_aggregate_windowed(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(100)})
+        result = db.aggregate("sum", "a", 0, 10)
+        assert result.amnesiac_value == 45.0
+        assert result.is_exact()
+
+    def test_aggregate_window_requires_both_bounds(self):
+        db = AmnesiaDatabase(budget=10, policy=FifoAmnesia())
+        db.insert({"a": np.arange(5)})
+        with pytest.raises(ConfigError):
+            db.aggregate("avg", "a", low=3)
+
+    def test_queries_feed_access_counts(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.arange(100)})
+        db.range_query("a", 0, 10)
+        assert db.table.access_counts()[:10].sum() == 10
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        db = AmnesiaDatabase(budget=50, policy=UniformAmnesia())
+        db.insert({"a": np.arange(80)})
+        stats = db.stats()
+        assert stats["budget"] == 50
+        assert stats["active_rows"] == 50
+        assert stats["total_rows"] == 80
+        assert stats["forgotten_rows"] == 30
+        assert stats["policy"] == "uniform"
+        assert stats["epoch"] == 1
+
+    def test_repr(self):
+        db = AmnesiaDatabase(budget=10, policy=FifoAmnesia())
+        assert "fifo" in repr(db)
+
+
+class TestPrivacyIntegration:
+    def test_purge_runs_even_under_budget(self):
+        policy = PrivacyRetentionWrapper(FifoAmnesia(), max_age_epochs=2)
+        db = AmnesiaDatabase(budget=1000, policy=policy)
+        for _ in range(4):
+            db.insert({"a": np.arange(10)})
+            active = db.table.active_positions()
+            ages = db.epoch - db.table.insert_epochs()[active]
+            assert ages.max() < 2
+
+    def test_multi_column(self):
+        db = AmnesiaDatabase(
+            budget=10, policy=FifoAmnesia(), columns=("k", "v")
+        )
+        db.insert({"k": np.arange(20), "v": np.arange(20) * 10})
+        result = db.range_query("v", 100, 200)
+        assert result.rf == 10

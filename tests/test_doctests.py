@@ -1,0 +1,96 @@
+"""Run the doctest examples embedded in the public API docstrings.
+
+Docstrings are part of the deliverable; if an example in one rots, that
+is a documentation bug this test catches.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro._util.rng
+import repro.amnesia.decay
+import repro.amnesia.registry
+import repro.amnesia.sampling
+import repro.compression.bitpack
+import repro.coldstore.store
+import repro.core.config
+import repro.core.database
+import repro.core.simulator
+import repro.datagen.distributions
+import repro.datagen.streams
+import repro.indexes.brin
+import repro.indexes.hash_index
+import repro.indexes.sorted_index
+import repro.integrity.constraints
+import repro.lifecycle.executor
+import repro.metrics.maps
+import repro.metrics.precision
+import repro.partitioning.partitioned
+import repro.plotting.heatmap
+import repro.plotting.linechart
+import repro.plotting.tables
+import repro.query.executor
+import repro.query.generators
+import repro.query.predicates
+import repro.stats.histograms
+import repro.stats.moments
+import repro.storage.bitmap
+import repro.storage.catalog
+import repro.storage.cohorts
+import repro.storage.column
+import repro.storage.io
+import repro.storage.table
+import repro.storage.vectors
+import repro.summaries.histogram_summary
+import repro.summaries.summary
+
+MODULES = [
+    repro._util.rng,
+    repro.amnesia.decay,
+    repro.amnesia.registry,
+    repro.amnesia.sampling,
+    repro.compression.bitpack,
+    repro.coldstore.store,
+    repro.core.config,
+    repro.core.database,
+    repro.core.simulator,
+    repro.datagen.distributions,
+    repro.datagen.streams,
+    repro.indexes.brin,
+    repro.indexes.hash_index,
+    repro.indexes.sorted_index,
+    repro.integrity.constraints,
+    repro.lifecycle.executor,
+    repro.metrics.maps,
+    repro.metrics.precision,
+    repro.partitioning.partitioned,
+    repro.plotting.heatmap,
+    repro.plotting.linechart,
+    repro.plotting.tables,
+    repro.query.executor,
+    repro.query.generators,
+    repro.query.predicates,
+    repro.stats.histograms,
+    repro.stats.moments,
+    repro.storage.bitmap,
+    repro.storage.catalog,
+    repro.storage.cohorts,
+    repro.storage.column,
+    repro.storage.io,
+    repro.storage.table,
+    repro.storage.vectors,
+    repro.summaries.histogram_summary,
+    repro.summaries.summary,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False, report=True)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0, (
+        f"{result.failed} doctest failures in {module.__name__}"
+    )

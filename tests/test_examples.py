@@ -1,0 +1,38 @@
+"""Every example script must run clean (they are part of the API surface)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Fast examples run in full; paper_figures is exercised by benchmarks.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "streaming_sensor.py",
+    "retention_compliance.py",
+    "tiered_archive.py",
+    "adaptive_partitions.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_exist():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "paper_figures.py" in present

@@ -1,0 +1,203 @@
+"""Tests for repro.indexes: sorted, hash, BRIN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError, IndexError_
+from repro.indexes import BlockRangeIndex, HashIndex, SortedIndex
+from repro.storage import Table
+
+
+@pytest.fixture
+def indexed_table(rng):
+    table = Table("t", ["a"])
+    table.insert_batch(0, {"a": rng.integers(0, 1000, 5000)})
+    return table
+
+
+def brute_force(table, low, high):
+    values = table.values("a")
+    mask = (values >= low) & (values < high) & table.active_mask()
+    return set(np.flatnonzero(mask).tolist())
+
+
+@pytest.mark.parametrize(
+    "index_factory",
+    [
+        SortedIndex,
+        HashIndex,
+        lambda t, c: BlockRangeIndex(t, c, block_size=64),
+    ],
+    ids=["sorted", "hash", "brin"],
+)
+class TestIndexContract:
+    """Every index type must agree with the brute-force scan."""
+
+    def test_matches_scan_fresh(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        probe = index.lookup_range(100, 150)
+        assert set(probe.positions.tolist()) == brute_force(indexed_table, 100, 150)
+
+    def test_skips_forgotten(self, indexed_table, index_factory, rng):
+        index = index_factory(indexed_table, "a")
+        victims = rng.choice(5000, 2500, replace=False)
+        indexed_table.forget(victims, epoch=1)
+        probe = index.lookup_range(0, 500)
+        assert set(probe.positions.tolist()) == brute_force(indexed_table, 0, 500)
+
+    def test_sees_inserts(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        indexed_table.insert_batch(1, {"a": np.array([50, 51, 52])})
+        probe = index.lookup_range(50, 53)
+        assert set(probe.positions.tolist()) == brute_force(indexed_table, 50, 53)
+        assert {5000, 5001, 5002} <= set(probe.positions.tolist())
+
+    def test_mixed_insert_forget_stream(self, indexed_table, index_factory, rng):
+        index = index_factory(indexed_table, "a")
+        for epoch in range(1, 6):
+            indexed_table.insert_batch(
+                epoch, {"a": rng.integers(0, 1000, 500)}
+            )
+            active = indexed_table.active_positions()
+            victims = rng.choice(active, 500, replace=False)
+            indexed_table.forget(victims, epoch=epoch)
+        for low in (0, 250, 990):
+            probe = index.lookup_range(low, low + 20)
+            assert set(probe.positions.tolist()) == brute_force(
+                indexed_table, low, low + 20
+            )
+
+    def test_lookup_value(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        probe = index.lookup_value(123)
+        assert set(probe.positions.tolist()) == brute_force(indexed_table, 123, 124)
+
+    def test_drop_and_rebuild(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        index.drop()
+        assert index.is_dropped
+        assert index.nbytes() == 0
+        with pytest.raises(IndexError_):
+            index.lookup_range(0, 10)
+        # Mutations while dropped are absorbed at rebuild time.
+        indexed_table.insert_batch(1, {"a": np.array([7])})
+        indexed_table.forget(np.array([0]), epoch=1)
+        index.rebuild()
+        probe = index.lookup_range(0, 1000)
+        assert set(probe.positions.tolist()) == brute_force(indexed_table, 0, 1000)
+
+    def test_empty_range(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        probe = index.lookup_range(2000, 3000)
+        assert probe.count == 0
+
+    def test_maintenance_counter(self, indexed_table, index_factory):
+        index = index_factory(indexed_table, "a")
+        before = index.maintenance_ops
+        indexed_table.insert_batch(1, {"a": np.array([1, 2])})
+        indexed_table.forget(np.array([10]), epoch=1)
+        assert index.maintenance_ops == before + 3
+
+
+class TestSortedIndexSpecifics:
+    def test_delta_merges(self, rng):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": rng.integers(0, 100, 10)})
+        index = SortedIndex(table, "a", merge_threshold=16)
+        for epoch in range(1, 6):
+            table.insert_batch(epoch, {"a": rng.integers(0, 100, 10)})
+        # 50 delta rows exceed the threshold: a merge must have fired.
+        assert index.delta_size < 50
+        probe = index.lookup_range(0, 100)
+        assert probe.count == table.active_count
+
+    def test_forgotten_purged_at_merge(self, rng):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(10)})
+        index = SortedIndex(table, "a", merge_threshold=4)
+        table.forget(np.array([0, 1]), epoch=1)
+        table.insert_batch(1, {"a": np.arange(10, 20)})  # triggers merge
+        probe = index.lookup_range(0, 30)
+        assert probe.count == 18
+
+    def test_probe_cost_proportional_to_range(self, indexed_table):
+        index = SortedIndex(indexed_table, "a")
+        narrow = index.lookup_range(0, 10)
+        wide = index.lookup_range(0, 500)
+        assert narrow.entries_touched < wide.entries_touched
+
+
+class TestHashIndexSpecifics:
+    def test_entry_bookkeeping(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": [7, 7, 3]})
+        index = HashIndex(table, "a")
+        assert index.entry_count == 3
+        assert index.distinct_values == 2
+        table.forget(np.array([0]), epoch=1)
+        assert index.entry_count == 2
+        table.forget(np.array([2]), epoch=1)
+        assert index.distinct_values == 1
+
+    def test_range_degrades_to_point_probes(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": [5, 6, 7]})
+        index = HashIndex(table, "a")
+        probe = index.lookup_range(5, 8)
+        assert sorted(probe.positions.tolist()) == [0, 1, 2]
+        # One probe per candidate value.
+        assert probe.entries_touched >= 3
+
+
+class TestBrinSpecifics:
+    def test_block_pruning_on_clustered_data(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(10_000)})
+        index = BlockRangeIndex(table, "a", block_size=100)
+        probe = index.lookup_range(5000, 5050)
+        assert probe.entries_touched <= 200
+        assert index.pruned_fraction(5000, 5050) > 0.97
+
+    def test_fully_forgotten_blocks_skipped(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(1000)})
+        index = BlockRangeIndex(table, "a", block_size=100)
+        table.forget(np.arange(0, 100), epoch=1)  # block 0 entirely
+        assert 0 not in index.candidate_blocks(0, 100).tolist()
+        assert index.lookup_range(0, 100).count == 0
+
+    def test_bounds_loose_after_forget_tight_after_rebuild(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})
+        index = BlockRangeIndex(table, "a", block_size=50)
+        table.forget(np.arange(0, 25), epoch=1)  # first half of block 0
+        # Loose bounds still make block 0 a candidate for [0, 25).
+        assert 0 in index.candidate_blocks(0, 25).tolist()
+        index.rebuild()
+        assert 0 not in index.candidate_blocks(0, 25).tolist()
+
+    def test_block_size_validated(self, indexed_table):
+        with pytest.raises(ConfigError):
+            BlockRangeIndex(indexed_table, "a", block_size=0)
+
+    def test_block_count(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(250)})
+        index = BlockRangeIndex(table, "a", block_size=100)
+        assert index.block_count == 3
+
+
+class TestObserverSafety:
+    def test_unknown_column_rejected(self, indexed_table):
+        from repro._util.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            SortedIndex(indexed_table, "missing")
+
+    def test_nbytes_positive_when_built(self, indexed_table):
+        for factory in (SortedIndex, HashIndex, BlockRangeIndex):
+            index = factory(indexed_table, "a")
+            assert index.nbytes() > 0
+            indexed_table.remove_observer(index)

@@ -1,0 +1,161 @@
+"""Tests for repro.integrity: foreign keys under amnesia."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError, LifecycleError
+from repro.amnesia import FifoAmnesia, UniformAmnesia
+from repro.integrity import ForeignKey, ReferentialAmnesiaWrapper
+from repro.storage import Table
+
+
+@pytest.fixture
+def parent_child():
+    parent = Table("orders", ["id"])
+    child = Table("items", ["order_id"])
+    parent.insert_batch(0, {"id": np.arange(10)})
+    # Order i has i items (order 0 is unreferenced).
+    refs = np.concatenate([np.full(i, i) for i in range(10)])
+    child.insert_batch(0, {"order_id": refs})
+    return parent, child
+
+
+class TestForeignKey:
+    def test_consistent_when_fresh(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        assert fk.violations().size == 0
+        fk.check()
+
+    def test_detects_dangling_children(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        parent.forget(np.array([5]), epoch=1)  # order 5 had 5 items
+        assert fk.violations().size == 5
+        with pytest.raises(LifecycleError):
+            fk.check()
+
+    def test_forgetting_both_sides_is_consistent(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        parent.forget(np.array([5]), epoch=1)
+        child.forget(fk.violations(), epoch=1)
+        fk.check()
+
+    def test_referenced_parent_positions(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        referenced = fk.referenced_parent_positions()
+        # Order 0 has no items, so 9 of 10 parents are referenced.
+        assert sorted(referenced.tolist()) == list(range(1, 10))
+
+    def test_children_of(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        children = fk.children_of(np.array([3]))
+        assert children.size == 3
+        assert (child.values("order_id")[children] == 3).all()
+
+    def test_self_reference_rejected(self, parent_child):
+        parent, _ = parent_child
+        with pytest.raises(ConfigError):
+            ForeignKey(parent, "id", parent, "id")
+
+    def test_column_validated(self, parent_child):
+        parent, child = parent_child
+        from repro._util.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            ForeignKey(child, "nope", parent, "id")
+
+
+class TestRestrictMode:
+    def test_referenced_parents_never_forgotten(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(
+            UniformAmnesia(), fk, mode="restrict"
+        )
+        victims = policy.select_victims(parent, 1, 1, rng)
+        # Only order 0 is unreferenced, so it is the only legal victim.
+        assert victims.tolist() == [0]
+        fk.check()
+
+    def test_restrict_cannot_overdraw(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(
+            UniformAmnesia(), fk, mode="restrict"
+        )
+        from repro._util.errors import InsufficientVictimsError
+
+        with pytest.raises(InsufficientVictimsError):
+            policy.select_victims(parent, 5, 1, rng)
+
+    def test_restrict_relaxes_as_children_forgotten(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        child.forget(fk.children_of(np.array([7])), epoch=1)
+        policy = ReferentialAmnesiaWrapper(
+            FifoAmnesia(), fk, mode="restrict"
+        )
+        victims = policy.select_victims(parent, 2, 1, rng)
+        assert sorted(victims.tolist()) == [0, 7]
+
+
+class TestCascadeMode:
+    def test_children_forgotten_with_parent(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(
+            FifoAmnesia(), fk, mode="cascade"
+        )
+        victims = policy.select_victims(parent, 4, 1, rng)  # orders 0..3
+        parent.forget(victims, epoch=1)
+        fk.check()
+        # Items of orders 1..3: 1 + 2 + 3 = 6 cascaded.
+        assert policy.cascaded_children == 6
+        assert child.forgotten_count == 6
+
+    def test_cascade_keeps_fk_consistent_over_run(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(
+            UniformAmnesia(), fk, mode="cascade"
+        )
+        for epoch in range(1, 4):
+            victims = policy.select_victims(parent, 2, epoch, rng)
+            parent.forget(victims, epoch)
+            fk.check()
+
+    def test_reset(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(FifoAmnesia(), fk, mode="cascade")
+        victims = policy.select_victims(parent, 4, 1, rng)
+        parent.forget(victims, epoch=1)
+        policy.reset()
+        assert policy.cascaded_children == 0
+
+
+class TestWrapperConfig:
+    def test_mode_validated(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        with pytest.raises(ConfigError):
+            ReferentialAmnesiaWrapper(FifoAmnesia(), fk, mode="ignore")
+
+    def test_wrong_table_rejected(self, parent_child, rng):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(FifoAmnesia(), fk)
+        with pytest.raises(ConfigError):
+            policy.select_victims(child, 1, 1, rng)
+
+    def test_name(self, parent_child):
+        parent, child = parent_child
+        fk = ForeignKey(child, "order_id", parent, "id")
+        policy = ReferentialAmnesiaWrapper(FifoAmnesia(), fk, mode="cascade")
+        assert policy.name == "referential[cascade](fifo)"

@@ -1,0 +1,153 @@
+"""Tests for repro.partitioning: adaptive per-range amnesia."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError, QueryError
+from repro.amnesia import FifoAmnesia, UniformAmnesia
+from repro.partitioning import PartitionedAmnesiaDatabase
+
+
+def make_store(total_budget=100, boundaries=(0, 500, 1000)):
+    return PartitionedAmnesiaDatabase(
+        "a", boundaries, total_budget, policy_factory=FifoAmnesia, seed=7
+    )
+
+
+class TestTopology:
+    def test_even_budget_split(self):
+        store = make_store(total_budget=101, boundaries=(0, 100, 200, 300))
+        assert [p.budget for p in store.partitions] == [34, 34, 33]
+        assert sum(p.budget for p in store.partitions) == 101
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_store(boundaries=(0,))
+        with pytest.raises(ConfigError):
+            make_store(boundaries=(0, 100, 100))
+        with pytest.raises(ConfigError):
+            make_store(total_budget=1, boundaries=(0, 10, 20))
+
+
+class TestRouting:
+    def test_values_land_in_their_partition(self):
+        store = make_store()
+        store.insert({"a": np.array([10, 600, 499, 500])})
+        low_part, high_part = store.partitions
+        assert low_part.db.total_rows == 2   # 10, 499
+        assert high_part.db.total_rows == 2  # 600, 500
+
+    def test_out_of_domain_values_clamped(self):
+        store = make_store()
+        store.insert({"a": np.array([-50, 5000])})
+        assert store.partitions[0].db.total_rows == 1
+        assert store.partitions[1].db.total_rows == 1
+
+    def test_rejects_unknown_column(self):
+        store = make_store()
+        with pytest.raises(QueryError):
+            store.insert({"b": np.array([1])})
+
+
+class TestQueries:
+    def test_range_query_merges_exactly(self, rng):
+        store = make_store(total_budget=2000)
+        values = rng.integers(0, 1000, 1000)
+        store.insert({"a": values})
+        result = store.range_query(400, 600)
+        expected = int(((values >= 400) & (values < 600)).sum())
+        assert result.rf == expected
+        assert result.mf == 0
+        assert result.precision == 1.0
+
+    def test_range_query_counts_forgotten(self):
+        store = make_store(total_budget=10)  # 5 per partition
+        store.insert({"a": np.concatenate([np.arange(100), np.arange(500, 600)])})
+        result = store.range_query(0, 1000)
+        assert result.rf == 10
+        assert result.mf == 190
+        assert result.precision == pytest.approx(0.05)
+
+    def test_query_hits_tracked_per_partition(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        store.range_query(0, 100)     # only partition 0
+        store.range_query(0, 1000)    # both
+        assert store.partitions[0].query_hits == 2
+        assert store.partitions[1].query_hits == 1
+
+    def test_aggregate_merge_matches_global(self, rng):
+        store = make_store(total_budget=5000)
+        values = rng.integers(0, 1000, 2000)
+        store.insert({"a": values})
+        for fn, expected in (
+            ("avg", values.mean()),
+            ("sum", values.sum()),
+            ("count", values.size),
+            ("min", values.min()),
+            ("max", values.max()),
+        ):
+            amnesiac, oracle = store.aggregate(fn)
+            assert oracle == pytest.approx(expected), fn
+            assert amnesiac == pytest.approx(expected), fn
+
+    def test_var_not_supported(self):
+        store = make_store()
+        store.insert({"a": np.array([1])})
+        with pytest.raises(QueryError):
+            store.aggregate("var")
+
+
+class TestRebalance:
+    def test_budget_follows_traffic(self):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 500, 1000), 100, policy_factory=UniformAmnesia, seed=3
+        )
+        store.insert({"a": np.arange(0, 1000)})
+        # Hammer the low partition only.
+        for _ in range(50):
+            store.range_query(0, 400)
+        budgets = store.rebalance(floor=10)
+        assert budgets[0] > budgets[1]
+        assert sum(budgets.values()) == 100
+        # Shrunken partition forgot down immediately.
+        assert store.partitions[1].db.active_count <= budgets[1]
+        # Hit counters reset for the next adaptation window.
+        assert all(p.query_hits == 0 for p in store.partitions)
+
+    def test_precision_improves_for_hot_region(self):
+        """The §4.4 payoff: the hot range keeps more of its history."""
+
+        def run(adaptive: bool) -> float:
+            store = PartitionedAmnesiaDatabase(
+                "a", (0, 500, 1000), 200,
+                policy_factory=UniformAmnesia, seed=5,
+            )
+            rng = np.random.default_rng(8)
+            last = None
+            for _ in range(8):
+                store.insert({"a": rng.integers(0, 1000, 200)})
+                for _ in range(20):
+                    last = store.range_query(0, 300)
+                if adaptive:
+                    store.rebalance(floor=20)
+            return last.precision
+
+        assert run(adaptive=True) > run(adaptive=False) + 0.05
+
+    def test_rebalance_validation(self):
+        store = make_store(total_budget=10)
+        with pytest.raises(ConfigError):
+            store.rebalance(floor=0)
+        with pytest.raises(ConfigError):
+            store.rebalance(floor=6)  # 2 partitions * 6 > 10
+
+    def test_stats(self):
+        store = make_store()
+        store.insert({"a": np.array([1, 600])})
+        stats = store.stats()
+        assert stats["partitions"] == 2
+        assert stats["active_rows"] == 2
+        assert len(stats["budgets"]) == 2

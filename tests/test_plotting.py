@@ -1,0 +1,122 @@
+"""Tests for repro.plotting: heat maps, line charts, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.plotting import (
+    render_heatmap,
+    render_linechart,
+    render_table,
+    shade,
+)
+
+
+class TestShade:
+    def test_extremes(self):
+        assert shade(0.0) == " "
+        assert shade(1.0) == "█"
+
+    def test_monotone_ramp(self):
+        ramp = " ░▒▓█"
+        levels = [shade(f) for f in (0.0, 0.25, 0.45, 0.7, 1.0)]
+        assert levels == list(ramp)
+
+    def test_width(self):
+        assert shade(1.0, width=3) == "███"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            shade(1.5)
+        with pytest.raises(ConfigError):
+            shade(-0.1)
+
+
+class TestHeatmap:
+    def test_renders_rows_and_axis(self):
+        art = render_heatmap(
+            {"fifo": np.array([0.0, 1.0]), "ante": np.array([1.0, 0.0])},
+            title="demo",
+        )
+        assert "demo" in art
+        assert "fifo" in art and "ante" in art
+        assert "█" in art and "Timeline" in art
+        assert " 0 " in art and " 1 " in art
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            render_heatmap({})
+        with pytest.raises(ConfigError):
+            render_heatmap({"a": np.array([0.5]), "b": np.array([0.5, 0.5])})
+        with pytest.raises(ConfigError):
+            render_heatmap({"a": np.empty(0)})
+
+
+class TestLinechart:
+    def test_renders_series_and_legend(self):
+        chart = render_linechart(
+            {"fifo": np.array([1.0, 0.5, 0.1]),
+             "rot": np.array([1.0, 0.8, 0.6])},
+            title="precision",
+        )
+        assert "precision" in chart
+        assert "* fifo" in chart and "+ rot" in chart
+        assert "1.00" in chart and "0.00" in chart
+
+    def test_clipping(self):
+        chart = render_linechart({"x": np.array([2.0, -1.0])})
+        assert "x" in chart  # no crash; values clamped
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            render_linechart({})
+        with pytest.raises(ConfigError):
+            render_linechart({"a": np.array([1.0])}, height=2)
+        with pytest.raises(ConfigError):
+            render_linechart({"a": np.array([1.0])}, y_min=1.0, y_max=0.0)
+        with pytest.raises(ConfigError):
+            render_linechart(
+                {"a": np.array([1.0]), "b": np.array([1.0, 2.0])}
+            )
+        with pytest.raises(ConfigError):
+            render_linechart({"a": np.empty(0)})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": np.array([0.5]) for i in range(9)}
+        with pytest.raises(ConfigError):
+            render_linechart(series)
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        text = render_table(["policy", "E"], [["fifo", 0.25], ["rot", 0.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("policy")
+        assert set(lines[1]) <= {"-", " "}
+        assert "fifo" in lines[2]
+
+    def test_cell_formats(self):
+        text = render_table(
+            ["v"],
+            [[None], [True], [0.123456], [1e-9], [float("nan")], [12345.0]],
+        )
+        assert "-" in text
+        assert "yes" in text
+        assert "0.1235" in text
+        assert "1.000e-09" in text
+        assert "1.234e+04" in text or "12345" in text
+
+    def test_title(self):
+        assert render_table(["a"], [[1]], title="T").startswith("T")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            render_table([], [])
+        with pytest.raises(ConfigError):
+            render_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,110 @@
+"""Property-based tests: codecs, sampling, summaries, divergences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.amnesia import weighted_sample_without_replacement
+from repro.compression import CODEC_NAMES, make_codec
+from repro.query import AggregateFunction
+from repro.stats import js_divergence, kl_divergence, total_variation
+from repro.summaries import ColumnSummary
+from repro.storage import Bitmap
+
+int_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 300),
+    elements=st.integers(-(2**40), 2**40),
+)
+
+
+@pytest.mark.parametrize("codec_name", CODEC_NAMES)
+@given(values=int_arrays)
+@settings(max_examples=30, deadline=None)
+def test_codec_roundtrip_property(codec_name, values):
+    """decode(encode(x)) == x for arbitrary int64 arrays."""
+    codec = make_codec(codec_name)
+    block = codec.encode(values)
+    assert np.array_equal(codec.decode(block), values)
+    assert block.nbytes >= 0
+    assert block.n_values == values.size
+
+
+@given(
+    n_candidates=st.integers(1, 100),
+    quota_frac=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_weighted_sampling_contract(n_candidates, quota_frac, seed):
+    rng = np.random.default_rng(seed)
+    candidates = rng.choice(10_000, n_candidates, replace=False)
+    weights = rng.random(n_candidates) * (rng.random(n_candidates) > 0.3)
+    n = int(quota_frac * n_candidates)
+    out = weighted_sample_without_replacement(candidates, weights, n, rng)
+    assert out.size == n
+    assert np.unique(out).size == n
+    assert np.isin(out, candidates).all()
+
+
+@given(
+    x=arrays(np.int64, st.integers(1, 200), elements=st.integers(0, 10_000)),
+    y=arrays(np.int64, st.integers(1, 200), elements=st.integers(0, 10_000)),
+)
+@settings(max_examples=40, deadline=None)
+def test_summary_merge_is_concat(x, y):
+    merged = ColumnSummary.from_values(x).merge(ColumnSummary.from_values(y))
+    union = np.concatenate([x, y])
+    assert merged.count == union.size
+    assert merged.mean == pytest.approx(union.mean(), rel=1e-9, abs=1e-9)
+    assert merged.variance == pytest.approx(union.var(), rel=1e-6, abs=1e-6)
+    assert merged.min == union.min() and merged.max == union.max()
+
+
+@given(
+    values=arrays(np.int64, st.integers(1, 100), elements=st.integers(0, 1000))
+)
+@settings(max_examples=30, deadline=None)
+def test_aggregates_match_numpy(values):
+    assert AggregateFunction.AVG.compute(values) == pytest.approx(values.mean())
+    assert AggregateFunction.SUM.compute(values) == pytest.approx(values.sum())
+    assert AggregateFunction.VAR.compute(values) == pytest.approx(
+        values.var(), abs=1e-6
+    )
+
+
+counts = arrays(np.int64, 16, elements=st.integers(0, 1000))
+
+
+@given(p=counts, q=counts)
+@settings(max_examples=50, deadline=None)
+def test_divergence_properties(p, q):
+    """Non-negativity, identity of indiscernibles (weak), symmetry."""
+    assert kl_divergence(p, q) >= -1e-12
+    js = js_divergence(p, q)
+    assert -1e-12 <= js <= np.log(2) + 1e-9
+    assert js == pytest.approx(js_divergence(q, p), abs=1e-9)
+    tv = total_variation(p, q)
+    assert -1e-12 <= tv <= 1.0 + 1e-12
+    assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 99)), max_size=200))
+@settings(max_examples=40)
+def test_bitmap_random_walk(ops):
+    """Single-bit random walk keeps popcount exact."""
+    bm = Bitmap()
+    bm.extend(100, value=False)
+    reference = np.zeros(100, dtype=bool)
+    for set_it, pos in ops:
+        if set_it:
+            bm.set(pos)
+            reference[pos] = True
+        else:
+            bm.clear(pos)
+            reference[pos] = False
+    assert bm.count_set() == int(reference.sum())

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the storage substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Bitmap, IntColumn, Table
+
+positions_lists = st.lists(st.integers(0, 199), min_size=0, max_size=120)
+
+
+class TestBitmapProperties:
+    @given(clear=positions_lists, reset=positions_lists)
+    @settings(max_examples=60)
+    def test_popcount_matches_ground_truth(self, clear, reset):
+        """Incremental popcount == brute-force count after any op mix."""
+        bm = Bitmap()
+        bm.extend(200, value=True)
+        reference = np.ones(200, dtype=bool)
+        if clear:
+            bm.clear_many(np.array(clear))
+            reference[np.array(clear)] = False
+        if reset:
+            bm.set_many(np.array(reset))
+            reference[np.array(reset)] = True
+        assert bm.count_set() == int(reference.sum())
+        assert np.array_equal(bm.to_array(), reference)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_extend_patterns(self, pattern):
+        bm = Bitmap()
+        for bit in pattern:
+            bm.extend(1, value=bit)
+        assert len(bm) == len(pattern)
+        assert bm.count_set() == sum(pattern)
+        assert list(bm) == pattern
+
+    @given(clear=positions_lists)
+    @settings(max_examples=40)
+    def test_set_clear_partition(self, clear):
+        """set_positions and clear_positions always partition [0, n)."""
+        bm = Bitmap()
+        bm.extend(200, value=True)
+        if clear:
+            bm.clear_many(np.array(clear))
+        set_pos = set(bm.set_positions().tolist())
+        clear_pos = set(bm.clear_positions().tolist())
+        assert set_pos | clear_pos == set(range(200))
+        assert not (set_pos & clear_pos)
+
+
+class TestColumnProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(-(2**62), 2**62), min_size=0, max_size=40),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40)
+    def test_append_many_concatenates(self, chunks):
+        col = IntColumn("a", initial_capacity=1)
+        expected: list[int] = []
+        for chunk in chunks:
+            col.append_many(chunk)
+            expected.extend(chunk)
+        assert col.values().tolist() == expected
+
+
+class TestTableProperties:
+    @given(
+        batches=st.lists(
+            st.integers(1, 30), min_size=1, max_size=8
+        ),
+        forget_seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40)
+    def test_counts_always_consistent(self, batches, forget_seed):
+        """active + forgotten == total after any insert/forget mix."""
+        rng = np.random.default_rng(forget_seed)
+        table = Table("t", ["a"])
+        for epoch, n in enumerate(batches):
+            table.insert_batch(epoch, {"a": rng.integers(0, 100, n)})
+            active = table.active_positions()
+            if active.size:
+                k = int(rng.integers(0, active.size + 1))
+                if k:
+                    table.forget(rng.choice(active, k, replace=False), epoch)
+            assert table.active_count + table.forgotten_count == table.total_rows
+            assert table.active_positions().size == table.active_count
+            # Cohort activity re-aggregates to the active count.
+            sizes = {c.epoch: c.size for c in table.cohorts}
+            weighted = sum(
+                frac * sizes[e] for e, frac in table.cohort_activity().items()
+            )
+            assert round(weighted) == table.active_count
+
+    @given(forget_seed=st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_oracle_values_never_change(self, forget_seed):
+        """Forgetting never mutates the value history."""
+        rng = np.random.default_rng(forget_seed)
+        table = Table("t", ["a"])
+        values = rng.integers(0, 1000, 100)
+        table.insert_batch(0, {"a": values})
+        before = table.values("a").copy()
+        victims = rng.choice(100, int(rng.integers(1, 100)), replace=False)
+        table.forget(victims, epoch=1)
+        assert np.array_equal(table.values("a"), before)
+
+
+class TestCheckpointProperties:
+    @given(
+        batch_sizes=st.lists(st.integers(1, 25), min_size=1, max_size=5),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_save_load_roundtrip(self, batch_sizes, seed, tmp_path_factory):
+        """Any reachable table state round-trips through a checkpoint."""
+        from repro.storage import load_table, save_table
+
+        rng = np.random.default_rng(seed)
+        table = Table("t", ["a", "b"])
+        for epoch, n in enumerate(batch_sizes):
+            table.insert_batch(
+                epoch,
+                {"a": rng.integers(0, 50, n), "b": rng.integers(0, 9, n)},
+            )
+            active = table.active_positions()
+            k = int(rng.integers(0, active.size + 1))
+            if k:
+                table.forget(rng.choice(active, k, replace=False), epoch)
+            touched = table.active_positions()
+            if touched.size:
+                table.record_access(
+                    rng.choice(touched, min(5, touched.size)), epoch
+                )
+
+        path = tmp_path_factory.mktemp("ckpt") / "t.npz"
+        restored = load_table(save_table(table, path))
+        assert np.array_equal(restored.active_mask(), table.active_mask())
+        assert np.array_equal(restored.values("a"), table.values("a"))
+        assert np.array_equal(restored.values("b"), table.values("b"))
+        assert np.array_equal(
+            restored.forgotten_epochs(), table.forgotten_epochs()
+        )
+        assert np.array_equal(
+            restored.access_counts(), table.access_counts()
+        )
+        assert restored.cohorts.epochs() == table.cohorts.epochs()

@@ -1,0 +1,140 @@
+"""Tests for repro.query.generators: the paper's workload templates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.query import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateQueryGenerator,
+    MixedWorkload,
+    RangeQuery,
+    RangeQueryGenerator,
+)
+from repro.storage import Table
+
+
+class TestRangeQueryGenerator:
+    def test_window_shape(self, small_table):
+        gen = RangeQueryGenerator("a", selectivity=0.05, rng=7)
+        query = gen.generate(small_table)
+        # RANGE = max seen = 99, half width = round(0.05*99) ≈ 5.
+        assert query.predicate.width == 10
+
+    def test_minimum_half_width_is_one(self, small_table):
+        gen = RangeQueryGenerator("a", selectivity=0.001, rng=7)
+        assert gen.generate(small_table).predicate.width == 2
+
+    def test_anchor_active_avoids_pure_forgotten(self, small_table):
+        """Anchors come from surviving tuples."""
+        small_table.forget(np.arange(0, 90), epoch=1)  # keep values 90..99
+        gen = RangeQueryGenerator("a", selectivity=0.01, anchor="active", rng=3)
+        for _ in range(50):
+            query = gen.generate(small_table)
+            centre = (query.predicate.low + query.predicate.high) // 2
+            assert 89 <= centre <= 100
+
+    def test_anchor_active_falls_back_when_all_forgotten(self, small_table):
+        small_table.forget(np.arange(100), epoch=1)
+        gen = RangeQueryGenerator("a", anchor="active", rng=3)
+        assert isinstance(gen.generate(small_table), RangeQuery)
+
+    def test_anchor_oracle_reaches_forgotten_values(self, small_table):
+        small_table.forget(np.arange(90, 100), epoch=1)
+        gen = RangeQueryGenerator("a", selectivity=0.01, anchor="oracle", rng=5)
+        centres = {
+            (q.predicate.low + q.predicate.high) // 2
+            for q in gen.batch(small_table, 200)
+        }
+        assert any(c >= 90 for c in centres)
+
+    def test_anchor_recent_uses_newest_cohort(self, epoch_table):
+        gen = RangeQueryGenerator("a", selectivity=0.001, anchor="recent", rng=5)
+        for query in gen.batch(epoch_table, 20):
+            centre = (query.predicate.low + query.predicate.high) // 2
+            assert 199 <= centre <= 220  # epoch-2 values are 200..219
+
+    def test_anchor_domain_bounds(self, small_table):
+        gen = RangeQueryGenerator("a", anchor="domain", rng=5)
+        for query in gen.batch(small_table, 50):
+            centre = (query.predicate.low + query.predicate.high) // 2
+            assert -1 <= centre <= 100
+
+    def test_invalid_anchor(self):
+        with pytest.raises(ConfigError):
+            RangeQueryGenerator("a", anchor="nowhere")
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ConfigError):
+            RangeQueryGenerator("a", selectivity=0.0)
+        with pytest.raises(ConfigError):
+            RangeQueryGenerator("a", selectivity=1.5)
+
+    def test_batch_size_validated(self, small_table):
+        gen = RangeQueryGenerator("a", rng=1)
+        with pytest.raises(ConfigError):
+            gen.batch(small_table, 0)
+
+    def test_deterministic_with_seed(self, small_table):
+        a = RangeQueryGenerator("a", rng=9).batch(small_table, 5)
+        b = RangeQueryGenerator("a", rng=9).batch(small_table, 5)
+        assert [(q.predicate.low, q.predicate.high) for q in a] == [
+            (q.predicate.low, q.predicate.high) for q in b
+        ]
+
+
+class TestAggregateQueryGenerator:
+    def test_whole_table_query(self, small_table):
+        gen = AggregateQueryGenerator("a", rng=1)
+        query = gen.generate(small_table)
+        assert isinstance(query, AggregateQuery)
+        assert query.predicate is None
+        assert query.function is AggregateFunction.AVG
+
+    def test_windowed_query(self, small_table):
+        gen = AggregateQueryGenerator(
+            "a", function="sum", predicate_selectivity=0.05, rng=1
+        )
+        query = gen.generate(small_table)
+        assert query.function is AggregateFunction.SUM
+        assert query.predicate is not None
+        assert query.predicate.width == 10
+
+    def test_batch(self, small_table):
+        gen = AggregateQueryGenerator("a", rng=2)
+        assert len(gen.batch(small_table, 7)) == 7
+
+
+class TestMixedWorkload:
+    def test_mixes_both_kinds(self, small_table):
+        mix = MixedWorkload(
+            [
+                (1.0, RangeQueryGenerator("a", rng=1)),
+                (1.0, AggregateQueryGenerator("a", rng=2)),
+            ],
+            rng=3,
+        )
+        batch = mix.batch(small_table, 100)
+        kinds = {type(q).__name__ for q in batch}
+        assert kinds == {"RangeQuery", "AggregateQuery"}
+
+    def test_weights_respected(self, small_table):
+        mix = MixedWorkload(
+            [
+                (9.0, RangeQueryGenerator("a", rng=1)),
+                (1.0, AggregateQueryGenerator("a", rng=2)),
+            ],
+            rng=3,
+        )
+        batch = mix.batch(small_table, 500)
+        n_range = sum(isinstance(q, RangeQuery) for q in batch)
+        assert n_range > 400
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MixedWorkload([])
+        with pytest.raises(ConfigError):
+            MixedWorkload([(0.0, RangeQueryGenerator("a"))])

@@ -1,0 +1,106 @@
+"""Tests for repro.query.predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import QueryError
+from repro.query import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    PointPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+
+class TestRangePredicate:
+    def test_half_open_semantics(self):
+        p = RangePredicate("a", 2, 5)
+        mask = p.mask({"a": np.array([1, 2, 4, 5, 6])})
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_width(self):
+        assert RangePredicate("a", 2, 5).width == 3
+        assert RangePredicate("a", 2, 2).width == 0
+
+    def test_empty_range_matches_nothing(self):
+        p = RangePredicate("a", 3, 3)
+        assert not p.mask({"a": np.array([2, 3, 4])}).any()
+
+    def test_reversed_raises(self):
+        with pytest.raises(QueryError):
+            RangePredicate("a", 5, 2)
+
+    def test_columns(self):
+        assert RangePredicate("a", 0, 1).columns == ("a",)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(QueryError):
+            RangePredicate("a", 0, 1).mask({"b": np.array([1])})
+
+
+class TestPointPredicate:
+    def test_equality(self):
+        mask = PointPredicate("a", 3).mask({"a": np.array([3, 4, 3])})
+        assert mask.tolist() == [True, False, True]
+
+
+class TestTruePredicate:
+    def test_matches_all(self):
+        mask = TruePredicate().mask({"a": np.arange(4)})
+        assert mask.all() and mask.size == 4
+
+    def test_needs_a_column_for_sizing(self):
+        with pytest.raises(QueryError):
+            TruePredicate().mask({})
+
+    def test_no_columns(self):
+        assert TruePredicate().columns == ()
+
+
+class TestComposition:
+    def test_and(self):
+        p = RangePredicate("a", 0, 5) & RangePredicate("a", 3, 10)
+        mask = p.mask({"a": np.array([1, 3, 4, 7])})
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_or(self):
+        p = RangePredicate("a", 0, 2) | RangePredicate("a", 8, 10)
+        mask = p.mask({"a": np.array([1, 5, 9])})
+        assert mask.tolist() == [True, False, True]
+
+    def test_not(self):
+        p = ~RangePredicate("a", 0, 5)
+        mask = p.mask({"a": np.array([1, 7])})
+        assert mask.tolist() == [False, True]
+
+    def test_multi_column(self):
+        p = RangePredicate("a", 0, 5) & RangePredicate("b", 10, 20)
+        mask = p.mask({"a": np.array([1, 1]), "b": np.array([15, 25])})
+        assert mask.tolist() == [True, False]
+        assert p.columns == ("a", "b")
+
+    def test_columns_deduplicated(self):
+        p = AndPredicate(RangePredicate("a", 0, 1), PointPredicate("a", 3))
+        assert p.columns == ("a",)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(QueryError):
+            AndPredicate()
+        with pytest.raises(QueryError):
+            OrPredicate()
+
+    def test_demorgan(self, rng):
+        values = {"a": rng.integers(0, 20, 100)}
+        p = RangePredicate("a", 3, 9)
+        q = RangePredicate("a", 6, 15)
+        lhs = NotPredicate(AndPredicate(p, q)).mask(values)
+        rhs = OrPredicate(NotPredicate(p), NotPredicate(q)).mask(values)
+        assert (lhs == rhs).all()
+
+    def test_reprs(self):
+        text = repr(RangePredicate("a", 0, 1) & ~PointPredicate("b", 2))
+        assert "RangePredicate" in text and "NotPredicate" in text

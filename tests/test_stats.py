@@ -1,0 +1,231 @@
+"""Tests for repro.stats: histograms, moments, divergences, zipf."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError
+from repro.stats import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    StreamingMoments,
+    earth_movers_distance,
+    fit_zipf_exponent,
+    gini_coefficient,
+    js_divergence,
+    kl_divergence,
+    normalize,
+    top_share,
+    total_variation,
+)
+
+
+class TestEquiWidthHistogram:
+    def test_add_and_counts(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        hist.add(np.array([0, 4, 5, 9]))
+        assert hist.counts.tolist() == [2, 2]
+        assert hist.total == 4
+
+    def test_clamps_out_of_range(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        hist.add(np.array([-5, 100]))
+        assert hist.counts.tolist() == [1, 1]
+
+    def test_remove(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        hist.add(np.array([1, 8]))
+        hist.remove(np.array([1]))
+        assert hist.counts.tolist() == [0, 1]
+
+    def test_remove_underflow_raises(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        hist.add(np.array([1]))
+        with pytest.raises(ConfigError):
+            hist.remove(np.array([1, 1]))
+
+    def test_pmf_empty_is_uniform(self):
+        hist = EquiWidthHistogram(0, 9, bins=4)
+        assert hist.pmf().tolist() == [0.25] * 4
+
+    def test_pmf_normalised(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        hist.add(np.array([0, 1, 9]))
+        pmf = hist.pmf()
+        assert abs(pmf.sum() - 1.0) < 1e-12
+        assert pmf[0] == pytest.approx(2 / 3)
+
+    def test_bin_edges(self):
+        edges = EquiWidthHistogram(0, 9, bins=2).bin_edges()
+        assert edges.tolist() == [0.0, 5.0, 10.0]
+
+    def test_from_values_and_copy(self):
+        hist = EquiWidthHistogram.from_values(np.arange(10), 0, 9, bins=5)
+        clone = hist.copy()
+        clone.add(np.array([0]))
+        assert hist.total == 10 and clone.total == 11
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ConfigError):
+            EquiWidthHistogram(5, 4)
+
+    def test_counts_view_readonly(self):
+        hist = EquiWidthHistogram(0, 9, bins=2)
+        with pytest.raises(ValueError):
+            hist.counts[0] = 5
+
+    def test_degenerate_single_value_range(self):
+        hist = EquiWidthHistogram(5, 5, bins=3)
+        hist.add(np.array([5, 5]))
+        assert hist.total == 2
+
+
+class TestEquiDepthHistogram:
+    def test_quartiles(self):
+        hist = EquiDepthHistogram.from_values(np.arange(101), bins=4)
+        assert hist.boundaries.tolist() == [0, 25, 50, 75, 100]
+
+    def test_bin_of_clamps(self):
+        hist = EquiDepthHistogram.from_values(np.arange(101), bins=4)
+        assert hist.bin_of(np.array([-5, 30, 500])).tolist() == [0, 1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EquiDepthHistogram(np.array([1.0]))
+        with pytest.raises(ConfigError):
+            EquiDepthHistogram(np.array([2.0, 1.0]))
+        with pytest.raises(ConfigError):
+            EquiDepthHistogram.from_values(np.empty(0))
+
+
+class TestStreamingMoments:
+    def test_push_matches_numpy(self):
+        values = np.array([1.5, -2.0, 7.0, 3.0])
+        m = StreamingMoments()
+        for v in values:
+            m.push(float(v))
+        assert m.count == 4
+        assert m.mean == pytest.approx(values.mean())
+        assert m.variance == pytest.approx(values.var())
+        assert m.min == values.min() and m.max == values.max()
+        assert m.total == pytest.approx(values.sum())
+
+    def test_update_batch_matches_push(self, rng):
+        values = rng.normal(size=1000)
+        a, b = StreamingMoments(), StreamingMoments()
+        a.update(values)
+        for v in values:
+            b.push(float(v))
+        assert a.mean == pytest.approx(b.mean)
+        assert a.variance == pytest.approx(b.variance)
+
+    def test_merge_equals_concatenation(self, rng):
+        x, y = rng.normal(size=500), rng.normal(size=300) + 5
+        a = StreamingMoments()
+        a.update(x)
+        b = StreamingMoments()
+        b.update(y)
+        a.merge(b)
+        combined = np.concatenate([x, y])
+        assert a.count == 800
+        assert a.mean == pytest.approx(combined.mean())
+        assert a.variance == pytest.approx(combined.var())
+
+    def test_merge_empty_sides(self):
+        a = StreamingMoments()
+        b = StreamingMoments()
+        b.update(np.array([1.0, 2.0]))
+        a.merge(b)
+        assert a.count == 2
+        a.merge(StreamingMoments())
+        assert a.count == 2
+
+    def test_sample_variance(self):
+        m = StreamingMoments()
+        m.update(np.array([1.0, 2.0, 3.0]))
+        assert m.sample_variance == pytest.approx(1.0)
+
+    def test_variance_degenerate(self):
+        m = StreamingMoments()
+        assert m.variance == 0.0
+        m.push(5.0)
+        assert m.variance == 0.0
+
+    def test_as_dict_empty_raises(self):
+        with pytest.raises(ConfigError):
+            StreamingMoments().as_dict()
+
+
+class TestDivergences:
+    def test_normalize(self):
+        assert normalize([2, 2]).tolist() == [0.5, 0.5]
+        assert normalize([0, 0]).tolist() == [0.5, 0.5]
+        with pytest.raises(ConfigError):
+            normalize([-1, 1])
+
+    def test_kl_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_positive_and_asymmetric(self):
+        # Binary mirror pairs are symmetric by construction; use three
+        # bins to witness the asymmetry.
+        p, q = np.array([0.8, 0.15, 0.05]), np.array([0.1, 0.2, 0.7])
+        assert kl_divergence(p, q) > 0
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_kl_finite_on_empty_bins(self):
+        assert np.isfinite(kl_divergence([1, 1], [2, 0]))
+
+    def test_js_symmetric_and_bounded(self):
+        p, q = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        js = js_divergence(p, q)
+        assert js == pytest.approx(js_divergence(q, p))
+        assert js == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_total_variation(self):
+        assert total_variation([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert total_variation([1, 1], [1, 1]) == 0.0
+
+    def test_emd_counts_distance(self):
+        # Mass must travel 2 bins vs 1 bin.
+        near = earth_movers_distance([1, 0, 0], [0, 1, 0])
+        far = earth_movers_distance([1, 0, 0], [0, 0, 1])
+        assert far == pytest.approx(2 * near)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            kl_divergence([1, 2], [1, 2, 3])
+
+
+class TestZipfHelpers:
+    def test_fit_recovers_exponent(self, rng):
+        from repro.datagen import ZipfianDistribution
+
+        values = ZipfianDistribution(domain=5000, theta=1.3).sample(200_000, rng)
+        theta = fit_zipf_exponent(values, max_ranks=100)
+        assert 1.0 < theta < 1.6
+
+    def test_fit_needs_two_values(self):
+        with pytest.raises(ConfigError):
+            fit_zipf_exponent(np.array([7, 7, 7]))
+        with pytest.raises(ConfigError):
+            fit_zipf_exponent(np.empty(0, dtype=np.int64))
+
+    def test_top_share_uniform(self):
+        values = np.repeat(np.arange(10), 10)
+        assert top_share(values, 0.2) == pytest.approx(0.2)
+
+    def test_top_share_bounds(self):
+        with pytest.raises(ConfigError):
+            top_share(np.array([1]), 0.0)
+
+    def test_gini_extremes(self):
+        equal = np.repeat(np.arange(10), 5)
+        assert gini_coefficient(equal) == pytest.approx(0.0, abs=1e-9)
+        skewed = np.concatenate([np.zeros(990, dtype=int), np.arange(1, 11)])
+        assert gini_coefficient(skewed) > 0.8
+
+    def test_gini_single_value(self):
+        assert gini_coefficient(np.array([5, 5])) == 0.0

@@ -1,0 +1,151 @@
+"""Tests for repro.storage.bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import StorageError
+from repro.storage import Bitmap
+
+
+class TestGrowth:
+    def test_empty(self):
+        bm = Bitmap()
+        assert len(bm) == 0
+        assert bm.count_set() == 0
+        assert bm.count_clear() == 0
+
+    def test_extend_set(self):
+        bm = Bitmap()
+        bm.extend(10, value=True)
+        assert len(bm) == 10
+        assert bm.count_set() == 10
+
+    def test_extend_clear(self):
+        bm = Bitmap()
+        bm.extend(10, value=False)
+        assert bm.count_set() == 0
+        assert bm.count_clear() == 10
+
+    def test_extend_zero_is_noop(self):
+        bm = Bitmap()
+        bm.extend(0)
+        assert len(bm) == 0
+
+    def test_extend_negative_raises(self):
+        with pytest.raises(StorageError):
+            Bitmap().extend(-1)
+
+    def test_growth_beyond_capacity(self):
+        bm = Bitmap(initial_capacity=2)
+        bm.extend(1000, value=True)
+        assert len(bm) == 1000
+        assert bm.count_set() == 1000
+        assert bm.capacity >= 1000
+
+    def test_bad_capacity(self):
+        with pytest.raises(StorageError):
+            Bitmap(initial_capacity=0)
+
+
+class TestPointOps:
+    def test_getitem(self):
+        bm = Bitmap()
+        bm.extend(3, value=True)
+        bm.clear(1)
+        assert bm[0] is True and bm[1] is False and bm[2] is True
+
+    def test_getitem_out_of_range(self):
+        bm = Bitmap()
+        bm.extend(3)
+        with pytest.raises(IndexError):
+            bm[3]
+        with pytest.raises(IndexError):
+            bm[-1]
+
+    def test_set_clear_idempotent(self):
+        bm = Bitmap()
+        bm.extend(2, value=False)
+        bm.set(0)
+        bm.set(0)
+        assert bm.count_set() == 1
+        bm.clear(0)
+        bm.clear(0)
+        assert bm.count_set() == 0
+
+
+class TestBulkOps:
+    def test_clear_many_counts_flips(self):
+        bm = Bitmap()
+        bm.extend(10, value=True)
+        flipped = bm.clear_many(np.array([1, 3, 3, 5]))
+        # Position 3 flips once; duplicates in one call are harmless.
+        assert flipped == 3
+        assert bm.count_set() == 7
+
+    def test_set_many_counts_flips(self):
+        bm = Bitmap()
+        bm.extend(5, value=False)
+        assert bm.set_many(np.array([0, 1])) == 2
+        assert bm.set_many(np.array([1, 2])) == 1
+
+    def test_bulk_empty_is_noop(self):
+        bm = Bitmap()
+        bm.extend(5)
+        assert bm.clear_many(np.empty(0, dtype=np.int64)) == 0
+
+    def test_bulk_out_of_range(self):
+        bm = Bitmap()
+        bm.extend(5)
+        with pytest.raises(IndexError):
+            bm.clear_many(np.array([5]))
+        with pytest.raises(IndexError):
+            bm.set_many(np.array([-1]))
+
+    def test_test_many(self):
+        bm = Bitmap()
+        bm.extend(4, value=True)
+        bm.clear(2)
+        assert bm.test_many(np.array([0, 2])).tolist() == [True, False]
+
+
+class TestViews:
+    def test_view_is_readonly(self):
+        bm = Bitmap()
+        bm.extend(4)
+        view = bm.view()
+        with pytest.raises(ValueError):
+            view[0] = False
+
+    def test_view_reflects_changes(self):
+        bm = Bitmap()
+        bm.extend(4, value=True)
+        view = bm.view()
+        bm.clear(0)
+        assert view[0] == np.False_
+
+    def test_to_array_is_copy(self):
+        bm = Bitmap()
+        bm.extend(4, value=True)
+        arr = bm.to_array()
+        bm.clear(0)
+        assert arr[0] == np.True_
+
+    def test_positions(self):
+        bm = Bitmap()
+        bm.extend(6, value=True)
+        bm.clear_many(np.array([0, 2, 4]))
+        assert bm.set_positions().tolist() == [1, 3, 5]
+        assert bm.clear_positions().tolist() == [0, 2, 4]
+
+    def test_iter(self):
+        bm = Bitmap()
+        bm.extend(3, value=True)
+        bm.clear(1)
+        assert list(bm) == [True, False, True]
+
+    def test_repr(self):
+        bm = Bitmap()
+        bm.extend(3, value=True)
+        assert "3" in repr(bm)

@@ -1,0 +1,93 @@
+"""Tests for repro.storage.cohorts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import StorageError
+from repro.storage import Cohort, CohortLog
+
+
+class TestCohort:
+    def test_size_and_positions(self):
+        cohort = Cohort(epoch=2, start=10, stop=15)
+        assert cohort.size == 5
+        assert cohort.positions().tolist() == [10, 11, 12, 13, 14]
+
+    def test_contains(self):
+        cohort = Cohort(epoch=0, start=0, stop=3)
+        assert 0 in cohort and 2 in cohort
+        assert 3 not in cohort
+
+
+class TestCohortLog:
+    def test_record_and_lookup(self):
+        log = CohortLog()
+        log.record(0, 0, 100)
+        log.record(1, 100, 120)
+        assert len(log) == 2
+        assert log.total_rows == 120
+        assert log.latest_epoch == 1
+        assert log.by_epoch(1).size == 20
+
+    def test_record_enforces_contiguity(self):
+        log = CohortLog()
+        log.record(0, 0, 10)
+        with pytest.raises(StorageError):
+            log.record(1, 11, 20)
+
+    def test_record_enforces_epoch_order(self):
+        log = CohortLog()
+        log.record(1, 0, 10)
+        with pytest.raises(StorageError):
+            log.record(1, 10, 20)
+        with pytest.raises(StorageError):
+            log.record(0, 10, 20)
+
+    def test_record_rejects_reversed_range(self):
+        with pytest.raises(StorageError):
+            CohortLog().record(0, 0, -1)
+
+    def test_empty_cohort_allowed(self):
+        log = CohortLog()
+        log.record(0, 0, 0)
+        assert log.total_rows == 0
+        assert log[0].size == 0
+
+    def test_epoch_of_vectorised(self):
+        log = CohortLog()
+        log.record(0, 0, 100)
+        log.record(3, 100, 150)
+        log.record(7, 150, 160)
+        out = log.epoch_of(np.array([0, 99, 100, 149, 150, 159]))
+        assert out.tolist() == [0, 0, 3, 3, 7, 7]
+
+    def test_epoch_of_empty(self):
+        log = CohortLog()
+        log.record(0, 0, 5)
+        assert log.epoch_of(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_epoch_of_out_of_range(self):
+        log = CohortLog()
+        log.record(0, 0, 5)
+        with pytest.raises(IndexError):
+            log.epoch_of(np.array([5]))
+
+    def test_by_epoch_missing(self):
+        log = CohortLog()
+        log.record(0, 0, 5)
+        with pytest.raises(KeyError):
+            log.by_epoch(9)
+
+    def test_iteration_and_epochs(self):
+        log = CohortLog()
+        log.record(0, 0, 5)
+        log.record(2, 5, 8)
+        assert [c.epoch for c in log] == [0, 2]
+        assert log.epochs() == [0, 2]
+
+    def test_empty_log_properties(self):
+        log = CohortLog()
+        assert log.total_rows == 0
+        assert log.latest_epoch == -1

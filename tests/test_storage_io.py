@@ -1,0 +1,111 @@
+"""Tests for table checkpointing (repro.storage.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import StorageError
+from repro.storage import Table, load_table, save_table
+
+
+@pytest.fixture
+def rich_table(rng):
+    """A table with several cohorts, forgets and access counts."""
+    table = Table("events", ["k", "v"])
+    for epoch in range(4):
+        table.insert_batch(
+            epoch,
+            {
+                "k": rng.integers(0, 100, 50),
+                "v": rng.integers(0, 10_000, 50),
+            },
+        )
+        active = table.active_positions()
+        victims = rng.choice(active, 10, replace=False)
+        table.forget(victims, epoch=epoch)
+        table.record_access(rng.choice(table.active_positions(), 20), epoch)
+    return table
+
+
+class TestRoundTrip:
+    def test_everything_survives(self, rich_table, tmp_path):
+        path = save_table(rich_table, tmp_path / "t.npz")
+        restored = load_table(path)
+
+        assert restored.name == rich_table.name
+        assert restored.column_names == rich_table.column_names
+        assert restored.total_rows == rich_table.total_rows
+        assert restored.active_count == rich_table.active_count
+        for name in rich_table.column_names:
+            assert np.array_equal(restored.values(name), rich_table.values(name))
+        assert np.array_equal(restored.active_mask(), rich_table.active_mask())
+        assert np.array_equal(
+            restored.insert_epochs(), rich_table.insert_epochs()
+        )
+        assert np.array_equal(
+            restored.forgotten_epochs(), rich_table.forgotten_epochs()
+        )
+        assert np.array_equal(
+            restored.access_counts(), rich_table.access_counts()
+        )
+        assert np.array_equal(
+            restored.last_access_epochs(), rich_table.last_access_epochs()
+        )
+
+    def test_cohorts_survive(self, rich_table, tmp_path):
+        restored = load_table(save_table(rich_table, tmp_path / "t.npz"))
+        assert restored.cohorts.epochs() == rich_table.cohorts.epochs()
+        assert restored.cohort_activity() == rich_table.cohort_activity()
+
+    def test_restored_table_is_usable(self, rich_table, tmp_path):
+        """A restored table keeps simulating seamlessly."""
+        restored = load_table(save_table(rich_table, tmp_path / "t.npz"))
+        positions = restored.insert_batch(
+            99, {"k": [1, 2], "v": [3, 4]}
+        )
+        assert positions.size == 2
+        restored.forget(positions[:1], epoch=99)
+        assert restored.forgotten_epochs()[positions[0]] == 99
+
+    def test_fresh_table_roundtrip(self, tmp_path):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": [1]})
+        restored = load_table(save_table(table, tmp_path / "f.npz"))
+        assert restored.total_rows == 1
+        assert restored.active_count == 1
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_table(tmp_path / "nope.npz")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(StorageError):
+            load_table(path)
+
+
+class TestSimulatorCheckpoint:
+    def test_checkpointed_simulation_state(self, tmp_path):
+        """Save mid-run, restore, and verify the amnesia state is intact."""
+        from repro import AmnesiaSimulator, SimulationConfig
+        from repro.amnesia import RotAmnesia
+        from repro.datagen import UniformDistribution
+
+        simulator = AmnesiaSimulator(
+            SimulationConfig(dbsize=100, epochs=4, queries_per_epoch=20),
+            UniformDistribution(1000),
+            RotAmnesia(),
+        )
+        simulator.load_initial()
+        simulator.step()
+        simulator.step()
+
+        restored = load_table(save_table(simulator.table, tmp_path / "sim.npz"))
+        assert restored.active_count == 100
+        assert np.array_equal(
+            restored.access_counts(), simulator.table.access_counts()
+        )

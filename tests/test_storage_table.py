@@ -1,0 +1,188 @@
+"""Tests for repro.storage.table and catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import (
+    InsufficientVictimsError,
+    SchemaError,
+    StorageError,
+    UnknownColumnError,
+)
+from repro.storage import Catalog, Table
+
+
+class TestSchema:
+    def test_requires_name_and_columns(self):
+        with pytest.raises(SchemaError):
+            Table("", ["a"])
+        with pytest.raises(SchemaError):
+            Table("t", [])
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+
+    def test_column_access(self, small_table):
+        assert small_table.column_names == ("a",)
+        assert small_table.has_column("a")
+        assert not small_table.has_column("b")
+        with pytest.raises(UnknownColumnError):
+            small_table.column("b")
+
+
+class TestInsert:
+    def test_insert_returns_positions(self):
+        table = Table("t", ["a", "b"])
+        positions = table.insert_batch(0, {"a": [1, 2], "b": [3, 4]})
+        assert positions.tolist() == [0, 1]
+        assert table.total_rows == 2
+
+    def test_insert_validates_columns(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert_batch(0, {"a": [1]})
+        with pytest.raises(SchemaError):
+            table.insert_batch(0, {"a": [1], "b": [2], "c": [3]})
+
+    def test_insert_validates_lengths(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert_batch(0, {"a": [1, 2], "b": [3]})
+
+    def test_insert_epochs_must_increase(self, small_table):
+        with pytest.raises(StorageError):
+            small_table.insert_batch(0, {"a": [1]})
+
+    def test_metadata_initialised(self, small_table):
+        assert (small_table.insert_epochs() == 0).all()
+        assert (small_table.access_counts() == 0).all()
+        assert (small_table.last_access_epochs() == -1).all()
+        assert (small_table.forgotten_epochs() == -1).all()
+
+
+class TestForget:
+    def test_forget_flips_and_stamps(self, small_table):
+        flipped = small_table.forget(np.array([0, 5]), epoch=3)
+        assert flipped == 2
+        assert small_table.active_count == 98
+        assert small_table.forgotten_count == 2
+        stamps = small_table.forgotten_epochs()
+        assert stamps[0] == 3 and stamps[5] == 3 and stamps[1] == -1
+
+    def test_forget_idempotent(self, small_table):
+        small_table.forget(np.array([0]), epoch=1)
+        assert small_table.forget(np.array([0]), epoch=2) == 0
+        # First stamp is preserved.
+        assert small_table.forgotten_epochs()[0] == 1
+
+    def test_forget_empty(self, small_table):
+        assert small_table.forget(np.empty(0, dtype=np.int64), epoch=1) == 0
+
+    def test_require_victims(self, small_table):
+        small_table.require_victims(100)
+        with pytest.raises(InsufficientVictimsError):
+            small_table.require_victims(101)
+
+    def test_views_after_forget(self, small_table):
+        small_table.forget(np.arange(0, 100, 2), epoch=1)
+        assert small_table.active_positions().tolist() == list(range(1, 100, 2))
+        assert small_table.forgotten_positions().tolist() == list(range(0, 100, 2))
+        assert small_table.is_active(np.array([0, 1])).tolist() == [False, True]
+        assert small_table.active_values("a").tolist() == list(range(1, 100, 2))
+
+
+class TestAccessAccounting:
+    def test_record_access_accumulates(self, small_table):
+        small_table.record_access(np.array([1, 1, 2]), epoch=4)
+        counts = small_table.access_counts()
+        assert counts[1] == 2 and counts[2] == 1
+        last = small_table.last_access_epochs()
+        assert last[1] == 4 and last[2] == 4 and last[0] == -1
+
+    def test_record_access_empty(self, small_table):
+        small_table.record_access(np.empty(0, dtype=np.int64), epoch=1)
+        assert (small_table.access_counts() == 0).all()
+
+
+class TestCohortActivity:
+    def test_activity_fractions(self, epoch_table):
+        # Forget all of epoch 0's 20 rows and half of epoch 1's.
+        epoch_table.forget(np.arange(20), epoch=3)
+        epoch_table.forget(np.arange(20, 30), epoch=3)
+        activity = epoch_table.cohort_activity()
+        assert activity[0] == 0.0
+        assert activity[1] == 0.5
+        assert activity[2] == 1.0
+
+
+class TestObservers:
+    class Recorder:
+        def __init__(self):
+            self.inserted = []
+            self.forgotten = []
+
+        def on_insert(self, table, positions):
+            self.inserted.append(positions.tolist())
+
+        def on_forget(self, table, positions):
+            self.forgotten.append(positions.tolist())
+
+    def test_observer_notified(self, small_table):
+        recorder = self.Recorder()
+        small_table.add_observer(recorder)
+        small_table.insert_batch(1, {"a": [7, 8]})
+        small_table.forget(np.array([0, 1]), epoch=1)
+        assert recorder.inserted == [[100, 101]]
+        assert recorder.forgotten == [[0, 1]]
+
+    def test_observer_sees_only_new_forgets(self, small_table):
+        recorder = self.Recorder()
+        small_table.forget(np.array([0]), epoch=1)
+        small_table.add_observer(recorder)
+        small_table.forget(np.array([0, 1]), epoch=2)
+        assert recorder.forgotten == [[1]]
+
+    def test_observer_registration_errors(self, small_table):
+        recorder = self.Recorder()
+        small_table.add_observer(recorder)
+        with pytest.raises(StorageError):
+            small_table.add_observer(recorder)
+        small_table.remove_observer(recorder)
+        with pytest.raises(StorageError):
+            small_table.remove_observer(recorder)
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", ["a"])
+        assert catalog.get("t") is table
+        assert "t" in catalog
+        assert len(catalog) == 1
+        assert catalog.names() == ["t"]
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        with pytest.raises(SchemaError):
+            catalog.create_table("t", ["b"])
+        with pytest.raises(SchemaError):
+            catalog.register(Table("t", ["c"]))
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        catalog.drop("t")
+        assert "t" not in catalog
+        with pytest.raises(SchemaError):
+            catalog.drop("t")
+        with pytest.raises(SchemaError):
+            catalog.get("t")
+
+    def test_register_external(self):
+        catalog = Catalog()
+        table = Table("ext", ["a"])
+        catalog.register(table)
+        assert catalog.get("ext") is table
+        assert list(catalog) == [table]
