@@ -1,0 +1,121 @@
+"""Planner speedup benchmark: zone-map pruning vs the naive full scan.
+
+Builds a ≥1M-row time-correlated history (each cohort holds a
+localised value window, like sensor timestamps), forgets a slice, and
+fires selective (≤1% selectivity) range queries under ``plan="auto"``
+and ``plan="scan"``.  Asserts both that the results are identical and
+that the pruned path is at least 5× faster — the tentpole claim of the
+planner PR.  With ``--quick`` the history shrinks for CI smoke runs and
+the speedup floor relaxes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SEED
+from repro.query import QueryExecutor, QueryPlanner, RangePredicate, RangeQuery
+from repro.storage import CohortZoneMap, Table
+
+FULL_ROWS = 1_000_000
+QUICK_ROWS = 125_000
+COHORTS = 250
+#: Query window width as a fraction of the domain (0.5% selectivity).
+WIDTH_FRACTION = 0.005
+QUERIES = 40
+REPEATS = 3
+
+
+def _build(rows: int) -> tuple[Table, CohortZoneMap]:
+    """A time-correlated history: cohort i holds values in window i."""
+    rng = np.random.default_rng(BENCH_SEED)
+    table = Table("bench_planner", ["a"])
+    zone_map = CohortZoneMap(table)  # maintained incrementally from day 0
+    span = rows // COHORTS
+    for epoch in range(COHORTS):
+        values = rng.integers(epoch * span, (epoch + 1) * span, span)
+        table.insert_batch(epoch, values_by_column={"a": values})
+    # Forget the oldest 10% so the missed (M_F) side is exercised too.
+    table.forget(np.arange(rows // 10), epoch=COHORTS)
+    return table, zone_map
+
+
+def _queries(rows: int) -> list[RangeQuery]:
+    rng = np.random.default_rng(BENCH_SEED + 1)
+    width = max(1, int(rows * WIDTH_FRACTION))
+    lows = rng.integers(0, rows - width, QUERIES)
+    return [RangeQuery(RangePredicate("a", int(low), int(low) + width)) for low in lows]
+
+
+def _run_all(executor: QueryExecutor, queries) -> list[tuple[int, int]]:
+    return [
+        (r.rf, r.mf)
+        for r in (executor.execute_range(q, epoch=COHORTS) for q in queries)
+    ]
+
+
+def _time_best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def history(quick):
+    rows = QUICK_ROWS if quick else FULL_ROWS
+    table, zone_map = _build(rows)
+    return rows, table, zone_map, _queries(rows)
+
+
+def test_auto_plan_at_least_5x_faster_than_scan(history):
+    rows, table, zone_map, queries = history
+    scan = QueryExecutor(table, record_access=False)
+    auto = QueryExecutor(
+        table,
+        record_access=False,
+        planner=QueryPlanner(table, mode="auto", zone_map=zone_map),
+    )
+    # Identical answers first (rf AND mf — the oracle side must survive
+    # pruning), then the speed claim.
+    assert _run_all(scan, queries) == _run_all(auto, queries)
+    scan_time = _time_best_of(lambda: _run_all(scan, queries))
+    auto_time = _time_best_of(lambda: _run_all(auto, queries))
+    ratio = scan_time / auto_time
+    print(
+        f"\nplanner speedup on {rows} rows: scan {scan_time * 1e3:.1f}ms "
+        f"vs auto {auto_time * 1e3:.1f}ms ({ratio:.1f}x)"
+    )
+    if rows >= FULL_ROWS:
+        # The hard floor only gates full-size runs; --quick (CI smoke)
+        # still checks equivalence and pruning but not wall-clock, so
+        # shared-runner timing noise cannot redden the suite.
+        assert ratio >= 5.0, (
+            f"expected >=5x speedup on {rows} rows, got {ratio:.1f}x"
+        )
+    stats = auto.planner.stats()
+    assert stats["paths"]["zonemap"] == len(queries) * (REPEATS + 1)
+    assert stats["pruned_fraction"] > 0.9
+
+
+def test_bench_planner_auto(history, once):
+    _, table, zone_map, queries = history
+    executor = QueryExecutor(
+        table,
+        record_access=False,
+        planner=QueryPlanner(table, mode="auto", zone_map=zone_map),
+    )
+    results = once(_run_all, executor, queries)
+    assert len(results) == QUERIES
+
+
+def test_bench_planner_scan(history, once):
+    _, table, _, queries = history
+    executor = QueryExecutor(table, record_access=False)
+    results = once(_run_all, executor, queries)
+    assert len(results) == QUERIES

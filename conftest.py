@@ -1,0 +1,29 @@
+"""Root pytest configuration.
+
+Lives at the repo root so the ``--quick`` option is registered no
+matter which directory the run targets (options can only be added from
+initial conftests, and ``benchmarks/conftest.py`` is not initial when
+pytest is invoked from the root).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "shrink benchmark workloads for CI smoke runs (the planner "
+            "benchmark drops from 1M to ~125k rows)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when the suite runs with --quick (CI smoke mode)."""
+    return request.config.getoption("--quick")

@@ -58,6 +58,9 @@ def main() -> None:
           f"oracle {agg.oracle_value:,.1f} "
           f"(relative error {agg.relative_error:.4f})")
 
+    print("\nHow did those queries actually run?  EXPLAIN says:")
+    print(db.plan_report())
+
     print("\nThe rot policy kept the queried range much sharper than the "
           "rest —\nthat asymmetry is the paper's central trade.")
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro run F1               # reproduce one experiment
     python -m repro run all              # reproduce everything
     python -m repro run F3 --seed 7      # override the root seed
+    python -m repro run F3 --plan scan   # force the query access path
 
 Every experiment prints the same rows/series the paper's figures and
 tables report, rendered as ASCII heat maps, line charts and tables.
@@ -16,7 +17,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .core.config import default_plan, set_default_plan
 from .experiments import EXPERIMENTS
+from .query.planner import PLAN_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--seed", type=int, default=None, help="override the root seed"
     )
+    run.add_argument(
+        "--plan",
+        choices=PLAN_MODES,
+        default=None,
+        help=(
+            "query access-path mode for every simulator the experiment "
+            "builds (default: auto; results are identical across modes)"
+        ),
+    )
     return parser
 
 
@@ -86,21 +98,29 @@ def main(argv=None, out=None) -> int:
             )
         return 0
 
-    target = args.experiment.upper()
-    if target == "ALL":
-        for experiment_id in EXPERIMENTS:
-            _run_one(experiment_id, args.seed, out)
+    previous_plan = default_plan()
+    if getattr(args, "plan", None) is not None:
+        set_default_plan(args.plan)
+    try:
+        target = args.experiment.upper()
+        if target == "ALL":
+            for experiment_id in EXPERIMENTS:
+                _run_one(experiment_id, args.seed, out)
+            return 0
+        by_upper = {
+            experiment_id.upper(): experiment_id for experiment_id in EXPERIMENTS
+        }
+        if target not in by_upper:
+            print(
+                f"unknown experiment {args.experiment!r}; "
+                f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        _run_one(by_upper[target], args.seed, out)
         return 0
-    by_upper = {experiment_id.upper(): experiment_id for experiment_id in EXPERIMENTS}
-    if target not in by_upper:
-        print(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
-            file=sys.stderr,
-        )
-        return 2
-    _run_one(by_upper[target], args.seed, out)
-    return 0
+    finally:
+        set_default_plan(previous_plan)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,11 +13,30 @@ from dataclasses import dataclass, field, replace
 from .._util.rng import DEFAULT_SEED
 from .._util.validation import (
     check_fraction,
+    check_in,
     check_non_negative_int,
     check_positive_int,
 )
+from ..query.planner import PLAN_MODES
 
-__all__ = ["SimulationConfig"]
+__all__ = ["SimulationConfig", "default_plan", "set_default_plan"]
+
+#: Process-wide default for :attr:`SimulationConfig.plan` — the CLI's
+#: ``--plan`` flag sets it so every experiment picks the mode up without
+#: threading a parameter through each runner.
+_DEFAULT_PLAN = "auto"
+
+
+def default_plan() -> str:
+    """The plan mode new configs default to."""
+    return _DEFAULT_PLAN
+
+
+def set_default_plan(mode: str) -> str:
+    """Set the process-wide default plan mode; returns it."""
+    global _DEFAULT_PLAN
+    _DEFAULT_PLAN = check_in(mode, PLAN_MODES, "plan")
+    return _DEFAULT_PLAN
 
 
 @dataclass(frozen=True)
@@ -47,6 +66,14 @@ class SimulationConfig:
         by name so they are mutually independent.
     histogram_bins:
         Bin count for the divergence diagnostics (0 disables them).
+    plan:
+        Query access-path mode (see :mod:`repro.query.planner`):
+        ``"auto"`` (default) prunes through cohort zone maps or
+        indexes when possible, ``"scan"`` forces the historical
+        full-oracle scan, ``"zonemap"``/``"index"`` force one path
+        (falling back gracefully when its structure is missing).
+        Every mode returns bit-identical results; only the work done
+        per query differs.
     """
 
     dbsize: int = 1000
@@ -56,6 +83,7 @@ class SimulationConfig:
     column: str = "a"
     seed: int = DEFAULT_SEED
     histogram_bins: int = 64
+    plan: str = field(default_factory=default_plan)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")
@@ -63,6 +91,7 @@ class SimulationConfig:
         check_positive_int(self.epochs, "epochs")
         check_non_negative_int(self.queries_per_epoch, "queries_per_epoch")
         check_non_negative_int(self.histogram_bins, "histogram_bins")
+        check_in(self.plan, PLAN_MODES, "plan")
         if not self.column:
             raise ValueError("column name must be non-empty")
         if self.batch_size < 1:

@@ -23,8 +23,14 @@ import numpy as np
 
 from .._util.errors import ConfigError
 from .._util.rng import DEFAULT_SEED, spawn
+from .._util.validation import check_in
 from ..amnesia.base import AmnesiaPolicy
+from ..indexes.base import Index
+from ..indexes.brin import BlockRangeIndex
+from ..indexes.hash_index import HashIndex
+from ..indexes.sorted_index import SortedIndex
 from ..query.executor import QueryExecutor
+from ..query.planner import PLAN_MODES, QueryPlanner
 from ..query.predicates import RangePredicate
 from ..query.queries import (
     AggregateFunction,
@@ -33,9 +39,17 @@ from ..query.queries import (
     RangeQuery,
     RangeResult,
 )
+from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
+from .config import default_plan
 
 __all__ = ["AmnesiaDatabase"]
+
+_INDEX_KINDS = {
+    "sorted": SortedIndex,
+    "hash": HashIndex,
+    "brin": BlockRangeIndex,
+}
 
 
 class AmnesiaDatabase:
@@ -54,6 +68,13 @@ class AmnesiaDatabase:
         Seed for the policy's random stream.
     disposition:
         Optional forgotten-data disposition (see :mod:`repro.lifecycle`).
+    plan:
+        Query access-path mode (see :mod:`repro.query.planner`).  Any
+        mode other than ``"scan"`` attaches a cohort zone map so range
+        queries can prune cohorts; ``"index"`` plans additionally need
+        an index created via :meth:`create_index`.  ``None`` (default)
+        resolves to :func:`repro.core.config.default_plan`, so the
+        CLI's ``--plan`` flag also reaches facade-backed experiments.
     """
 
     def __init__(
@@ -64,13 +85,23 @@ class AmnesiaDatabase:
         seed: int = DEFAULT_SEED,
         disposition=None,
         table_name: str = "amnesia_db",
+        plan: str | None = None,
     ):
         if budget < 1:
             raise ConfigError(f"budget must be >= 1, got {budget}")
         self.budget = int(budget)
         self.policy = policy
         self.table = Table(table_name, columns)
-        self.executor = QueryExecutor(self.table, record_access=True)
+        if plan is None:
+            plan = default_plan()
+        self.plan_mode = check_in(plan, PLAN_MODES, "plan")
+        zone_map = (
+            CohortZoneMap(self.table) if self.plan_mode != "scan" else None
+        )
+        self.planner = QueryPlanner(self.table, mode=self.plan_mode, zone_map=zone_map)
+        self.executor = QueryExecutor(
+            self.table, record_access=True, planner=self.planner
+        )
         self._policy_rng = spawn(seed, "facade-policy")
         self._epoch = 0
         self._disposition = disposition
@@ -152,7 +183,29 @@ class AmnesiaDatabase:
         query = AggregateQuery(AggregateFunction(function), column, predicate)
         return self.executor.execute_aggregate(query, self._epoch)
 
+    # -- indexing ---------------------------------------------------------
+
+    def create_index(self, column: str, kind: str = "sorted", **kwargs) -> Index:
+        """Create an index on ``column`` and register it with the planner.
+
+        ``kind`` is one of ``"sorted"``, ``"hash"``, ``"brin"``; extra
+        keyword arguments go to the index constructor.  The index is
+        built from the table's current state (late creation is safe)
+        and maintained through the observer protocol afterwards.
+        """
+        factory = _INDEX_KINDS.get(kind)
+        if factory is None:
+            raise ConfigError(
+                f"unknown index kind {kind!r}; "
+                f"choose from {tuple(_INDEX_KINDS)}"
+            )
+        return self.planner.register_index(factory(self.table, column, **kwargs))
+
     # -- introspection -----------------------------------------------------------
+
+    def plan_report(self) -> str:
+        """EXPLAIN-style report of the planner's activity so far."""
+        return self.planner.plan_report()
 
     def stats(self) -> dict:
         """Operational snapshot for dashboards and examples."""
@@ -164,6 +217,7 @@ class AmnesiaDatabase:
             "forgotten_rows": self.table.forgotten_count,
             "policy": self.policy.name,
             "cohorts": len(self.table.cohorts),
+            "plan": self.plan_mode,
         }
 
     def __repr__(self) -> str:

@@ -29,10 +29,13 @@ from ..datagen.distributions import ValueDistribution
 from ..metrics.maps import AmnesiaMap
 from ..metrics.precision import BatchPrecisionCollector
 from ..metrics.reports import EpochReport, RunReport
+from ..indexes.sorted_index import SortedIndex
 from ..query.executor import QueryExecutor
 from ..query.generators import RangeQueryGenerator
+from ..query.planner import QueryPlanner
 from ..stats.divergence import js_divergence
 from ..stats.histograms import EquiWidthHistogram
+from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
 from .config import SimulationConfig
 
@@ -93,7 +96,19 @@ class AmnesiaSimulator:
             )
         self.workload = workload
         self.table = Table("amnesia_sim", [config.column])
-        self.executor = QueryExecutor(self.table, record_access=True)
+        zone_map = (
+            CohortZoneMap(self.table, columns=[config.column])
+            if config.plan != "scan"
+            else None
+        )
+        self.planner = QueryPlanner(self.table, mode=config.plan, zone_map=zone_map)
+        if config.plan == "index":
+            # Forced index mode would otherwise degrade to zone maps on
+            # a bare table; give it the index it was asked to use.
+            self.planner.register_index(SortedIndex(self.table, config.column))
+        self.executor = QueryExecutor(
+            self.table, record_access=True, planner=self.planner
+        )
         self.map = AmnesiaMap()
         self._disposition = disposition
         if disposition is not None:
@@ -112,6 +127,10 @@ class AmnesiaSimulator:
     def reports(self) -> list[EpochReport]:
         """Epoch reports accumulated so far."""
         return list(self._reports)
+
+    def plan_report(self) -> str:
+        """EXPLAIN-style report of the planner's activity so far."""
+        return self.planner.plan_report()
 
     def load_initial(self) -> EpochReport:
         """Epoch 0: fill the table up to DBSIZE."""

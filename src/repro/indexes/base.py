@@ -60,7 +60,9 @@ class Index(ABC):
         self.column = column
         self._dropped = False
         self._maintenance_ops = 0
-        table.add_observer(self)
+        # No backfill: rebuild() below constructs the structures from the
+        # table's current state, which an event replay could not precede.
+        table.add_observer(self, backfill=False)
         self.rebuild()
 
     # -- lifecycle ------------------------------------------------------

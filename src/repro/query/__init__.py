@@ -1,4 +1,4 @@
-"""Query layer: predicates, query objects, generators, executor."""
+"""Query layer: predicates, query objects, generators, planner, executor."""
 
 from .executor import QueryExecutor
 from .generators import (
@@ -6,6 +6,12 @@ from .generators import (
     AggregateQueryGenerator,
     MixedWorkload,
     RangeQueryGenerator,
+)
+from .planner import (
+    PLAN_MODES,
+    PlanExecution,
+    QueryPlan,
+    QueryPlanner,
 )
 from .predicates import (
     AndPredicate,
@@ -26,6 +32,10 @@ from .queries import (
 
 __all__ = [
     "QueryExecutor",
+    "PLAN_MODES",
+    "PlanExecution",
+    "QueryPlan",
+    "QueryPlanner",
     "ANCHORS",
     "AggregateQueryGenerator",
     "MixedWorkload",

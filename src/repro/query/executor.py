@@ -1,15 +1,19 @@
 """Query execution against the amnesiac and oracle views.
 
-The executor evaluates every predicate over the *complete* value history
-(the oracle view — possible because forgetting only clears bitmap bits)
-and splits matches by the activity bitmap:
+The executor answers queries through a :class:`~repro.query.planner.
+QueryPlanner`, which picks an access path per query (full scan,
+zone-map-pruned scan, or index probe — see :mod:`repro.query.planner`).
+Whatever the path, the result is split by the activity bitmap exactly
+as a complete-history scan would split it:
 
 * active matches  → what the amnesiac DBMS answers (R_F);
 * forgotten matches → what it silently misses (M_F).
 
 It also performs access accounting: tuples appearing in a result get
 their access frequency bumped, which is the signal the rot and overuse
-policies learn from (§3.2).
+policies learn from (§3.2).  Because every plan returns the identical
+active position set, policy-visible state evolves the same regardless
+of the plan choice.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import numpy as np
 
 from .._util.errors import QueryError
 from ..storage.table import Table
+from .planner import QueryPlanner
 from .queries import (
     AggregateQuery,
     AggregateResult,
@@ -40,6 +45,10 @@ class QueryExecutor:
         their access frequency incremented — required by query-based
         amnesia.  Disable for read-only analysis passes that must not
         perturb policy state.
+    planner:
+        Access-path chooser.  ``None`` (the default) builds a
+        scan-only :class:`~repro.query.planner.QueryPlanner`, which
+        reproduces the historical full-oracle-scan behaviour exactly.
 
     >>> import numpy as np
     >>> from repro.storage import Table
@@ -53,34 +62,39 @@ class QueryExecutor:
     (2, 1, 0.6666666666666666)
     """
 
-    def __init__(self, table: Table, *, record_access: bool = True):
+    def __init__(
+        self,
+        table: Table,
+        *,
+        record_access: bool = True,
+        planner: QueryPlanner | None = None,
+    ):
         self.table = table
         self.record_access = record_access
+        if planner is None:
+            planner = QueryPlanner(table, mode="scan")
+        elif planner.table is not table:
+            raise QueryError("planner was built over a different table")
+        self.planner = planner
 
     # -- internals -------------------------------------------------------
 
-    def _values_for(self, columns: tuple[str, ...]) -> dict[str, np.ndarray]:
+    def _require_rows(self) -> None:
         if self.table.total_rows == 0:
             raise QueryError(f"table {self.table.name!r} is empty")
-        return {name: self.table.values(name) for name in columns}
 
-    def _split_matches(self, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Split a predicate mask into (active, forgotten) positions."""
-        active_mask = self.table.active_mask()
-        active = np.flatnonzero(mask & active_mask)
-        missed = np.flatnonzero(mask & ~active_mask)
-        return active, missed
+    def plan_report(self) -> str:
+        """EXPLAIN-style report of the planner's activity so far."""
+        return self.planner.plan_report()
 
     # -- range queries ------------------------------------------------------
 
     def execute_range(self, query: RangeQuery, epoch: int) -> RangeResult:
         """Run a range query; returns both views' match sets."""
-        columns = query.columns
-        if not columns:
+        if not query.columns:
             raise QueryError("range query predicate references no column")
-        values = self._values_for(columns)
-        mask = query.predicate.mask(values)
-        active, missed = self._split_matches(mask)
+        self._require_rows()
+        active, missed, _ = self.planner.match(query.predicate, query.columns)
         if self.record_access:
             self.table.record_access(active, epoch)
         return RangeResult(
@@ -96,10 +110,11 @@ class QueryExecutor:
                 f"aggregate column {query.column!r} not in table "
                 f"{self.table.name!r}"
             )
-        values = self._values_for(query.columns)
-        mask = query.effective_predicate().mask(values)
-        active, missed = self._split_matches(mask)
-        column_values = values[query.column]
+        self._require_rows()
+        active, missed, _ = self.planner.match(
+            query.effective_predicate(), query.columns
+        )
+        column_values = self.table.values(query.column)
         amnesiac = query.function.compute(column_values[active])
         oracle_positions = np.concatenate([active, missed])
         oracle = query.function.compute(column_values[oracle_positions])

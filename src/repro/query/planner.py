@@ -1,0 +1,412 @@
+"""Query planning: per-query access-path selection.
+
+The executor historically evaluated every predicate over the *complete*
+value history — correct, but O(total rows) per query no matter how
+selective the predicate.  :class:`QueryPlanner` chooses, per query, one
+of three access paths that all produce **bit-identical** results (the
+same active/missed position sets, in the same ascending order, hence
+the same ``rf``/``mf``/precision and the same float aggregates):
+
+``scan``
+    Full oracle scan over every row ever inserted — the ground-truth
+    baseline, always available, kept for exact M_F accounting.
+
+``zonemap``
+    Cohort-level pruning through a
+    :class:`~repro.storage.cohorts.CohortZoneMap`: only cohorts whose
+    per-cohort ``[min, max]`` intersects the predicate's bounds are
+    scanned.  Both the amnesiac (active) and the oracle (forgotten)
+    side come out of the same pruned scan, so M_F stays exact.
+
+``index``
+    A registered :class:`~repro.indexes.Index` supplies the *active*
+    matches directly (indexes drop forgotten tuples — the paper's
+    "stop indexing the forgotten data", §1).  The *missed* side — the
+    forgotten matches the amnesiac DBMS silently loses — is recovered
+    from a zone-map-pruned scan restricted to cohorts that still hold
+    forgotten tuples, or from a scan of the forgotten positions when
+    no zone map is attached.
+
+``auto``
+    Prefer ``index`` when a suitable index covers the predicate
+    column, else ``zonemap`` when a zone map covers it, else ``scan``.
+
+Only single-column bounds (``RangePredicate`` / ``PointPredicate``) are
+prunable; composite and ``TruePredicate`` queries fall back to ``scan``
+regardless of the configured mode, and a forced mode degrades
+gracefully down the same chain (``index`` → ``zonemap`` → ``scan``)
+when its structure is missing — the planner never fails a query it can
+answer, it only records *why* it picked a cheaper-or-safer path.
+
+:meth:`QueryPlanner.plan_report` renders an ``EXPLAIN``-style summary
+of every decision taken so far; :meth:`QueryPlanner.explain` previews
+the plan for one query without executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util.errors import QueryError
+from .._util.validation import check_in
+from ..indexes.base import Index
+from ..indexes.hash_index import HashIndex
+from ..storage.cohorts import CohortZoneMap
+from ..storage.table import Table
+from .predicates import PointPredicate, Predicate, RangePredicate
+from .queries import AggregateQuery, RangeQuery
+
+__all__ = ["PLAN_MODES", "QueryPlan", "PlanExecution", "QueryPlanner"]
+
+#: Plan modes accepted by the planner, the config knob and the CLI.
+PLAN_MODES = ("auto", "scan", "zonemap", "index")
+
+#: Widest range (in distinct integer values) routed to a hash index —
+#: hash range probes degrade to one lookup per value in the range.
+HASH_RANGE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One access-path decision (an EXPLAIN row).
+
+    ``mode`` is the path actually executed; ``requested`` the planner's
+    configured mode (they differ when a forced mode fell back).
+    """
+
+    mode: str
+    requested: str
+    reason: str
+    column: str | None = None
+    low: int | None = None
+    high: int | None = None
+    index: Index | None = None
+
+    def describe(self) -> str:
+        """Human-readable one-line plan description."""
+        target = ""
+        if self.column is not None:
+            target = f" on {self.column!r} [{self.low}, {self.high})"
+        via = f" via {type(self.index).__name__}" if self.index is not None else ""
+        return f"{self.mode}{target}{via} — {self.reason}"
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """A plan plus the work its execution actually did."""
+
+    plan: QueryPlan
+    rows_considered: int
+    rows_pruned: int
+
+
+def _range_bounds(predicate: Predicate) -> tuple[str, int, int] | None:
+    """Extract single-column ``(column, low, high)`` bounds, if any."""
+    if isinstance(predicate, RangePredicate):
+        return predicate.column, predicate.low, predicate.high
+    if isinstance(predicate, PointPredicate):
+        return predicate.column, predicate.value, predicate.value + 1
+    return None
+
+
+class QueryPlanner:
+    """Chooses and executes access paths over one table.
+
+    Parameters
+    ----------
+    table:
+        The table queries run against.
+    mode:
+        One of :data:`PLAN_MODES`; ``"auto"`` picks the cheapest
+        applicable path per query.
+    zone_map:
+        Optional :class:`~repro.storage.cohorts.CohortZoneMap` already
+        observing ``table``.
+    indexes:
+        Iterable of :class:`~repro.indexes.Index` instances over
+        ``table`` to consider for index plans.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        mode: str = "auto",
+        zone_map: CohortZoneMap | None = None,
+        indexes=(),
+    ):
+        self.table = table
+        self.mode = check_in(mode, PLAN_MODES, "plan mode")
+        if zone_map is not None and zone_map.table is not table:
+            raise QueryError("zone map observes a different table")
+        self.zone_map = zone_map
+        self._indexes: dict[str, list[Index]] = {}
+        for index in indexes:
+            self.register_index(index)
+        self._executions = 0
+        self._mode_counts = {"scan": 0, "zonemap": 0, "index": 0}
+        self._rows_considered = 0
+        self._rows_pruned = 0
+        self._last: PlanExecution | None = None
+
+    # -- registration ---------------------------------------------------
+
+    def register_index(self, index: Index) -> Index:
+        """Make ``index`` available to index plans; returns it."""
+        if index.table is not self.table:
+            raise QueryError(
+                f"index on {index.column!r} was built over a different table"
+            )
+        siblings = self._indexes.setdefault(index.column, [])
+        if index not in siblings:
+            siblings.append(index)
+        return index
+
+    def indexes_on(self, column: str) -> tuple[Index, ...]:
+        """Registered indexes for ``column`` (possibly dropped ones too)."""
+        return tuple(self._indexes.get(column, ()))
+
+    # -- planning -------------------------------------------------------
+
+    def _usable_index(
+        self, column: str, low: int, high: int
+    ) -> tuple[Index, str] | None:
+        """Best built index serving ``[low, high)`` on ``column``."""
+        hash_fallback = None
+        for index in self._indexes.get(column, ()):
+            if index.is_dropped:
+                continue
+            if isinstance(index, HashIndex):
+                if high - low <= HASH_RANGE_LIMIT:
+                    hash_fallback = index
+                continue
+            return index, f"{type(index).__name__} covers {column!r}"
+        if hash_fallback is not None:
+            return (
+                hash_fallback,
+                f"HashIndex covers the narrow range (width {high - low})",
+            )
+        return None
+
+    def plan(self, predicate: Predicate) -> QueryPlan:
+        """Decide the access path for ``predicate`` (no execution)."""
+        requested = self.mode
+        if requested == "scan":
+            return QueryPlan("scan", requested, "scan mode configured")
+        bounds = _range_bounds(predicate)
+        if bounds is None:
+            return QueryPlan(
+                "scan",
+                requested,
+                f"{type(predicate).__name__} has no single-column bounds",
+            )
+        column, low, high = bounds
+        if requested in ("auto", "index"):
+            found = self._usable_index(column, low, high)
+            if found is not None:
+                index, why = found
+                return QueryPlan("index", requested, why, column, low, high, index)
+        if self.zone_map is not None and self.zone_map.covers(column):
+            reason = (
+                "zone map covers the predicate column"
+                if requested in ("auto", "zonemap")
+                else "no usable index; fell back to zone map"
+            )
+            return QueryPlan("zonemap", requested, reason, column, low, high)
+        reason = (
+            "no auxiliary structure covers the predicate column"
+            if requested == "auto"
+            else f"{requested} mode has no structure for {column!r}; fell back"
+        )
+        return QueryPlan("scan", requested, reason, column, low, high)
+
+    def explain(self, query_or_predicate) -> QueryPlan:
+        """EXPLAIN one query (or bare predicate) without running it."""
+        if isinstance(query_or_predicate, RangeQuery):
+            predicate = query_or_predicate.predicate
+        elif isinstance(query_or_predicate, AggregateQuery):
+            predicate = query_or_predicate.effective_predicate()
+        elif isinstance(query_or_predicate, Predicate):
+            predicate = query_or_predicate
+        else:
+            raise QueryError(
+                f"cannot explain {type(query_or_predicate).__name__}"
+            )
+        return self.plan(predicate)
+
+    # -- execution ------------------------------------------------------
+
+    def match(
+        self, predicate: Predicate, columns: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray, PlanExecution]:
+        """Split matches of ``predicate`` into (active, missed) positions.
+
+        Every path returns ascending int64 position arrays identical to
+        what a full scan produces, so callers' precision and access
+        accounting are plan-independent.
+        """
+        plan = self.plan(predicate)
+        if plan.mode == "zonemap":
+            active, missed, considered = self._match_zonemap(plan)
+        elif plan.mode == "index":
+            active, missed, considered = self._match_index(plan)
+        else:
+            active, missed, considered = self._match_scan(predicate, columns)
+        execution = PlanExecution(
+            plan=plan,
+            rows_considered=considered,
+            rows_pruned=max(self.table.total_rows - considered, 0),
+        )
+        self._record(execution)
+        return active, missed, execution
+
+    def _match_scan(
+        self, predicate: Predicate, columns: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        values = {name: self.table.values(name) for name in columns}
+        mask = predicate.mask(values)
+        active_mask = self.table.active_mask()
+        active = np.flatnonzero(mask & active_mask)
+        missed = np.flatnonzero(mask & ~active_mask)
+        return active, missed, self.table.total_rows
+
+    def _match_zonemap(
+        self, plan: QueryPlan
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        values = self.table.values(plan.column)
+        active_mask = self.table.active_mask()
+        active_chunks: list[np.ndarray] = []
+        missed_chunks: list[np.ndarray] = []
+        considered = 0
+        ranges = self.zone_map.candidate_ranges(plan.column, plan.low, plan.high)
+        for start, stop in ranges:
+            considered += stop - start
+            window = values[start:stop]
+            mask = (window >= plan.low) & (window < plan.high)
+            if not mask.any():
+                continue
+            active_window = active_mask[start:stop]
+            hits = np.flatnonzero(mask & active_window)
+            if hits.size:
+                active_chunks.append(hits + start)
+            hits = np.flatnonzero(mask & ~active_window)
+            if hits.size:
+                missed_chunks.append(hits + start)
+        return (
+            _concat(active_chunks),
+            _concat(missed_chunks),
+            considered,
+        )
+
+    def _match_index(
+        self, plan: QueryPlan
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        probe = plan.index.lookup_range(plan.low, plan.high)
+        active = np.sort(probe.positions.astype(np.int64, copy=False))
+        missed, extra = self._missed_matches(plan.column, plan.low, plan.high)
+        return active, missed, probe.entries_touched + extra
+
+    def _missed_matches(
+        self, column: str, low: int, high: int
+    ) -> tuple[np.ndarray, int]:
+        """Forgotten rows matching ``[low, high)`` — the exact M_F side."""
+        values = self.table.values(column)
+        if self.zone_map is not None and self.zone_map.covers(column):
+            active_mask = self.table.active_mask()
+            chunks: list[np.ndarray] = []
+            considered = 0
+            ranges = self.zone_map.candidate_ranges(
+                column, low, high, require="forgotten"
+            )
+            for start, stop in ranges:
+                considered += stop - start
+                window = values[start:stop]
+                mask = (window >= low) & (window < high) & ~active_mask[start:stop]
+                hits = np.flatnonzero(mask)
+                if hits.size:
+                    chunks.append(hits + start)
+            return _concat(chunks), considered
+        forgotten = self.table.forgotten_positions()
+        if forgotten.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        window = values[forgotten]
+        mask = (window >= low) & (window < high)
+        return forgotten[mask], int(forgotten.size)
+
+    # -- accounting -----------------------------------------------------
+
+    def _record(self, execution: PlanExecution) -> None:
+        self._executions += 1
+        self._mode_counts[execution.plan.mode] += 1
+        self._rows_considered += execution.rows_considered
+        self._rows_pruned += execution.rows_pruned
+        self._last = execution
+
+    @property
+    def last_execution(self) -> PlanExecution | None:
+        """The most recently executed plan, if any."""
+        return self._last
+
+    def stats(self) -> dict:
+        """Counters for dashboards and tests."""
+        total = self._rows_considered + self._rows_pruned
+        return {
+            "mode": self.mode,
+            "queries_planned": self._executions,
+            "paths": dict(self._mode_counts),
+            "rows_considered": self._rows_considered,
+            "rows_pruned": self._rows_pruned,
+            "pruned_fraction": (self._rows_pruned / total) if total else 0.0,
+            "indexes": {
+                column: [type(i).__name__ for i in indexes]
+                for column, indexes in self._indexes.items()
+            },
+            "zone_map_cohorts": (
+                self.zone_map.cohort_count if self.zone_map is not None else 0
+            ),
+        }
+
+    def plan_report(self) -> str:
+        """EXPLAIN-style multi-line report of planning activity."""
+        stats = self.stats()
+        lines = [
+            f"QueryPlanner(mode={self.mode!r}) — "
+            f"{stats['queries_planned']} queries planned"
+        ]
+        structures = []
+        if self.zone_map is not None:
+            structures.append(
+                f"zone map over {len(self.zone_map.columns)} column(s), "
+                f"{stats['zone_map_cohorts']} cohorts"
+            )
+        for column, kinds in stats["indexes"].items():
+            structures.append(f"{'+'.join(kinds)} on {column!r}")
+        lines.append(
+            "  structures: " + ("; ".join(structures) if structures else "none")
+        )
+        paths = stats["paths"]
+        lines.append(
+            "  access paths: "
+            + ", ".join(f"{mode}={paths[mode]}" for mode in ("index", "zonemap", "scan"))
+        )
+        lines.append(
+            f"  rows considered {stats['rows_considered']:,} / "
+            f"pruned {stats['rows_pruned']:,} "
+            f"({stats['pruned_fraction']:.1%} pruned)"
+        )
+        if self._last is not None:
+            lines.append(f"  last plan: {self._last.plan.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlanner(mode={self.mode!r}, "
+            f"indexes={sorted(self._indexes)}, "
+            f"zone_map={'yes' if self.zone_map is not None else 'no'})"
+        )
+
+
+def _concat(chunks: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)

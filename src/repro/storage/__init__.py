@@ -8,7 +8,7 @@ bookkeeping for the amnesia maps.
 
 from .bitmap import Bitmap
 from .catalog import Catalog
-from .cohorts import Cohort, CohortLog
+from .cohorts import Cohort, CohortLog, CohortZoneMap
 from .column import IntColumn
 from .io import load_table, save_table
 from .table import Table, TableObserver
@@ -19,6 +19,7 @@ __all__ = [
     "Catalog",
     "Cohort",
     "CohortLog",
+    "CohortZoneMap",
     "IntColumn",
     "GrowableIntVector",
     "Table",

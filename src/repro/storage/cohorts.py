@@ -1,4 +1,4 @@
-"""Cohort (update-batch) bookkeeping.
+"""Cohort (update-batch) bookkeeping and cohort-level statistics.
 
 The paper's amnesia maps (Figures 1 and 2) plot, per update batch, the
 fraction of that batch's tuples still active after a run.  To draw them
@@ -7,6 +7,12 @@ inserted.  Rows are appended strictly in epoch order, so a cohort is a
 half-open interval ``[start, stop)`` of positions.
 
 Epoch 0 is the initial load; epochs ``1..n`` are update batches.
+
+:class:`CohortZoneMap` layers zone-map statistics (per-cohort min/max
+value and active-tuple count) on top of the log.  It subscribes to the
+table's insert/forget events, so the statistics stay exact without the
+table knowing about them — the query planner uses them to skip cohorts
+a range predicate cannot touch.
 """
 
 from __future__ import annotations
@@ -17,7 +23,10 @@ import numpy as np
 
 from .._util.errors import StorageError
 
-__all__ = ["Cohort", "CohortLog"]
+__all__ = ["Cohort", "CohortLog", "CohortZoneMap"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
 
 
 @dataclass(frozen=True)
@@ -105,8 +114,8 @@ class CohortLog:
                 return cohort
         raise KeyError(f"no cohort recorded for epoch {epoch}")
 
-    def epoch_of(self, positions: np.ndarray) -> np.ndarray:
-        """Map row positions to the epoch that inserted them.
+    def index_of(self, positions: np.ndarray) -> np.ndarray:
+        """Map row positions to cohort ordinals (0-based log indices).
 
         Vectorised via binary search over cohort start offsets.
         """
@@ -115,12 +124,224 @@ class CohortLog:
             return np.empty(0, dtype=np.int64)
         total = self.total_rows
         if positions.min() < 0 or positions.max() >= total:
-            raise IndexError(f"positions out of range [0, {total}) in epoch_of")
+            raise IndexError(f"positions out of range [0, {total}) in index_of")
         starts = np.asarray(self._starts, dtype=np.int64)
-        idx = np.searchsorted(starts, positions, side="right") - 1
+        return np.searchsorted(starts, positions, side="right") - 1
+
+    def epoch_of(self, positions: np.ndarray) -> np.ndarray:
+        """Map row positions to the epoch that inserted them."""
+        idx = self.index_of(positions)
+        if idx.size == 0:
+            return idx
         epochs = np.asarray([c.epoch for c in self._cohorts], dtype=np.int64)
         return epochs[idx]
 
     def epochs(self) -> list[int]:
         """All recorded epochs, in order."""
         return [c.epoch for c in self._cohorts]
+
+
+class CohortZoneMap:
+    """Per-cohort zone-map statistics: min/max value and active count.
+
+    A :class:`~repro.storage.table.TableObserver` that maintains, for
+    each tracked column and each insertion cohort, the minimum and
+    maximum value ever inserted plus the exact count of still-active
+    tuples.  The query planner prunes cohorts whose ``[min, max]``
+    cannot intersect a range predicate; the active/forgotten counts let
+    it additionally skip cohorts that cannot contribute to one side of
+    the amnesiac/oracle split.
+
+    Min/max are *insert-time* bounds: forgetting never widens a zone,
+    so the bounds stay safe (possibly loose) without any rewriting —
+    the same conservative contract a BRIN keeps between vacuums.
+
+    Registration backfills existing history (see
+    :meth:`~repro.storage.table.Table.add_observer`), so a zone map
+    attached to a table that already holds rows is immediately exact.
+
+    >>> from repro.storage import Table
+    >>> t = Table("obs", ["a"])
+    >>> _ = t.insert_batch(0, {"a": [5, 7, 9]})
+    >>> _ = t.insert_batch(1, {"a": [100, 110]})
+    >>> zm = CohortZoneMap(t)
+    >>> zm.candidate_ranges("a", 0, 50)
+    [(0, 3)]
+    >>> t.forget(np.array([3, 4]), epoch=2)
+    2
+    >>> zm.candidate_ranges("a", 100, 200, require="active")
+    []
+    >>> zm.candidate_ranges("a", 100, 200, require="forgotten")
+    [(3, 5)]
+    """
+
+    #: Pruning requirements accepted by :meth:`candidate_ranges`.
+    REQUIREMENTS = ("any", "active", "forgotten")
+
+    def __init__(self, table, columns=None):
+        names = tuple(columns) if columns is not None else table.column_names
+        if not names:
+            raise StorageError("zone map needs at least one column")
+        for name in names:
+            table.column(name)  # validates existence
+        self.table = table
+        self._mins = {name: np.empty(0, dtype=np.int64) for name in names}
+        self._maxs = {name: np.empty(0, dtype=np.int64) for name in names}
+        self._starts = np.empty(0, dtype=np.int64)
+        self._stops = np.empty(0, dtype=np.int64)
+        self._active = np.empty(0, dtype=np.int64)
+        table.add_observer(self)  # backfill replays existing history
+
+    # -- schema ---------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Columns this zone map tracks."""
+        return tuple(self._mins)
+
+    def covers(self, column: str) -> bool:
+        """True when ``column`` is tracked by this zone map."""
+        return column in self._mins
+
+    @property
+    def cohort_count(self) -> int:
+        """Cohorts currently mapped."""
+        self._sync()
+        return int(self._active.size)
+
+    # -- observer hooks -------------------------------------------------
+
+    def _sync(self) -> None:
+        """Grow the per-cohort arrays to cover newly recorded cohorts."""
+        log = self.table.cohorts
+        needed = len(log)
+        current = self._active.size
+        if needed <= current:
+            return
+        grow = needed - current
+        for name in self._mins:
+            self._mins[name] = np.concatenate(
+                [self._mins[name], np.full(grow, _INT64_MAX, dtype=np.int64)]
+            )
+            self._maxs[name] = np.concatenate(
+                [self._maxs[name], np.full(grow, _INT64_MIN, dtype=np.int64)]
+            )
+        fresh = [log[i] for i in range(current, needed)]
+        self._starts = np.concatenate(
+            [self._starts, np.asarray([c.start for c in fresh], dtype=np.int64)]
+        )
+        self._stops = np.concatenate(
+            [self._stops, np.asarray([c.stop for c in fresh], dtype=np.int64)]
+        )
+        self._active = np.concatenate(
+            [self._active, np.zeros(grow, dtype=np.int64)]
+        )
+
+    def _refresh_counts(self, idx: np.ndarray) -> None:
+        """Recompute active counts for the cohorts in ``idx`` from the bitmap.
+
+        Recounting (rather than incrementing) makes the hooks
+        idempotent, so a backfill replay — including re-registration of
+        an already-populated zone map — converges to the exact counts.
+        """
+        mask = self.table.active_mask()
+        for i in np.unique(idx).tolist():
+            start, stop = int(self._starts[i]), int(self._stops[i])
+            self._active[i] = int(np.count_nonzero(mask[start:stop]))
+
+    def on_insert(self, table, positions: np.ndarray) -> None:
+        """Table hook: fold new rows into their cohorts' zones."""
+        self._sync()
+        if positions.size == 0:
+            return
+        idx = table.cohorts.index_of(positions)
+        for name in self._mins:
+            values = table.values(name)[positions]
+            np.minimum.at(self._mins[name], idx, values)
+            np.maximum.at(self._maxs[name], idx, values)
+        self._refresh_counts(idx)
+
+    def on_forget(self, table, positions: np.ndarray) -> None:
+        """Table hook: refresh active counts (zones stay as bounds)."""
+        self._sync()
+        if positions.size == 0:
+            return
+        self._refresh_counts(table.cohorts.index_of(positions))
+
+    # -- pruning --------------------------------------------------------
+
+    def candidate_ranges(
+        self, column: str, low: int, high: int, *, require: str = "any"
+    ) -> list[tuple[int, int]]:
+        """Position ranges ``[start, stop)`` a probe of ``[low, high)`` must scan.
+
+        ``require`` narrows the candidates further:
+
+        * ``"any"`` — value bounds intersect (safe for both views);
+        * ``"active"`` — at least one active tuple remains;
+        * ``"forgotten"`` — at least one tuple was forgotten.
+        """
+        self._sync()
+        try:
+            mins = self._mins[column]
+            maxs = self._maxs[column]
+        except KeyError:
+            raise StorageError(
+                f"zone map does not track column {column!r} "
+                f"(tracked: {', '.join(self._mins)})"
+            ) from None
+        if require not in self.REQUIREMENTS:
+            raise StorageError(
+                f"require must be one of {self.REQUIREMENTS}, got {require!r}"
+            )
+        intersects = (mins < high) & (maxs >= low)
+        if require == "active":
+            intersects &= self._active > 0
+        elif require == "forgotten":
+            intersects &= (self._stops - self._starts) > self._active
+        idx = np.flatnonzero(intersects)
+        return [
+            (int(self._starts[i]), int(self._stops[i])) for i in idx.tolist()
+        ]
+
+    def pruned_fraction(self, column: str, low: int, high: int) -> float:
+        """Fraction of rows a probe of ``[low, high)`` skips."""
+        total = self.table.total_rows
+        if total == 0:
+            return 0.0
+        scanned = sum(
+            stop - start for start, stop in self.candidate_ranges(column, low, high)
+        )
+        return 1.0 - scanned / total
+
+    # -- introspection --------------------------------------------------
+
+    def active_counts(self) -> np.ndarray:
+        """Read-only per-cohort active-tuple counts."""
+        self._sync()
+        return self._active.copy()
+
+    def bounds(self, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cohort (mins, maxs) for ``column`` (copies)."""
+        self._sync()
+        if column not in self._mins:
+            raise StorageError(f"zone map does not track column {column!r}")
+        return self._mins[column].copy(), self._maxs[column].copy()
+
+    def nbytes(self) -> int:
+        """Approximate footprint of the statistics arrays."""
+        per_column = sum(
+            self._mins[n].nbytes + self._maxs[n].nbytes for n in self._mins
+        )
+        return int(
+            per_column
+            + self._starts.nbytes
+            + self._stops.nbytes
+            + self._active.nbytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CohortZoneMap(columns={list(self._mins)}, "
+            f"cohorts={self._active.size})"
+        )

@@ -254,11 +254,25 @@ class Table:
 
     # -- observers ---------------------------------------------------------
 
-    def add_observer(self, observer: TableObserver) -> None:
-        """Subscribe ``observer`` to insert/forget events."""
+    def add_observer(self, observer: TableObserver, *, backfill: bool = True) -> None:
+        """Subscribe ``observer`` to insert/forget events.
+
+        By default registration *backfills*: the observer immediately
+        receives one ``on_insert`` covering every existing row followed
+        by one ``on_forget`` for the already-forgotten ones, so an
+        observer attached to a table that already holds history starts
+        exact instead of silently missing it.  Pass ``backfill=False``
+        for observers that only want the live stream (or that rebuild
+        themselves from the table, as the indexes do).
+        """
         if observer in self._observers:
             raise StorageError("observer already registered")
         self._observers.append(observer)
+        if backfill and self.total_rows:
+            observer.on_insert(self, np.arange(self.total_rows, dtype=np.int64))
+            forgotten = self.forgotten_positions()
+            if forgotten.size:
+                observer.on_forget(self, forgotten)
 
     def remove_observer(self, observer: TableObserver) -> None:
         """Unsubscribe a previously registered observer."""

@@ -76,3 +76,27 @@ class TestMain:
         out = io.StringIO()
         assert main(["run", "all"], out=out) == 0
         assert ran == list(EXPERIMENTS)
+
+
+class TestPlanFlag:
+    def test_parser_accepts_plan(self):
+        args = build_parser().parse_args(["run", "F1", "--plan", "zonemap"])
+        assert args.plan == "zonemap"
+
+    def test_parser_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "F1", "--plan", "turbo"])
+
+    def test_plan_flag_scoped_to_invocation(self, monkeypatch):
+        from repro.core.config import default_plan
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", lambda seed=None: _FakeResult())
+        before = default_plan()
+        out = io.StringIO()
+        assert main(["run", "F1", "--plan", "scan"], out=out) == 0
+        assert default_plan() == before
+
+
+class _FakeResult:
+    def render(self):
+        return "ok"

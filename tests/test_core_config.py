@@ -65,3 +65,35 @@ class TestWith:
     def test_with_empty_is_copy(self):
         config = SimulationConfig()
         assert config.with_() == config
+
+
+class TestPlanKnob:
+    def test_default_plan_is_auto(self):
+        from repro.core.config import default_plan
+
+        assert default_plan() == "auto"
+        assert SimulationConfig().plan == "auto"
+
+    def test_plan_validated(self):
+        import pytest as _pytest
+
+        from repro._util.errors import ConfigError
+
+        with _pytest.raises(ConfigError):
+            SimulationConfig(plan="turbo")
+        assert SimulationConfig(plan="index").plan == "index"
+
+    def test_set_default_plan_round_trip(self):
+        from repro._util.errors import ConfigError
+        from repro.core.config import default_plan, set_default_plan
+
+        import pytest as _pytest
+
+        before = default_plan()
+        try:
+            assert set_default_plan("zonemap") == "zonemap"
+            assert SimulationConfig().plan == "zonemap"
+            with _pytest.raises(ConfigError):
+                set_default_plan("turbo")
+        finally:
+            set_default_plan(before)

@@ -201,3 +201,80 @@ class TestObserverSafety:
             index = factory(indexed_table, "a")
             assert index.nbytes() > 0
             indexed_table.remove_observer(index)
+
+
+class TestForgettingStopsIndexHits:
+    """Forgotten rows must never surface through index lookups (§1:
+    "stop indexing the forgotten data")."""
+
+    def _serial_table(self, n=200):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(n)})
+        return table
+
+    def test_hash_point_lookup_drops_forgotten(self):
+        table = self._serial_table()
+        index = HashIndex(table, "a")
+        assert index.lookup_value(42).positions.tolist() == [42]
+        table.forget(np.array([42]), epoch=1)
+        assert index.lookup_value(42).positions.size == 0
+        assert index.lookup_range(40, 45).positions.tolist() == [40, 41, 43, 44]
+
+    def test_hash_entry_count_shrinks_and_bucket_gc(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": [7, 7, 3]})
+        index = HashIndex(table, "a")
+        assert index.entry_count == 3 and index.distinct_values == 2
+        table.forget(np.array([0, 1]), epoch=1)
+        assert index.entry_count == 1
+        assert index.distinct_values == 1  # the 7-bucket was emptied and freed
+        assert index.lookup_value(7).positions.size == 0
+
+    def test_sorted_run_tombstones_forgotten(self):
+        table = self._serial_table()
+        index = SortedIndex(table, "a")
+        table.forget(np.arange(0, 200, 2), epoch=1)
+        hits = index.lookup_range(0, 50).positions
+        assert hits.tolist() == list(range(1, 50, 2))
+
+    def test_sorted_delta_buffer_respects_forgetting(self):
+        table = self._serial_table(n=10)
+        index = SortedIndex(table, "a", merge_threshold=1000)  # never merge
+        table.insert_batch(1, {"a": np.arange(100, 110)})  # lands in delta
+        table.forget(np.array([12, 14]), epoch=2)  # forget delta rows
+        assert index.delta_size > 0  # still buffered, not merged
+        hits = index.lookup_range(100, 110).positions
+        assert sorted(hits.tolist()) == [10, 11, 13, 15, 16, 17, 18, 19]
+
+    def test_sorted_merge_purges_tombstones(self):
+        table = self._serial_table(n=10)
+        index = SortedIndex(table, "a", merge_threshold=4)
+        table.forget(np.array([2, 3]), epoch=1)
+        table.insert_batch(1, {"a": np.arange(100, 108)})  # exceeds threshold
+        assert index.delta_size == 0  # merged
+        assert index.lookup_range(0, 10).positions.tolist() == [0, 1] + list(
+            range(4, 10)
+        )
+        assert index.lookup_range(100, 108).count == 8
+
+    def test_brin_skips_fully_forgotten_blocks(self):
+        table = self._serial_table(n=256)
+        index = BlockRangeIndex(table, "a", block_size=64)
+        table.forget(np.arange(64), epoch=1)  # block 0 fully forgotten
+        assert index.candidate_blocks(0, 64).size == 0
+        probe = index.lookup_range(0, 64)
+        assert probe.positions.size == 0
+        assert probe.entries_touched == 0  # skipping costs nothing
+
+    def test_forget_then_reinsert_same_values(self):
+        """New rows holding previously forgotten values are indexed."""
+        table = self._serial_table(n=5)
+        indexes = (
+            SortedIndex(table, "a", merge_threshold=2),
+            HashIndex(table, "a"),
+            BlockRangeIndex(table, "a", block_size=4),
+        )
+        table.forget(np.array([3]), epoch=1)
+        table.insert_batch(1, {"a": [3]})  # position 5, value 3
+        for index in indexes:
+            assert index.lookup_value(3).positions.tolist() == [5]

@@ -1,0 +1,259 @@
+"""Property-test equivalence harness for the query planner.
+
+The proof that the planned query engine is safe: for randomized
+insert/forget/query interleavings, across every amnesia policy and
+every plan mode, the planner must return results *bit-identical* to
+the naive full-history scan — same ``rf``, ``mf``, precision, match
+positions, and float aggregate values — and must bump exactly the same
+access-frequency counters, so policy-visible state evolves identically
+regardless of the access path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AmnesiaDatabase, AmnesiaSimulator, SimulationConfig
+from repro.amnesia.registry import POLICY_NAMES, make_policy
+from repro.datagen import UniformDistribution
+from repro.indexes import BlockRangeIndex, HashIndex, SortedIndex
+from repro.query import (
+    AggregateFunction,
+    AggregateQuery,
+    QueryExecutor,
+    QueryPlanner,
+    RangePredicate,
+    RangeQuery,
+)
+from repro.storage import CohortZoneMap, Table
+
+#: Plan variants compared against the naive scan.
+PLAN_VARIANTS = ("zonemap", "auto", "index")
+
+
+def _all_mode_executors(table):
+    """One read-only executor per access path over the same table."""
+    zone_map = CohortZoneMap(table)
+    sorted_idx = SortedIndex(table, "a", merge_threshold=16)
+    hash_idx = HashIndex(table, "a")
+    brin_idx = BlockRangeIndex(table, "a", block_size=8)
+    planners = {
+        "scan": QueryPlanner(table, mode="scan"),
+        "zonemap": QueryPlanner(table, mode="zonemap", zone_map=zone_map),
+        "auto": QueryPlanner(
+            table,
+            mode="auto",
+            zone_map=zone_map,
+            indexes=[sorted_idx, hash_idx, brin_idx],
+        ),
+        "index-sorted": QueryPlanner(table, mode="index", indexes=[sorted_idx]),
+        "index-hash": QueryPlanner(
+            table, mode="index", zone_map=zone_map, indexes=[hash_idx]
+        ),
+        "index-brin": QueryPlanner(
+            table, mode="index", zone_map=zone_map, indexes=[brin_idx]
+        ),
+    }
+    return {
+        name: QueryExecutor(table, record_access=False, planner=planner)
+        for name, planner in planners.items()
+    }
+
+
+def _range_fingerprint(result):
+    return (
+        result.rf,
+        result.mf,
+        result.precision,
+        result.active_positions.tolist(),
+        result.missed_positions.tolist(),
+    )
+
+
+def _aggregate_fingerprint(result):
+    return (
+        result.amnesiac_value,
+        result.oracle_value,
+        result.active_matches,
+        result.oracle_matches,
+    )
+
+
+@st.composite
+def interleavings(draw):
+    """A random insert/forget schedule plus a query set to replay."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 120), min_size=1, max_size=25),
+                st.integers(0, 2**16),
+                st.floats(0.0, 0.6),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    queries = draw(
+        st.lists(
+            st.tuples(st.integers(-5, 125), st.integers(0, 40)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    function = draw(st.sampled_from(list(AggregateFunction)))
+    return steps, queries, function
+
+
+@given(interleavings())
+@settings(max_examples=40, deadline=None)
+def test_all_plan_modes_answer_identically(workload):
+    """The archetype headline: every access path == the naive scan."""
+    steps, queries, function = workload
+    table = Table("t", ["a"])
+    executors = _all_mode_executors(table)
+    for epoch, (values, forget_seed, forget_fraction) in enumerate(steps):
+        table.insert_batch(epoch, {"a": values})
+        forget_rng = np.random.default_rng(forget_seed)
+        victims = np.flatnonzero(
+            forget_rng.random(table.total_rows) < forget_fraction
+        )
+        table.forget(victims, epoch=epoch)
+        # Interleave: replay every query after every mutation step.
+        for low, width in queries:
+            query = RangeQuery(RangePredicate("a", low, low + width))
+            baseline = _range_fingerprint(
+                executors["scan"].execute_range(query, epoch)
+            )
+            for name, executor in executors.items():
+                got = _range_fingerprint(executor.execute_range(query, epoch))
+                assert got == baseline, f"{name} diverged on {query}"
+            windowed = AggregateQuery(
+                function, "a", RangePredicate("a", low, low + width)
+            )
+            whole = AggregateQuery(function, "a")
+            for agg_query in (windowed, whole):
+                baseline = _aggregate_fingerprint(
+                    executors["scan"].execute_aggregate(agg_query, epoch)
+                )
+                for name, executor in executors.items():
+                    got = _aggregate_fingerprint(
+                        executor.execute_aggregate(agg_query, epoch)
+                    )
+                    assert got == baseline, f"{name} diverged on {agg_query}"
+
+
+def _make_policy(name):
+    kwargs = {"column": "a"} if name in ("pair", "dist", "stratified") else {}
+    return make_policy(name, **kwargs)
+
+
+def _run_facade_scenario(policy_name: str, plan: str):
+    """Drive an AmnesiaDatabase end to end; return every observable."""
+    db = AmnesiaDatabase(
+        budget=60, policy=_make_policy(policy_name), seed=11, plan=plan
+    )
+    if plan == "index":
+        db.create_index("a", kind="sorted", merge_threshold=32)
+    rng = np.random.default_rng(5)
+    observed = []
+    for _ in range(6):
+        db.insert({"a": rng.integers(0, 500, 25)})
+        for low in (0, 100, 250, 400):
+            result = db.range_query("a", low, low + 30)
+            observed.append(_range_fingerprint(result))
+        aggregate = db.aggregate("avg", "a", 50, 300)
+        observed.append(_aggregate_fingerprint(aggregate))
+    observed.append(db.table.active_mask().tolist())
+    observed.append(db.table.access_counts().tolist())
+    observed.append(db.table.last_access_epochs().tolist())
+    observed.append(db.table.forgotten_epochs().tolist())
+    return observed
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_every_policy_evolves_identically_under_every_plan(policy_name, plan):
+    """Full closed loop: queries feed access counts feed the policy.
+
+    If any plan mode returned even one different tuple, the policy's
+    victim selection would cascade and the final table state would
+    diverge — so equality here proves both result and accounting
+    equivalence across all amnesia policies.
+    """
+    assert _run_facade_scenario(policy_name, "scan") == _run_facade_scenario(
+        policy_name, plan
+    )
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+def test_access_accounting_identical_under_pruned_execution(plan):
+    """record_access=True bumps identical counters whatever the path."""
+
+    def build():
+        table = Table("t", ["a"])
+        for epoch in range(4):
+            table.insert_batch(
+                epoch, {"a": np.arange(epoch * 50, epoch * 50 + 30)}
+            )
+        table.forget(np.arange(0, 120, 4), epoch=4)
+        return table
+
+    scanned = build()
+    pruned = build()
+    zone_map = CohortZoneMap(pruned)
+    indexes = [SortedIndex(pruned, "a", merge_threshold=16)]
+    executors = {
+        "scan": QueryExecutor(scanned, record_access=True),
+        plan: QueryExecutor(
+            pruned,
+            record_access=True,
+            planner=QueryPlanner(
+                pruned, mode=plan, zone_map=zone_map, indexes=indexes
+            ),
+        ),
+    }
+    for epoch in range(5, 9):
+        for low in (0, 25, 60, 110, 145):
+            query = RangeQuery(RangePredicate("a", low, low + 20))
+            for executor in executors.values():
+                executor.execute_range(query, epoch)
+        whole = AggregateQuery(AggregateFunction.SUM, "a")
+        for executor in executors.values():
+            executor.execute_aggregate(whole, epoch)
+    assert (
+        scanned.access_counts().tolist() == pruned.access_counts().tolist()
+    )
+    assert (
+        scanned.last_access_epochs().tolist()
+        == pruned.last_access_epochs().tolist()
+    )
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+def test_simulator_reports_identical_across_plans(plan):
+    """A whole simulator run produces the same report under any plan."""
+
+    def run(mode):
+        sim = AmnesiaSimulator(
+            SimulationConfig(
+                dbsize=120, epochs=4, queries_per_epoch=40, plan=mode
+            ),
+            UniformDistribution(1000),
+            _make_policy("rot"),
+        )
+        report = sim.run()
+        return [
+            (
+                r.epoch,
+                r.active_rows,
+                r.forgotten,
+                None if r.precision is None else r.precision.error_margin,
+                r.divergence_js,
+            )
+            for r in report.epochs
+        ]
+
+    assert run("scan") == run(plan)

@@ -1,0 +1,216 @@
+"""Tests for repro.query.planner: plan selection, fallbacks, reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import ConfigError, QueryError
+from repro.indexes import BlockRangeIndex, HashIndex, SortedIndex
+from repro.query import (
+    PLAN_MODES,
+    AggregateFunction,
+    AggregateQuery,
+    AndPredicate,
+    PointPredicate,
+    QueryExecutor,
+    QueryPlanner,
+    RangePredicate,
+    RangeQuery,
+    TruePredicate,
+)
+from repro.query.planner import HASH_RANGE_LIMIT
+from repro.storage import CohortZoneMap, Table
+
+
+@pytest.fixture
+def loaded_table():
+    """Three cohorts of localised values, some rows forgotten."""
+    table = Table("t", ["a"])
+    for epoch in range(3):
+        table.insert_batch(
+            epoch, {"a": np.arange(epoch * 100, epoch * 100 + 50)}
+        )
+    table.forget(np.arange(0, 150, 3), epoch=3)
+    return table
+
+
+class TestPlanSelection:
+    def test_modes_tuple(self):
+        assert PLAN_MODES == ("auto", "scan", "zonemap", "index")
+
+    def test_invalid_mode_rejected(self, loaded_table):
+        with pytest.raises(ConfigError):
+            QueryPlanner(loaded_table, mode="turbo")
+
+    def test_scan_mode_always_scans(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="scan", zone_map=CohortZoneMap(loaded_table)
+        )
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "scan"
+        assert plan.requested == "scan"
+
+    def test_auto_prefers_index_over_zonemap(self, loaded_table):
+        zone_map = CohortZoneMap(loaded_table)
+        index = SortedIndex(loaded_table, "a")
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=zone_map, indexes=[index]
+        )
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "index"
+        assert plan.index is index
+
+    def test_auto_uses_zonemap_without_index(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=CohortZoneMap(loaded_table)
+        )
+        assert planner.plan(RangePredicate("a", 0, 10)).mode == "zonemap"
+
+    def test_auto_falls_back_to_scan_bare(self, loaded_table):
+        planner = QueryPlanner(loaded_table, mode="auto")
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "scan"
+        assert "no auxiliary structure" in plan.reason
+
+    def test_point_predicate_gets_bounds(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=CohortZoneMap(loaded_table)
+        )
+        plan = planner.plan(PointPredicate("a", 42))
+        assert plan.mode == "zonemap"
+        assert (plan.low, plan.high) == (42, 43)
+
+    def test_composite_and_true_predicates_scan(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="zonemap", zone_map=CohortZoneMap(loaded_table)
+        )
+        both = AndPredicate(
+            RangePredicate("a", 0, 10), RangePredicate("a", 5, 20)
+        )
+        assert planner.plan(both).mode == "scan"
+        assert planner.plan(TruePredicate()).mode == "scan"
+
+    def test_forced_index_falls_back_through_chain(self, loaded_table):
+        # No index, no zone map -> scan.
+        planner = QueryPlanner(loaded_table, mode="index")
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "scan"
+        assert "fell back" in plan.reason
+        # No index but a zone map -> zonemap.
+        planner = QueryPlanner(
+            loaded_table, mode="index", zone_map=CohortZoneMap(loaded_table)
+        )
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "zonemap"
+        assert "fell back" in plan.reason
+
+    def test_hash_index_only_serves_narrow_ranges(self, loaded_table):
+        index = HashIndex(loaded_table, "a")
+        planner = QueryPlanner(loaded_table, mode="index", indexes=[index])
+        narrow = planner.plan(RangePredicate("a", 0, HASH_RANGE_LIMIT))
+        assert narrow.mode == "index"
+        wide = planner.plan(RangePredicate("a", 0, HASH_RANGE_LIMIT + 1))
+        assert wide.mode == "scan"
+
+    def test_dropped_index_is_skipped(self, loaded_table):
+        index = SortedIndex(loaded_table, "a")
+        planner = QueryPlanner(
+            loaded_table,
+            mode="auto",
+            zone_map=CohortZoneMap(loaded_table),
+            indexes=[index],
+        )
+        index.drop()
+        assert planner.plan(RangePredicate("a", 0, 10)).mode == "zonemap"
+        index.rebuild()
+        assert planner.plan(RangePredicate("a", 0, 10)).mode == "index"
+
+    def test_register_rejects_foreign_structures(self, loaded_table):
+        other = Table("other", ["a"])
+        other.insert_batch(0, {"a": [1]})
+        with pytest.raises(QueryError):
+            QueryPlanner(loaded_table).register_index(SortedIndex(other, "a"))
+        with pytest.raises(QueryError):
+            QueryPlanner(loaded_table, zone_map=CohortZoneMap(other))
+
+
+class TestExplain:
+    def test_explain_accepts_queries_and_predicates(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=CohortZoneMap(loaded_table)
+        )
+        predicate = RangePredicate("a", 0, 10)
+        assert planner.explain(predicate).mode == "zonemap"
+        assert planner.explain(RangeQuery(predicate)).mode == "zonemap"
+        agg = AggregateQuery(AggregateFunction.AVG, "a", predicate)
+        assert planner.explain(agg).mode == "zonemap"
+        whole = AggregateQuery(AggregateFunction.AVG, "a")
+        assert planner.explain(whole).mode == "scan"
+        with pytest.raises(QueryError):
+            planner.explain("not a query")
+
+    def test_describe_mentions_path_and_reason(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=CohortZoneMap(loaded_table)
+        )
+        text = planner.explain(RangePredicate("a", 0, 10)).describe()
+        assert "zonemap" in text and "[0, 10)" in text
+
+
+class TestPlanReport:
+    def test_report_counts_paths_and_pruning(self, loaded_table):
+        zone_map = CohortZoneMap(loaded_table)
+        index = BlockRangeIndex(loaded_table, "a", block_size=32)
+        planner = QueryPlanner(
+            loaded_table, mode="auto", zone_map=zone_map, indexes=[index]
+        )
+        executor = QueryExecutor(
+            loaded_table, record_access=False, planner=planner
+        )
+        executor.execute_range(RangeQuery(RangePredicate("a", 0, 10)), epoch=4)
+        executor.execute_aggregate(
+            AggregateQuery(AggregateFunction.AVG, "a"), epoch=4
+        )
+        stats = planner.stats()
+        assert stats["queries_planned"] == 2
+        assert stats["paths"]["index"] == 1
+        assert stats["paths"]["scan"] == 1
+        assert stats["rows_pruned"] > 0
+        report = planner.plan_report()
+        assert "2 queries planned" in report
+        assert "BlockRangeIndex on 'a'" in report
+        assert "last plan" in report
+
+    def test_empty_report_renders(self, loaded_table):
+        planner = QueryPlanner(loaded_table, mode="scan")
+        report = planner.plan_report()
+        assert "0 queries planned" in report
+        assert "structures: none" in report
+
+
+class TestExecutorIntegration:
+    def test_executor_default_planner_is_scan(self, loaded_table):
+        executor = QueryExecutor(loaded_table, record_access=False)
+        assert executor.planner.mode == "scan"
+        executor.execute_range(RangeQuery(RangePredicate("a", 0, 10)), epoch=4)
+        assert executor.planner.last_execution.plan.mode == "scan"
+        assert "scan" in executor.plan_report()
+
+    def test_executor_rejects_foreign_planner(self, loaded_table):
+        other = Table("other", ["a"])
+        other.insert_batch(0, {"a": [1]})
+        with pytest.raises(QueryError):
+            QueryExecutor(loaded_table, planner=QueryPlanner(other))
+
+    def test_zonemap_rows_considered_shrinks(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="zonemap", zone_map=CohortZoneMap(loaded_table)
+        )
+        executor = QueryExecutor(
+            loaded_table, record_access=False, planner=planner
+        )
+        executor.execute_range(RangeQuery(RangePredicate("a", 0, 10)), epoch=4)
+        execution = planner.last_execution
+        assert execution.rows_considered == 50  # one cohort, not 150
+        assert execution.rows_pruned == 100

@@ -91,3 +91,126 @@ class TestCohortLog:
         log = CohortLog()
         assert log.total_rows == 0
         assert log.latest_epoch == -1
+
+
+class TestCohortZoneMap:
+    def _table(self):
+        from repro.storage import Table
+
+        table = Table("t", ["a", "b"])
+        table.insert_batch(0, {"a": [5, 7, 9], "b": [50, 70, 90]})
+        table.insert_batch(1, {"a": [100, 110], "b": [1, 2]})
+        return table
+
+    def test_tracks_bounds_and_active_counts(self):
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table)
+        mins, maxs = zm.bounds("a")
+        assert mins.tolist() == [5, 100]
+        assert maxs.tolist() == [9, 110]
+        assert zm.active_counts().tolist() == [3, 2]
+        assert zm.cohort_count == 2
+        assert zm.covers("a") and zm.covers("b")
+
+    def test_candidate_ranges_prune_by_value(self):
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table)
+        assert zm.candidate_ranges("a", 0, 50) == [(0, 3)]
+        assert zm.candidate_ranges("a", 105, 200) == [(3, 5)]
+        assert zm.candidate_ranges("a", 0, 200) == [(0, 3), (3, 5)]
+        assert zm.candidate_ranges("a", 20, 90) == []
+
+    def test_forget_updates_counts_not_bounds(self):
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table)
+        table.forget(np.array([0, 1, 2]), epoch=2)
+        assert zm.active_counts().tolist() == [0, 2]
+        # Bounds stay as safe insert-time zones.
+        mins, _ = zm.bounds("a")
+        assert mins.tolist() == [5, 100]
+        assert zm.candidate_ranges("a", 0, 50, require="active") == []
+        assert zm.candidate_ranges("a", 0, 50, require="forgotten") == [(0, 3)]
+        assert zm.candidate_ranges("a", 105, 200, require="forgotten") == []
+
+    def test_late_attachment_backfills_history(self):
+        """A zone map attached after inserts AND forgets is immediately exact."""
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        table.forget(np.array([1, 3]), epoch=2)
+        zm = CohortZoneMap(table)
+        mins, maxs = zm.bounds("a")
+        assert mins.tolist() == [5, 100]
+        assert maxs.tolist() == [9, 110]
+        assert zm.active_counts().tolist() == [2, 1]
+
+    def test_incremental_matches_late_attachment(self):
+        """Observer-maintained stats equal stats rebuilt from scratch."""
+        from repro.storage import CohortZoneMap, Table
+
+        rng = np.random.default_rng(3)
+        live = Table("live", ["a"])
+        zm_live = CohortZoneMap(live)
+        for epoch in range(6):
+            live.insert_batch(epoch, {"a": rng.integers(0, 1000, 40)})
+            victims = np.flatnonzero(rng.random(live.total_rows) < 0.2)
+            live.forget(victims, epoch=epoch)
+        zm_late = CohortZoneMap(live)
+        assert zm_live.active_counts().tolist() == zm_late.active_counts().tolist()
+        assert zm_live.bounds("a")[0].tolist() == zm_late.bounds("a")[0].tolist()
+        assert zm_live.bounds("a")[1].tolist() == zm_late.bounds("a")[1].tolist()
+
+    def test_unknown_column_and_bad_require(self):
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table, columns=["a"])
+        assert not zm.covers("b")
+        with pytest.raises(StorageError):
+            zm.candidate_ranges("b", 0, 10)
+        with pytest.raises(StorageError):
+            zm.candidate_ranges("a", 0, 10, require="nope")
+        with pytest.raises(StorageError):
+            CohortZoneMap(table, columns=[])
+
+    def test_pruned_fraction_and_nbytes(self):
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table)
+        assert zm.pruned_fraction("a", 0, 50) == pytest.approx(2 / 5)
+        assert zm.nbytes() > 0
+
+    def test_reregistration_replay_is_idempotent(self):
+        """remove + re-add must not corrupt counts (backfill replays)."""
+        from repro.storage import CohortZoneMap
+
+        table = self._table()
+        zm = CohortZoneMap(table)
+        table.forget(np.array([0]), epoch=2)
+        before = zm.active_counts().tolist()
+        table.remove_observer(zm)
+        table.add_observer(zm)  # backfill replays all history
+        assert zm.active_counts().tolist() == before == [2, 2]
+        assert zm.candidate_ranges("a", 0, 50, require="forgotten") == [(0, 3)]
+
+
+class TestCohortLogIndexOf:
+    def test_index_of_vectorised(self):
+        log = CohortLog()
+        log.record(0, 0, 100)
+        log.record(1, 100, 120)
+        assert log.index_of(np.array([0, 99, 100, 119])).tolist() == [0, 0, 1, 1]
+
+    def test_index_of_empty_and_bounds(self):
+        log = CohortLog()
+        log.record(0, 0, 10)
+        assert log.index_of(np.array([], dtype=np.int64)).size == 0
+        with pytest.raises(IndexError):
+            log.index_of(np.array([10]))

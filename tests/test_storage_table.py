@@ -130,17 +130,42 @@ class TestObservers:
 
     def test_observer_notified(self, small_table):
         recorder = self.Recorder()
-        small_table.add_observer(recorder)
+        small_table.add_observer(recorder, backfill=False)
         small_table.insert_batch(1, {"a": [7, 8]})
         small_table.forget(np.array([0, 1]), epoch=1)
         assert recorder.inserted == [[100, 101]]
         assert recorder.forgotten == [[0, 1]]
 
-    def test_observer_sees_only_new_forgets(self, small_table):
+    def test_registration_backfills_existing_rows(self, small_table):
+        recorder = self.Recorder()
+        small_table.forget(np.array([0]), epoch=1)
+        small_table.add_observer(recorder)
+        assert recorder.inserted == [list(range(100))]
+        assert recorder.forgotten == [[0]]
+
+    def test_backfilled_observer_sees_only_new_forgets_afterwards(
+        self, small_table
+    ):
         recorder = self.Recorder()
         small_table.forget(np.array([0]), epoch=1)
         small_table.add_observer(recorder)
         small_table.forget(np.array([0, 1]), epoch=2)
+        # Backfill delivered [0]; the live stream adds only the new [1].
+        assert recorder.forgotten == [[0], [1]]
+
+    def test_backfill_skipped_on_empty_table(self):
+        table = Table("t", ["a"])
+        recorder = self.Recorder()
+        table.add_observer(recorder)
+        assert recorder.inserted == []
+        assert recorder.forgotten == []
+
+    def test_backfill_opt_out_sees_only_live_stream(self, small_table):
+        recorder = self.Recorder()
+        small_table.forget(np.array([0]), epoch=1)
+        small_table.add_observer(recorder, backfill=False)
+        small_table.forget(np.array([0, 1]), epoch=2)
+        assert recorder.inserted == []
         assert recorder.forgotten == [[1]]
 
     def test_observer_registration_errors(self, small_table):
