@@ -72,7 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "query access-path mode for every simulator the experiment "
-            "builds (default: auto; results are identical across modes)"
+            "builds (default: auto; 'cost' picks paths from cardinality "
+            "estimates; results are identical across modes)"
         ),
     )
     return parser

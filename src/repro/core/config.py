@@ -71,9 +71,11 @@ class SimulationConfig:
         ``"auto"`` (default) prunes through cohort zone maps or
         indexes when possible, ``"scan"`` forces the historical
         full-oracle scan, ``"zonemap"``/``"index"`` force one path
-        (falling back gracefully when its structure is missing).
-        Every mode returns bit-identical results; only the work done
-        per query differs.
+        (falling back gracefully when its structure is missing), and
+        ``"cost"`` prices every applicable path from the zone map's
+        cardinality estimates and picks the cheapest.  Every mode
+        returns bit-identical results; only the work done per query
+        differs.
     """
 
     dbsize: int = 1000

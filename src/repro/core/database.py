@@ -71,10 +71,15 @@ class AmnesiaDatabase:
     plan:
         Query access-path mode (see :mod:`repro.query.planner`).  Any
         mode other than ``"scan"`` attaches a cohort zone map so range
-        queries can prune cohorts; ``"index"`` plans additionally need
+        queries can prune cohorts (and, under ``"cost"``, feed the
+        cardinality estimates); ``"index"`` plans additionally need
         an index created via :meth:`create_index`.  ``None`` (default)
         resolves to :func:`repro.core.config.default_plan`, so the
         CLI's ``--plan`` flag also reaches facade-backed experiments.
+    value_bounds:
+        Optional ``{column: (low, high)}`` invariants handed to the
+        planner — a range shard declares its partition bounds here so
+        out-of-range probes are answered from statistics alone.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class AmnesiaDatabase:
         disposition=None,
         table_name: str = "amnesia_db",
         plan: str | None = None,
+        value_bounds: dict | None = None,
     ):
         if budget < 1:
             raise ConfigError(f"budget must be >= 1, got {budget}")
@@ -98,7 +104,12 @@ class AmnesiaDatabase:
         zone_map = (
             CohortZoneMap(self.table) if self.plan_mode != "scan" else None
         )
-        self.planner = QueryPlanner(self.table, mode=self.plan_mode, zone_map=zone_map)
+        self.planner = QueryPlanner(
+            self.table,
+            mode=self.plan_mode,
+            zone_map=zone_map,
+            value_bounds=value_bounds,
+        )
         self.executor = QueryExecutor(
             self.table, record_access=True, planner=self.planner
         )
@@ -167,6 +178,22 @@ class AmnesiaDatabase:
         query = RangeQuery(RangePredicate(column, low, high))
         return self.executor.execute_range(query, self._epoch)
 
+    @staticmethod
+    def _aggregate_query(
+        function: AggregateFunction | str,
+        column: str,
+        low: int | None,
+        high: int | None,
+    ) -> AggregateQuery:
+        """Validate window bounds and build the query (shared by both
+        the scalar and the moments aggregate paths)."""
+        if (low is None) != (high is None):
+            raise ConfigError("supply both low and high, or neither")
+        predicate = None
+        if low is not None and high is not None:
+            predicate = RangePredicate(column, low, high)
+        return AggregateQuery(AggregateFunction(function), column, predicate)
+
     def aggregate(
         self,
         function: AggregateFunction | str,
@@ -175,13 +202,26 @@ class AmnesiaDatabase:
         high: int | None = None,
     ) -> AggregateResult:
         """Aggregate over the whole table or over a range window."""
-        predicate = None
-        if (low is None) != (high is None):
-            raise ConfigError("supply both low and high, or neither")
-        if low is not None and high is not None:
-            predicate = RangePredicate(column, low, high)
-        query = AggregateQuery(AggregateFunction(function), column, predicate)
+        query = self._aggregate_query(function, column, low, high)
         return self.executor.execute_aggregate(query, self._epoch)
+
+    def aggregate_moments(
+        self,
+        function: AggregateFunction | str,
+        column: str,
+        low: int | None = None,
+        high: int | None = None,
+    ):
+        """Mergeable twin of :meth:`aggregate`: (active, missed) moments.
+
+        Same validation and planner-routed execution as
+        :meth:`aggregate`, but returns per-view
+        :class:`~repro.stats.StreamingMoments` for callers (the
+        partitioned store) that must merge across databases before
+        finalizing.
+        """
+        query = self._aggregate_query(function, column, low, high)
+        return self.executor.execute_moments(query, self._epoch)
 
     # -- indexing ---------------------------------------------------------
 
@@ -202,6 +242,10 @@ class AmnesiaDatabase:
         return self.planner.register_index(factory(self.table, column, **kwargs))
 
     # -- introspection -----------------------------------------------------------
+
+    def explain(self, column: str, low: int, high: int):
+        """Preview the access path for a range query without running it."""
+        return self.planner.explain(RangePredicate(column, low, high))
 
     def plan_report(self) -> str:
         """EXPLAIN-style report of the planner's activity so far."""

@@ -81,6 +81,29 @@ class HashIndex(Index):
         )
         return ProbeResult(positions=positions, entries_touched=touched)
 
+    def estimate_entries(self, low: int, high: int) -> int | None:
+        """Exact probe cost: one lookup per value plus the bucket sizes.
+
+        Work is bounded by min(range width, distinct values): wide
+        ranges are priced by sweeping the buckets instead of the value
+        range, so the estimate stays cheap however wide the probe.
+        """
+        if self._dropped:
+            return None
+        low, high = int(low), int(high)
+        width = max(high - low, 0)
+        if width <= len(self._buckets):
+            return sum(
+                len(self._buckets.get(value, ())) + 1
+                for value in range(low, high)
+            )
+        matches = sum(
+            len(bucket)
+            for value, bucket in self._buckets.items()
+            if low <= value < high
+        )
+        return matches + width
+
     def nbytes(self) -> int:
         if self._dropped:
             return 0

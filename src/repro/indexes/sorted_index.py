@@ -125,6 +125,14 @@ class SortedIndex(Index):
         )
         return ProbeResult(positions=positions, entries_touched=touched)
 
+    def estimate_entries(self, low: int, high: int) -> int | None:
+        """Exact probe cost: sorted-run hits plus the full delta buffer."""
+        if self._dropped:
+            return None
+        lo = int(np.searchsorted(self._values, low, side="left"))
+        hi = int(np.searchsorted(self._values, high, side="left"))
+        return hi - lo + self._delta_size
+
     def nbytes(self) -> int:
         if self._dropped:
             return 0

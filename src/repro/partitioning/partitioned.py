@@ -7,9 +7,28 @@
 
 A :class:`PartitionedAmnesiaDatabase` splits the value domain into
 range partitions, each backed by its own
-:class:`~repro.core.database.AmnesiaDatabase` with its own budget and
-policy.  Queries fan out to the overlapping partitions, results merge
-exactly, and per-partition query traffic is tracked so that
+:class:`~repro.core.database.AmnesiaDatabase` with its own budget,
+policy and — crucially — its own :class:`~repro.query.planner.
+QueryPlanner`.  Every read executes *through* the per-shard planners:
+each shard declares its partition bounds as first-class planner value
+bounds, so "does this query touch this shard?" is a planner decision
+(a ``pruned`` plan answered from statistics) rather than topology code
+around the query stack, and within a shard the planner picks
+scan/zonemap/index/cost paths exactly as it does for a single table.
+
+Edge partitions absorb out-of-domain values (inserts clamp *routing*,
+never the stored values), so their declared bounds are open-ended —
+which is also what makes out-of-range queries exact: a probe below
+``b0`` or above ``bP`` still reaches the edge shard that stored those
+rows.
+
+Merging is exact: RF/MF counts add up, and aggregates — including the
+windowed and VAR/STD forms — merge per-shard
+:class:`~repro.stats.StreamingMoments` with Chan's rule before
+finalizing, so AVG/VAR/STD come out as one global computation, not an
+average of averages.
+
+Per-partition query traffic is tracked so that
 :meth:`~PartitionedAmnesiaDatabase.rebalance` can *move budget toward
 the partitions the workload actually reads* — hot regions keep more
 history, cold regions forget aggressively.
@@ -25,17 +44,27 @@ from .._util.errors import ConfigError, QueryError
 from .._util.rng import DEFAULT_SEED, derive_seed
 from ..amnesia.base import AmnesiaPolicy
 from ..core.database import AmnesiaDatabase
+from ..query.planner import QueryPlan
+from ..query.predicates import RangePredicate
 from ..query.queries import AggregateFunction
+from ..stats.moments import StreamingMoments
 
 __all__ = ["MergedRangeResult", "Partition", "PartitionedAmnesiaDatabase"]
 
 
 @dataclass(frozen=True)
 class MergedRangeResult:
-    """A range result merged across partitions (counts only)."""
+    """A range result merged across partitions (counts only).
+
+    ``shards_executed``/``shards_pruned`` record the fan-out the
+    planners actually allowed: pruned shards answered from their value
+    bounds without touching data.
+    """
 
     rf: int
     mf: int
+    shards_executed: int = 0
+    shards_pruned: int = 0
 
     @property
     def oracle_count(self) -> int:
@@ -49,7 +78,12 @@ class MergedRangeResult:
 
 
 class Partition:
-    """One value-range shard: ``[low, high)`` with its own amnesia."""
+    """One value-range shard: ``[low, high)`` with its own amnesia.
+
+    ``low``/``high`` are the routing cut points; the *declared* planner
+    bounds are open-ended at the domain edges (``edge_low``/
+    ``edge_high``) because inserts clamp routing, not values.
+    """
 
     def __init__(
         self,
@@ -60,6 +94,9 @@ class Partition:
         policy: AmnesiaPolicy,
         column: str,
         seed: int,
+        plan: str | None = None,
+        edge_low: bool = False,
+        edge_high: bool = False,
     ):
         if high <= low:
             raise ConfigError(f"partition range [{low}, {high}) is empty")
@@ -67,12 +104,16 @@ class Partition:
         self.low = int(low)
         self.high = int(high)
         self.column = column
+        self.bound_low = None if edge_low else self.low
+        self.bound_high = None if edge_high else self.high
         self.db = AmnesiaDatabase(
             budget=budget,
             policy=policy,
             columns=(column,),
             seed=seed,
             table_name=f"partition_{index}",
+            plan=plan,
+            value_bounds={column: (self.bound_low, self.bound_high)},
         )
         self.query_hits = 0
 
@@ -82,8 +123,17 @@ class Partition:
         return self.db.budget
 
     def covers(self, low: int, high: int) -> bool:
-        """Does ``[low, high)`` intersect this partition's range?"""
-        return low < self.high and high > self.low
+        """Does ``[low, high)`` intersect this shard's *declared* bounds?
+
+        Edge shards are open-ended (they store clamped-in values), so
+        a query outside ``[b0, bP)`` still covers the edge shard — the
+        symmetric counterpart of insert-side clamping.
+        """
+        if high <= low:
+            return False
+        below = self.bound_high is not None and low >= self.bound_high
+        above = self.bound_low is not None and high <= self.bound_low
+        return not (below or above)
 
     def set_budget(self, budget: int) -> None:
         """Adjust the budget; shrinking forgets down immediately."""
@@ -100,7 +150,7 @@ class Partition:
 
 
 class PartitionedAmnesiaDatabase:
-    """Range-partitioned store with per-partition amnesia.
+    """Range-partitioned store with per-partition amnesia and planning.
 
     Parameters
     ----------
@@ -108,13 +158,19 @@ class PartitionedAmnesiaDatabase:
         The partitioning (and only) column.
     boundaries:
         Sorted cut points ``[b0, b1, ..., bP]`` defining partitions
-        ``[b_i, b_{i+1})``.  Values outside ``[b0, bP)`` are clamped
-        into the edge partitions.
+        ``[b_i, b_{i+1})``.  Values outside ``[b0, bP)`` are routed
+        into the edge partitions (the stored values stay unclamped,
+        and the edge shards' planner bounds are open-ended to match).
     total_budget:
         Tuple budget shared by all partitions (split evenly at start).
     policy_factory:
         Zero-argument callable producing a fresh policy per partition
         (policies are stateful, so they must not be shared).
+    plan:
+        Access-path mode for every shard's planner (see
+        :mod:`repro.query.planner`); ``None`` resolves to
+        :func:`repro.core.config.default_plan`.  ``"cost"`` prices
+        paths per shard from its cohort statistics.
 
     >>> from repro.amnesia import FifoAmnesia
     >>> pdb = PartitionedAmnesiaDatabase(
@@ -132,6 +188,7 @@ class PartitionedAmnesiaDatabase:
         total_budget: int,
         policy_factory,
         seed: int = DEFAULT_SEED,
+        plan: str | None = None,
     ):
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
@@ -157,10 +214,16 @@ class PartitionedAmnesiaDatabase:
                 policy=policy_factory(),
                 column=column,
                 seed=derive_seed(seed, f"partition-{i}"),
+                plan=plan,
+                edge_low=(i == 0),
+                edge_high=(i == n_partitions - 1),
             )
             for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
         ]
         self._bounds = bounds
+        # All shards resolve plan=None identically; read the mode back
+        # from the first shard's planner.
+        self.plan_mode = self._partitions[0].db.plan_mode
 
     # -- topology --------------------------------------------------------
 
@@ -206,60 +269,121 @@ class PartitionedAmnesiaDatabase:
     # -- reads ----------------------------------------------------------------
 
     def range_query(self, low: int, high: int) -> MergedRangeResult:
-        """Fan a range query out and merge RF/MF exactly."""
-        rf = mf = 0
+        """Fan a range query out through the shard planners; merge exactly.
+
+        Every shard holding data executes through its own planner; the
+        planner prunes shards whose declared value bounds exclude the
+        range (a ``pruned`` plan — zero rows considered).  Query
+        traffic for :meth:`rebalance` counts shards the range *covers*
+        (a plan-independent statistic), never shards a particular plan
+        mode happened to execute — otherwise rebalancing, and with it
+        every downstream budget and forgetting decision, would diverge
+        between ``scan`` and the pruned modes.
+        """
+        if high < low:
+            raise QueryError(f"range [{low}, {high}) is reversed")
+        if high == low:
+            # An empty range matches nothing under any mode; answering
+            # here keeps the executed/pruned classification below in
+            # lock-step with the planners' own bounds test (which does
+            # not prune empty ranges — it would execute them for 0
+            # rows) and counts no query traffic, like covers().
+            return MergedRangeResult(rf=0, mf=0)
+        rf = mf = executed = pruned = 0
         for partition in self._partitions:
-            if not partition.covers(low, high):
-                continue
-            partition.query_hits += 1
+            covered = partition.covers(low, high)
+            if covered:
+                partition.query_hits += 1
+            if partition.db.total_rows == 0:
+                continue  # an empty relation has nothing to plan over
             result = partition.db.range_query(self.column, low, high)
+            # Classify the fan-out from the same bounds test the shard
+            # planner prunes by (scan mode never prunes) — not from the
+            # planner's mutable last_execution, which a concurrent
+            # query could have overwritten.  Counts always accumulate;
+            # a pruned shard's result is empty by construction.
+            if covered or partition.db.plan_mode == "scan":
+                executed += 1
+            else:
+                pruned += 1
             rf += result.rf
             mf += result.mf
-        return MergedRangeResult(rf=rf, mf=mf)
+        return MergedRangeResult(
+            rf=rf, mf=mf, shards_executed=executed, shards_pruned=pruned
+        )
 
-    def aggregate(self, function: AggregateFunction | str) -> tuple[float | None, float | None]:
-        """Whole-store aggregate: (amnesiac, oracle), merged exactly.
+    def aggregate(
+        self,
+        function: AggregateFunction | str,
+        low: int | None = None,
+        high: int | None = None,
+    ) -> tuple[float | None, float | None]:
+        """Aggregate across shards: ``(amnesiac, oracle)``, merged exactly.
 
-        AVG merges through per-partition SUM and COUNT; MIN/MAX/SUM/
-        COUNT merge directly.
+        Supports every :class:`AggregateFunction` — including VAR/STD —
+        and optional ``[low, high)`` windows, matching
+        :meth:`repro.core.database.AmnesiaDatabase.aggregate`.  Each
+        shard contributes per-view :class:`~repro.stats.
+        StreamingMoments` (computed through its planner); the moments
+        merge in shard order via Chan's rule and the function is
+        finalized once over the merged accumulator, so AVG/VAR/STD are
+        the exact global statistics, not averages of shard answers.
         """
         function = AggregateFunction(function)
-        if function in (AggregateFunction.VAR, AggregateFunction.STD):
-            raise QueryError(
-                "variance aggregates are not supported across partitions"
+        if (low is None) != (high is None):
+            raise ConfigError("supply both low and high, or neither")
+        active = StreamingMoments()
+        oracle = StreamingMoments()
+        for partition in self._partitions:
+            if partition.db.total_rows == 0:
+                continue
+            active_part, missed_part = partition.db.aggregate_moments(
+                function, self.column, low, high
             )
+            active.merge(active_part)
+            oracle.merge(active_part)
+            oracle.merge(missed_part)
+        return function.from_moments(active), function.from_moments(oracle)
 
-        def merged(kind: str) -> tuple[float | None, float | None]:
-            amnesiac_parts, oracle_parts = [], []
-            for partition in self._partitions:
-                result = partition.db.aggregate(kind, self.column)
-                if result.amnesiac_value is not None:
-                    amnesiac_parts.append(result.amnesiac_value)
-                if result.oracle_value is not None:
-                    oracle_parts.append(result.oracle_value)
-            combine = {
-                "sum": sum, "count": sum, "min": min, "max": max,
-            }[kind]
-            return (
-                combine(amnesiac_parts) if amnesiac_parts else None,
-                combine(oracle_parts) if oracle_parts else None,
-            )
+    # -- planning introspection ---------------------------------------------
 
-        if function is AggregateFunction.AVG:
-            amnesiac_sum, oracle_sum = merged("sum")
-            amnesiac_count, oracle_count = merged("count")
-            amnesiac = (
-                amnesiac_sum / amnesiac_count
-                if amnesiac_sum is not None and amnesiac_count
-                else None
+    def explain(self, low: int, high: int) -> list[tuple[int, QueryPlan]]:
+        """Preview each shard's plan for ``[low, high)`` (no execution).
+
+        Returns ``(partition_index, plan)`` pairs in range order —
+        pruned shards show up with a ``pruned`` plan, making the
+        planner's fan-out decision inspectable before paying for it.
+        """
+        predicate = RangePredicate(self.column, low, high)
+        return [
+            (partition.index, partition.db.planner.plan(predicate))
+            for partition in self._partitions
+        ]
+
+    def plan_report(self) -> str:
+        """Unified EXPLAIN-style report across every shard's planner."""
+        totals = {"considered": 0, "pruned_rows": 0, "pruned_shards": 0}
+        lines = [
+            f"PartitionedAmnesiaDatabase(plan={self.plan_mode!r}) — "
+            f"{self.partition_count} shard(s), "
+            f"budget {self.total_budget}"
+        ]
+        for partition in self._partitions:
+            stats = partition.db.planner.stats()
+            totals["considered"] += stats["rows_considered"]
+            totals["pruned_rows"] += stats["rows_pruned"]
+            totals["pruned_shards"] += stats["paths"]["pruned"]
+            lines.append(f"shard {partition.index} [{partition.low}, {partition.high}):")
+            lines.extend(
+                "  " + line
+                for line in partition.db.plan_report().splitlines()
             )
-            oracle = (
-                oracle_sum / oracle_count
-                if oracle_sum is not None and oracle_count
-                else None
-            )
-            return amnesiac, oracle
-        return merged(function.value)
+        lines.append(
+            f"totals: rows considered {totals['considered']:,} / "
+            f"pruned {totals['pruned_rows']:,}; "
+            f"shard-level prunes {totals['pruned_shards']}"
+        )
+        return "\n".join(lines)
 
     # -- adaptation ----------------------------------------------------------------
 
@@ -300,11 +424,16 @@ class PartitionedAmnesiaDatabase:
             "total_rows": self.total_rows,
             "budgets": [p.budget for p in self._partitions],
             "query_hits": [p.query_hits for p in self._partitions],
+            "plan": self.plan_mode,
+            "shard_prunes": [
+                p.db.planner.stats()["paths"]["pruned"]
+                for p in self._partitions
+            ],
         }
 
     def __repr__(self) -> str:
         return (
             f"PartitionedAmnesiaDatabase(column={self.column!r}, "
             f"partitions={self.partition_count}, "
-            f"budget={self.total_budget})"
+            f"budget={self.total_budget}, plan={self.plan_mode!r})"
         )

@@ -8,6 +8,7 @@ from .generators import (
     RangeQueryGenerator,
 )
 from .planner import (
+    EXECUTED_MODES,
     PLAN_MODES,
     PlanExecution,
     QueryPlan,
@@ -32,6 +33,7 @@ from .queries import (
 
 __all__ = [
     "QueryExecutor",
+    "EXECUTED_MODES",
     "PLAN_MODES",
     "PlanExecution",
     "QueryPlan",

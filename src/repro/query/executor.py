@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util.errors import QueryError
+from ..stats.moments import StreamingMoments
 from ..storage.table import Table
 from .planner import QueryPlanner
 from .queries import (
@@ -103,8 +104,17 @@ class QueryExecutor:
 
     # -- aggregate queries -----------------------------------------------------
 
-    def execute_aggregate(self, query: AggregateQuery, epoch: int) -> AggregateResult:
-        """Run an aggregate; computes amnesiac and oracle values."""
+    def _aggregate_matches(
+        self, query: AggregateQuery, epoch: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared front half of both aggregate paths.
+
+        Validation, planner-routed matching and access accounting live
+        here once, so the scalar and moments paths cannot drift — the
+        equivalence suite's "policy-visible state cannot tell the two
+        apart" invariant hangs on that.  Returns (active, missed,
+        column values).
+        """
         if not self.table.has_column(query.column):
             raise QueryError(
                 f"aggregate column {query.column!r} not in table "
@@ -114,18 +124,42 @@ class QueryExecutor:
         active, missed, _ = self.planner.match(
             query.effective_predicate(), query.columns
         )
-        column_values = self.table.values(query.column)
+        if self.record_access:
+            self.table.record_access(active, epoch)
+        return active, missed, self.table.values(query.column)
+
+    def execute_aggregate(self, query: AggregateQuery, epoch: int) -> AggregateResult:
+        """Run an aggregate; computes amnesiac and oracle values."""
+        active, missed, column_values = self._aggregate_matches(query, epoch)
         amnesiac = query.function.compute(column_values[active])
         oracle_positions = np.concatenate([active, missed])
         oracle = query.function.compute(column_values[oracle_positions])
-        if self.record_access:
-            self.table.record_access(active, epoch)
         return AggregateResult(
             query=query,
             amnesiac_value=amnesiac,
             oracle_value=oracle,
             active_matches=int(active.size),
             oracle_matches=int(active.size + missed.size),
+        )
+
+    def execute_moments(
+        self, query: AggregateQuery, epoch: int
+    ) -> tuple[StreamingMoments, StreamingMoments]:
+        """Run an aggregate, returning (active, missed) moment bundles.
+
+        The mergeable form of :meth:`execute_aggregate`: instead of
+        finalized values it returns one
+        :class:`~repro.stats.StreamingMoments` per view side, which a
+        sharded store can merge across shards (Chan's rule) before
+        finalizing — the only way AVG/VAR/STD stay exact under
+        partitioning.  Matching goes through the planner and access
+        accounting is identical to the scalar path, so policy-visible
+        state cannot tell the two apart.
+        """
+        active, missed, column_values = self._aggregate_matches(query, epoch)
+        return (
+            StreamingMoments.of(column_values[active]),
+            StreamingMoments.of(column_values[missed]),
         )
 
     # -- generic dispatch -------------------------------------------------------

@@ -31,6 +31,25 @@ the same ``rf``/``mf``/precision and the same float aggregates):
     Prefer ``index`` when a suitable index covers the predicate
     column, else ``zonemap`` when a zone map covers it, else ``scan``.
 
+``cost``
+    Cardinality-based selection: every applicable path is priced in
+    rows-considered — the zone map's :meth:`~repro.storage.cohorts.
+    CohortZoneMap.estimate` supplies pruned-scan costs and per-cohort
+    selectivity estimates, each index prices its own probe via
+    :meth:`~repro.indexes.Index.estimate_entries` — and the cheapest
+    plan wins.  Unlike ``auto``'s fixed index>zonemap>scan preference,
+    ``cost`` will scan past an index whose probe would touch more rows
+    than a pruned scan (e.g. a coarse BRIN, or a sorted index dragging
+    a large unmerged delta buffer).
+
+A planner may also carry *value bounds* — declared invariants on the
+values a column can hold, e.g. a range shard's partition bounds.  A
+probe provably outside the bounds short-circuits to a ``pruned`` plan
+that answers the query without touching any data, which is how shard
+pruning becomes a planner decision rather than topology code around
+it.  ``scan`` mode ignores value bounds on purpose: it stays the
+trust-nothing ground truth the equivalence harness compares against.
+
 Only single-column bounds (``RangePredicate`` / ``PointPredicate``) are
 prunable; composite and ``TruePredicate`` queries fall back to ``scan``
 regardless of the configured mode, and a forced mode degrades
@@ -58,10 +77,20 @@ from ..storage.table import Table
 from .predicates import PointPredicate, Predicate, RangePredicate
 from .queries import AggregateQuery, RangeQuery
 
-__all__ = ["PLAN_MODES", "QueryPlan", "PlanExecution", "QueryPlanner"]
+__all__ = [
+    "EXECUTED_MODES",
+    "PLAN_MODES",
+    "QueryPlan",
+    "PlanExecution",
+    "QueryPlanner",
+]
 
 #: Plan modes accepted by the planner, the config knob and the CLI.
-PLAN_MODES = ("auto", "scan", "zonemap", "index")
+PLAN_MODES = ("auto", "scan", "zonemap", "index", "cost")
+
+#: Access paths a plan can execute (``pruned`` answers from statistics
+#: alone and touches no data).
+EXECUTED_MODES = ("scan", "zonemap", "index", "pruned")
 
 #: Widest range (in distinct integer values) routed to a hash index —
 #: hash range probes degrade to one lookup per value in the range.
@@ -83,6 +112,9 @@ class QueryPlan:
     low: int | None = None
     high: int | None = None
     index: Index | None = None
+    #: Cost-model prediction of rows the chosen path considers (only
+    #: set by ``cost`` plans and ``pruned`` short-circuits).
+    estimated_rows: float | None = None
 
     def describe(self) -> str:
         """Human-readable one-line plan description."""
@@ -90,7 +122,12 @@ class QueryPlan:
         if self.column is not None:
             target = f" on {self.column!r} [{self.low}, {self.high})"
         via = f" via {type(self.index).__name__}" if self.index is not None else ""
-        return f"{self.mode}{target}{via} — {self.reason}"
+        est = (
+            f" (≈{self.estimated_rows:.0f} rows)"
+            if self.estimated_rows is not None
+            else ""
+        )
+        return f"{self.mode}{target}{via}{est} — {self.reason}"
 
 
 @dataclass(frozen=True)
@@ -127,6 +164,13 @@ class QueryPlanner:
     indexes:
         Iterable of :class:`~repro.indexes.Index` instances over
         ``table`` to consider for index plans.
+    value_bounds:
+        Optional ``{column: (low, high)}`` invariants declared by the
+        table's owner: every value in ``column`` is guaranteed to lie
+        in ``[low, high)`` (either side may be ``None`` for unbounded).
+        A range shard declares its partition bounds here, so probes
+        outside them are answered as empty ``pruned`` plans without
+        touching data.
     """
 
     def __init__(
@@ -136,17 +180,21 @@ class QueryPlanner:
         mode: str = "auto",
         zone_map: CohortZoneMap | None = None,
         indexes=(),
+        value_bounds: dict | None = None,
     ):
         self.table = table
         self.mode = check_in(mode, PLAN_MODES, "plan mode")
         if zone_map is not None and zone_map.table is not table:
             raise QueryError("zone map observes a different table")
         self.zone_map = zone_map
+        self._value_bounds: dict[str, tuple[int | None, int | None]] = {}
+        for column, bounds in (value_bounds or {}).items():
+            self.declare_value_bounds(column, *bounds)
         self._indexes: dict[str, list[Index]] = {}
         for index in indexes:
             self.register_index(index)
         self._executions = 0
-        self._mode_counts = {"scan": 0, "zonemap": 0, "index": 0}
+        self._mode_counts = {mode_: 0 for mode_ in EXECUTED_MODES}
         self._rows_considered = 0
         self._rows_pruned = 0
         self._last: PlanExecution | None = None
@@ -167,6 +215,27 @@ class QueryPlanner:
     def indexes_on(self, column: str) -> tuple[Index, ...]:
         """Registered indexes for ``column`` (possibly dropped ones too)."""
         return tuple(self._indexes.get(column, ()))
+
+    def declare_value_bounds(
+        self, column: str, low: int | None, high: int | None
+    ) -> None:
+        """Declare that every value in ``column`` lies in ``[low, high)``.
+
+        The caller vouches for the invariant (e.g. a partitioned store
+        that routes inserts by these very bounds); the planner uses it
+        to answer provably-empty probes without touching the table.
+        """
+        self.table.column(column)  # validates existence
+        low = None if low is None else int(low)
+        high = None if high is None else int(high)
+        if low is not None and high is not None and high <= low:
+            raise QueryError(f"value bounds [{low}, {high}) are empty")
+        self._value_bounds[column] = (low, high)
+
+    @property
+    def value_bounds(self) -> dict[str, tuple[int | None, int | None]]:
+        """Declared per-column value invariants (a copy)."""
+        return dict(self._value_bounds)
 
     # -- planning -------------------------------------------------------
 
@@ -190,6 +259,82 @@ class QueryPlanner:
             )
         return None
 
+    def _prune_by_bounds(
+        self, column: str, low: int, high: int
+    ) -> QueryPlan | None:
+        """A ``pruned`` plan when declared bounds exclude ``[low, high)``."""
+        declared = self._value_bounds.get(column)
+        if declared is None:
+            return None
+        vlow, vhigh = declared
+        if (vhigh is not None and low >= vhigh) or (
+            vlow is not None and high <= vlow
+        ):
+            shown = f"[{'-inf' if vlow is None else vlow}, " \
+                    f"{'+inf' if vhigh is None else vhigh})"
+            return QueryPlan(
+                "pruned",
+                self.mode,
+                f"declared value bounds {shown} exclude the range",
+                column,
+                low,
+                high,
+                None,
+                0.0,
+            )
+        return None
+
+    def _plan_cost(
+        self, column: str, low: int, high: int
+    ) -> QueryPlan:
+        """Price every applicable path in rows-considered; cheapest wins."""
+        total = self.table.total_rows
+        estimate = None
+        if self.zone_map is not None and self.zone_map.covers(column):
+            estimate = self.zone_map.estimate(column, low, high)
+            missed_cost = estimate.forgotten_candidate_rows
+        else:
+            # Without a zone map the missed (M_F) side scans every
+            # forgotten position.
+            missed_cost = self.table.forgotten_count
+        # Candidates in auto's preference order, so exact cost ties
+        # resolve the same way auto would.
+        choices: list[tuple[float, str, Index | None, str]] = []
+        for index in self._indexes.get(column, ()):
+            if index.is_dropped:
+                continue
+            if isinstance(index, HashIndex) and high - low > HASH_RANGE_LIMIT:
+                continue
+            probe = index.estimate_entries(low, high)
+            if probe is None:
+                probe = estimate.est_active if estimate is not None else total
+            cost = float(probe) + float(missed_cost)
+            choices.append(
+                (cost, "index", index, f"{type(index).__name__}≈{cost:.0f}")
+            )
+        if estimate is not None:
+            choices.append(
+                (
+                    float(estimate.candidate_rows),
+                    "zonemap",
+                    None,
+                    f"zonemap={estimate.candidate_rows}",
+                )
+            )
+        choices.append((float(total), "scan", None, f"scan={total}"))
+        cost, mode, index, _ = min(choices, key=lambda choice: choice[0])
+        detail = ", ".join(choice[3] for choice in choices)
+        return QueryPlan(
+            mode,
+            "cost",
+            f"cost model picked {mode} ({detail} rows)",
+            column,
+            low,
+            high,
+            index,
+            cost,
+        )
+
     def plan(self, predicate: Predicate) -> QueryPlan:
         """Decide the access path for ``predicate`` (no execution)."""
         requested = self.mode
@@ -203,6 +348,11 @@ class QueryPlanner:
                 f"{type(predicate).__name__} has no single-column bounds",
             )
         column, low, high = bounds
+        pruned = self._prune_by_bounds(column, low, high)
+        if pruned is not None:
+            return pruned
+        if requested == "cost":
+            return self._plan_cost(column, low, high)
         if requested in ("auto", "index"):
             found = self._usable_index(column, low, high)
             if found is not None:
@@ -248,7 +398,10 @@ class QueryPlanner:
         accounting are plan-independent.
         """
         plan = self.plan(predicate)
-        if plan.mode == "zonemap":
+        if plan.mode == "pruned":
+            empty = np.empty(0, dtype=np.int64)
+            active, missed, considered = empty, empty.copy(), 0
+        elif plan.mode == "zonemap":
             active, missed, considered = self._match_zonemap(plan)
         elif plan.mode == "index":
             active, missed, considered = self._match_index(plan)
@@ -366,6 +519,7 @@ class QueryPlanner:
             "zone_map_cohorts": (
                 self.zone_map.cohort_count if self.zone_map is not None else 0
             ),
+            "value_bounds": dict(self._value_bounds),
         }
 
     def plan_report(self) -> str:
@@ -383,13 +537,22 @@ class QueryPlanner:
             )
         for column, kinds in stats["indexes"].items():
             structures.append(f"{'+'.join(kinds)} on {column!r}")
+        for column, (vlow, vhigh) in stats["value_bounds"].items():
+            structures.append(
+                f"value bounds on {column!r}: "
+                f"[{'-inf' if vlow is None else vlow}, "
+                f"{'+inf' if vhigh is None else vhigh})"
+            )
         lines.append(
             "  structures: " + ("; ".join(structures) if structures else "none")
         )
         paths = stats["paths"]
         lines.append(
             "  access paths: "
-            + ", ".join(f"{mode}={paths[mode]}" for mode in ("index", "zonemap", "scan"))
+            + ", ".join(
+                f"{mode}={paths[mode]}"
+                for mode in ("index", "zonemap", "scan", "pruned")
+            )
         )
         lines.append(
             f"  rows considered {stats['rows_considered']:,} / "

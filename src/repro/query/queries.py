@@ -69,6 +69,34 @@ class AggregateFunction(str, Enum):
             return float(values.std())
         raise QueryError(f"unhandled aggregate {self}")  # pragma: no cover
 
+    def from_moments(self, moments) -> float | None:
+        """Finalize the operator from a merged moment accumulator.
+
+        The distributed twin of :meth:`compute`: a sharded store merges
+        per-shard :class:`~repro.stats.StreamingMoments` (Chan's rule)
+        and finalizes once, which keeps AVG/VAR/STD exact across shards
+        — merging the final per-shard aggregates could not.  Empty
+        accumulators follow :meth:`compute`'s NULL semantics (COUNT
+        answers 0, everything else ``None``).
+        """
+        if moments.count == 0:
+            return 0.0 if self is AggregateFunction.COUNT else None
+        if self is AggregateFunction.AVG:
+            return float(moments.mean)
+        if self is AggregateFunction.SUM:
+            return float(moments.total)
+        if self is AggregateFunction.COUNT:
+            return float(moments.count)
+        if self is AggregateFunction.MIN:
+            return float(moments.min)
+        if self is AggregateFunction.MAX:
+            return float(moments.max)
+        if self is AggregateFunction.VAR:
+            return float(moments.variance)
+        if self is AggregateFunction.STD:
+            return float(moments.std)
+        raise QueryError(f"unhandled aggregate {self}")  # pragma: no cover
+
 
 @dataclass(frozen=True)
 class RangeQuery:

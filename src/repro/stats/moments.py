@@ -36,6 +36,13 @@ class StreamingMoments:
         self.max = -math.inf
         self.total = 0.0
 
+    @classmethod
+    def of(cls, values: np.ndarray) -> "StreamingMoments":
+        """Accumulator over one value array."""
+        moments = cls()
+        moments.update(values)
+        return moments
+
     def push(self, value: float) -> None:
         """Add a single observation."""
         self.count += 1

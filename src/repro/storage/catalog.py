@@ -1,22 +1,49 @@
-"""A minimal catalog: named tables.
+"""A catalog: named tables behind one planning surface.
 
 The paper's simulator has a fixed schema ("a collection of columns",
 §2.1); a catalog is nevertheless useful for the examples and the CLI,
 where several tables (e.g. per-sensor streams) coexist in one run.
+
+Beyond the registry, the catalog is the multi-table face of the query
+planner: every registered table lazily gets its own
+:class:`~repro.query.planner.QueryPlanner` (zone-map-backed unless the
+catalog's mode is ``"scan"``) and
+:class:`~repro.query.executor.QueryExecutor`, and the catalog exposes
+``plan()``/``explain()``/``execute()`` per table plus one
+:meth:`plan_report` spanning them all — multi-table runs share a
+single plan story instead of each call site wiring its own access
+paths.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
+from typing import TYPE_CHECKING
+
 from .._util.errors import SchemaError
+from .._util.validation import check_in
+from .cohorts import CohortZoneMap
 from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..query.executor import QueryExecutor
+    from ..query.planner import QueryPlanner
 
 __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Registry of tables by name.
+    """Registry of tables by name, each queried through a shared planner.
+
+    Parameters
+    ----------
+    plan:
+        Access-path mode for every table's planner (one of
+        :data:`~repro.query.planner.PLAN_MODES`); ``None`` resolves to
+        :func:`repro.core.config.default_plan` lazily, at first
+        planner use, so the CLI's ``--plan`` flag reaches
+        catalog-backed runs too.
 
     >>> cat = Catalog()
     >>> t = cat.create_table("obs", ["a"])
@@ -24,8 +51,32 @@ class Catalog:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, plan: str | None = None) -> None:
+        if plan is not None:
+            # Imported lazily: the query package imports storage, so a
+            # module-level import here would be circular.
+            from ..query.planner import PLAN_MODES
+
+            check_in(plan, PLAN_MODES, "plan")
+        self._plan = plan
         self._tables: dict[str, Table] = {}
+        self._planners: dict[str, "QueryPlanner"] = {}
+        self._executors: dict[tuple[str, bool], "QueryExecutor"] = {}
+
+    @property
+    def plan_mode(self) -> str:
+        """The access-path mode the catalog's planners are built with.
+
+        Before any planner exists this previews the process default;
+        :meth:`planner` pins it at first use so every table in the
+        catalog shares one plan story even if the default changes
+        mid-run.
+        """
+        if self._plan is None:
+            from ..core.config import default_plan
+
+            return default_plan()
+        return self._plan
 
     def create_table(self, name: str, column_names) -> Table:
         """Create and register a new table."""
@@ -53,6 +104,85 @@ class Catalog:
         if name not in self._tables:
             raise SchemaError(f"no table named {name!r}")
         del self._tables[name]
+        self._planners.pop(name, None)
+        for key in [k for k in self._executors if k[0] == name]:
+            del self._executors[key]
+
+    # -- planning surface ----------------------------------------------------
+
+    def planner(self, name: str) -> "QueryPlanner":
+        """The table's planner, built on first use.
+
+        Non-``scan`` modes attach a :class:`CohortZoneMap` (backfilled
+        over existing history, so late attachment is exact).
+        """
+        from ..query.planner import QueryPlanner
+
+        planner = self._planners.get(name)
+        if planner is None:
+            table = self.get(name)
+            if self._plan is None:
+                self._plan = self.plan_mode  # pin the resolved default
+            mode = self._plan
+            zone_map = CohortZoneMap(table) if mode != "scan" else None
+            planner = QueryPlanner(table, mode=mode, zone_map=zone_map)
+            self._planners[name] = planner
+        return planner
+
+    def executor(self, name: str, *, record_access: bool = True) -> "QueryExecutor":
+        """The table's executor, bound to its catalog planner.
+
+        Recording and non-recording executors are cached separately
+        (both share the table's one planner), so a read-only analysis
+        pass never inherits — or poisons — the accounting choice of an
+        earlier caller.
+        """
+        from ..query.executor import QueryExecutor
+
+        key = (name, bool(record_access))
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = QueryExecutor(
+                self.get(name),
+                record_access=record_access,
+                planner=self.planner(name),
+            )
+            self._executors[key] = executor
+        return executor
+
+    def create_index(self, name: str, column: str, index_factory, **kwargs):
+        """Build ``index_factory(table, column, **kwargs)`` and register it."""
+        index = index_factory(self.get(name), column, **kwargs)
+        return self.planner(name).register_index(index)
+
+    def plan(self, name: str, query_or_predicate):
+        """Preview the access path one table's planner would take."""
+        return self.planner(name).explain(query_or_predicate)
+
+    def explain(self, name: str, query_or_predicate):
+        """Alias of :meth:`plan` (EXPLAIN-style naming)."""
+        return self.plan(name, query_or_predicate)
+
+    def execute(self, name: str, query, epoch: int):
+        """Run a query against one table through its catalog executor."""
+        return self.executor(name).execute(query, epoch)
+
+    def plan_report(self) -> str:
+        """One EXPLAIN-style report covering every planned table."""
+        lines = [
+            f"Catalog(plan={self.plan_mode!r}) — {len(self._tables)} table(s), "
+            f"{len(self._planners)} planned"
+        ]
+        for name in self._tables:
+            planner = self._planners.get(name)
+            if planner is None:
+                lines.append(f"table {name!r}: never queried")
+                continue
+            lines.append(f"table {name!r}:")
+            lines.extend("  " + line for line in planner.plan_report().splitlines())
+        return "\n".join(lines)
+
+    # -- registry protocol ---------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables

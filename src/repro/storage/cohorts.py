@@ -23,7 +23,7 @@ import numpy as np
 
 from .._util.errors import StorageError
 
-__all__ = ["Cohort", "CohortLog", "CohortZoneMap"]
+__all__ = ["CardinalityEstimate", "Cohort", "CohortLog", "CohortZoneMap"]
 
 _INT64_MAX = np.iinfo(np.int64).max
 _INT64_MIN = np.iinfo(np.int64).min
@@ -139,6 +139,32 @@ class CohortLog:
     def epochs(self) -> list[int]:
         """All recorded epochs, in order."""
         return [c.epoch for c in self._cohorts]
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """Zone-map-derived cardinality estimate for one range probe.
+
+    ``candidate_rows`` and ``forgotten_candidate_rows`` are *exact*
+    costs of a pruned scan (rows in intersecting cohorts); the
+    ``est_*`` match counts assume values are uniform within each
+    cohort's ``[min, max]`` — the classic System-R uniformity
+    assumption applied per cohort instead of per table.
+    """
+
+    #: Rows a zone-map-pruned scan must consider (exact).
+    candidate_rows: int
+    #: Rows a forgotten-side pruned scan must consider (exact).
+    forgotten_candidate_rows: int
+    #: Estimated active (amnesiac-visible) matches.
+    est_active: float
+    #: Estimated forgotten matches (the M_F side).
+    est_forgotten: float
+
+    @property
+    def est_rows(self) -> float:
+        """Estimated oracle-result cardinality (active + forgotten)."""
+        return self.est_active + self.est_forgotten
 
 
 class CohortZoneMap:
@@ -313,6 +339,46 @@ class CohortZoneMap:
             stop - start for start, stop in self.candidate_ranges(column, low, high)
         )
         return 1.0 - scanned / total
+
+    # -- cardinality estimation -----------------------------------------
+
+    def estimate(self, column: str, low: int, high: int) -> CardinalityEstimate:
+        """Estimate how many rows a probe of ``[low, high)`` matches.
+
+        Exact pruned-scan costs come straight from the cohort layout;
+        the match-count estimates interpolate each intersecting
+        cohort's active/forgotten population by the fraction of its
+        value span ``[min, max]`` the probe covers (uniformity
+        assumption).  This is the statistic the planner's ``cost`` mode
+        feeds on.
+        """
+        self._sync()
+        try:
+            mins = self._mins[column]
+            maxs = self._maxs[column]
+        except KeyError:
+            raise StorageError(
+                f"zone map does not track column {column!r} "
+                f"(tracked: {', '.join(self._mins)})"
+            ) from None
+        if mins.size == 0:
+            return CardinalityEstimate(0, 0, 0.0, 0.0)
+        sizes = self._stops - self._starts
+        intersects = (mins < high) & (maxs >= low)
+        overlap = np.minimum(maxs + 1, high) - np.maximum(mins, low)
+        span = maxs - mins + 1
+        fraction = np.where(
+            intersects, np.clip(overlap / np.maximum(span, 1), 0.0, 1.0), 0.0
+        )
+        forgotten = sizes - self._active
+        return CardinalityEstimate(
+            candidate_rows=int(sizes[intersects].sum()),
+            forgotten_candidate_rows=int(
+                sizes[intersects & (forgotten > 0)].sum()
+            ),
+            est_active=float((self._active * fraction).sum()),
+            est_forgotten=float((forgotten * fraction).sum()),
+        )
 
     # -- introspection --------------------------------------------------
 

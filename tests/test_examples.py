@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "retention_compliance.py",
     "tiered_archive.py",
     "adaptive_partitions.py",
+    "sharded_explain.py",
 ]
 
 

@@ -278,3 +278,50 @@ class TestForgettingStopsIndexHits:
         table.insert_batch(1, {"a": [3]})  # position 5, value 3
         for index in indexes:
             assert index.lookup_value(3).positions.tolist() == [5]
+
+
+class TestEstimateEntries:
+    def _table(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(0, 200)})
+        table.forget(np.arange(0, 50), epoch=1)
+        return table
+
+    def test_sorted_estimate_matches_probe(self):
+        table = self._table()
+        index = SortedIndex(table, "a")
+        probe = index.lookup_range(60, 90)
+        assert index.estimate_entries(60, 90) == probe.entries_touched
+
+    def test_brin_estimate_matches_probe(self):
+        table = self._table()
+        index = BlockRangeIndex(table, "a", block_size=32)
+        probe = index.lookup_range(60, 90)
+        assert index.estimate_entries(60, 90) == probe.entries_touched
+
+    def test_hash_estimate_matches_probe_narrow_and_wide(self):
+        table = self._table()
+        index = HashIndex(table, "a")
+        for low, high in ((60, 70), (-500, 1000)):
+            probe = index.lookup_range(low, high)
+            assert index.estimate_entries(low, high) == probe.entries_touched
+
+    def test_hash_wide_estimate_is_cheap(self):
+        table = self._table()
+        index = HashIndex(table, "a")
+        # A probe across a huge domain must not iterate per value.
+        import time
+        start = time.perf_counter()
+        estimate = index.estimate_entries(0, 10**12)
+        assert time.perf_counter() - start < 0.1
+        assert estimate == 150 + 10**12  # live entries + one probe per value
+
+    def test_dropped_index_estimates_none(self):
+        table = self._table()
+        for index in (
+            SortedIndex(table, "a"),
+            HashIndex(table, "a"),
+            BlockRangeIndex(table, "a", block_size=32),
+        ):
+            index.drop()
+            assert index.estimate_entries(0, 10) is None

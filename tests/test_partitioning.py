@@ -93,11 +93,172 @@ class TestQueries:
             assert oracle == pytest.approx(expected), fn
             assert amnesiac == pytest.approx(expected), fn
 
-    def test_var_not_supported(self):
+    def test_var_and_std_merge_exactly(self, rng):
+        """Satellite: VAR/STD now merge via per-shard moments."""
+        store = make_store(total_budget=5000)
+        values = rng.integers(0, 1000, 2000)
+        store.insert({"a": values})
+        for fn, expected in (("var", values.var()), ("std", values.std())):
+            amnesiac, oracle = store.aggregate(fn)
+            assert oracle == pytest.approx(expected), fn
+            assert amnesiac == pytest.approx(expected), fn
+
+    def test_var_tracks_oracle_under_forgetting(self):
+        store = make_store(total_budget=10)
+        store.insert({"a": np.concatenate([np.arange(100), np.arange(500, 600)])})
+        all_values = np.concatenate([np.arange(100), np.arange(500, 600)])
+        _, oracle = store.aggregate("var")
+        assert oracle == pytest.approx(all_values.var())
+
+    def test_windowed_aggregates_match_numpy(self, rng):
+        """Satellite: low/high windows now reach the partitioned store."""
+        store = make_store(total_budget=5000)
+        values = rng.integers(0, 1000, 2000)
+        store.insert({"a": values})
+        window = values[(values >= 250) & (values < 750)]
+        for fn, expected in (
+            ("avg", window.mean()),
+            ("sum", window.sum()),
+            ("count", window.size),
+            ("var", window.var()),
+            ("std", window.std()),
+        ):
+            amnesiac, oracle = store.aggregate(fn, 250, 750)
+            assert oracle == pytest.approx(expected), fn
+            assert amnesiac == pytest.approx(expected), fn
+
+    def test_windowed_aggregate_requires_both_bounds(self):
+        store = make_store()
+        store.insert({"a": np.array([1])})
+        with pytest.raises(ConfigError):
+            store.aggregate("avg", low=10)
+
+    def test_aggregate_empty_window_null_semantics(self):
+        store = make_store()
+        store.insert({"a": np.array([1, 600])})
+        amnesiac, oracle = store.aggregate("avg", 100, 200)
+        assert amnesiac is None and oracle is None
+        amnesiac, oracle = store.aggregate("count", 100, 200)
+        assert amnesiac == 0.0 and oracle == 0.0
+
+
+class TestOutOfRangeQueries:
+    """Regression: inserts clamp routing into edge partitions, so the
+    query side must reach them for out-of-domain ranges too."""
+
+    def test_low_side_values_found(self):
+        store = make_store()
+        store.insert({"a": np.array([-50, 10])})
+        result = store.range_query(-100, 0)
+        assert result.rf == 1
+        assert store.range_query(-100, 20).rf == 2
+
+    def test_high_side_values_found(self):
+        store = make_store()
+        store.insert({"a": np.array([600, 5000])})
+        assert store.range_query(1000, 6000).rf == 1
+        assert store.range_query(4999, 5001).rf == 1
+
+    def test_forgotten_out_of_range_rows_counted_in_mf(self):
+        store = make_store(total_budget=2)  # 1 per partition
+        store.insert({"a": np.array([-10, -20, -30])})
+        result = store.range_query(-100, 0)
+        assert result.oracle_count == 3
+        assert result.mf == 2
+
+    def test_covers_is_open_ended_at_the_edges(self):
+        store = make_store()
+        low_shard, high_shard = store.partitions
+        assert low_shard.covers(-100, -50)
+        assert high_shard.covers(2000, 3000)
+        assert not low_shard.covers(600, 700)
+        assert not high_shard.covers(-100, 0)
+        assert not low_shard.covers(10, 10)  # empty range
+
+
+class TestPlannerRouting:
+    """The tentpole: every shard read goes through its own planner."""
+
+    def test_shard_pruning_is_a_planner_decision(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        result = store.range_query(0, 100)
+        assert result.shards_executed == 1
+        assert result.shards_pruned == 1
+        # The pruned shard's planner recorded the decision itself.
+        assert store.partitions[1].db.planner.stats()["paths"]["pruned"] == 1
+
+    def test_scan_mode_never_prunes_shards(self):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 500, 1000), 100, policy_factory=FifoAmnesia,
+            seed=7, plan="scan",
+        )
+        store.insert({"a": np.arange(0, 1000, 10)})
+        result = store.range_query(0, 100)
+        assert result.shards_executed == 2
+        assert result.shards_pruned == 0
+
+    def test_plan_mode_reaches_every_shard(self):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 500, 1000), 100, policy_factory=FifoAmnesia,
+            seed=7, plan="cost",
+        )
+        assert store.plan_mode == "cost"
+        assert all(p.db.plan_mode == "cost" for p in store.partitions)
+        assert all(
+            p.db.planner.value_bounds["a"]
+            == (p.bound_low, p.bound_high)
+            for p in store.partitions
+        )
+
+    def test_explain_previews_per_shard_plans(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        plans = dict(store.explain(0, 100))
+        assert plans[0].mode in ("zonemap", "index", "scan")
+        assert plans[1].mode == "pruned"
+
+    def test_plan_report_spans_shards(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        store.range_query(0, 100)
+        report = store.plan_report()
+        assert "shard 0 [0, 500)" in report
+        assert "shard 1 [500, 1000)" in report
+        assert "shard-level prunes 1" in report
+
+    def test_reversed_range_raises(self):
         store = make_store()
         store.insert({"a": np.array([1])})
         with pytest.raises(QueryError):
-            store.aggregate("var")
+            store.range_query(100, 50)
+
+    def test_empty_range_short_circuits(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        result = store.range_query(5, 5)
+        assert (result.rf, result.mf) == (0, 0)
+        assert (result.shards_executed, result.shards_pruned) == (0, 0)
+        # No shard planner ran and no traffic was counted.
+        assert all(p.query_hits == 0 for p in store.partitions)
+        assert all(
+            p.db.planner.stats()["queries_planned"] == 0
+            for p in store.partitions
+        )
+
+    def test_empty_store_answers_empty(self):
+        store = make_store()
+        result = store.range_query(0, 100)
+        assert (result.rf, result.mf) == (0, 0)
+        assert store.aggregate("avg") == (None, None)
+
+    def test_stats_reports_plan_and_prunes(self):
+        store = make_store()
+        store.insert({"a": np.arange(0, 1000, 10)})
+        store.range_query(0, 100)
+        stats = store.stats()
+        assert stats["plan"] == store.plan_mode
+        assert stats["shard_prunes"] == [0, 1]
 
 
 class TestRebalance:

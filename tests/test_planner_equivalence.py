@@ -20,6 +20,7 @@ from repro import AmnesiaDatabase, AmnesiaSimulator, SimulationConfig
 from repro.amnesia.registry import POLICY_NAMES, make_policy
 from repro.datagen import UniformDistribution
 from repro.indexes import BlockRangeIndex, HashIndex, SortedIndex
+from repro.partitioning import PartitionedAmnesiaDatabase
 from repro.query import (
     AggregateFunction,
     AggregateQuery,
@@ -28,10 +29,10 @@ from repro.query import (
     RangePredicate,
     RangeQuery,
 )
-from repro.storage import CohortZoneMap, Table
+from repro.storage import Catalog, CohortZoneMap, Table
 
 #: Plan variants compared against the naive scan.
-PLAN_VARIANTS = ("zonemap", "auto", "index")
+PLAN_VARIANTS = ("zonemap", "auto", "index", "cost")
 
 
 def _all_mode_executors(table):
@@ -56,6 +57,13 @@ def _all_mode_executors(table):
         "index-brin": QueryPlanner(
             table, mode="index", zone_map=zone_map, indexes=[brin_idx]
         ),
+        "cost": QueryPlanner(
+            table,
+            mode="cost",
+            zone_map=zone_map,
+            indexes=[sorted_idx, hash_idx, brin_idx],
+        ),
+        "cost-bare": QueryPlanner(table, mode="cost"),
     }
     return {
         name: QueryExecutor(table, record_access=False, planner=planner)
@@ -155,7 +163,7 @@ def _run_facade_scenario(policy_name: str, plan: str):
     db = AmnesiaDatabase(
         budget=60, policy=_make_policy(policy_name), seed=11, plan=plan
     )
-    if plan == "index":
+    if plan in ("index", "cost"):
         db.create_index("a", kind="sorted", merge_threshold=32)
     rng = np.random.default_rng(5)
     observed = []
@@ -230,6 +238,94 @@ def test_access_accounting_identical_under_pruned_execution(plan):
         scanned.last_access_epochs().tolist()
         == pruned.last_access_epochs().tolist()
     )
+
+
+def _run_partitioned_scenario(policy_name: str, plan: str):
+    """Drive a sharded store end to end; return every observable.
+
+    Out-of-domain values and ranges are included on purpose: the edge
+    shards' open-ended bounds must answer them identically under every
+    plan mode.
+    """
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, 250, 500, 1000),
+        total_budget=120,
+        policy_factory=lambda: _make_policy(policy_name),
+        seed=9,
+        plan=plan,
+    )
+    rng = np.random.default_rng(3)
+    observed = []
+    for _ in range(5):
+        store.insert({"a": rng.integers(-100, 1100, 60)})
+        for low, width in (
+            (-150, 120), (0, 300), (400, 300), (900, 400), (1050, 100),
+        ):
+            result = store.range_query(low, low + width)
+            observed.append((result.rf, result.mf, result.precision))
+        for function in AggregateFunction:
+            observed.append(store.aggregate(function))
+            observed.append(store.aggregate(function, 100, 800))
+        # Rebalancing feeds on query-traffic counters; budgets (and the
+        # forgetting they trigger) must not depend on the plan mode.
+        observed.append(store.rebalance(floor=5))
+    for partition in store.partitions:
+        observed.append(partition.db.table.active_mask().tolist())
+        observed.append(partition.db.table.access_counts().tolist())
+        observed.append(partition.db.table.last_access_epochs().tolist())
+    return observed
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_partitioned_store_identical_across_plans(policy_name, plan):
+    """The sharded path is planner-routed yet bit-identical to scan —
+    including shard pruning, moment-merged aggregates and VAR/STD."""
+    assert _run_partitioned_scenario(policy_name, "scan") == (
+        _run_partitioned_scenario(policy_name, plan)
+    )
+
+
+def _run_catalog_scenario(plan: str):
+    """Drive a two-table catalog end to end; return every observable."""
+    catalog = Catalog(plan=plan)
+    tables = {name: catalog.create_table(name, ["a"]) for name in ("s1", "s2")}
+    if plan in ("index", "cost"):
+        catalog.create_index("s1", "a", SortedIndex, merge_threshold=16)
+    rng = np.random.default_rng(7)
+    observed = []
+    for epoch in range(4):
+        for table in tables.values():
+            table.insert_batch(epoch, {"a": rng.integers(0, 400, 30)})
+            victims = np.flatnonzero(rng.random(table.total_rows) < 0.2)
+            table.forget(victims, epoch=epoch)
+        for name in tables:
+            for low in (0, 100, 300):
+                result = catalog.execute(
+                    name,
+                    RangeQuery(RangePredicate("a", low, low + 80)),
+                    epoch,
+                )
+                observed.append(_range_fingerprint(result))
+            aggregate = catalog.execute(
+                name,
+                AggregateQuery(
+                    AggregateFunction.AVG, "a", RangePredicate("a", 50, 350)
+                ),
+                epoch,
+            )
+            observed.append(_aggregate_fingerprint(aggregate))
+    for table in tables.values():
+        observed.append(table.access_counts().tolist())
+        observed.append(table.last_access_epochs().tolist())
+    return observed
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+def test_catalog_execution_identical_across_plans(plan):
+    """Multi-table catalog runs answer identically under every mode."""
+    assert _run_catalog_scenario("scan") == _run_catalog_scenario(plan)
 
 
 @pytest.mark.parametrize("plan", PLAN_VARIANTS)

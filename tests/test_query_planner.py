@@ -37,7 +37,7 @@ def loaded_table():
 
 class TestPlanSelection:
     def test_modes_tuple(self):
-        assert PLAN_MODES == ("auto", "scan", "zonemap", "index")
+        assert PLAN_MODES == ("auto", "scan", "zonemap", "index", "cost")
 
     def test_invalid_mode_rejected(self, loaded_table):
         with pytest.raises(ConfigError):
@@ -133,6 +133,148 @@ class TestPlanSelection:
             QueryPlanner(loaded_table).register_index(SortedIndex(other, "a"))
         with pytest.raises(QueryError):
             QueryPlanner(loaded_table, zone_map=CohortZoneMap(other))
+
+
+class TestCostMode:
+    def test_cost_prefers_zonemap_over_coarse_brin(self, loaded_table):
+        """The headline cost-model win: auto's index>zonemap preference
+        is wrong when the index's probe touches more rows than a pruned
+        scan — cost mode prices both and flips the choice."""
+        zone_map = CohortZoneMap(loaded_table)
+        coarse = BlockRangeIndex(loaded_table, "a", block_size=150)
+        auto = QueryPlanner(
+            loaded_table, mode="auto", zone_map=zone_map, indexes=[coarse]
+        )
+        cost = QueryPlanner(
+            loaded_table, mode="cost", zone_map=zone_map, indexes=[coarse]
+        )
+        predicate = RangePredicate("a", 0, 10)
+        assert auto.plan(predicate).mode == "index"
+        plan = cost.plan(predicate)
+        assert plan.mode == "zonemap"
+        assert plan.requested == "cost"
+        assert plan.estimated_rows == 50  # one 50-row cohort
+        assert "cost model" in plan.reason
+
+    def test_cost_picks_selective_index(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(0, 50)})
+        table.insert_batch(1, {"a": np.arange(100, 150)})
+        table.forget(np.arange(0, 25), epoch=2)  # only cohort 0 rots
+        zone_map = CohortZoneMap(table)
+        index = SortedIndex(table, "a")
+        planner = QueryPlanner(
+            table, mode="cost", zone_map=zone_map, indexes=[index]
+        )
+        # Cohort 1 holds no forgotten rows, so the missed side is free
+        # and the 10-entry probe beats the 50-row pruned scan.
+        plan = planner.plan(RangePredicate("a", 100, 110))
+        assert plan.mode == "index"
+        assert plan.index is index
+        # Back in cohort 0 the missed-side recovery scan makes the
+        # pruned scan cheaper than index + recovery.
+        assert planner.plan(RangePredicate("a", 0, 30)).mode == "zonemap"
+
+    def test_cost_without_structures_scans(self, loaded_table):
+        planner = QueryPlanner(loaded_table, mode="cost")
+        plan = planner.plan(RangePredicate("a", 0, 10))
+        assert plan.mode == "scan"
+        assert plan.estimated_rows == loaded_table.total_rows
+
+    def test_cost_skips_wide_hash_ranges(self, loaded_table):
+        index = HashIndex(loaded_table, "a")
+        planner = QueryPlanner(loaded_table, mode="cost", indexes=[index])
+        wide = planner.plan(RangePredicate("a", 0, HASH_RANGE_LIMIT + 1))
+        assert wide.mode == "scan"
+        narrow = planner.plan(RangePredicate("a", 0, 4))
+        assert narrow.mode == "index"
+
+    def test_cost_results_match_scan(self, loaded_table):
+        zone_map = CohortZoneMap(loaded_table)
+        index = SortedIndex(loaded_table, "a", merge_threshold=16)
+        executors = {
+            "scan": QueryExecutor(loaded_table, record_access=False),
+            "cost": QueryExecutor(
+                loaded_table,
+                record_access=False,
+                planner=QueryPlanner(
+                    loaded_table, mode="cost",
+                    zone_map=zone_map, indexes=[index],
+                ),
+            ),
+        }
+        for low in (-10, 0, 60, 140, 200):
+            query = RangeQuery(RangePredicate("a", low, low + 25))
+            results = {
+                name: executor.execute_range(query, epoch=4)
+                for name, executor in executors.items()
+            }
+            assert (
+                results["scan"].active_positions.tolist()
+                == results["cost"].active_positions.tolist()
+            )
+            assert (
+                results["scan"].missed_positions.tolist()
+                == results["cost"].missed_positions.tolist()
+            )
+
+
+class TestValueBounds:
+    def test_out_of_bounds_probe_is_pruned(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table,
+            mode="auto",
+            zone_map=CohortZoneMap(loaded_table),
+            value_bounds={"a": (0, 300)},
+        )
+        plan = planner.plan(RangePredicate("a", 300, 400))
+        assert plan.mode == "pruned"
+        assert plan.estimated_rows == 0.0
+        assert "value bounds" in plan.reason
+        # Intersecting probes plan normally.
+        assert planner.plan(RangePredicate("a", 250, 400)).mode == "zonemap"
+
+    def test_open_ended_bounds(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table,
+            mode="zonemap",
+            zone_map=CohortZoneMap(loaded_table),
+            value_bounds={"a": (100, None)},
+        )
+        assert planner.plan(RangePredicate("a", 0, 100)).mode == "pruned"
+        assert planner.plan(RangePredicate("a", 500, 900)).mode != "pruned"
+
+    def test_scan_mode_ignores_bounds(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="scan", value_bounds={"a": (0, 10)}
+        )
+        assert planner.plan(RangePredicate("a", 500, 600)).mode == "scan"
+
+    def test_pruned_execution_answers_empty(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table,
+            mode="auto",
+            zone_map=CohortZoneMap(loaded_table),
+            value_bounds={"a": (0, 300)},
+        )
+        executor = QueryExecutor(
+            loaded_table, record_access=False, planner=planner
+        )
+        result = executor.execute_range(
+            RangeQuery(RangePredicate("a", 500, 600)), epoch=4
+        )
+        assert (result.rf, result.mf) == (0, 0)
+        execution = planner.last_execution
+        assert execution.plan.mode == "pruned"
+        assert execution.rows_considered == 0
+        assert execution.rows_pruned == loaded_table.total_rows
+        assert planner.stats()["paths"]["pruned"] == 1
+
+    def test_invalid_bounds_rejected(self, loaded_table):
+        with pytest.raises(QueryError):
+            QueryPlanner(loaded_table, value_bounds={"a": (10, 10)})
+        with pytest.raises(Exception):
+            QueryPlanner(loaded_table, value_bounds={"missing": (0, 10)})
 
 
 class TestExplain:

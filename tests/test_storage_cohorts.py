@@ -214,3 +214,59 @@ class TestCohortLogIndexOf:
         assert log.index_of(np.array([], dtype=np.int64)).size == 0
         with pytest.raises(IndexError):
             log.index_of(np.array([10]))
+
+
+class TestCardinalityEstimate:
+    def _table(self):
+        from repro.storage import Table
+
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(0, 100)})      # span [0, 99]
+        table.insert_batch(1, {"a": np.arange(200, 250)})    # span [200, 249]
+        table.forget(np.arange(0, 50), epoch=2)              # half of cohort 0
+        return table
+
+    def test_exact_pruned_scan_costs(self):
+        from repro.storage import CohortZoneMap
+
+        zm = CohortZoneMap(self._table())
+        estimate = zm.estimate("a", 0, 100)
+        assert estimate.candidate_rows == 100          # cohort 0 only
+        assert estimate.forgotten_candidate_rows == 100
+        estimate = zm.estimate("a", 200, 250)
+        assert estimate.candidate_rows == 50           # cohort 1 only
+        assert estimate.forgotten_candidate_rows == 0  # nothing forgotten there
+
+    def test_uniform_interpolation_of_matches(self):
+        from repro.storage import CohortZoneMap
+
+        zm = CohortZoneMap(self._table())
+        # Probe half of cohort 0's value span: expect ~half its rows.
+        estimate = zm.estimate("a", 0, 50)
+        assert estimate.est_active == pytest.approx(25.0)
+        assert estimate.est_forgotten == pytest.approx(25.0)
+        assert estimate.est_rows == pytest.approx(50.0)
+
+    def test_disjoint_probe_estimates_zero(self):
+        from repro.storage import CohortZoneMap
+
+        zm = CohortZoneMap(self._table())
+        estimate = zm.estimate("a", 300, 400)
+        assert estimate.candidate_rows == 0
+        assert estimate.est_rows == 0.0
+
+    def test_untracked_column_rejected(self):
+        from repro.storage import CohortZoneMap
+
+        zm = CohortZoneMap(self._table())
+        with pytest.raises(StorageError):
+            zm.estimate("missing", 0, 10)
+
+    def test_empty_table_estimates_zero(self):
+        from repro.storage import CohortZoneMap, Table
+
+        table = Table("t", ["a"])
+        zm = CohortZoneMap(table)
+        estimate = zm.estimate("a", 0, 10)
+        assert estimate.candidate_rows == 0
+        assert estimate.est_rows == 0.0

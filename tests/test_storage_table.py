@@ -211,3 +211,70 @@ class TestCatalog:
         catalog.register(table)
         assert catalog.get("ext") is table
         assert list(catalog) == [table]
+
+
+class TestCatalogPlanning:
+    def _loaded(self, plan=None):
+        catalog = Catalog(plan=plan)
+        table = catalog.create_table("obs", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})
+        return catalog, table
+
+    def test_planner_and_executor_are_cached(self):
+        catalog, _ = self._loaded(plan="auto")
+        assert catalog.planner("obs") is catalog.planner("obs")
+        assert catalog.executor("obs") is catalog.executor("obs")
+        assert catalog.executor("obs").planner is catalog.planner("obs")
+
+    def test_record_access_variants_cached_separately(self):
+        """A read-only pass must not inherit (or freeze in) the
+        accounting choice of an earlier caller."""
+        from repro.query import RangePredicate, RangeQuery
+
+        catalog, table = self._loaded(plan="auto")
+        query = RangeQuery(RangePredicate("a", 0, 10))
+        catalog.executor("obs", record_access=False).execute(query, epoch=1)
+        assert table.access_counts().sum() == 0
+        catalog.execute("obs", query, epoch=1)  # default: recording
+        assert table.access_counts().sum() == 10
+
+    def test_plan_and_report(self):
+        from repro.query import RangePredicate
+
+        catalog, _ = self._loaded(plan="cost")
+        plan = catalog.plan("obs", RangePredicate("a", 0, 10))
+        assert plan.requested == "cost"
+        assert catalog.explain("obs", RangePredicate("a", 0, 10)).mode == plan.mode
+        report = catalog.plan_report()
+        assert "table 'obs'" in report
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(Exception):
+            Catalog(plan="warp")
+
+    def test_default_plan_pinned_at_first_use(self):
+        """One catalog = one plan story, even if the process default
+        changes mid-run (as the CLI does around each experiment)."""
+        from repro.core.config import default_plan, set_default_plan
+
+        previous = default_plan()
+        catalog = Catalog()
+        t1 = catalog.create_table("t1", ["a"])
+        t1.insert_batch(0, {"a": np.arange(10)})
+        try:
+            set_default_plan("auto")
+            assert catalog.planner("t1").mode == "auto"
+            set_default_plan("scan")
+            t2 = catalog.create_table("t2", ["a"])
+            t2.insert_batch(0, {"a": np.arange(10)})
+            assert catalog.planner("t2").mode == "auto"  # pinned, not 'scan'
+            assert catalog.plan_mode == "auto"
+        finally:
+            set_default_plan(previous)
+
+    def test_drop_clears_planner_and_executors(self):
+        catalog, _ = self._loaded(plan="auto")
+        catalog.executor("obs")
+        catalog.executor("obs", record_access=False)
+        catalog.drop("obs")
+        assert not catalog._planners and not catalog._executors
