@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Parallel shard fan-out + adaptive boundaries under a skewed stream.
+
+Two of the sharded store's newest tricks in one run:
+
+* ``workers=4`` — per-shard planner pipelines execute on a thread
+  pool; the ordered merge keeps every count and aggregate bit-identical
+  to sequential execution, so parallelism is purely a throughput knob.
+* ``rebalance="adaptive"`` — a Zipf-skewed query stream hammers the
+  low end of the domain; rebalancing reads the coverage-based row
+  traffic, *splits the hot shard's boundary* and merges the coldest
+  adjacent pair, so the partition layout itself — not just the budgets
+  — converges on where the workload looks.
+
+Run with ``PYTHONPATH=src python examples/parallel_shards.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.amnesia import UniformAmnesia
+from repro.partitioning import PartitionedAmnesiaDatabase
+
+DOMAIN = 20_000
+SHARDS = 4
+BATCHES = 8
+BATCH = 2_000
+QUERIES_PER_BATCH = 30
+#: Zipf exponent for the query anchors: most queries land near 0.
+ZIPF_A = 1.8
+
+
+def build(workers: int) -> PartitionedAmnesiaDatabase:
+    boundaries = np.linspace(0, DOMAIN, SHARDS + 1).astype(int).tolist()
+    return PartitionedAmnesiaDatabase(
+        "a",
+        boundaries,
+        total_budget=DOMAIN // 4,
+        policy_factory=UniformAmnesia,
+        seed=42,
+        plan="cost",
+        workers=workers,
+        rebalance="adaptive",
+        split_threshold=1.5,
+    )
+
+
+def drive(store: PartitionedAmnesiaDatabase, rng: np.random.Generator):
+    """Skewed ingest + Zipf-anchored queries + adaptive rebalancing."""
+    last = None
+    for _ in range(BATCHES):
+        store.insert({"a": rng.integers(0, DOMAIN, BATCH)})
+        # Zipf-distributed query anchors: rank r maps to a window near
+        # r * width, so low ranks (frequent) read the low domain.
+        ranks = np.minimum(rng.zipf(ZIPF_A, QUERIES_PER_BATCH), 50) - 1
+        for rank in ranks:
+            low = int(rank) * (DOMAIN // 100)
+            last = store.range_query(low, low + DOMAIN // 50)
+        store.rebalance(floor=DOMAIN // 40)
+    return last
+
+
+def main() -> None:
+    timings = {}
+    for workers in (1, 4):
+        store = build(workers)
+        rng = np.random.default_rng(7)
+        start = time.perf_counter()
+        last = drive(store, rng)
+        timings[workers] = time.perf_counter() - start
+        if workers == 4:
+            print(f"store: {store!r}\n")
+            print("-- adaptive boundary trajectory " + "-" * 30)
+            for event in store.adaptations:
+                print(f"  {event}")
+            print(f"\nfinal boundaries: {list(store.boundaries)}")
+            print(f"final budgets:    {store.stats()['budgets']}")
+            print(
+                f"\nlast hot-range query: rf={last.rf} mf={last.mf} "
+                f"precision={last.precision:.3f}"
+            )
+        store.close()
+    print("\n-- fan-out timing (same results, bit-identical) " + "-" * 14)
+    for workers, seconds in timings.items():
+        print(f"  workers={workers}: {seconds * 1e3:7.1f}ms")
+    print(
+        "\nThe hot low-domain shards split until the layout mirrors the\n"
+        "Zipf skew; with >1 core, the 4-worker run finishes faster while\n"
+        "returning exactly the same counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

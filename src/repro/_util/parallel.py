@@ -1,0 +1,102 @@
+"""Deterministic thread-pool fan-out over independent work items.
+
+The sharded store (and the catalog's multi-table batches) run per-shard
+planner+executor pipelines that are mutually independent: each touches
+one table and its own planner state.  :class:`FanOutPool` runs such
+pipelines on a reusable :class:`~concurrent.futures.ThreadPoolExecutor`
+and hands results back **in item order**, so callers merge exactly as
+they would have sequentially — completion order never leaks into
+results.
+
+Two design points keep the parallel path honest:
+
+* Items are *striped* into at most ``workers`` group tasks (item ``i``
+  goes to group ``i % groups``) instead of one task per item, so
+  dispatch overhead is paid per group, not per shard, and a skewed
+  workload still spreads hot items across groups.
+* ``workers <= 1`` (or a single item) bypasses the pool entirely and
+  runs inline — the sequential path stays the zero-thread baseline the
+  equivalence harness compares against.
+
+Numpy releases the GIL inside its ufunc loops, so shard scans genuinely
+overlap on multi-core hosts; on a single core the striping keeps the
+degradation to dispatch overhead only.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["FanOutPool"]
+
+
+class FanOutPool:
+    """A lazily created, reusable pool mapping a function over items.
+
+    The pool is sized on first parallel use and grown if a later call
+    asks for more workers; :meth:`close` releases the threads.  The
+    object is safe to share between caller threads — submissions from
+    concurrent queries interleave on the same executor.
+    """
+
+    def __init__(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+        self._size = 0
+        self._pool_lock = threading.Lock()
+
+    def map_ordered(self, fn, items, workers: int) -> list:
+        """``[fn(item) for item in items]``, possibly in parallel.
+
+        Results are returned in ``items`` order regardless of which
+        group task finished first.  Exceptions from any group propagate
+        to the caller.
+        """
+        items = list(items)
+        n = len(items)
+        if workers <= 1 or n <= 1:
+            return [fn(item) for item in items]
+        groups = min(int(workers), n)
+        results: list = [None] * n
+
+        def run_group(k: int) -> None:
+            for i in range(k, n, groups):
+                results[i] = fn(items[i])
+
+        # Submit under the pool lock: a concurrent close() or a
+        # grow-the-pool rebuild from another caller cannot shut this
+        # executor down between sizing it and handing it the groups.
+        with self._pool_lock:
+            pool = self._ensure_locked(groups)
+            futures = [pool.submit(run_group, k) for k in range(groups)]
+        for future in futures:
+            future.result()
+        return results
+
+    def _ensure_locked(self, workers: int) -> ThreadPoolExecutor:
+        """Size (or build) the executor; caller holds ``_pool_lock``."""
+        if self._pool is None or self._size < workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-fanout"
+            )
+            self._size = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; pool rebuilds on reuse)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+                self._size = 0
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"FanOutPool(size={self._size})"

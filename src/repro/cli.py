@@ -17,7 +17,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core.config import default_plan, set_default_plan
+from .core.config import (
+    REBALANCE_POLICIES,
+    default_plan,
+    default_rebalance,
+    default_workers,
+    set_default_plan,
+    set_default_rebalance,
+    set_default_workers,
+)
 from .experiments import EXPERIMENTS
 from .query.planner import PLAN_MODES
 
@@ -76,6 +84,26 @@ def build_parser() -> argparse.ArgumentParser:
             "estimates; results are identical across modes)"
         ),
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "shard fan-out width for partitioned stores the experiment "
+            "builds (default: 1 = sequential; results are identical at "
+            "any width)"
+        ),
+    )
+    run.add_argument(
+        "--rebalance",
+        choices=REBALANCE_POLICIES,
+        default=None,
+        help=(
+            "traffic signal for partition rebalancing (default: hits; "
+            "'rows' weighs queries by matched rows, 'adaptive' also "
+            "splits hot shard boundaries and merges cold ones)"
+        ),
+    )
     return parser
 
 
@@ -99,9 +127,20 @@ def main(argv=None, out=None) -> int:
             )
         return 0
 
+    # Validate before mutating any process default: an early error
+    # return must not leak a half-applied configuration.
+    if getattr(args, "workers", None) is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     previous_plan = default_plan()
+    previous_workers = default_workers()
+    previous_rebalance = default_rebalance()
     if getattr(args, "plan", None) is not None:
         set_default_plan(args.plan)
+    if getattr(args, "workers", None) is not None:
+        set_default_workers(args.workers)
+    if getattr(args, "rebalance", None) is not None:
+        set_default_rebalance(args.rebalance)
     try:
         target = args.experiment.upper()
         if target == "ALL":
@@ -122,6 +161,8 @@ def main(argv=None, out=None) -> int:
         return 0
     finally:
         set_default_plan(previous_plan)
+        set_default_workers(previous_workers)
+        set_default_rebalance(previous_rebalance)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,12 +19,37 @@ from .._util.validation import (
 )
 from ..query.planner import PLAN_MODES
 
-__all__ = ["SimulationConfig", "default_plan", "set_default_plan"]
+__all__ = [
+    "REBALANCE_POLICIES",
+    "SimulationConfig",
+    "default_plan",
+    "default_rebalance",
+    "default_workers",
+    "set_default_plan",
+    "set_default_rebalance",
+    "set_default_workers",
+]
+
+#: Shard-rebalancing traffic signals (see
+#: :meth:`repro.partitioning.PartitionedAmnesiaDatabase.rebalance`):
+#: ``hits`` splits budget by query-hit counts, ``rows`` by the
+#: coverage-based rows-matched counters, ``adaptive`` additionally
+#: splits hot shard boundaries and merges cold adjacent ones.  Defined
+#: here (not in ``repro.partitioning``) so the config layer never
+#: imports the partitioned store it configures.
+REBALANCE_POLICIES = ("hits", "rows", "adaptive")
 
 #: Process-wide default for :attr:`SimulationConfig.plan` — the CLI's
 #: ``--plan`` flag sets it so every experiment picks the mode up without
 #: threading a parameter through each runner.
 _DEFAULT_PLAN = "auto"
+
+#: Process-wide defaults for the sharded store's fan-out width and
+#: rebalance policy — the CLI's ``--workers`` / ``--rebalance`` flags
+#: set them, and every ``PartitionedAmnesiaDatabase`` built without
+#: explicit values (the experiments, notably X2) picks them up.
+_DEFAULT_WORKERS = 1
+_DEFAULT_REBALANCE = "hits"
 
 
 def default_plan() -> str:
@@ -37,6 +62,30 @@ def set_default_plan(mode: str) -> str:
     global _DEFAULT_PLAN
     _DEFAULT_PLAN = check_in(mode, PLAN_MODES, "plan")
     return _DEFAULT_PLAN
+
+
+def default_workers() -> int:
+    """The shard fan-out width new configs and stores default to."""
+    return _DEFAULT_WORKERS
+
+
+def set_default_workers(workers: int) -> int:
+    """Set the process-wide default fan-out width; returns it."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = check_positive_int(workers, "workers")
+    return _DEFAULT_WORKERS
+
+
+def default_rebalance() -> str:
+    """The rebalance policy new configs and stores default to."""
+    return _DEFAULT_REBALANCE
+
+
+def set_default_rebalance(policy: str) -> str:
+    """Set the process-wide default rebalance policy; returns it."""
+    global _DEFAULT_REBALANCE
+    _DEFAULT_REBALANCE = check_in(policy, REBALANCE_POLICIES, "rebalance")
+    return _DEFAULT_REBALANCE
 
 
 @dataclass(frozen=True)
@@ -76,6 +125,19 @@ class SimulationConfig:
         cardinality estimates and picks the cheapest.  Every mode
         returns bit-identical results; only the work done per query
         differs.
+    workers:
+        Thread-pool width for sharded (partitioned) execution: how many
+        per-shard planner+executor pipelines may run concurrently.  1
+        (default) executes shards sequentially; results are
+        bit-identical at any width.  Consumed by runners that build
+        partitioned stores from their config (X2 does); the
+        single-table :class:`~repro.core.simulator.AmnesiaSimulator`
+        validates and records it but has no shards to fan out over.
+    rebalance:
+        Traffic signal for :meth:`repro.partitioning.
+        PartitionedAmnesiaDatabase.rebalance` — one of
+        :data:`REBALANCE_POLICIES` (``hits``, ``rows``, ``adaptive``).
+        Consumed the same way as ``workers``.
     """
 
     dbsize: int = 1000
@@ -86,6 +148,8 @@ class SimulationConfig:
     seed: int = DEFAULT_SEED
     histogram_bins: int = 64
     plan: str = field(default_factory=default_plan)
+    workers: int = field(default_factory=default_workers)
+    rebalance: str = field(default_factory=default_rebalance)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")
@@ -94,6 +158,8 @@ class SimulationConfig:
         check_non_negative_int(self.queries_per_epoch, "queries_per_epoch")
         check_non_negative_int(self.histogram_bins, "histogram_bins")
         check_in(self.plan, PLAN_MODES, "plan")
+        check_positive_int(self.workers, "workers")
+        check_in(self.rebalance, REBALANCE_POLICIES, "rebalance")
         if not self.column:
             raise ValueError("column name must be non-empty")
         if self.batch_size < 1:

@@ -119,6 +119,29 @@ class AmnesiaDatabase:
         if disposition is not None:
             self.table.add_observer(disposition)
 
+    @classmethod
+    def partitioned(
+        cls,
+        column: str,
+        boundaries,
+        total_budget: int,
+        policy_factory,
+        **kwargs,
+    ):
+        """Build a range-sharded store instead of a single table.
+
+        The facade's entry point to :class:`~repro.partitioning.
+        PartitionedAmnesiaDatabase`: same planner-routed semantics per
+        shard, plus parallel fan-out (``workers=``) and traffic-driven
+        rebalancing (``rebalance=``) — see that class for the keyword
+        arguments, which pass through unchanged.
+        """
+        from ..partitioning.partitioned import PartitionedAmnesiaDatabase
+
+        return PartitionedAmnesiaDatabase(
+            column, boundaries, total_budget, policy_factory, **kwargs
+        )
+
     # -- state ---------------------------------------------------------
 
     @property
@@ -142,6 +165,20 @@ class AmnesiaDatabase:
         return self._disposition
 
     # -- writes -----------------------------------------------------------
+
+    def advance_epoch_to(self, epoch: int) -> None:
+        """Fast-forward the timeline without inserting.
+
+        Used when a shard's history is migrated into a fresh database
+        (partition boundary splits/merges): the batches were replayed
+        with their original epochs, so the clock must resume from the
+        source shard's epoch, not from zero.
+        """
+        if epoch < self._epoch:
+            raise ConfigError(
+                f"cannot rewind epoch from {self._epoch} to {epoch}"
+            )
+        self._epoch = int(epoch)
 
     def insert(self, values_by_column: dict) -> np.ndarray:
         """Insert a batch; forget down to the budget if needed.

@@ -80,11 +80,17 @@ def run_adaptive_partitioning(
 ) -> ExperimentResult:
     """X2: does traffic-driven budget rebalancing buy hot precision?"""
     seed = DEFAULT_SEED if seed is None else seed
+    # The config snapshot carries the run knobs — its workers/rebalance
+    # fields default from the process-wide values the CLI's --workers /
+    # --rebalance flags set, and the store is built from the config.
+    config = SimulationConfig(seed=seed)
 
     def run(adaptive: bool):
         store = PartitionedAmnesiaDatabase(
             "a", (0, 500, 1000), total_budget,
             policy_factory=make_policy_factory(), seed=seed,
+            plan=config.plan, workers=config.workers,
+            rebalance=config.rebalance,
         )
         rng = np.random.default_rng(seed)
         hot = None
@@ -94,18 +100,24 @@ def run_adaptive_partitioning(
                 hot = store.range_query(0, 300)
             if adaptive:
                 store.rebalance(floor=total_budget // 10)
-        return hot.precision, store.stats()["budgets"]
+        stats = store.stats()
+        return hot.precision, stats["budgets"], stats["boundaries"]
 
     def make_policy_factory():
         return lambda: make_policy("uniform")
 
-    static_precision, static_budgets = run(False)
-    adaptive_precision, adaptive_budgets = run(True)
+    static_precision, static_budgets, _ = run(False)
+    adaptive_precision, adaptive_budgets, adaptive_bounds = run(True)
     table = render_table(
-        ["mode", "hot-range E final", "budgets"],
+        ["mode", "hot-range E final", "budgets", "boundaries"],
         [
-            ["static", round(static_precision, 4), static_budgets],
-            ["adaptive", round(adaptive_precision, 4), adaptive_budgets],
+            ["static", round(static_precision, 4), static_budgets, "-"],
+            [
+                "adaptive",
+                round(adaptive_precision, 4),
+                adaptive_budgets,
+                adaptive_bounds,
+            ],
         ],
         title="X2: adaptive partition budgets",
     )

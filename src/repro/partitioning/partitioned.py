@@ -1,4 +1,4 @@
-"""Adaptive partitioned amnesia (paper §4.4).
+"""Adaptive partitioned amnesia (paper §4.4), now parallel and adaptive.
 
     "Instead of user defined partitioning schemes, it might be worth to
     study amnesia in the context of adaptive partitioning.  Each
@@ -16,6 +16,15 @@ bounds, so "does this query touch this shard?" is a planner decision
 around the query stack, and within a shard the planner picks
 scan/zonemap/index/cost paths exactly as it does for a single table.
 
+Shards are mutually independent, so reads fan out over a thread pool
+(``workers=``): per-shard planner+executor pipelines run concurrently,
+each under its shard's lock (planner counters and table access
+accounting stay race-free even when several caller threads query the
+store at once), and the per-shard outputs are merged **in shard
+order**, so counts, windowed aggregates and
+:class:`~repro.stats.StreamingMoments` come out bit-identical to
+sequential execution regardless of completion order.
+
 Edge partitions absorb out-of-domain values (inserts clamp *routing*,
 never the stored values), so their declared bounds are open-ended —
 which is also what makes out-of-range queries exact: a probe below
@@ -28,21 +37,39 @@ windowed and VAR/STD forms — merge per-shard
 finalizing, so AVG/VAR/STD come out as one global computation, not an
 average of averages.
 
-Per-partition query traffic is tracked so that
-:meth:`~PartitionedAmnesiaDatabase.rebalance` can *move budget toward
-the partitions the workload actually reads* — hot regions keep more
-history, cold regions forget aggressively.
+Per-partition query traffic is tracked two ways so that
+:meth:`~PartitionedAmnesiaDatabase.rebalance` can *move storage toward
+the partitions the workload actually reads*: ``query_hits`` counts
+queries whose range covers the shard, ``query_rows`` counts the rows
+those queries matched there (active + forgotten).  Both are
+**coverage-based** — derived from the query's range and its
+plan-independent result counts, never from what a particular plan mode
+happened to execute — so budgets, and every forgetting decision
+downstream of them, evolve identically under ``scan`` and the pruned
+modes.  Under the ``adaptive`` policy, rebalancing also adapts the
+*boundaries*: a shard drawing more than ``split_threshold`` times its
+fair share of traffic is split at its midpoint, funded by merging the
+coldest adjacent pair, so the partition layout itself tracks the query
+stream — the paper's adaptive-partitioning endgame.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from .._util.errors import ConfigError, QueryError
+from .._util.parallel import FanOutPool
 from .._util.rng import DEFAULT_SEED, derive_seed
+from .._util.validation import check_in
 from ..amnesia.base import AmnesiaPolicy
+from ..core.config import (
+    REBALANCE_POLICIES,
+    default_rebalance,
+    default_workers,
+)
 from ..core.database import AmnesiaDatabase
 from ..query.planner import QueryPlan
 from ..query.predicates import RangePredicate
@@ -82,7 +109,9 @@ class Partition:
 
     ``low``/``high`` are the routing cut points; the *declared* planner
     bounds are open-ended at the domain edges (``edge_low``/
-    ``edge_high``) because inserts clamp routing, not values.
+    ``edge_high``) because inserts clamp routing, not values.  The
+    ``lock`` serializes this shard's planner+executor pipeline (and its
+    traffic counters) so concurrent queries fan out race-free.
     """
 
     def __init__(
@@ -97,6 +126,7 @@ class Partition:
         plan: str | None = None,
         edge_low: bool = False,
         edge_high: bool = False,
+        table_name: str | None = None,
     ):
         if high <= low:
             raise ConfigError(f"partition range [{low}, {high}) is empty")
@@ -111,11 +141,15 @@ class Partition:
             policy=policy,
             columns=(column,),
             seed=seed,
-            table_name=f"partition_{index}",
+            table_name=table_name or f"partition_{index}",
             plan=plan,
             value_bounds={column: (self.bound_low, self.bound_high)},
         )
+        self.lock = threading.Lock()
         self.query_hits = 0
+        #: Coverage-based row traffic: oracle matches (RF + MF) of every
+        #: covering query — a plan-mode-independent rows signal.
+        self.query_rows = 0
 
     @property
     def budget(self) -> int:
@@ -142,6 +176,77 @@ class Partition:
         self.db.budget = int(budget)
         self.db.enforce_budget()
 
+    def adopt_history(self, sources) -> None:
+        """Replay rows (with full metadata) from source tables.
+
+        ``sources`` is a list of ``(table, positions)`` pairs, positions
+        ascending.  Rows are re-inserted grouped by their original
+        insert epoch (epochs interleave across sources in source order;
+        same-epoch cohorts from different sources collapse into one),
+        then the forgotten ones are re-forgotten at their original
+        epochs and access metadata is restored — so the migrated shard
+        answers every query, and feeds every policy, exactly as the
+        source shards did.  The shard's clock resumes from the highest
+        source epoch.
+        """
+        table = self.db.table
+        if table.total_rows:
+            raise ConfigError("adopt_history needs an empty partition")
+        gathered = []
+        for src, positions in sources:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.size == 0:
+                continue
+            gathered.append(
+                {
+                    "epochs": src.insert_epochs()[positions],
+                    "values": src.values(self.column)[positions],
+                    "active": src.active_mask()[positions],
+                    "forgotten_at": src.forgotten_epochs()[positions],
+                    "access": src.access_counts()[positions],
+                    "last_access": src.last_access_epochs()[positions],
+                }
+            )
+        if not gathered:
+            return
+        all_epochs = np.unique(np.concatenate([g["epochs"] for g in gathered]))
+        forgotten_by_epoch: dict[int, list[np.ndarray]] = {}
+        restore = {"positions": [], "access": [], "last_access": []}
+        for epoch in all_epochs.tolist():
+            # Positions are ascending, so per-source insert epochs are
+            # non-decreasing: each epoch's rows form one contiguous
+            # run, located in O(log R) instead of a full mask scan.
+            batches = []
+            for g in gathered:
+                lo, hi = np.searchsorted(g["epochs"], [epoch, epoch + 1])
+                if hi > lo:
+                    batches.append((g, slice(int(lo), int(hi))))
+            values = np.concatenate([g["values"][run] for g, run in batches])
+            positions = table.insert_batch(epoch, {self.column: values})
+            self.db.policy.on_insert(table, positions, epoch)
+            offset = 0
+            for g, run in batches:
+                count = run.stop - run.start
+                new_positions = positions[offset : offset + count]
+                offset += count
+                forgotten = ~g["active"][run]
+                if forgotten.any():
+                    at = g["forgotten_at"][run][forgotten]
+                    for fe in np.unique(at).tolist():
+                        forgotten_by_epoch.setdefault(fe, []).append(
+                            new_positions[forgotten][at == fe]
+                        )
+                restore["positions"].append(new_positions)
+                restore["access"].append(g["access"][run])
+                restore["last_access"].append(g["last_access"][run])
+        for fe in sorted(forgotten_by_epoch):
+            table.forget(np.concatenate(forgotten_by_epoch[fe]), epoch=fe)
+        table.restore_access(
+            np.concatenate(restore["positions"]),
+            np.concatenate(restore["access"]),
+            np.concatenate(restore["last_access"]),
+        )
+
     def __repr__(self) -> str:
         return (
             f"Partition({self.index}: [{self.low}, {self.high}), "
@@ -165,12 +270,30 @@ class PartitionedAmnesiaDatabase:
         Tuple budget shared by all partitions (split evenly at start).
     policy_factory:
         Zero-argument callable producing a fresh policy per partition
-        (policies are stateful, so they must not be shared).
+        (policies are stateful, so they must not be shared).  Boundary
+        splits/merges also draw fresh policies from it.
     plan:
         Access-path mode for every shard's planner (see
         :mod:`repro.query.planner`); ``None`` resolves to
         :func:`repro.core.config.default_plan`.  ``"cost"`` prices
         paths per shard from its cohort statistics.
+    workers:
+        Fan-out width for reads: how many per-shard pipelines may run
+        concurrently (``None`` resolves to
+        :func:`repro.core.config.default_workers`).  1 executes shards
+        sequentially; any width returns bit-identical results.  The
+        attribute is mutable — benchmarks flip it between runs.
+    rebalance:
+        Default traffic signal for :meth:`rebalance` — one of
+        :data:`repro.core.config.REBALANCE_POLICIES` (``None`` resolves
+        to :func:`repro.core.config.default_rebalance`).
+    split_threshold:
+        Skew factor for ``adaptive`` rebalancing: a shard is split when
+        its share of row traffic exceeds ``split_threshold / P`` (i.e.
+        that many times its fair share).
+    max_partitions:
+        Hard cap on the shard count under ``adaptive`` rebalancing;
+        ``None`` allows growth to twice the initial count.
 
     >>> from repro.amnesia import FifoAmnesia
     >>> pdb = PartitionedAmnesiaDatabase(
@@ -189,6 +312,10 @@ class PartitionedAmnesiaDatabase:
         policy_factory,
         seed: int = DEFAULT_SEED,
         plan: str | None = None,
+        workers: int | None = None,
+        rebalance: str | None = None,
+        split_threshold: float = 2.0,
+        max_partitions: int | None = None,
     ):
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
@@ -201,11 +328,39 @@ class PartitionedAmnesiaDatabase:
                 f"total_budget {total_budget} cannot cover "
                 f"{n_partitions} partitions"
             )
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if rebalance is None:
+            rebalance = default_rebalance()
+        check_in(rebalance, REBALANCE_POLICIES, "rebalance")
+        if split_threshold < 1.0:
+            raise ConfigError(
+                f"split_threshold must be >= 1.0, got {split_threshold}"
+            )
+        if max_partitions is None:
+            max_partitions = 2 * n_partitions
+        if max_partitions < n_partitions:
+            raise ConfigError(
+                f"max_partitions {max_partitions} below the initial "
+                f"{n_partitions} partitions"
+            )
         self.column = column
         self.total_budget = int(total_budget)
+        self.workers = int(workers)
+        self.rebalance_policy = rebalance
+        self.split_threshold = float(split_threshold)
+        self.max_partitions = int(max_partitions)
+        self._seed = seed
+        self._policy_factory = policy_factory
+        self._fanout = FanOutPool()
+        self._admin_lock = threading.Lock()
+        self._generation = 0
+        self._adaptations: list[str] = []
         base = total_budget // n_partitions
         remainder = total_budget - base * n_partitions
-        self._partitions = [
+        partitions = [
             Partition(
                 index=i,
                 low=lo,
@@ -220,12 +375,26 @@ class PartitionedAmnesiaDatabase:
             )
             for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
         ]
-        self._bounds = bounds
+        # One atomically-swapped tuple holds (partitions, bounds):
+        # readers snapshot both with a single attribute read, so a
+        # concurrent boundary adaptation can never hand them a
+        # partition list from one layout and cut points from another.
+        self._layout: tuple[list[Partition], list[int]] = (partitions, bounds)
         # All shards resolve plan=None identically; read the mode back
         # from the first shard's planner.
-        self.plan_mode = self._partitions[0].db.plan_mode
+        self.plan_mode = partitions[0].db.plan_mode
 
     # -- topology --------------------------------------------------------
+
+    @property
+    def _partitions(self) -> list[Partition]:
+        """The live partition list (from the atomic layout tuple)."""
+        return self._layout[0]
+
+    @property
+    def _bounds(self) -> list[int]:
+        """The live routing cut points (from the atomic layout tuple)."""
+        return self._layout[1]
 
     @property
     def partition_count(self) -> int:
@@ -238,6 +407,16 @@ class PartitionedAmnesiaDatabase:
         return tuple(self._partitions)
 
     @property
+    def boundaries(self) -> tuple[int, ...]:
+        """Current routing cut points (adaptive rebalancing moves them)."""
+        return tuple(self._bounds)
+
+    @property
+    def adaptations(self) -> tuple[str, ...]:
+        """Every boundary split/merge decision taken so far."""
+        return tuple(self._adaptations)
+
+    @property
     def active_count(self) -> int:
         """Active tuples across all shards."""
         return sum(p.db.active_count for p in self._partitions)
@@ -247,35 +426,62 @@ class PartitionedAmnesiaDatabase:
         """Tuples ever inserted across all shards."""
         return sum(p.db.total_rows for p in self._partitions)
 
-    def _partition_of(self, values: np.ndarray) -> np.ndarray:
-        idx = np.searchsorted(self._bounds, values, side="right") - 1
-        return np.clip(idx, 0, self.partition_count - 1)
+    @staticmethod
+    def _partition_of(values: np.ndarray, bounds, count: int) -> np.ndarray:
+        idx = np.searchsorted(bounds, values, side="right") - 1
+        return np.clip(idx, 0, count - 1)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (store stays usable)."""
+        self._fanout.close()
+
+    def __enter__(self) -> "PartitionedAmnesiaDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- writes -------------------------------------------------------------
 
     def insert(self, values_by_column: dict) -> None:
-        """Route a batch to partitions by value and insert."""
+        """Route a batch to partitions by value and insert.
+
+        Writes serialize against boundary adaptation (the admin lock):
+        an insert racing an adaptive :meth:`rebalance` would otherwise
+        route rows into shards the migration already snapshotted —
+        losing them from the new layout.  Queries never take the admin
+        lock, so reads stay concurrent.
+        """
         if set(values_by_column) != {self.column}:
             raise QueryError(
                 f"partitioned store holds only column {self.column!r}"
             )
         values = np.asarray(values_by_column[self.column], dtype=np.int64)
-        owners = self._partition_of(values)
-        for i, partition in enumerate(self._partitions):
-            chunk = values[owners == i]
-            if chunk.size:
-                partition.db.insert({self.column: chunk})
+        with self._admin_lock:
+            partitions, bounds = self._layout
+            owners = self._partition_of(values, bounds, len(partitions))
+            for i, partition in enumerate(partitions):
+                chunk = values[owners == i]
+                if chunk.size:
+                    with partition.lock:
+                        partition.db.insert({self.column: chunk})
 
     # -- reads ----------------------------------------------------------------
 
     def range_query(self, low: int, high: int) -> MergedRangeResult:
         """Fan a range query out through the shard planners; merge exactly.
 
-        Every shard holding data executes through its own planner; the
-        planner prunes shards whose declared value bounds exclude the
-        range (a ``pruned`` plan — zero rows considered).  Query
-        traffic for :meth:`rebalance` counts shards the range *covers*
-        (a plan-independent statistic), never shards a particular plan
+        Shards execute concurrently when ``workers > 1`` — each
+        pipeline runs under its shard lock and the per-shard outputs
+        are merged in shard order, so the result (and every policy-
+        visible counter behind it) is bit-identical to sequential
+        execution.  The planner prunes shards whose declared value
+        bounds exclude the range (a ``pruned`` plan — zero rows
+        considered).  Query traffic for :meth:`rebalance` counts shards
+        the range *covers* and the rows it matched there (both
+        plan-independent statistics), never shards a particular plan
         mode happened to execute — otherwise rebalancing, and with it
         every downstream budget and forgetting decision, would diverge
         between ``scan`` and the pruned modes.
@@ -289,25 +495,30 @@ class PartitionedAmnesiaDatabase:
             # not prune empty ranges — it would execute them for 0
             # rows) and counts no query traffic, like covers().
             return MergedRangeResult(rf=0, mf=0)
-        rf = mf = executed = pruned = 0
-        for partition in self._partitions:
-            covered = partition.covers(low, high)
-            if covered:
-                partition.query_hits += 1
-            if partition.db.total_rows == 0:
-                continue  # an empty relation has nothing to plan over
-            result = partition.db.range_query(self.column, low, high)
-            # Classify the fan-out from the same bounds test the shard
-            # planner prunes by (scan mode never prunes) — not from the
-            # planner's mutable last_execution, which a concurrent
-            # query could have overwritten.  Counts always accumulate;
-            # a pruned shard's result is empty by construction.
-            if covered or partition.db.plan_mode == "scan":
-                executed += 1
-            else:
-                pruned += 1
-            rf += result.rf
-            mf += result.mf
+
+        def run_shard(partition: Partition) -> tuple[int, int, int, int]:
+            with partition.lock:
+                covered = partition.covers(low, high)
+                if covered:
+                    partition.query_hits += 1
+                if partition.db.total_rows == 0:
+                    return (0, 0, 0, 0)  # nothing to plan over
+                result = partition.db.range_query(self.column, low, high)
+                if covered:
+                    partition.query_rows += result.rf + result.mf
+                # Classify the fan-out from the same bounds test the
+                # shard planner prunes by (scan mode never prunes) —
+                # not from the planner's mutable last_execution, which
+                # a concurrent query could have overwritten.  Counts
+                # always accumulate; a pruned shard's result is empty
+                # by construction.
+                executed = int(covered or partition.db.plan_mode == "scan")
+                return (result.rf, result.mf, executed, 1 - executed)
+
+        outputs = self._fanout.map_ordered(
+            run_shard, self._partitions, self.workers
+        )
+        rf, mf, executed, pruned = (sum(col) for col in zip(*outputs))
         return MergedRangeResult(
             rf=rf, mf=mf, shards_executed=executed, shards_pruned=pruned
         )
@@ -324,28 +535,49 @@ class PartitionedAmnesiaDatabase:
         and optional ``[low, high)`` windows, matching
         :meth:`repro.core.database.AmnesiaDatabase.aggregate`.  Each
         shard contributes per-view :class:`~repro.stats.
-        StreamingMoments` (computed through its planner); the moments
-        merge in shard order via Chan's rule and the function is
-        finalized once over the merged accumulator, so AVG/VAR/STD are
-        the exact global statistics, not averages of shard answers.
+        StreamingMoments` (computed through its planner, concurrently
+        when ``workers > 1``); the moments merge **in shard order** via
+        Chan's rule and the function is finalized once over the merged
+        accumulator, so AVG/VAR/STD are the exact global statistics —
+        not averages of shard answers, and independent of which shard
+        finished first.
         """
         function = AggregateFunction(function)
         if (low is None) != (high is None):
             raise ConfigError("supply both low and high, or neither")
+
+        def run_shard(partition: Partition):
+            with partition.lock:
+                if partition.db.total_rows == 0:
+                    return None
+                return partition.db.aggregate_moments(
+                    function, self.column, low, high
+                )
+
+        outputs = self._fanout.map_ordered(
+            run_shard, self._partitions, self.workers
+        )
         active = StreamingMoments()
         oracle = StreamingMoments()
-        for partition in self._partitions:
-            if partition.db.total_rows == 0:
+        for moments in outputs:
+            if moments is None:
                 continue
-            active_part, missed_part = partition.db.aggregate_moments(
-                function, self.column, low, high
-            )
+            active_part, missed_part = moments
             active.merge(active_part)
             oracle.merge(active_part)
             oracle.merge(missed_part)
         return function.from_moments(active), function.from_moments(oracle)
 
     # -- planning introspection ---------------------------------------------
+
+    def _ordered_partitions(self) -> list[Partition]:
+        """Shards sorted by their range bounds — the report order.
+
+        The internal list is maintained in range order, but reports
+        sort explicitly so their layout never depends on how topology
+        changes happened to rebuild the list.
+        """
+        return sorted(self._partitions, key=lambda p: (p.low, p.high))
 
     def explain(self, low: int, high: int) -> list[tuple[int, QueryPlan]]:
         """Preview each shard's plan for ``[low, high)`` (no execution).
@@ -357,18 +589,25 @@ class PartitionedAmnesiaDatabase:
         predicate = RangePredicate(self.column, low, high)
         return [
             (partition.index, partition.db.planner.plan(predicate))
-            for partition in self._partitions
+            for partition in self._ordered_partitions()
         ]
 
     def plan_report(self) -> str:
-        """Unified EXPLAIN-style report across every shard's planner."""
+        """Unified EXPLAIN-style report across every shard's planner.
+
+        Shards are listed in explicit range order (by partition bound),
+        so the report is stable across worker interleavings and
+        boundary adaptations; the header carries the fan-out width and
+        every split/merge decision taken so far.
+        """
         totals = {"considered": 0, "pruned_rows": 0, "pruned_shards": 0}
         lines = [
             f"PartitionedAmnesiaDatabase(plan={self.plan_mode!r}) — "
             f"{self.partition_count} shard(s), "
-            f"budget {self.total_budget}"
+            f"budget {self.total_budget}, workers {self.workers}, "
+            f"rebalance {self.rebalance_policy!r}"
         ]
-        for partition in self._partitions:
+        for partition in self._ordered_partitions():
             stats = partition.db.planner.stats()
             totals["considered"] += stats["rows_considered"]
             totals["pruned_rows"] += stats["rows_pruned"]
@@ -383,51 +622,251 @@ class PartitionedAmnesiaDatabase:
             f"pruned {totals['pruned_rows']:,}; "
             f"shard-level prunes {totals['pruned_shards']}"
         )
+        if self._adaptations:
+            lines.append("boundary adaptations:")
+            lines.extend("  " + event for event in self._adaptations)
         return "\n".join(lines)
 
     # -- adaptation ----------------------------------------------------------------
 
-    def rebalance(self, floor: int = 1) -> dict[int, int]:
-        """Reallocate budget proportionally to observed query traffic.
+    def _spawn_partition(
+        self,
+        low: int,
+        high: int,
+        *,
+        edge_low: bool,
+        edge_high: bool,
+        sources,
+        epoch: int,
+        query_hits: int,
+        query_rows: int,
+    ) -> Partition:
+        """Build a shard for ``[low, high)`` and migrate history into it.
+
+        Everything that seeds randomness or names state derives from
+        the bounds and the adaptation generation — both plan-mode
+        independent — so boundary changes replay identically whatever
+        access paths answered the queries that triggered them.
+        """
+        partition = Partition(
+            index=-1,  # assigned when the new layout is installed
+            low=low,
+            high=high,
+            budget=1,  # provisional; rebalance assigns the real budget
+            policy=self._policy_factory(),
+            column=self.column,
+            seed=derive_seed(
+                self._seed, f"partition-g{self._generation}-{low}-{high}"
+            ),
+            plan=self.plan_mode,
+            edge_low=edge_low,
+            edge_high=edge_high,
+            table_name=f"partition_g{self._generation}_{low}_{high}",
+        )
+        partition.adopt_history(sources)
+        partition.db.advance_epoch_to(epoch)
+        partition.query_hits = query_hits
+        partition.query_rows = query_rows
+        return partition
+
+    def _adapt_boundaries(self, floor: int) -> None:
+        """Split the hottest shard / merge the coldest adjacent pair.
+
+        Triggered by :meth:`rebalance` under the ``adaptive`` policy:
+        when one shard draws more than ``split_threshold`` times its
+        fair share of row traffic, its range is split at the midpoint.
+        The split is funded by merging the adjacent pair with the least
+        combined traffic (hot shard excluded); without an eligible pair
+        the count may grow up to ``max_partitions``.  All decisions
+        read only coverage-based counters, so the trajectory is
+        identical under every plan mode.
+        """
+        partitions = self._partitions
+        n = len(partitions)
+        traffic = np.array([p.query_rows for p in partitions], dtype=np.float64)
+        total = float(traffic.sum())
+        if n < 2 or total <= 0.0:
+            return
+        shares = traffic / total
+        hot = int(np.argmax(shares))
+        if shares[hot] * n < self.split_threshold:
+            return
+        hot_part = partitions[hot]
+        mid = (hot_part.low + hot_part.high) // 2
+        if not hot_part.low < mid < hot_part.high:
+            return  # range of width 1 cannot split
+        merge_at = None
+        candidates = [j for j in range(n - 1) if hot not in (j, j + 1)]
+        if candidates:
+            merge_at = min(
+                candidates, key=lambda j: (traffic[j] + traffic[j + 1], j)
+            )
+        new_count = n if merge_at is not None else n + 1
+        if new_count > self.max_partitions or floor * new_count > self.total_budget:
+            return
+        self._generation += 1
+        hits_left = hot_part.query_hits // 2
+        rows_left = hot_part.query_rows // 2
+        # Migration reads the source tables (values, activity, access
+        # metadata); holding the source shard's lock keeps an in-flight
+        # query from mutating that state mid-snapshot.
+        with hot_part.lock:
+            left = self._spawn_partition(
+                hot_part.low,
+                mid,
+                edge_low=hot_part.bound_low is None,
+                edge_high=False,
+                sources=[(
+                    hot_part.db.table,
+                    np.flatnonzero(hot_part.db.table.values(self.column) < mid),
+                )],
+                epoch=hot_part.db.epoch,
+                query_hits=hits_left,
+                query_rows=rows_left,
+            )
+            right = self._spawn_partition(
+                mid,
+                hot_part.high,
+                edge_low=False,
+                edge_high=hot_part.bound_high is None,
+                sources=[(
+                    hot_part.db.table,
+                    np.flatnonzero(
+                        hot_part.db.table.values(self.column) >= mid
+                    ),
+                )],
+                epoch=hot_part.db.epoch,
+                query_hits=hot_part.query_hits - hits_left,
+                query_rows=hot_part.query_rows - rows_left,
+            )
+        events = [
+            f"gen {self._generation}: split shard [{hot_part.low}, "
+            f"{hot_part.high}) at {mid} "
+            f"(traffic share {shares[hot]:.0%} of {n} shards)"
+        ]
+        merged = None
+        if merge_at is not None:
+            cold_a, cold_b = partitions[merge_at], partitions[merge_at + 1]
+            with cold_a.lock, cold_b.lock:
+                merged = self._spawn_partition(
+                    cold_a.low,
+                    cold_b.high,
+                    edge_low=cold_a.bound_low is None,
+                    edge_high=cold_b.bound_high is None,
+                    sources=[
+                        (cold_a.db.table, np.arange(cold_a.db.total_rows)),
+                        (cold_b.db.table, np.arange(cold_b.db.total_rows)),
+                    ],
+                    epoch=max(cold_a.db.epoch, cold_b.db.epoch),
+                    query_hits=cold_a.query_hits + cold_b.query_hits,
+                    query_rows=cold_a.query_rows + cold_b.query_rows,
+                )
+            pair_share = (traffic[merge_at] + traffic[merge_at + 1]) / total
+            events.append(
+                f"gen {self._generation}: merged shards [{cold_a.low}, "
+                f"{cold_a.high}) + [{cold_b.low}, {cold_b.high}) "
+                f"(combined traffic share {pair_share:.0%})"
+            )
+        layout: list[Partition] = []
+        for i, partition in enumerate(partitions):
+            if i == hot:
+                layout.extend((left, right))
+            elif merge_at is not None and i == merge_at:
+                layout.append(merged)
+            elif merge_at is not None and i == merge_at + 1:
+                continue
+            else:
+                layout.append(partition)
+        layout.sort(key=lambda p: (p.low, p.high))
+        for index, partition in enumerate(layout):
+            partition.index = index
+        # Single atomic swap: readers snapshotting self._layout never
+        # see a partition list from one generation and cut points from
+        # another.
+        self._layout = (layout, [p.low for p in layout] + [layout[-1].high])
+        self._adaptations.extend(events)
+
+    def rebalance(self, floor: int = 1, policy: str | None = None) -> dict[int, int]:
+        """Reallocate storage proportionally to observed query traffic.
+
+        ``policy`` (default: the store's configured ``rebalance``)
+        picks the traffic signal: ``"hits"`` splits budget by covering-
+        query counts, ``"rows"`` by the coverage-based rows-matched
+        counters (queries that touched more data pull more budget), and
+        ``"adaptive"`` additionally adapts the *boundaries* first —
+        splitting a shard whose traffic share exceeds the configured
+        skew threshold and merging the coldest adjacent pair — before
+        splitting budget by rows.
 
         Each partition receives at least ``floor`` tuples; the rest of
-        the total budget is split by (hits + 1) shares, so an untouched
-        store still decays gracefully instead of starving instantly.
-        Shrunken partitions forget down immediately; hit counters reset
-        so the next window adapts afresh.  Returns {partition: budget}.
+        the total budget is split by (signal + 1) shares, so an
+        untouched store still decays gracefully instead of starving
+        instantly.  Shrunken partitions forget down immediately;
+        traffic counters reset so the next window adapts afresh.
+        Returns {partition: budget}.
+
+        Concurrency contract: queries may run concurrently with each
+        other at any time (per-shard locks keep results and counters
+        exact), and inserts serialize against rebalancing on the admin
+        lock, so writes can never land in a shard the migration
+        already snapshotted.  Rebalancing itself is an *administrative*
+        step — run it between query waves: migration locks the source
+        shards and the layout swap is atomic, so concurrent readers
+        always see a consistent topology and correct answers, but a
+        query still in flight across the swap counts its traffic on
+        the retired shard objects, where the next window no longer
+        reads it.
         """
         if floor < 1:
             raise ConfigError(f"floor must be >= 1, got {floor}")
         if floor * self.partition_count > self.total_budget:
             raise ConfigError("floor exceeds the total budget")
-        shares = np.array(
-            [p.query_hits + 1 for p in self._partitions], dtype=np.float64
-        )
-        spare = self.total_budget - floor * self.partition_count
-        raw = shares / shares.sum() * spare
-        budgets = np.floor(raw).astype(int) + floor
-        leftover = self.total_budget - int(budgets.sum())
-        order = np.argsort(-(raw - np.floor(raw)))
-        for i in range(leftover):
-            budgets[order[i % self.partition_count]] += 1
-        for partition, budget in zip(self._partitions, budgets):
-            partition.set_budget(int(budget))
-            partition.query_hits = 0
-        return {p.index: p.budget for p in self._partitions}
+        if policy is None:
+            policy = self.rebalance_policy
+        check_in(policy, REBALANCE_POLICIES, "rebalance")
+        with self._admin_lock:
+            if policy == "adaptive":
+                self._adapt_boundaries(floor)
+            partitions = self._partitions
+            signal = (
+                [p.query_hits for p in partitions]
+                if policy == "hits"
+                else [p.query_rows for p in partitions]
+            )
+            shares = np.array(signal, dtype=np.float64) + 1.0
+            spare = self.total_budget - floor * len(partitions)
+            raw = shares / shares.sum() * spare
+            budgets = np.floor(raw).astype(int) + floor
+            leftover = self.total_budget - int(budgets.sum())
+            order = np.argsort(-(raw - np.floor(raw)))
+            for i in range(leftover):
+                budgets[order[i % len(partitions)]] += 1
+            for partition, budget in zip(partitions, budgets):
+                with partition.lock:
+                    partition.set_budget(int(budget))
+                    partition.query_hits = 0
+                    partition.query_rows = 0
+            return {p.index: p.budget for p in partitions}
 
     def stats(self) -> dict:
         """Operational snapshot across shards."""
+        partitions = self._ordered_partitions()
         return {
-            "partitions": self.partition_count,
+            "partitions": len(partitions),
             "total_budget": self.total_budget,
             "active_rows": self.active_count,
             "total_rows": self.total_rows,
-            "budgets": [p.budget for p in self._partitions],
-            "query_hits": [p.query_hits for p in self._partitions],
+            "budgets": [p.budget for p in partitions],
+            "boundaries": list(self._bounds),
+            "query_hits": [p.query_hits for p in partitions],
+            "query_rows": [p.query_rows for p in partitions],
             "plan": self.plan_mode,
+            "workers": self.workers,
+            "rebalance": self.rebalance_policy,
+            "adaptations": list(self._adaptations),
             "shard_prunes": [
                 p.db.planner.stats()["paths"]["pruned"]
-                for p in self._partitions
+                for p in partitions
             ],
         }
 
@@ -435,5 +874,6 @@ class PartitionedAmnesiaDatabase:
         return (
             f"PartitionedAmnesiaDatabase(column={self.column!r}, "
             f"partitions={self.partition_count}, "
-            f"budget={self.total_budget}, plan={self.plan_mode!r})"
+            f"budget={self.total_budget}, plan={self.plan_mode!r}, "
+            f"workers={self.workers})"
         )

@@ -44,6 +44,13 @@ class Catalog:
         :func:`repro.core.config.default_plan` lazily, at first
         planner use, so the CLI's ``--plan`` flag reaches
         catalog-backed runs too.
+    workers:
+        Fan-out width for :meth:`execute_batch`: how many per-table
+        query streams may run concurrently (tables are independent;
+        each table's queries stay sequential and ordered, so access
+        accounting is bit-identical at any width).  ``None`` resolves
+        to :func:`repro.core.config.default_workers` lazily, like
+        ``plan``.
 
     >>> cat = Catalog()
     >>> t = cat.create_table("obs", ["a"])
@@ -51,17 +58,34 @@ class Catalog:
     True
     """
 
-    def __init__(self, plan: str | None = None) -> None:
+    def __init__(self, plan: str | None = None, workers: int | None = None) -> None:
         if plan is not None:
             # Imported lazily: the query package imports storage, so a
             # module-level import here would be circular.
             from ..query.planner import PLAN_MODES
 
             check_in(plan, PLAN_MODES, "plan")
+        if workers is not None and workers < 1:
+            raise SchemaError(f"workers must be >= 1, got {workers}")
+        # Imported lazily like the planner bits (storage must not pull
+        # in higher layers at module import time).
+        from .._util.parallel import FanOutPool
+
         self._plan = plan
+        self._workers = workers
+        self._fanout = FanOutPool()
         self._tables: dict[str, Table] = {}
         self._planners: dict[str, "QueryPlanner"] = {}
         self._executors: dict[tuple[str, bool], "QueryExecutor"] = {}
+
+    @property
+    def workers(self) -> int:
+        """The fan-out width batch execution uses."""
+        if self._workers is None:
+            from ..core.config import default_workers
+
+            return default_workers()
+        return self._workers
 
     @property
     def plan_mode(self) -> str:
@@ -167,11 +191,48 @@ class Catalog:
         """Run a query against one table through its catalog executor."""
         return self.executor(name).execute(query, epoch)
 
+    def execute_batch(self, requests, epoch: int) -> list:
+        """Run ``(table_name, query)`` pairs; results in request order.
+
+        Requests fan out across *tables* on a thread pool when
+        ``workers > 1`` — tables are independent, and each table's own
+        queries run sequentially in request order, so results and
+        access accounting are bit-identical to a sequential loop.
+        Executors (and planners) are resolved up front, before the
+        fan-out, because lazy construction mutates shared caches.
+        """
+        requests = list(requests)
+        by_table: dict[str, list[int]] = {}
+        for i, (name, _) in enumerate(requests):
+            self.executor(name)  # build caches outside the worker threads
+            by_table.setdefault(name, []).append(i)
+        results: list = [None] * len(requests)
+
+        def run_table(indexes: list[int]) -> None:
+            for i in indexes:
+                name, query = requests[i]
+                results[i] = self.executor(name).execute(query, epoch)
+
+        self._fanout.map_ordered(
+            run_table, list(by_table.values()), self.workers
+        )
+        return results
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (catalog stays usable)."""
+        self._fanout.close()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def plan_report(self) -> str:
         """One EXPLAIN-style report covering every planned table."""
         lines = [
             f"Catalog(plan={self.plan_mode!r}) — {len(self._tables)} table(s), "
-            f"{len(self._planners)} planned"
+            f"{len(self._planners)} planned, workers {self.workers}"
         ]
         for name in self._tables:
             planner = self._planners.get(name)

@@ -180,6 +180,20 @@ class Table:
         if n > self.active_count:
             raise InsufficientVictimsError(n, self.active_count)
 
+    def restore_access(self, positions: np.ndarray, counts, last_epochs) -> None:
+        """Bulk-restore access metadata for rows migrated between tables.
+
+        Partition boundary splits/merges replay a shard's history into a
+        fresh table; this carries the access-frequency signal the rot
+        and overuse policies feed on across the move, instead of
+        resetting every migrated row to "never read".
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return
+        self._access_count.put(positions, counts)
+        self._last_access_epoch.put(positions, last_epochs)
+
     def record_access(self, positions: np.ndarray, epoch: int) -> None:
         """Bump access frequency for rows appearing in a query result.
 

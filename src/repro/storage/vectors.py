@@ -96,6 +96,17 @@ class GrowableIntVector:
         if positions.size:
             self._data[positions] = int(value)
 
+    def put(self, positions: np.ndarray, values) -> None:
+        """Set ``positions`` to per-position ``values`` (same length)."""
+        positions = self._check_positions(positions)
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.shape != positions.shape:
+            raise StorageError(
+                f"put expects {positions.shape} values, got {arr.shape}"
+            )
+        if positions.size:
+            self._data[positions] = arr
+
     def add_at(self, positions: np.ndarray, delta: int = 1) -> None:
         """Add ``delta`` at ``positions``.
 

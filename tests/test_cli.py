@@ -97,6 +97,49 @@ class TestPlanFlag:
         assert default_plan() == before
 
 
+class TestWorkersAndRebalanceFlags:
+    def test_parser_accepts_workers_and_rebalance(self):
+        args = build_parser().parse_args(
+            ["run", "X2", "--workers", "4", "--rebalance", "adaptive"]
+        )
+        assert args.workers == 4
+        assert args.rebalance == "adaptive"
+
+    def test_parser_rejects_unknown_rebalance(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "X2", "--rebalance", "entropy"])
+
+    def test_invalid_workers_fails_cleanly(self):
+        from repro.core.config import default_plan
+
+        before = default_plan()
+        out = io.StringIO()
+        assert main(
+            ["run", "F1", "--plan", "cost", "--workers", "0"], out=out
+        ) == 2
+        # The early error must not leak a half-applied configuration.
+        assert default_plan() == before
+
+    def test_flags_reach_process_defaults_and_are_restored(self, monkeypatch):
+        from repro.core.config import default_rebalance, default_workers
+
+        seen = {}
+
+        def fake_runner(seed=None):
+            seen["workers"] = default_workers()
+            seen["rebalance"] = default_rebalance()
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", fake_runner)
+        before = (default_workers(), default_rebalance())
+        out = io.StringIO()
+        assert main(
+            ["run", "F1", "--workers", "4", "--rebalance", "rows"], out=out
+        ) == 0
+        assert seen == {"workers": 4, "rebalance": "rows"}
+        assert (default_workers(), default_rebalance()) == before
+
+
 class _FakeResult:
     def render(self):
         return "ok"

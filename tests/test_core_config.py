@@ -97,3 +97,43 @@ class TestPlanKnob:
                 set_default_plan("turbo")
         finally:
             set_default_plan(before)
+
+
+class TestWorkersAndRebalanceKnobs:
+    def test_defaults(self):
+        from repro.core.config import default_rebalance, default_workers
+
+        assert default_workers() == 1
+        assert default_rebalance() == "hits"
+        config = SimulationConfig()
+        assert config.workers == 1
+        assert config.rebalance == "hits"
+
+    def test_validation(self):
+        with pytest.raises((ConfigError, ValueError)):
+            SimulationConfig(workers=0)
+        with pytest.raises((ConfigError, ValueError)):
+            SimulationConfig(rebalance="entropy")
+        assert SimulationConfig(workers=8, rebalance="adaptive").workers == 8
+
+    def test_set_default_round_trips(self):
+        from repro.core.config import (
+            default_rebalance,
+            default_workers,
+            set_default_rebalance,
+            set_default_workers,
+        )
+
+        before = (default_workers(), default_rebalance())
+        try:
+            assert set_default_workers(4) == 4
+            assert set_default_rebalance("adaptive") == "adaptive"
+            config = SimulationConfig()
+            assert (config.workers, config.rebalance) == (4, "adaptive")
+            with pytest.raises(ConfigError):
+                set_default_workers(0)
+            with pytest.raises(ConfigError):
+                set_default_rebalance("entropy")
+        finally:
+            set_default_workers(before[0])
+            set_default_rebalance(before[1])

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "tiered_archive.py",
     "adaptive_partitions.py",
     "sharded_explain.py",
+    "parallel_shards.py",
 ]
 
 

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
+from repro import AmnesiaDatabase
 from repro._util.errors import ConfigError, QueryError
 from repro.amnesia import FifoAmnesia, UniformAmnesia
 from repro.partitioning import PartitionedAmnesiaDatabase
@@ -312,3 +315,319 @@ class TestRebalance:
         assert stats["partitions"] == 2
         assert stats["active_rows"] == 2
         assert len(stats["budgets"]) == 2
+        assert stats["workers"] == 1
+        assert stats["rebalance"] == "hits"
+        assert stats["boundaries"] == [0, 500, 1000]
+
+    def test_rows_signal_weighs_queries_by_matched_rows(self):
+        """``rows`` rebalancing pulls budget toward the shard whose
+        data the queries actually touched, even when hit counts tie."""
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 500, 1000), 200,
+            policy_factory=UniformAmnesia, seed=3,
+        )
+        # Shard 0 holds 10x the rows of shard 1.
+        store.insert({"a": np.concatenate([
+            np.arange(0, 500), np.arange(500, 1000, 10),
+        ])})
+        for _ in range(10):
+            store.range_query(0, 1000)  # covers (hits) both equally
+        assert store.partitions[0].query_hits == store.partitions[1].query_hits
+        assert store.partitions[0].query_rows > store.partitions[1].query_rows
+        hits_budgets = dict(
+            zip((0, 1), store.stats()["budgets"])
+        )
+        budgets = store.rebalance(floor=10, policy="rows")
+        assert budgets[0] > budgets[1]
+        assert budgets[0] > hits_budgets[0]  # even split before
+        # Counters reset for the next window.
+        assert all(p.query_rows == 0 for p in store.partitions)
+
+    def test_rebalance_rejects_unknown_policy(self):
+        store = make_store()
+        store.insert({"a": np.array([1])})
+        with pytest.raises(Exception):
+            store.rebalance(policy="entropy")
+
+
+class TestParallelFanout:
+    """The tentpole: per-shard pipelines fan out over a thread pool."""
+
+    def _build(self, workers, boundaries=(0, 250, 500, 750, 1000)):
+        store = PartitionedAmnesiaDatabase(
+            "a", boundaries, 400,
+            policy_factory=FifoAmnesia, seed=7, workers=workers,
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(4):
+            store.insert({"a": rng.integers(-50, 1100, 200)})
+        return store
+
+    def test_workers_validated(self):
+        with pytest.raises(ConfigError):
+            self._build(workers=0)
+
+    def test_fanout_matches_sequential(self):
+        sequential = self._build(workers=1)
+        parallel = self._build(workers=4)
+        queries = [(-100, 100), (0, 1000), (200, 260), (900, 1200), (5, 5)]
+        for low, high in queries:
+            a = sequential.range_query(low, high)
+            b = parallel.range_query(low, high)
+            assert (a.rf, a.mf, a.shards_executed, a.shards_pruned) == (
+                b.rf, b.mf, b.shards_executed, b.shards_pruned
+            )
+        for fn in ("avg", "var", "std", "count"):
+            assert sequential.aggregate(fn) == parallel.aggregate(fn)
+            assert sequential.aggregate(fn, 100, 800) == (
+                parallel.aggregate(fn, 100, 800)
+            )
+        parallel.close()
+
+    def test_counters_race_free_under_concurrent_queries(self):
+        """Satellite: traffic counters survive concurrent callers.
+
+        Eight caller threads hammer a 4-worker store; per-shard
+        hit/row counters must land exactly where a sequential replay
+        puts them (increments are lock-protected, not lost)."""
+        sequential = self._build(workers=1)
+        parallel = self._build(workers=4)
+        queries = [(0, 300), (200, 800), (600, 1200), (-100, 150)] * 25
+        expected = [sequential.range_query(lo, hi) for lo, hi in queries]
+        with ThreadPoolExecutor(max_workers=8) as callers:
+            got = list(
+                callers.map(lambda q: parallel.range_query(*q), queries)
+            )
+        assert [(r.rf, r.mf) for r in got] == [
+            (r.rf, r.mf) for r in expected
+        ]
+        assert [p.query_hits for p in parallel.partitions] == [
+            p.query_hits for p in sequential.partitions
+        ]
+        assert [p.query_rows for p in parallel.partitions] == [
+            p.query_rows for p in sequential.partitions
+        ]
+        parallel.close()
+
+    def test_close_is_idempotent_and_store_survives(self):
+        store = self._build(workers=4)
+        assert store.range_query(0, 1000).oracle_count > 0
+        store.close()
+        store.close()
+        assert store.range_query(0, 1000).oracle_count > 0  # pool rebuilds
+        store.close()
+
+    def test_context_manager_closes_pool(self):
+        with self._build(workers=2) as store:
+            store.range_query(0, 500)
+        assert store._fanout._pool is None
+
+    def test_facade_entry_point(self):
+        """AmnesiaDatabase.partitioned threads workers/rebalance through."""
+        store = AmnesiaDatabase.partitioned(
+            "a", (0, 500, 1000), 100,
+            policy_factory=FifoAmnesia, workers=3, rebalance="rows",
+        )
+        assert isinstance(store, PartitionedAmnesiaDatabase)
+        assert store.workers == 3
+        assert store.rebalance_policy == "rows"
+
+
+class TestTrafficCountersPlanIndependent:
+    """Satellite regression: rebalance() feeds on coverage-based
+    counters, so its inputs — and therefore budgets and boundaries —
+    cannot depend on which access path answered the queries."""
+
+    def _drive(self, plan, workers=1, rebalance="adaptive"):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 250, 500, 1000), 150,
+            policy_factory=FifoAmnesia, seed=5, plan=plan,
+            workers=workers, rebalance=rebalance, split_threshold=1.5,
+        )
+        rng = np.random.default_rng(2)
+        trails = []
+        for _ in range(4):
+            store.insert({"a": rng.integers(0, 1000, 100)})
+            for _ in range(6):
+                store.range_query(0, 200)  # skew at the low shard
+            store.range_query(300, 900)
+            trails.append([
+                (p.low, p.high, p.query_hits, p.query_rows)
+                for p in store.partitions
+            ])
+            store.rebalance(floor=10)
+            trails.append(store.boundaries)
+        trails.append(store.adaptations)
+        store.close()
+        return trails
+
+    @pytest.mark.parametrize("plan", ("auto", "zonemap", "cost"))
+    def test_counters_match_scan_baseline(self, plan):
+        assert self._drive(plan) == self._drive("scan")
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_counters_match_under_fanout(self, workers):
+        assert self._drive("cost", workers=workers) == self._drive("scan")
+
+    def test_trajectory_contains_boundary_adaptation(self):
+        adaptations = self._drive("scan")[-1]
+        assert any("split shard" in event for event in adaptations)
+
+
+class TestAdaptiveBoundaries:
+    """Workload-adaptive splits and merges of the partition layout."""
+
+    def _skewed_store(self, total_budget=4000, **kwargs):
+        defaults = dict(
+            policy_factory=FifoAmnesia, seed=13, rebalance="adaptive",
+            split_threshold=1.5,
+        )
+        defaults.update(kwargs)
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 250, 500, 750, 1000), total_budget, **defaults
+        )
+        rng = np.random.default_rng(6)
+        store.insert({"a": rng.integers(0, 1000, 2000)})
+        return store
+
+    def test_hot_shard_splits_and_cold_pair_merges(self):
+        store = self._skewed_store()
+        for _ in range(20):
+            store.range_query(0, 240)
+        store.rebalance(floor=10)
+        # The hot shard split at its midpoint; the coldest adjacent
+        # pair (all ties resolve to the lowest index) was merged to
+        # fund it, so the count is unchanged.
+        assert store.boundaries == (0, 125, 250, 750, 1000)
+        assert store.partition_count == 4  # split funded by a merge
+        assert [p.index for p in store.partitions] == [0, 1, 2, 3]
+        assert any("split shard [0, 250) at 125" in e for e in store.adaptations)
+        assert any("merged shards [250, 500) + [500, 750)" in e
+                   for e in store.adaptations)
+
+    def test_split_loses_no_history(self):
+        """Migrated shards answer every query exactly as before."""
+        # Budget high enough that even post-rebalance floor shares
+        # exceed any shard's row count: no forgetting anywhere, so the
+        # only thing that can change answers is a migration bug.
+        store = self._skewed_store(total_budget=10_000)
+        values = np.concatenate([
+            p.db.table.values("a") for p in store.partitions
+        ])
+        access_before = sum(
+            int(p.db.table.access_counts().sum()) for p in store.partitions
+        )
+        before = store.range_query(0, 1000)
+        for _ in range(20):
+            store.range_query(0, 240)
+        store.rebalance(floor=2000)
+        after = store.range_query(0, 1000)
+        assert (after.rf, after.mf) == (before.rf, before.mf)
+        assert after.oracle_count == values.size
+        # Every row landed in the shard owning its value range.
+        for partition in store.partitions:
+            shard_values = partition.db.table.values("a")
+            if partition.bound_low is not None:
+                assert (shard_values >= partition.bound_low).all()
+            if partition.bound_high is not None:
+                assert (shard_values < partition.bound_high).all()
+        # Access metadata survived the migration (modulo the new reads).
+        access_after = sum(
+            int(p.db.table.access_counts().sum()) for p in store.partitions
+        )
+        assert access_after >= access_before
+
+    def test_max_partitions_caps_growth(self):
+        # Two shards: a split cannot be funded by a merge (every
+        # adjacent pair touches the hot shard), so the count grows —
+        # until the cap forbids it.
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 500, 1000), 400,
+            policy_factory=FifoAmnesia, seed=3, rebalance="adaptive",
+            split_threshold=1.2, max_partitions=3,
+        )
+        store.insert({"a": np.arange(0, 1000, 2)})
+        for _ in range(10):
+            store.range_query(0, 400)
+        store.rebalance(floor=10)
+        assert store.partition_count == 3
+        for _ in range(10):
+            store.range_query(0, 200)
+        store.rebalance(floor=10)
+        assert store.partition_count == 3  # capped
+
+    def test_uniform_traffic_never_splits(self):
+        store = self._skewed_store()
+        for _ in range(10):
+            store.range_query(0, 1000)  # covers every shard evenly
+        store.rebalance(floor=10)
+        assert store.boundaries == (0, 250, 500, 750, 1000)
+        assert store.adaptations == ()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            self._skewed_store(split_threshold=0.5)
+        with pytest.raises(ConfigError):
+            self._skewed_store(max_partitions=2)  # below initial count
+
+
+class TestPlanReportOrdering:
+    """Satellite fix: shard reports are ordered by bound, explicitly."""
+
+    def test_report_order_is_by_bound_not_list_order(self):
+        store = make_store(boundaries=(0, 250, 500, 1000))
+        store.insert({"a": np.arange(0, 1000, 10)})
+        store.range_query(0, 100)
+        # Simulate an interleaving-dependent internal order.
+        store._partitions.reverse()
+        report = store.plan_report()
+        lows = [
+            int(line.split("[")[1].split(",")[0])
+            for line in report.splitlines()
+            if line.startswith("shard ")
+        ]
+        assert lows == sorted(lows) == [0, 250, 500]
+        stats = store.stats()
+        assert stats["budgets"] == [
+            p.budget for p in sorted(store.partitions, key=lambda p: p.low)
+        ]
+        store._partitions.reverse()  # restore
+
+    def test_report_mentions_workers_and_adaptations(self):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 250, 500, 1000), 300,
+            policy_factory=FifoAmnesia, seed=5, workers=4,
+            rebalance="adaptive", split_threshold=1.5,
+        )
+        store.insert({"a": np.arange(1000)})
+        for _ in range(10):
+            store.range_query(0, 200)
+        store.rebalance(floor=10)
+        report = store.plan_report()
+        assert "workers 4" in report
+        assert "rebalance 'adaptive'" in report
+        assert "boundary adaptations:" in report
+        assert "split shard" in report
+        store.close()
+
+    def test_report_stable_after_adaptation(self):
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 250, 500, 1000), 300,
+            policy_factory=FifoAmnesia, seed=5,
+            rebalance="adaptive", split_threshold=1.5,
+        )
+        store.insert({"a": np.arange(1000)})
+        for _ in range(10):
+            store.range_query(0, 200)
+        store.rebalance(floor=10)
+        report = store.plan_report()
+        headers = [
+            line for line in report.splitlines() if line.startswith("shard ")
+        ]
+        bounds = [
+            (p.low, p.high)
+            for p in sorted(store.partitions, key=lambda p: p.low)
+        ]
+        assert headers == [
+            f"shard {i} [{lo}, {hi}):" for i, (lo, hi) in enumerate(bounds)
+        ]

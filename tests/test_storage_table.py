@@ -252,6 +252,44 @@ class TestCatalogPlanning:
         with pytest.raises(Exception):
             Catalog(plan="warp")
 
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(Exception):
+            Catalog(workers=0)
+
+    def test_execute_batch_parallel_matches_sequential(self):
+        """Batch fan-out across tables: request order, results and
+        access accounting all match a sequential loop exactly."""
+        from repro.query import RangePredicate, RangeQuery
+
+        def build(workers):
+            catalog = Catalog(plan="auto", workers=workers)
+            for name in ("s1", "s2", "s3"):
+                table = catalog.create_table(name, ["a"])
+                table.insert_batch(0, {"a": np.arange(200)})
+                table.forget(np.arange(0, 200, 3), epoch=1)
+            return catalog
+
+        requests = [
+            (name, RangeQuery(RangePredicate("a", low, low + 40)))
+            for low in (0, 50, 120)
+            for name in ("s1", "s2", "s3", "s1")
+        ]
+        sequential = build(workers=1)
+        parallel = build(workers=4)
+        expected = [
+            sequential.execute(name, query, epoch=2)
+            for name, query in requests
+        ]
+        got = parallel.execute_batch(requests, epoch=2)
+        assert [(r.rf, r.mf) for r in got] == [
+            (r.rf, r.mf) for r in expected
+        ]
+        for name in ("s1", "s2", "s3"):
+            assert (
+                parallel.get(name).access_counts().tolist()
+                == sequential.get(name).access_counts().tolist()
+            )
+
     def test_default_plan_pinned_at_first_use(self):
         """One catalog = one plan story, even if the process default
         changes mid-run (as the CLI does around each experiment)."""
