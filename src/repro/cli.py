@@ -17,17 +17,21 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ._util.errors import QueryError
 from .core.config import (
     REBALANCE_POLICIES,
+    default_cross_query,
     default_plan,
     default_rebalance,
     default_workers,
+    set_default_cross_query,
     set_default_plan,
     set_default_rebalance,
     set_default_workers,
 )
 from .experiments import EXPERIMENTS
 from .query.planner import PLAN_MODES
+from .query.plans import parse_query_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -50,6 +54,7 @@ _DESCRIPTIONS = {
     "X2": "extension — adaptive partition budgets",
     "X3": "extension — referential integrity (restrict/cascade)",
     "X4": "extension — histogram micro-model summaries",
+    "X5": "extension — cross-table union/join over forgetting streams",
 }
 
 
@@ -104,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
             "splits hot shard boundaries and merges cold ones)"
         ),
     )
+    run.add_argument(
+        "--query",
+        default=None,
+        metavar="union:...|join:...",
+        help=(
+            "cross-table query spec for catalog-backed experiments "
+            "(X5): 'union:s1,s2' concatenates per-sensor streams, "
+            "'join:s1,s2:on=value' (or on=epoch) equi-joins them; "
+            "optional low=/high= bound the scans "
+            f"(default: {default_cross_query()!r})"
+        ),
+    )
     return parser
 
 
@@ -132,15 +149,24 @@ def main(argv=None, out=None) -> int:
     if getattr(args, "workers", None) is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if getattr(args, "query", None) is not None:
+        try:
+            parse_query_spec(args.query)
+        except QueryError as error:
+            print(f"--query: {error}", file=sys.stderr)
+            return 2
     previous_plan = default_plan()
     previous_workers = default_workers()
     previous_rebalance = default_rebalance()
+    previous_cross_query = default_cross_query()
     if getattr(args, "plan", None) is not None:
         set_default_plan(args.plan)
     if getattr(args, "workers", None) is not None:
         set_default_workers(args.workers)
     if getattr(args, "rebalance", None) is not None:
         set_default_rebalance(args.rebalance)
+    if getattr(args, "query", None) is not None:
+        set_default_cross_query(args.query)
     try:
         target = args.experiment.upper()
         if target == "ALL":
@@ -159,10 +185,22 @@ def main(argv=None, out=None) -> int:
             return 2
         _run_one(by_upper[target], args.seed, out)
         return 0
+    except QueryError as error:
+        # Grammar errors are caught before anything runs; binding
+        # errors (e.g. --query naming a table the experiment does not
+        # create) surface here, once a catalog tries to resolve the
+        # spec — same clean diagnostic, no traceback.  Scoped to runs
+        # that supplied --query: an internal QueryError from an
+        # unrelated experiment must keep its stack trace.
+        if getattr(args, "query", None) is None:
+            raise
+        print(f"query error: {error}", file=sys.stderr)
+        return 2
     finally:
         set_default_plan(previous_plan)
         set_default_workers(previous_workers)
         set_default_rebalance(previous_rebalance)
+        set_default_cross_query(previous_cross_query)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,13 +18,16 @@ from .._util.validation import (
     check_positive_int,
 )
 from ..query.planner import PLAN_MODES
+from ..query.plans import parse_query_spec
 
 __all__ = [
     "REBALANCE_POLICIES",
     "SimulationConfig",
+    "default_cross_query",
     "default_plan",
     "default_rebalance",
     "default_workers",
+    "set_default_cross_query",
     "set_default_plan",
     "set_default_rebalance",
     "set_default_workers",
@@ -51,6 +54,11 @@ _DEFAULT_PLAN = "auto"
 _DEFAULT_WORKERS = 1
 _DEFAULT_REBALANCE = "hits"
 
+#: Process-wide default cross-table query spec (see
+#: :func:`repro.query.plans.parse_query_spec`) — the CLI's ``--query``
+#: flag sets it, and the cross-table experiment (X5) runs it.
+_DEFAULT_CROSS_QUERY = "join:s1,s2:on=value"
+
 
 def default_plan() -> str:
     """The plan mode new configs default to."""
@@ -74,6 +82,22 @@ def set_default_workers(workers: int) -> int:
     global _DEFAULT_WORKERS
     _DEFAULT_WORKERS = check_positive_int(workers, "workers")
     return _DEFAULT_WORKERS
+
+
+def default_cross_query() -> str:
+    """The cross-table query spec new configs default to."""
+    return _DEFAULT_CROSS_QUERY
+
+
+def set_default_cross_query(spec: str) -> str:
+    """Set the process-wide default cross-table query spec; returns it.
+
+    The spec's *grammar* is validated here (kind, tables, options);
+    table names bind only when a catalog executes it.
+    """
+    global _DEFAULT_CROSS_QUERY
+    _DEFAULT_CROSS_QUERY = parse_query_spec(spec).render()
+    return _DEFAULT_CROSS_QUERY
 
 
 def default_rebalance() -> str:
@@ -138,6 +162,13 @@ class SimulationConfig:
         PartitionedAmnesiaDatabase.rebalance` — one of
         :data:`REBALANCE_POLICIES` (``hits``, ``rows``, ``adaptive``).
         Consumed the same way as ``workers``.
+    cross_query:
+        Cross-table query spec (``union:...`` / ``join:...`` — see
+        :func:`repro.query.plans.parse_query_spec`) that catalog-backed
+        runners execute each epoch; the CLI's ``--query`` flag sets the
+        process default.  Consumed by the cross-table experiment (X5);
+        single-table runners validate and record it but have only one
+        table to scan.
     """
 
     dbsize: int = 1000
@@ -150,6 +181,7 @@ class SimulationConfig:
     plan: str = field(default_factory=default_plan)
     workers: int = field(default_factory=default_workers)
     rebalance: str = field(default_factory=default_rebalance)
+    cross_query: str = field(default_factory=default_cross_query)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")
@@ -160,6 +192,7 @@ class SimulationConfig:
         check_in(self.plan, PLAN_MODES, "plan")
         check_positive_int(self.workers, "workers")
         check_in(self.rebalance, REBALANCE_POLICIES, "rebalance")
+        parse_query_spec(self.cross_query)  # grammar check; binding is lazy
         if not self.column:
             raise ValueError("column name must be non-empty")
         if self.batch_size < 1:

@@ -13,6 +13,7 @@ from .ablations import (
 )
 from .aggregates import run_aggregate_precision
 from .coldstore_exp import run_coldstore_economics
+from .cross_table import run_cross_table
 from .compression_exp import run_compression_budget
 from .dispositions_exp import run_dispositions
 from .extensions_exp import run_distribution_alignment, run_pair_preservation
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "X2": run_adaptive_partitioning,
     "X3": run_referential_integrity,
     "X4": run_histogram_summaries,
+    "X5": run_cross_table,
 }
 
 __all__ = [
@@ -58,6 +60,7 @@ __all__ = [
     "run_once",
     "sweep_policies",
     "run_adaptive_partitioning",
+    "run_cross_table",
     "run_decay_comparison",
     "run_histogram_summaries",
     "run_referential_integrity",

@@ -72,7 +72,8 @@ from ..core.config import (
 )
 from ..core.database import AmnesiaDatabase
 from ..query.planner import QueryPlan
-from ..query.predicates import RangePredicate
+from ..query.plans import check_scan_bounds, merge_match_sides
+from ..query.predicates import RangePredicate, TruePredicate
 from ..query.queries import AggregateFunction
 from ..stats.moments import StreamingMoments
 
@@ -567,6 +568,95 @@ class PartitionedAmnesiaDatabase:
             oracle.merge(active_part)
             oracle.merge(missed_part)
         return function.from_moments(active), function.from_moments(oracle)
+
+    def scan_rows(
+        self,
+        low: int | None = None,
+        high: int | None = None,
+        *,
+        record_access: bool = True,
+        epoch: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Matching rows as a stream: ``(values, insert epochs, forgotten)``.
+
+        The row-level twin of :meth:`range_query`, feeding cross-table
+        plans (:class:`~repro.query.plans.ShardedScanNode`): every
+        shard matches through its own planner (so shard pruning and
+        zone-map/index paths keep working), active matches get their
+        access recorded exactly as a direct query would — at ``epoch``
+        when the caller supplies one (cross-table queries pass their
+        query epoch, so recency-sensitive policies see plain and
+        sharded sources identically), else at each shard's own clock —
+        and the per-shard outputs, each in insertion-position order,
+        are concatenated **in shard order**, so the stream is
+        bit-identical at any worker count and under every plan mode.
+        ``low=None`` (with ``high=None``) scans the full store.
+        Query-traffic counters for :meth:`rebalance` accumulate like
+        :meth:`range_query`'s: coverage-based, never plan-dependent.
+        """
+        low, high = check_scan_bounds(low, high)
+
+        def run_shard(partition: Partition):
+            with partition.lock:
+                covered = True if low is None else partition.covers(low, high)
+                if covered:
+                    partition.query_hits += 1
+                db = partition.db
+                if db.total_rows == 0:
+                    empty = np.empty(0, dtype=np.int64)
+                    return empty, empty.copy(), np.empty(0, dtype=bool)
+                predicate = (
+                    TruePredicate()
+                    if low is None
+                    else RangePredicate(self.column, low, high)
+                )
+                active, missed, _ = db.planner.match(predicate, (self.column,))
+                if record_access:
+                    db.table.record_access(
+                        active, db.epoch if epoch is None else epoch
+                    )
+                if covered:
+                    partition.query_rows += int(active.size + missed.size)
+                positions, flags = merge_match_sides(active, missed)
+                return (
+                    db.table.values(self.column)[positions],
+                    db.table.insert_epochs()[positions],
+                    flags,
+                )
+
+        outputs = self._fanout.map_ordered(
+            run_shard, self._partitions, self.workers
+        )
+        return (
+            np.concatenate([o[0] for o in outputs]),
+            np.concatenate([o[1] for o in outputs]),
+            np.concatenate([o[2] for o in outputs]),
+        )
+
+    def estimate_scan(
+        self, low: int | None = None, high: int | None = None, *, cost: bool = False
+    ) -> float:
+        """Estimated matches (or, with ``cost=True``, rows considered)
+        of a :meth:`scan_rows` call — per-shard zone-map estimates
+        summed over the shards the range covers."""
+        total = 0.0
+        for partition in self._partitions:
+            if low is not None and not partition.covers(low, high):
+                continue
+            db = partition.db
+            zone_map = db.planner.zone_map
+            if (
+                low is not None
+                and zone_map is not None
+                and zone_map.covers(self.column)
+            ):
+                estimate = zone_map.estimate(self.column, low, high)
+                total += (
+                    float(estimate.candidate_rows) if cost else estimate.est_rows
+                )
+            else:
+                total += float(db.total_rows)
+        return total
 
     # -- planning introspection ---------------------------------------------
 

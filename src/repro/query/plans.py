@@ -1,0 +1,822 @@
+"""Cross-table query plans: composable nodes over the catalog.
+
+Single-table planning stops at the table boundary, but the amnesia
+model gets interesting the moment two forgetting streams meet: a join
+between per-sensor tables must account for rows that *either* side has
+forgotten.  This module adds a small algebra of plan nodes that
+compose the existing per-table planners into multi-table queries:
+
+:class:`TableScanNode`
+    Leaf over one catalog table.  Matching runs through the table's
+    own :class:`~repro.query.planner.QueryPlanner` (so every
+    single-table access path — scan/zonemap/index/cost/pruned — keeps
+    working underneath), and the output carries one row per *oracle*
+    match with a ``forgotten`` flag, in insertion-position order.
+
+:class:`ShardedScanNode`
+    Leaf over a registered
+    :class:`~repro.partitioning.PartitionedAmnesiaDatabase`: each
+    shard matches through its own planner and the per-shard outputs
+    are concatenated in shard order, so a sharded stream can feed a
+    union or join exactly like a plain table.
+
+:class:`UnionNode`
+    Concatenates child streams (SQL ``UNION ALL`` over identically
+    shaped inputs), preserving each input's exact RF/MF/precision
+    accounting in the result's ``inputs``.
+
+:class:`JoinNode`
+    Equi-join on ``value`` or ``epoch``.  The hash build side is the
+    smaller input (priced in rows, like the single-table cost model);
+    output order is canonical — lexicographic by (left row, right row)
+    — so results are bit-identical whichever side builds.  A join
+    output row is *forgotten* iff any contributing input row was: the
+    amnesiac DBMS would only have produced the pairs where both sides
+    are still active.
+
+Execution is driven by :func:`execute_plan` (the engine behind
+:meth:`repro.storage.Catalog.query`): all leaf scans across the tree
+run through a :class:`~repro._util.parallel.FanOutPool`, grouped by
+source so two scans of one table never race its access accounting, and
+merged in tree order — results are bit-identical at any worker count.
+Every node renders into an EXPLAIN-style tree with per-node cost
+estimates via :func:`explain_plan` (estimates only) or
+:func:`render_executed` (estimates plus the actual RF/MF/precision).
+
+Plans can also be written as compact specs for the CLI and the config
+layer (``--query``), parsed by :func:`parse_query_spec`::
+
+    union:s1,s2                      -- UNION ALL of two full scans
+    union:s1,s2:low=0,high=100       -- bounded scans
+    join:s1,s2:on=value              -- equi-join on the value column
+    join:s1,s2:on=epoch,low=0,high=500
+
+>>> import numpy as np
+>>> from repro.storage import Catalog
+>>> cat = Catalog(plan="auto")
+>>> for name in ("s1", "s2"):
+...     t = cat.create_table(name, ["a"])
+...     _ = t.insert_batch(0, {"a": [1, 2, 3]})
+>>> cat.get("s1").forget(np.array([0]), epoch=1)
+1
+>>> u = cat.query("union:s1,s2", epoch=1)
+>>> (u.rf, u.mf)                     # row 0 of s1 was forgotten
+(5, 1)
+>>> j = cat.query(JoinNode(TableScanNode("s1"), TableScanNode("s2"),
+...                        on="value"), epoch=1)
+>>> (j.rf, j.mf, round(j.precision, 3))
+(2, 1, 0.667)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util.errors import QueryError, ReproError
+from .predicates import RangePredicate, TruePredicate
+
+__all__ = [
+    "JOIN_KEYS",
+    "NodeResult",
+    "PlanNode",
+    "TableScanNode",
+    "ShardedScanNode",
+    "UnionNode",
+    "JoinNode",
+    "QuerySpec",
+    "check_scan_bounds",
+    "merge_match_sides",
+    "parse_query_spec",
+    "build_plan",
+    "execute_plan",
+    "explain_plan",
+    "render_executed",
+    "render_summary",
+    "summarize_result",
+]
+
+#: Join keys a :class:`JoinNode` accepts at the leaf level — every scan
+#: node emits exactly these two columns.
+JOIN_KEYS = ("value", "epoch")
+
+#: Columns every leaf scan emits: the scanned value column (normalised
+#: to the role name ``value``) and the row's insertion epoch.
+SCAN_COLUMNS = ("value", "epoch")
+
+
+def _empty_rows(width: int) -> np.ndarray:
+    return np.empty((0, width), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """Output stream of one plan node, with amnesia accounting.
+
+    ``rows`` is a ``(n, len(columns))`` int64 matrix — one row per
+    *oracle* output tuple; ``forgotten`` flags the rows the amnesiac
+    DBMS would not have produced (for a join: any contributing input
+    row was forgotten).  ``inputs`` holds the child results, so
+    per-input RF/MF/precision accounting survives unions and joins
+    exactly.
+    """
+
+    columns: tuple[str, ...]
+    rows: np.ndarray = field(repr=False)
+    forgotten: np.ndarray = field(repr=False)
+    inputs: tuple["NodeResult", ...] = ()
+
+    @property
+    def oracle_count(self) -> int:
+        """Rows the complete (never-forgetting) database would return."""
+        return int(self.rows.shape[0])
+
+    @property
+    def rf(self) -> int:
+        """R_F: rows the amnesiac database actually returns."""
+        return int(self.oracle_count - self.mf)
+
+    @property
+    def mf(self) -> int:
+        """M_F: rows lost because some contributing tuple was forgotten."""
+        return int(np.count_nonzero(self.forgotten))
+
+    @property
+    def precision(self) -> float:
+        """P_F = RF / (RF + MF); 1.0 when the oracle result is empty."""
+        return 1.0 if self.oracle_count == 0 else self.rf / self.oracle_count
+
+    def active_rows(self) -> np.ndarray:
+        """The amnesiac-visible rows (what the DBMS would answer)."""
+        return self.rows[~self.forgotten]
+
+    def column(self, name: str) -> np.ndarray:
+        """One output column by name (oracle view, row order)."""
+        try:
+            return self.rows[:, self.columns.index(name)]
+        except ValueError:
+            raise QueryError(
+                f"result has no column {name!r}; columns are {self.columns}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeResult(columns={self.columns}, rf={self.rf}, "
+            f"mf={self.mf}, precision={self.precision:.3f})"
+        )
+
+
+class PlanNode(ABC):
+    """One node of a cross-table plan tree."""
+
+    children: tuple["PlanNode", ...] = ()
+
+    @abstractmethod
+    def output_columns(self) -> tuple[str, ...]:
+        """Column names of this node's output stream."""
+
+    @abstractmethod
+    def estimate_rows(self, catalog) -> float:
+        """Estimated oracle-output cardinality (for explain trees)."""
+
+    @abstractmethod
+    def estimate_cost(self, catalog) -> float:
+        """Estimated rows considered to produce the output."""
+
+    @abstractmethod
+    def describe(self, catalog=None) -> str:
+        """One-line node description (cost estimates when bound)."""
+
+    def validate(self, catalog) -> None:
+        """Structural checks before execution (duplicate node reuse)."""
+        seen: set[int] = set()
+
+        def walk(node: "PlanNode") -> None:
+            if id(node) in seen:
+                raise QueryError(
+                    f"plan node {node.describe()} appears twice in the tree; "
+                    "build a fresh node per use"
+                )
+            seen.add(id(node))
+            for child in node.children:
+                walk(child)
+
+        walk(self)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def _bounds_suffix(low: int | None, high: int | None) -> str:
+    if low is None:
+        return ""
+    return f" ∈ [{low}, {high})"
+
+
+def check_scan_bounds(
+    low, high
+) -> tuple[int | None, int | None]:
+    """Validate optional scan bounds: both-or-neither, not reversed.
+
+    Shared by the leaf nodes here and
+    :meth:`repro.partitioning.PartitionedAmnesiaDatabase.scan_rows`,
+    so every cross-table scan surface enforces one contract.
+    """
+    if (low is None) != (high is None):
+        raise QueryError("supply both low and high, or neither")
+    if low is not None and high < low:
+        raise QueryError(f"range [{low}, {high}) is reversed")
+    return (None if low is None else int(low), None if high is None else int(high))
+
+
+def merge_match_sides(
+    active: np.ndarray, missed: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge (active, missed) position sets into position order.
+
+    Returns the merged ascending positions and the forgotten flags
+    aligned with them — the row order a naive full scan produces.  One
+    implementation serves both the plain-table leaf and the sharded
+    store's per-shard streams, so the two can never drift.
+    """
+    positions = np.concatenate([active, missed])
+    flags = np.zeros(positions.size, dtype=bool)
+    flags[active.size:] = True
+    order = np.argsort(positions, kind="stable")
+    return positions[order], flags[order]
+
+
+class _ScanNode(PlanNode):
+    """Shared plumbing of the two leaf scans (plain and sharded)."""
+
+    def __init__(self, source: str, low: int | None = None, high: int | None = None):
+        self.source = source
+        self.low, self.high = check_scan_bounds(low, high)
+        self.children = ()
+
+    def output_columns(self) -> tuple[str, ...]:
+        return SCAN_COLUMNS
+
+    def _predicate(self, column: str):
+        if self.low is None:
+            return TruePredicate()
+        return RangePredicate(column, self.low, self.high)
+
+    @abstractmethod
+    def scan(self, catalog, epoch: int, record_access: bool) -> NodeResult:
+        """Execute the leaf against the catalog."""
+
+
+class TableScanNode(_ScanNode):
+    """Leaf: planner-routed scan of one catalog table.
+
+    Parameters
+    ----------
+    source:
+        Catalog table name.
+    low, high:
+        Optional ``[low, high)`` bounds on the table's value column;
+        omitted means the full stream.  The table's planner picks the
+        access path exactly as for a single-table query.
+
+    The output has columns ``("value", "epoch")`` — the scanned column
+    (the table's first column by default) normalised to the ``value``
+    role, plus the insertion epoch — so streams from differently named
+    sensor columns still union and join.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        low: int | None = None,
+        high: int | None = None,
+        column: str | None = None,
+    ):
+        super().__init__(source, low, high)
+        self.column = column
+
+    def _column(self, catalog) -> str:
+        if self.column is not None:
+            return self.column
+        return catalog.get(self.source).column_names[0]
+
+    def scan(self, catalog, epoch: int, record_access: bool) -> NodeResult:
+        table = catalog.get(self.source)
+        column = self._column(catalog)
+        if table.total_rows == 0:
+            return NodeResult(SCAN_COLUMNS, _empty_rows(2), np.empty(0, dtype=bool))
+        planner = catalog.planner(self.source)
+        active, missed, _ = planner.match(self._predicate(column), (column,))
+        if record_access:
+            table.record_access(active, epoch)
+        positions, flags = merge_match_sides(active, missed)
+        rows = np.column_stack(
+            [table.values(column)[positions], table.insert_epochs()[positions]]
+        ).astype(np.int64, copy=False)
+        return NodeResult(SCAN_COLUMNS, rows, flags)
+
+    def estimate_rows(self, catalog) -> float:
+        planner = catalog.planner(self.source)
+        column = self._column(catalog)
+        if self.low is not None and planner.zone_map is not None and (
+            planner.zone_map.covers(column)
+        ):
+            return planner.zone_map.estimate(column, self.low, self.high).est_rows
+        return float(catalog.get(self.source).total_rows)
+
+    def estimate_cost(self, catalog) -> float:
+        planner = catalog.planner(self.source)
+        column = self._column(catalog)
+        plan = planner.plan(self._predicate(column))
+        if plan.estimated_rows is not None:
+            return plan.estimated_rows
+        if plan.mode == "zonemap":
+            return float(
+                planner.zone_map.estimate(column, self.low, self.high).candidate_rows
+            )
+        return float(catalog.get(self.source).total_rows)
+
+    def describe(self, catalog=None) -> str:
+        est = ""
+        if catalog is not None:
+            plan = catalog.planner(self.source).plan(
+                self._predicate(self._column(catalog))
+            )
+            est = (
+                f" — plan={plan.mode}, ≈{self.estimate_rows(catalog):.0f} rows, "
+                f"cost≈{self.estimate_cost(catalog):.0f}"
+            )
+        return (
+            f"TableScan({self.source!r}{_bounds_suffix(self.low, self.high)}){est}"
+        )
+
+
+class ShardedScanNode(_ScanNode):
+    """Leaf: planner-routed scan of a registered sharded store.
+
+    ``source`` names a :class:`~repro.partitioning.
+    PartitionedAmnesiaDatabase` attached via
+    :meth:`repro.storage.Catalog.register_sharded`.  Each shard matches
+    through its own planner (pruned shards answer from their declared
+    bounds) and the outputs concatenate in shard order, so the stream
+    is bit-identical at any worker count.
+    """
+
+    def scan(self, catalog, epoch: int, record_access: bool) -> NodeResult:
+        store = catalog.sharded(self.source)
+        values, epochs, flags = store.scan_rows(
+            self.low, self.high, record_access=record_access, epoch=epoch
+        )
+        rows = np.column_stack([values, epochs]).astype(np.int64, copy=False)
+        if rows.size == 0:
+            rows = _empty_rows(2)
+        return NodeResult(SCAN_COLUMNS, rows, flags)
+
+    def estimate_rows(self, catalog) -> float:
+        return catalog.sharded(self.source).estimate_scan(self.low, self.high)
+
+    def estimate_cost(self, catalog) -> float:
+        return catalog.sharded(self.source).estimate_scan(
+            self.low, self.high, cost=True
+        )
+
+    def describe(self, catalog=None) -> str:
+        est = ""
+        if catalog is not None:
+            store = catalog.sharded(self.source)
+            est = (
+                f" — {store.partition_count} shard(s), "
+                f"≈{self.estimate_rows(catalog):.0f} rows, "
+                f"cost≈{self.estimate_cost(catalog):.0f}"
+            )
+        return (
+            f"ShardedScan({self.source!r}"
+            f"{_bounds_suffix(self.low, self.high)}){est}"
+        )
+
+
+class UnionNode(PlanNode):
+    """UNION ALL: concatenate child streams in child order.
+
+    Children must produce identically named columns (leaf scans all
+    emit ``("value", "epoch")``, so per-sensor streams union
+    naturally).  The result's ``inputs`` carry each child's own
+    RF/MF/precision accounting, untouched by the concatenation.
+    """
+
+    def __init__(self, *children: PlanNode):
+        if len(children) < 2:
+            raise QueryError("union needs at least two inputs")
+        columns = children[0].output_columns()
+        for child in children[1:]:
+            if child.output_columns() != columns:
+                raise QueryError(
+                    f"union inputs disagree on columns: {columns} vs "
+                    f"{child.output_columns()}"
+                )
+        self.children = tuple(children)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.children[0].output_columns()
+
+    def combine(self, inputs: tuple[NodeResult, ...]) -> NodeResult:
+        rows = np.concatenate([r.rows for r in inputs])
+        forgotten = np.concatenate([r.forgotten for r in inputs])
+        return NodeResult(self.output_columns(), rows, forgotten, inputs)
+
+    def estimate_rows(self, catalog) -> float:
+        return sum(child.estimate_rows(catalog) for child in self.children)
+
+    def estimate_cost(self, catalog) -> float:
+        return sum(child.estimate_cost(catalog) for child in self.children)
+
+    def describe(self, catalog=None) -> str:
+        est = ""
+        if catalog is not None:
+            est = (
+                f" — ≈{self.estimate_rows(catalog):.0f} rows, "
+                f"cost≈{self.estimate_cost(catalog):.0f}"
+            )
+        return f"Union({len(self.children)} inputs){est}"
+
+
+class JoinNode(PlanNode):
+    """Hash equi-join of two child streams on ``value`` or ``epoch``.
+
+    The build side is the child with the smaller row count, in the
+    same rows-considered currency the single-table cost model prices
+    in: at execution the *actual* input sizes are known and decide;
+    explain trees show the estimate-based prediction (``build≈...``),
+    which can differ when the estimates misrank the sides.  Output
+    rows concatenate the
+    left and right columns (prefixed ``l.`` / ``r.``) and are emitted
+    in canonical nested-loop order — ascending (left row, right row) —
+    so the result is bit-identical whichever side builds and at any
+    worker count.  An output row is forgotten iff either contributing
+    input row was; RF counts only both-sides-active pairs, exactly
+    what the amnesiac DBMS would return.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        on: str = "value",
+        *,
+        left_on: str | None = None,
+        right_on: str | None = None,
+    ):
+        self.left_on = on if left_on is None else left_on
+        self.right_on = on if right_on is None else right_on
+        for side, key in ((left, self.left_on), (right, self.right_on)):
+            if key not in side.output_columns():
+                raise QueryError(
+                    f"join key {key!r} not in input columns "
+                    f"{side.output_columns()}; choose one of "
+                    f"{JOIN_KEYS} at the leaf level"
+                )
+        self.children = (left, right)
+        self.on = on
+
+    def output_columns(self) -> tuple[str, ...]:
+        left, right = self.children
+        return tuple(
+            [f"l.{name}" for name in left.output_columns()]
+            + [f"r.{name}" for name in right.output_columns()]
+        )
+
+    @staticmethod
+    def _match_pairs(
+        probe_keys: np.ndarray, build_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(probe_idx, build_idx) pairs, probe-major ascending."""
+        order = np.argsort(build_keys, kind="stable")
+        sorted_keys = build_keys[order]
+        lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+        hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+        counts = hi - lo
+        probe_idx = np.repeat(
+            np.arange(probe_keys.size, dtype=np.int64), counts
+        )
+        if probe_idx.size == 0:
+            return probe_idx, np.empty(0, dtype=np.int64)
+        within = np.arange(probe_idx.size, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        build_idx = order[np.repeat(lo, counts) + within]
+        return probe_idx, build_idx
+
+    def combine(self, inputs: tuple[NodeResult, ...]) -> NodeResult:
+        left, right = inputs
+        lkeys = left.column(self.left_on)
+        rkeys = right.column(self.right_on)
+        # Build on the smaller side; the pair set is symmetric, so the
+        # canonical (left, right) sort below erases the choice from
+        # the result — it is purely a cost decision.
+        if self._build_side(left, right) == "right":
+            li, ri = self._match_pairs(lkeys, rkeys)
+        else:
+            ri, li = self._match_pairs(rkeys, lkeys)
+        order = np.lexsort((ri, li))
+        li, ri = li[order], ri[order]
+        rows = (
+            np.hstack([left.rows[li], right.rows[ri]])
+            if li.size
+            else _empty_rows(len(self.output_columns()))
+        )
+        forgotten = left.forgotten[li] | right.forgotten[ri]
+        return NodeResult(self.output_columns(), rows, forgotten, inputs)
+
+    @staticmethod
+    def _build_side(left: NodeResult, right: NodeResult) -> str:
+        return "right" if right.oracle_count <= left.oracle_count else "left"
+
+    def estimate_rows(self, catalog) -> float:
+        left, right = self.children
+        # Key-uniqueness (FK-ish) assumption: the smaller side's keys
+        # are mostly distinct, so the output is about as large as the
+        # bigger input.  Crude, but honest enough for explain trees.
+        return max(left.estimate_rows(catalog), right.estimate_rows(catalog))
+
+    def estimate_cost(self, catalog) -> float:
+        left, right = self.children
+        build_probe = left.estimate_rows(catalog) + right.estimate_rows(catalog)
+        return (
+            left.estimate_cost(catalog)
+            + right.estimate_cost(catalog)
+            + build_probe
+        )
+
+    def describe(self, catalog=None) -> str:
+        est = ""
+        if catalog is not None:
+            left, right = self.children
+            build = (
+                "right"
+                if right.estimate_rows(catalog) <= left.estimate_rows(catalog)
+                else "left"
+            )
+            est = (
+                f", build≈{build} — ≈{self.estimate_rows(catalog):.0f} rows, "
+                f"cost≈{self.estimate_cost(catalog):.0f}"
+            )
+        keys = (
+            f"on={self.on!r}"
+            if self.left_on == self.right_on == self.on
+            else f"on={self.left_on!r}={self.right_on!r}"
+        )
+        return f"Join({keys}{est})"
+
+
+# -- execution engine ------------------------------------------------------
+
+
+def execute_plan(
+    node: PlanNode,
+    catalog,
+    epoch: int,
+    *,
+    pool=None,
+    workers: int = 1,
+    record_access: bool = True,
+) -> NodeResult:
+    """Execute a plan tree against ``catalog``; bit-identical at any width.
+
+    All leaf scans run first, fanned out over ``pool`` — grouped by
+    source name so two scans of the same table (or sharded store)
+    execute sequentially in tree (depth-first, left-to-right) order,
+    which keeps access accounting race-free and identical to a
+    sequential walk.  Unions and joins then combine the precomputed
+    leaf results bottom-up on the calling thread; every combine merges
+    in child order, so completion order never leaks into results.
+    """
+    node.validate(catalog)
+    leaves: list[_ScanNode] = []
+    slot_of: dict[int, int] = {}
+
+    def collect(n: PlanNode) -> None:
+        if isinstance(n, _ScanNode):
+            slot_of[id(n)] = len(leaves)
+            leaves.append(n)
+        for child in n.children:
+            collect(child)
+
+    collect(node)
+    if not leaves:  # pragma: no cover - unreachable via public nodes
+        raise QueryError("plan tree has no scan leaves")
+    # Resolve lazily built planner/executor caches before the fan-out:
+    # construction mutates shared dicts the worker threads then only read.
+    for leaf in leaves:
+        if isinstance(leaf, ShardedScanNode):
+            catalog.sharded(leaf.source)
+        else:
+            catalog.planner(leaf.source)
+    groups: dict[str, list[int]] = {}
+    for i, leaf in enumerate(leaves):
+        groups.setdefault(leaf.source, []).append(i)
+    slots: list[NodeResult | None] = [None] * len(leaves)
+
+    def run_group(indexes: list[int]) -> None:
+        for i in indexes:
+            # The source lock serializes against *other* catalog
+            # callers (another batch, another cross-table query); the
+            # per-source grouping already serializes within this plan.
+            with catalog.source_lock(leaves[i].source):
+                slots[i] = leaves[i].scan(catalog, epoch, record_access)
+
+    if pool is None:
+        run_group(list(range(len(leaves))))
+    else:
+        pool.map_ordered(run_group, list(groups.values()), workers)
+
+    def assemble(n: PlanNode) -> NodeResult:
+        if isinstance(n, _ScanNode):
+            return slots[slot_of[id(n)]]
+        return n.combine(tuple(assemble(child) for child in n.children))
+
+    return assemble(node)
+
+
+# -- tree rendering --------------------------------------------------------
+
+
+def _render_tree(node: PlanNode, line_of) -> list[str]:
+    lines = [line_of(node, None)]
+
+    def walk(n: PlanNode, prefix: str) -> None:
+        for i, child in enumerate(n.children):
+            last = i == len(n.children) - 1
+            branch, extend = ("└─ ", "   ") if last else ("├─ ", "│  ")
+            lines.append(prefix + branch + line_of(child, n))
+            walk(child, prefix + extend)
+
+    walk(node, "")
+    return lines
+
+
+def explain_plan(node: PlanNode, catalog) -> str:
+    """EXPLAIN the node tree: one line per node with cost estimates."""
+    node.validate(catalog)
+    return "\n".join(_render_tree(node, lambda n, _: n.describe(catalog)))
+
+
+def render_executed(node: PlanNode, result: NodeResult, catalog=None) -> str:
+    """Render the executed tree: estimates plus actual RF/MF/precision."""
+    return render_summary(node, summarize_result(result), catalog)
+
+
+def summarize_result(result: NodeResult) -> tuple:
+    """Compress a result tree to nested ``(rf, mf, precision, children)``.
+
+    The report-friendly skeleton of a :class:`NodeResult`: callers
+    (the catalog's ``plan_report``) can keep it around without pinning
+    the materialized row matrices in memory.
+    """
+    return (
+        result.rf,
+        result.mf,
+        result.precision,
+        tuple(summarize_result(child) for child in result.inputs),
+    )
+
+
+def render_summary(node: PlanNode, summary: tuple, catalog=None) -> str:
+    """Render a plan tree against a :func:`summarize_result` skeleton.
+
+    Cost estimates come from the catalog's *current* statistics; a
+    node whose source has since been dropped renders unbound (no
+    estimates) instead of failing the report.
+    """
+    summaries: dict[int, tuple] = {}
+
+    def pair(n: PlanNode, s: tuple) -> None:
+        summaries[id(n)] = s
+        for child, child_summary in zip(n.children, s[3]):
+            pair(child, child_summary)
+
+    pair(node, summary)
+
+    def line(n: PlanNode, _parent) -> str:
+        try:
+            described = n.describe(catalog)
+        except ReproError:
+            described = n.describe(None)
+        rf, mf, precision, _ = summaries[id(n)]
+        return f"{described} => rf={rf} mf={mf} precision={precision:.3f}"
+
+    return "\n".join(_render_tree(node, line))
+
+
+# -- compact query specs ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Parsed form of a compact cross-table query spec string."""
+
+    kind: str
+    tables: tuple[str, ...]
+    on: str = "value"
+    low: int | None = None
+    high: int | None = None
+
+    def render(self) -> str:
+        """The canonical spec string this object parses back from."""
+        options = []
+        if self.kind == "join":
+            options.append(f"on={self.on}")
+        if self.low is not None:
+            options.append(f"low={self.low}")
+            options.append(f"high={self.high}")
+        spec = f"{self.kind}:{','.join(self.tables)}"
+        return spec + (f":{','.join(options)}" if options else "")
+
+
+def parse_query_spec(spec: str) -> QuerySpec:
+    """Parse ``union:...`` / ``join:...`` into a :class:`QuerySpec`.
+
+    Grammar (catalog binding happens later, in :func:`build_plan`)::
+
+        spec    := kind ":" table ("," table)+ [":" option ("," option)*]
+        kind    := "union" | "join"
+        option  := "on=" ("value" | "epoch") | "low=" int | "high=" int
+
+    >>> parse_query_spec("join:s1,s2:on=epoch,low=0,high=50")
+    QuerySpec(kind='join', tables=('s1', 's2'), on='epoch', low=0, high=50)
+    """
+    parts = [part.strip() for part in str(spec).split(":")]
+    if len(parts) not in (2, 3):
+        raise QueryError(
+            f"bad query spec {spec!r}; expected kind:tables[:options]"
+        )
+    kind = parts[0]
+    if kind not in ("union", "join"):
+        raise QueryError(f"unknown query kind {kind!r}; use union or join")
+    tables = tuple(name.strip() for name in parts[1].split(",") if name.strip())
+    if len(tables) < 2:
+        raise QueryError(f"{kind} spec needs at least two tables, got {tables}")
+    options: dict[str, str] = {}
+    if len(parts) == 3 and parts[2]:
+        for item in parts[2].split(","):
+            if "=" not in item:
+                raise QueryError(f"bad option {item!r} in query spec {spec!r}")
+            key, _, value = item.partition("=")
+            options[key.strip()] = value.strip()
+    unknown = set(options) - {"on", "low", "high"}
+    if unknown:
+        raise QueryError(f"unknown query spec options {sorted(unknown)}")
+    on = options.get("on", "value")
+    if on not in JOIN_KEYS:
+        raise QueryError(f"join key must be one of {JOIN_KEYS}, got {on!r}")
+    if "on" in options and kind != "join":
+        raise QueryError("on= only applies to join specs")
+    low = high = None
+    if ("low" in options) != ("high" in options):
+        raise QueryError("query spec needs both low= and high=, or neither")
+    if "low" in options:
+        try:
+            low, high = int(options["low"]), int(options["high"])
+        except ValueError:
+            raise QueryError(
+                f"low/high must be integers in query spec {spec!r}"
+            ) from None
+        check_scan_bounds(low, high)  # reject reversed ranges up front
+    return QuerySpec(kind=kind, tables=tables, on=on, low=low, high=high)
+
+
+def build_plan(catalog, spec: QuerySpec | str) -> PlanNode:
+    """Bind a spec to ``catalog``: scans per table, then union or join.
+
+    Names resolve against plain tables first, then registered sharded
+    stores.  A ``join`` of more than two inputs builds a left-deep
+    chain (each join output keeps the ``value``/``epoch`` columns of
+    its leftmost leaf under ``l.``-prefixes, so chained keys resolve
+    against the fresh right scan).
+    """
+    if isinstance(spec, str):
+        spec = parse_query_spec(spec)
+
+    def leaf(name: str) -> _ScanNode:
+        if name in catalog:
+            return TableScanNode(name, spec.low, spec.high)
+        if catalog.has_sharded(name):
+            return ShardedScanNode(name, spec.low, spec.high)
+        raise QueryError(
+            f"query spec references unknown source {name!r}; catalog has "
+            f"tables {catalog.names()} and sharded {catalog.sharded_names()}"
+        )
+
+    if spec.kind == "union":
+        return UnionNode(*(leaf(name) for name in spec.tables))
+    node: PlanNode = JoinNode(leaf(spec.tables[0]), leaf(spec.tables[1]), on=spec.on)
+    left_key = spec.on
+    for name in spec.tables[2:]:
+        # Left-deep chain: the previous join buried the leftmost leaf's
+        # key under one more l.-prefix; the fresh right scan keys bare.
+        left_key = f"l.{left_key}"
+        node = JoinNode(
+            node, leaf(name), on=spec.on, left_on=left_key, right_on=spec.on
+        )
+    return node

@@ -13,11 +13,21 @@ catalog's mode is ``"scan"``) and
 :meth:`plan_report` spanning them all — multi-table runs share a
 single plan story instead of each call site wiring its own access
 paths.
+
+Above the per-table planners sits the cross-table layer
+(:mod:`repro.query.plans`): :meth:`Catalog.query` executes
+union/join plan trees — over plain tables and registered sharded
+stores (:meth:`Catalog.register_sharded`) — with leaf scans fanned out
+on the catalog's worker pool under per-table locks, and
+:meth:`Catalog.explain_query` renders the node tree with per-node cost
+estimates.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
+from contextlib import nullcontext
 
 from typing import TYPE_CHECKING
 
@@ -77,15 +87,42 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._planners: dict[str, "QueryPlanner"] = {}
         self._executors: dict[tuple[str, bool], "QueryExecutor"] = {}
+        # One lock per table serializes its planner+executor pipeline
+        # (the catalog twin of the sharded store's per-shard locks):
+        # concurrent batches or cross-table queries touching the same
+        # table cannot race its access accounting or planner counters.
+        self._table_locks: dict[str, threading.Lock] = {}
+        # Guards lazy planner/executor construction: without it two
+        # concurrent first-touch callers could build two planners for
+        # one table and split its counters between them.
+        self._build_lock = threading.Lock()
+        self._sharded: dict[str, object] = {}
+        self._cross_queries = 0
+        #: (node, result summary) of the newest cross-table query —
+        #: rendered lazily by :meth:`plan_report`, so the hot path
+        #: never pays for per-node cost estimation it was not asked
+        #: for, and the summary keeps only per-node counts, never the
+        #: materialized row matrices.
+        self._last_cross: tuple | None = None
 
     @property
     def workers(self) -> int:
-        """The fan-out width batch execution uses."""
+        """The fan-out width batch and cross-table execution use.
+
+        Mutable (like the sharded store's ``workers``) — benchmarks
+        flip it between runs; results are bit-identical at any width.
+        """
         if self._workers is None:
             from ..core.config import default_workers
 
             return default_workers()
         return self._workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        if value is not None and value < 1:
+            raise SchemaError(f"workers must be >= 1, got {value}")
+        self._workers = None if value is None else int(value)
 
     @property
     def plan_mode(self) -> str:
@@ -106,15 +143,60 @@ class Catalog:
         """Create and register a new table."""
         if name in self._tables:
             raise SchemaError(f"table {name!r} already exists")
+        if name in self._sharded:
+            raise SchemaError(f"{name!r} already names a sharded store")
         table = Table(name, column_names)
         self._tables[name] = table
+        self._table_locks[name] = threading.Lock()
         return table
 
     def register(self, table: Table) -> None:
         """Register an externally constructed table."""
         if table.name in self._tables:
             raise SchemaError(f"table {table.name!r} already exists")
+        if table.name in self._sharded:
+            raise SchemaError(
+                f"{table.name!r} already names a sharded store"
+            )
         self._tables[table.name] = table
+        self._table_locks[table.name] = threading.Lock()
+
+    def register_sharded(self, name: str, store) -> None:
+        """Register a :class:`~repro.partitioning.
+        PartitionedAmnesiaDatabase` as a named cross-table query source.
+
+        Sharded stores keep their own per-shard planners and fan-out
+        pool; registration only makes them addressable from plan trees
+        (:class:`~repro.query.plans.ShardedScanNode`) and query specs.
+        """
+        if name in self._tables or name in self._sharded:
+            raise SchemaError(f"{name!r} already names a catalog source")
+        # The full contract the query/explain/report paths rely on —
+        # rejected here, next to the registration call, instead of as
+        # an AttributeError deep inside a later explain or report.
+        required = ("scan_rows", "estimate_scan", "partition_count", "plan_mode")
+        missing = [attr for attr in required if not hasattr(store, attr)]
+        if missing:
+            raise SchemaError(
+                f"sharded source {name!r} must expose {required}; "
+                f"{type(store).__name__} lacks {missing}"
+            )
+        self._sharded[name] = store
+
+    def sharded(self, name: str):
+        """Look a registered sharded store up by name."""
+        try:
+            return self._sharded[name]
+        except KeyError:
+            raise SchemaError(f"no sharded store named {name!r}") from None
+
+    def has_sharded(self, name: str) -> bool:
+        """True when ``name`` is a registered sharded store."""
+        return name in self._sharded
+
+    def sharded_names(self) -> list[str]:
+        """All registered sharded store names."""
+        return list(self._sharded)
 
     def get(self, name: str) -> Table:
         """Look a table up by name."""
@@ -124,10 +206,14 @@ class Catalog:
             raise SchemaError(f"no table named {name!r}") from None
 
     def drop(self, name: str) -> None:
-        """Remove a table from the catalog (its data is unreferenced)."""
+        """Remove a table or sharded store (its data is unreferenced)."""
+        if name in self._sharded:
+            del self._sharded[name]
+            return
         if name not in self._tables:
             raise SchemaError(f"no table named {name!r}")
         del self._tables[name]
+        self._table_locks.pop(name, None)
         self._planners.pop(name, None)
         for key in [k for k in self._executors if k[0] == name]:
             del self._executors[key]
@@ -144,13 +230,16 @@ class Catalog:
 
         planner = self._planners.get(name)
         if planner is None:
-            table = self.get(name)
-            if self._plan is None:
-                self._plan = self.plan_mode  # pin the resolved default
-            mode = self._plan
-            zone_map = CohortZoneMap(table) if mode != "scan" else None
-            planner = QueryPlanner(table, mode=mode, zone_map=zone_map)
-            self._planners[name] = planner
+            with self._build_lock:
+                planner = self._planners.get(name)
+                if planner is None:
+                    table = self.get(name)
+                    if self._plan is None:
+                        self._plan = self.plan_mode  # pin the resolved default
+                    mode = self._plan
+                    zone_map = CohortZoneMap(table) if mode != "scan" else None
+                    planner = QueryPlanner(table, mode=mode, zone_map=zone_map)
+                    self._planners[name] = planner
         return planner
 
     def executor(self, name: str, *, record_access: bool = True) -> "QueryExecutor":
@@ -166,12 +255,16 @@ class Catalog:
         key = (name, bool(record_access))
         executor = self._executors.get(key)
         if executor is None:
-            executor = QueryExecutor(
-                self.get(name),
-                record_access=record_access,
-                planner=self.planner(name),
-            )
-            self._executors[key] = executor
+            planner = self.planner(name)
+            with self._build_lock:
+                executor = self._executors.get(key)
+                if executor is None:
+                    executor = QueryExecutor(
+                        self.get(name),
+                        record_access=record_access,
+                        planner=planner,
+                    )
+                    self._executors[key] = executor
         return executor
 
     def create_index(self, name: str, column: str, index_factory, **kwargs):
@@ -187,19 +280,41 @@ class Catalog:
         """Alias of :meth:`plan` (EXPLAIN-style naming)."""
         return self.plan(name, query_or_predicate)
 
+    def source_lock(self, name: str):
+        """Serialization guard for one source's query pipeline.
+
+        Tables return their catalog lock; sharded stores return a null
+        context because they already serialize per shard internally.
+        Every catalog-routed execution path (``execute``,
+        ``execute_batch``, cross-table plan leaves) acquires this
+        around the planner+executor pipeline, so concurrent callers —
+        two batches, or a batch racing a :meth:`query` — can never
+        race a table's access accounting or planner counters.
+        """
+        if name in self._sharded:
+            return nullcontext()
+        self.get(name)  # validates existence
+        return self._table_locks[name]
+
     def execute(self, name: str, query, epoch: int):
         """Run a query against one table through its catalog executor."""
-        return self.executor(name).execute(query, epoch)
+        executor = self.executor(name)
+        with self.source_lock(name):
+            return executor.execute(query, epoch)
 
     def execute_batch(self, requests, epoch: int) -> list:
         """Run ``(table_name, query)`` pairs; results in request order.
 
         Requests fan out across *tables* on a thread pool when
         ``workers > 1`` — tables are independent, and each table's own
-        queries run sequentially in request order, so results and
-        access accounting are bit-identical to a sequential loop.
-        Executors (and planners) are resolved up front, before the
-        fan-out, because lazy construction mutates shared caches.
+        queries run sequentially in request order (a name queried
+        twice in one batch keeps its requests in submission order on
+        one worker), so results and access accounting are bit-identical
+        to a sequential loop at any width.  Each execution additionally
+        holds the table's :meth:`source_lock`, so *concurrent* batches
+        sharing a table stay exact too.  Executors (and planners) are
+        resolved up front, before the fan-out, because lazy
+        construction mutates shared caches.
         """
         requests = list(requests)
         by_table: dict[str, list[int]] = {}
@@ -211,12 +326,52 @@ class Catalog:
         def run_table(indexes: list[int]) -> None:
             for i in indexes:
                 name, query = requests[i]
-                results[i] = self.executor(name).execute(query, epoch)
+                with self.source_lock(name):
+                    results[i] = self.executor(name).execute(query, epoch)
 
         self._fanout.map_ordered(
             run_table, list(by_table.values()), self.workers
         )
         return results
+
+    # -- cross-table queries -------------------------------------------------
+
+    def query(self, plan, epoch: int, *, record_access: bool = True):
+        """Execute a cross-table plan tree (or compact spec string).
+
+        ``plan`` is a :class:`~repro.query.plans.PlanNode` — built
+        directly from :class:`~repro.query.plans.TableScanNode` /
+        :class:`~repro.query.plans.UnionNode` /
+        :class:`~repro.query.plans.JoinNode` — or a spec string such as
+        ``"join:s1,s2:on=value"`` bound via
+        :func:`~repro.query.plans.build_plan`.  Leaf scans fan out on
+        the catalog's pool (``workers``), grouped by source so access
+        accounting stays race-free; results are bit-identical at any
+        width.  Returns a :class:`~repro.query.plans.NodeResult`.
+        """
+        from ..query.plans import build_plan, execute_plan, summarize_result
+
+        node = build_plan(self, plan) if isinstance(plan, str) else plan
+        result = execute_plan(
+            node,
+            self,
+            epoch,
+            pool=self._fanout,
+            workers=self.workers,
+            record_access=record_access,
+        )
+        summary = summarize_result(result)
+        with self._build_lock:
+            self._cross_queries += 1
+            self._last_cross = (node, summary)
+        return result
+
+    def explain_query(self, plan) -> str:
+        """EXPLAIN a cross-table plan: the node tree with cost estimates."""
+        from ..query.plans import build_plan, explain_plan
+
+        node = build_plan(self, plan) if isinstance(plan, str) else plan
+        return explain_plan(node, self)
 
     def close(self) -> None:
         """Release the fan-out thread pool (catalog stays usable)."""
@@ -241,6 +396,22 @@ class Catalog:
                 continue
             lines.append(f"table {name!r}:")
             lines.extend("  " + line for line in planner.plan_report().splitlines())
+        for name, store in self._sharded.items():
+            lines.append(
+                f"sharded {name!r}: {store.partition_count} shard(s), "
+                f"plan={store.plan_mode!r}"
+            )
+        if self._cross_queries:
+            from ..query.plans import render_summary
+
+            lines.append(
+                f"cross-table queries executed: {self._cross_queries}; "
+                "last plan:"
+            )
+            lines.extend(
+                "  " + line
+                for line in render_summary(*self._last_cross, self).splitlines()
+            )
         return "\n".join(lines)
 
     # -- registry protocol ---------------------------------------------------

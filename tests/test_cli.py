@@ -56,6 +56,52 @@ class TestMain:
         assert calls["seed"] == 3
         assert "ok" in out.getvalue()
 
+    def test_query_flag_sets_and_restores_default(self, monkeypatch):
+        from repro.core.config import default_cross_query
+
+        seen = {}
+
+        def fake_runner():
+            seen["spec"] = default_cross_query()
+
+            class R:
+                def render(self):
+                    return "ok"
+
+            return R()
+
+        monkeypatch.setitem(EXPERIMENTS, "X5", fake_runner)
+        before = default_cross_query()
+        out = io.StringIO()
+        assert (
+            main(["run", "X5", "--query", "union:s1,s2:low=0,high=9"], out=out)
+            == 0
+        )
+        assert seen["spec"] == "union:s1,s2:low=0,high=9"
+        assert default_cross_query() == before  # restored after the run
+
+    def test_bad_query_spec_rejected_before_running(self, monkeypatch):
+        from repro.core.config import default_cross_query
+
+        def boom():  # pragma: no cover - must not run
+            raise AssertionError("experiment ran despite a bad --query")
+
+        monkeypatch.setitem(EXPERIMENTS, "X5", boom)
+        before = default_cross_query()
+        out = io.StringIO()
+        assert main(["run", "X5", "--query", "merge:a,b"], out=out) == 2
+        assert default_cross_query() == before
+
+    def test_query_binding_error_exits_cleanly(self):
+        """A --query that parses but names tables the experiment does
+        not create fails with the clean exit-2 diagnostic, not a
+        traceback (binding happens only once the catalog resolves it)."""
+        out = io.StringIO()
+        assert (
+            main(["run", "X5", "--query", "join:s1,sX:on=value"], out=out)
+            == 2
+        )
+
     def test_run_all(self, monkeypatch):
         ran = []
 

@@ -137,3 +137,42 @@ class TestWorkersAndRebalanceKnobs:
         finally:
             set_default_workers(before[0])
             set_default_rebalance(before[1])
+
+
+class TestCrossQueryKnob:
+    def test_default_and_config_field(self):
+        from repro.core.config import default_cross_query
+
+        assert default_cross_query() == "join:s1,s2:on=value"
+        assert SimulationConfig().cross_query == "join:s1,s2:on=value"
+
+    def test_grammar_validated(self):
+        from repro._util.errors import QueryError
+
+        with pytest.raises(QueryError):
+            SimulationConfig(cross_query="scan:s1,s2")
+        with pytest.raises(QueryError):
+            SimulationConfig(cross_query="join:s1")
+        bounded = SimulationConfig(cross_query="union:a,b:low=0,high=9")
+        assert bounded.cross_query == "union:a,b:low=0,high=9"
+
+    def test_set_default_round_trips(self):
+        from repro._util.errors import QueryError
+        from repro.core.config import (
+            default_cross_query,
+            set_default_cross_query,
+        )
+
+        before = default_cross_query()
+        try:
+            assert (
+                set_default_cross_query("join:x,y:on=epoch")
+                == "join:x,y:on=epoch"
+            )
+            assert SimulationConfig().cross_query == "join:x,y:on=epoch"
+            with pytest.raises(QueryError):
+                set_default_cross_query("merge:x,y")
+            # A failed set leaves the default untouched.
+            assert default_cross_query() == "join:x,y:on=epoch"
+        finally:
+            set_default_cross_query(before)

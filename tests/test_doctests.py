@@ -34,6 +34,7 @@ import repro.plotting.linechart
 import repro.plotting.tables
 import repro.query.executor
 import repro.query.generators
+import repro.query.plans
 import repro.query.predicates
 import repro.stats.histograms
 import repro.stats.moments
@@ -72,6 +73,7 @@ MODULES = [
     repro.plotting.tables,
     repro.query.executor,
     repro.query.generators,
+    repro.query.plans,
     repro.query.predicates,
     repro.stats.histograms,
     repro.stats.moments,

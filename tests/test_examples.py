@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "adaptive_partitions.py",
     "sharded_explain.py",
     "parallel_shards.py",
+    "cross_table_join.py",
 ]
 
 

@@ -55,7 +55,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "F1", "F2", "F3", "T1", "T2", "T3",
             "A1", "A2", "A2b", "A3", "A4", "C1", "C2", "I1",
-            "X1", "X2", "X3", "X4",
+            "X1", "X2", "X3", "X4", "X5",
         }
 
 
@@ -169,6 +169,38 @@ class TestExtensionExperimentsSmall:
         assert result.data["restrict"]["violations"] == 0
         assert result.data["cascade"]["violations"] == 0
         assert result.data["cascade"]["children_cascaded"] > 0
+
+    def test_cross_table(self):
+        from repro.core.config import (
+            default_cross_query,
+            set_default_cross_query,
+        )
+        from repro.experiments import run_cross_table
+
+        result = run_cross_table(
+            budget=80, batches=3, batch_size=60, seed=1
+        )
+        assert result.data["spec"] == default_cross_query()
+        series = result.data["precision_series"]
+        assert len(series) == 3
+        assert all(0.0 <= p <= 1.0 for p in series)
+        # Two forgetting streams meeting in a join: precision decays.
+        assert series[-1] < series[0]
+        assert "plan tree:" in result.render()
+
+        # The experiment follows the process default the CLI sets.
+        previous = default_cross_query()
+        try:
+            set_default_cross_query("union:s1,s2:low=0,high=50")
+            unioned = run_cross_table(
+                budget=80, batches=2, batch_size=60, seed=1
+            )
+            assert unioned.data["spec"] == "union:s1,s2:low=0,high=50"
+            assert all(
+                len(point["inputs"]) == 2 for point in unioned.data["series"]
+            )
+        finally:
+            set_default_cross_query(previous)
 
     def test_histogram_summaries(self):
         from repro.experiments import run_histogram_summaries

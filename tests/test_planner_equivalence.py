@@ -383,6 +383,195 @@ def test_catalog_execution_identical_across_plans(plan):
     assert _run_catalog_scenario("scan") == _run_catalog_scenario(plan)
 
 
+# -- cross-table plans (union/join over the catalog) -----------------------
+
+
+def _oracle_table_rows(table, low=None, high=None):
+    """Naive full-scan stream of one table: (rows, forgotten flags).
+
+    Rows are ``[value, insert_epoch]`` in insertion-position order —
+    the ground truth every :class:`~repro.query.plans.TableScanNode`
+    must reproduce bit-identically.
+    """
+    values = table.values("a")
+    if low is None:
+        mask = np.ones(values.size, dtype=bool)
+    else:
+        mask = (values >= low) & (values < high)
+    positions = np.flatnonzero(mask)
+    rows = np.column_stack(
+        [values[positions], table.insert_epochs()[positions]]
+    )
+    return rows.tolist(), (~table.active_mask()[positions]).tolist()
+
+
+def _oracle_sharded_rows(store, low=None, high=None):
+    """Per-shard naive streams concatenated in shard order."""
+    rows: list = []
+    forgotten: list = []
+    for partition in store.partitions:
+        shard_rows, shard_forgotten = _oracle_table_rows(
+            partition.db.table, low, high
+        )
+        rows.extend(shard_rows)
+        forgotten.extend(shard_forgotten)
+    return rows, forgotten
+
+
+def _nested_loop_join(left, right, key):
+    """The oracle join: left-then-right nested loop, O(n*m) on purpose.
+
+    Emits pairs in ascending (left row, right row) order — the
+    canonical order the hash join must match — and flags an output
+    row forgotten iff either contributing input row was.
+    """
+    key_index = {"value": 0, "epoch": 1}[key]
+    lrows, lforgotten = left
+    rrows, rforgotten = right
+    rows: list = []
+    forgotten: list = []
+    for i, lrow in enumerate(lrows):
+        for j, rrow in enumerate(rrows):
+            if lrow[key_index] == rrow[key_index]:
+                rows.append(list(lrow) + list(rrow))
+                forgotten.append(bool(lforgotten[i] or rforgotten[j]))
+    return rows, forgotten
+
+
+def _oracle_for_spec(catalog, store, spec):
+    """Evaluate a union/join spec with naive scans + nested loops."""
+    from repro.query.plans import parse_query_spec
+
+    parsed = parse_query_spec(spec)
+    streams = []
+    for name in parsed.tables:
+        if catalog.has_sharded(name):
+            streams.append(_oracle_sharded_rows(store, parsed.low, parsed.high))
+        else:
+            streams.append(
+                _oracle_table_rows(catalog.get(name), parsed.low, parsed.high)
+            )
+    if parsed.kind == "union":
+        rows: list = []
+        forgotten: list = []
+        for stream_rows, stream_forgotten in streams:
+            rows.extend(stream_rows)
+            forgotten.extend(stream_forgotten)
+        return rows, forgotten
+    return _nested_loop_join(streams[0], streams[1], parsed.on)
+
+
+#: The spec mix: unions and joins, bounded and not, value- and
+#: epoch-keyed, plain and sharded inputs.
+CROSS_SPECS = (
+    "union:s1,s2,s3",
+    "union:s1,s2:low=50,high=300",
+    "join:s1,s2:on=value",
+    "join:s1,s3:on=value,low=0,high=150",
+    "join:s2,s3:on=epoch",
+)
+
+
+def _run_cross_table_scenario(policy_name: str, plan: str, workers: int = 1):
+    """Drive unions/joins over two tables + one sharded store.
+
+    Every query is checked against the nested-loop oracle *inline* (so
+    the oracle property holds under every plan mode and width, not
+    just the baseline), and the returned observables — result streams,
+    per-input accounting, final table state including access counters
+    — let callers prove cross-mode/cross-width bit-equality.
+    """
+    catalog = Catalog(plan=plan, workers=workers)
+    dbs = {}
+    for i, name in enumerate(("s1", "s2")):
+        dbs[name] = AmnesiaDatabase(
+            budget=50,
+            policy=_make_policy(policy_name),
+            seed=13 + i,
+            table_name=name,
+        )
+        catalog.register(dbs[name].table)
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, 200, 400),
+        total_budget=60,
+        policy_factory=lambda: _make_policy(policy_name),
+        seed=21,
+        plan=plan,
+        workers=workers,
+    )
+    catalog.register_sharded("s3", store)
+    if plan in ("index", "cost"):
+        catalog.create_index("s1", "a", SortedIndex, merge_threshold=16)
+    rng = np.random.default_rng(17)
+    observed = []
+    for batch in range(1, 5):
+        for db in dbs.values():
+            db.insert({"a": rng.integers(0, 400, 30)})
+        store.insert({"a": rng.integers(0, 400, 30)})
+        for spec in CROSS_SPECS:
+            expected = _oracle_for_spec(catalog, store, spec)
+            result = catalog.query(spec, epoch=batch)
+            got = (result.rows.tolist(), result.forgotten.tolist())
+            assert got == expected, (
+                f"{spec} diverged from the nested-loop oracle under "
+                f"plan={plan} workers={workers}"
+            )
+            observed.append(
+                list(got)
+                + [
+                    result.rf,
+                    result.mf,
+                    result.precision,
+                    [(r.rf, r.mf, r.precision) for r in result.inputs],
+                ]
+            )
+    for db in dbs.values():
+        observed.append(db.table.active_mask().tolist())
+        observed.append(db.table.access_counts().tolist())
+        observed.append(db.table.last_access_epochs().tolist())
+    for partition in store.partitions:
+        observed.append(partition.db.table.active_mask().tolist())
+        observed.append(partition.db.table.access_counts().tolist())
+        observed.append((partition.query_hits, partition.query_rows))
+    store.close()
+    catalog.close()
+    return observed
+
+
+_CROSS_BASELINES: dict = {}
+
+
+def _cross_baseline(policy_name: str):
+    if policy_name not in _CROSS_BASELINES:
+        _CROSS_BASELINES[policy_name] = _run_cross_table_scenario(
+            policy_name, "scan", workers=1
+        )
+    return _CROSS_BASELINES[policy_name]
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_cross_table_plans_identical_across_modes(policy_name, plan):
+    """Union/join results — streams, per-input RF/MF, access accounting
+    and the forgetting downstream of it — are bit-identical to the
+    scan baseline under every plan mode (oracle checked inline)."""
+    assert _run_cross_table_scenario(policy_name, plan) == _cross_baseline(
+        policy_name
+    )
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("plan", ("auto", "cost"))
+@pytest.mark.parametrize("policy_name", ("fifo", "rot"))
+def test_cross_table_fanout_identical_to_sequential(policy_name, plan, workers):
+    """Leaf fan-out (including the sharded input's own shard fan-out)
+    returns every observable bit-identical to sequential scan."""
+    assert _run_cross_table_scenario(
+        policy_name, plan, workers=workers
+    ) == _cross_baseline(policy_name)
+
+
 @pytest.mark.parametrize("plan", PLAN_VARIANTS)
 def test_simulator_reports_identical_across_plans(plan):
     """A whole simulator run produces the same report under any plan."""

@@ -91,6 +91,55 @@ class TestPlanSelection:
         assert planner.plan(both).mode == "scan"
         assert planner.plan(TruePredicate()).mode == "scan"
 
+    def test_multi_column_predicate_scan_fallback_contract(self):
+        """Pinned contract: multi-column (AND-composed) predicates fall
+        back to a full scan in *every* plan mode, considering every
+        row, with results identical to the manual mask.
+
+        A future AND-composition PR that intersects per-column
+        candidate ranges before scanning has this baseline to beat —
+        it must flip the mode/rows-considered assertions while keeping
+        the result assertions bit-for-bit.
+        """
+        table = Table("t2", ["a", "b"])
+        rng = np.random.default_rng(11)
+        for epoch in range(3):
+            table.insert_batch(
+                epoch,
+                {
+                    "a": rng.integers(0, 100, 40),
+                    "b": rng.integers(0, 100, 40),
+                },
+            )
+        table.forget(np.arange(0, 120, 4), epoch=3)
+        predicate = AndPredicate(
+            RangePredicate("a", 10, 60), RangePredicate("b", 20, 80)
+        )
+        values = {"a": table.values("a"), "b": table.values("b")}
+        mask = predicate.mask(values)
+        active = table.active_mask()
+        expected_active = np.flatnonzero(mask & active).tolist()
+        expected_missed = np.flatnonzero(mask & ~active).tolist()
+        zone_map = CohortZoneMap(table)
+        index = SortedIndex(table, "a", merge_threshold=16)
+        for mode in PLAN_MODES:
+            planner = QueryPlanner(
+                table, mode=mode, zone_map=zone_map, indexes=[index]
+            )
+            plan = planner.plan(predicate)
+            assert plan.mode == "scan", mode
+            assert plan.requested == mode
+            if mode != "scan":
+                assert "no single-column bounds" in plan.reason
+            got_active, got_missed, execution = planner.match(
+                predicate, predicate.columns
+            )
+            assert got_active.tolist() == expected_active
+            assert got_missed.tolist() == expected_missed
+            # The fallback is a *full* scan today: zero pruning.
+            assert execution.rows_considered == table.total_rows
+            assert execution.rows_pruned == 0
+
     def test_forced_index_falls_back_through_chain(self, loaded_table):
         # No index, no zone map -> scan.
         planner = QueryPlanner(loaded_table, mode="index")

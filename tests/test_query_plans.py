@@ -1,0 +1,351 @@
+"""Unit tests for the cross-table plan layer (repro.query.plans)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import QueryError, SchemaError
+from repro.amnesia import FifoAmnesia
+from repro.partitioning import PartitionedAmnesiaDatabase
+from repro.query import (
+    JoinNode,
+    NodeResult,
+    ShardedScanNode,
+    TableScanNode,
+    UnionNode,
+    build_plan,
+    execute_plan,
+    explain_plan,
+    parse_query_spec,
+    render_executed,
+)
+from repro.storage import Catalog
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog(plan="auto")
+    for name, values in (("s1", [1, 2, 3, 5]), ("s2", [2, 3, 3, 8])):
+        table = cat.create_table(name, ["a"])
+        table.insert_batch(0, {"a": values[:2]})
+        table.insert_batch(1, {"a": values[2:]})
+    cat.get("s1").forget(np.array([1]), epoch=1)  # value 2 of s1
+    return cat
+
+
+class TestSpecParsing:
+    def test_union_minimal(self):
+        spec = parse_query_spec("union:s1,s2")
+        assert (spec.kind, spec.tables) == ("union", ("s1", "s2"))
+        assert spec.low is None and spec.high is None
+
+    def test_join_full_options(self):
+        spec = parse_query_spec("join:s1,s2:on=epoch,low=0,high=50")
+        assert spec.on == "epoch"
+        assert (spec.low, spec.high) == (0, 50)
+
+    def test_render_roundtrip(self):
+        for raw in (
+            "union:s1,s2",
+            "union:s1,s2,s3:low=1,high=9",
+            "join:s1,s2:on=epoch",
+            "join:a,b:on=value,low=-5,high=5",
+        ):
+            spec = parse_query_spec(raw)
+            assert parse_query_spec(spec.render()) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "scan:s1,s2",            # unknown kind
+            "union:s1",              # one table
+            "join:s1,s2:on=id",      # unknown key
+            "union:s1,s2:on=value",  # on= outside a join
+            "join:s1,s2:low=3",      # low without high
+            "join:s1,s2:high=x,low=1",  # non-integer bound
+            "union:s1,s2:low=9,high=0",  # reversed range
+            "union:s1,s2:color=red",  # unknown option
+            "union",                 # no tables section
+            "union:s1,s2:a:b",       # too many sections
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query_spec(bad)
+
+    def test_build_plan_unknown_source(self, catalog):
+        with pytest.raises(QueryError, match="unknown source"):
+            build_plan(catalog, "union:s1,nope")
+
+
+class TestScanNodes:
+    def test_scan_emits_value_epoch_in_position_order(self, catalog):
+        result = catalog.query(TableScanNode("s1"), epoch=2)
+        assert result.columns == ("value", "epoch")
+        assert result.rows.tolist() == [[1, 0], [2, 0], [3, 1], [5, 1]]
+        assert result.forgotten.tolist() == [False, True, False, False]
+        assert (result.rf, result.mf) == (3, 1)
+
+    def test_bounded_scan(self, catalog):
+        result = catalog.query(TableScanNode("s1", 2, 4), epoch=2)
+        assert result.rows.tolist() == [[2, 0], [3, 1]]
+        assert result.active_rows().tolist() == [[3, 1]]
+
+    def test_bounds_validated(self):
+        with pytest.raises(QueryError):
+            TableScanNode("s1", 5, 1)
+        with pytest.raises(QueryError):
+            TableScanNode("s1", low=5)
+
+    def test_empty_table_scans_empty(self):
+        cat = Catalog()
+        cat.create_table("empty", ["a"])
+        result = cat.query(TableScanNode("empty"), epoch=0)
+        assert result.oracle_count == 0 and result.precision == 1.0
+
+    def test_column_override(self):
+        cat = Catalog()
+        table = cat.create_table("two", ["x", "y"])
+        table.insert_batch(0, {"x": [1, 2], "y": [7, 9]})
+        result = cat.query(TableScanNode("two", column="y"), epoch=1)
+        assert result.column("value").tolist() == [7, 9]
+
+    def test_record_access_flag(self, catalog):
+        catalog.query(TableScanNode("s1"), epoch=2, record_access=False)
+        assert catalog.get("s1").access_counts().sum() == 0
+        catalog.query(TableScanNode("s1"), epoch=2)
+        # Only the three active rows get their access bumped.
+        assert catalog.get("s1").access_counts().tolist() == [1, 0, 1, 1]
+
+
+class TestUnionNode:
+    def test_concatenates_in_child_order(self, catalog):
+        result = catalog.query("union:s2,s1", epoch=2)
+        assert result.rows.tolist()[:4] == [[2, 0], [3, 0], [3, 1], [8, 1]]
+        assert (result.rf, result.mf) == (7, 1)
+        # Per-input accounting survives the union exactly.
+        assert [(r.rf, r.mf) for r in result.inputs] == [(4, 0), (3, 1)]
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(QueryError):
+            UnionNode(TableScanNode("s1"))
+
+    def test_rejects_mismatched_columns(self):
+        join = JoinNode(TableScanNode("s1"), TableScanNode("s2"))
+        with pytest.raises(QueryError, match="disagree on columns"):
+            UnionNode(join, TableScanNode("s1"))
+
+    def test_union_of_joins_allowed(self, catalog):
+        union = UnionNode(
+            JoinNode(TableScanNode("s1"), TableScanNode("s2")),
+            JoinNode(TableScanNode("s2"), TableScanNode("s1")),
+        )
+        result = catalog.query(union, epoch=2)
+        assert result.oracle_count == 6
+        assert result.columns == ("l.value", "l.epoch", "r.value", "r.epoch")
+
+
+class TestJoinNode:
+    def test_value_join_matches_nested_loop(self, catalog):
+        result = catalog.query("join:s1,s2:on=value", epoch=2)
+        # s1 values [1,2,3,5] (2 forgotten), s2 values [2,3,3,8]:
+        # pairs in (left, right) order: (2,2) (3,3) (3,3).
+        assert result.rows.tolist() == [
+            [2, 0, 2, 0],
+            [3, 1, 3, 0],
+            [3, 1, 3, 1],
+        ]
+        assert result.forgotten.tolist() == [True, False, False]
+        assert (result.rf, result.mf) == (2, 1)
+        assert result.precision == pytest.approx(2 / 3)
+
+    def test_epoch_join(self, catalog):
+        result = catalog.query("join:s1,s2:on=epoch", epoch=2)
+        # Two rows per epoch on each side: 2 epochs * 2 * 2 pairs.
+        assert result.oracle_count == 8
+        lkeys = result.column("l.epoch")
+        rkeys = result.column("r.epoch")
+        assert (lkeys == rkeys).all()
+
+    def test_output_order_independent_of_build_side(self, catalog):
+        # s1 is smaller after bounds; force both asymmetries and check
+        # the canonical order survives.
+        wide = catalog.query(
+            JoinNode(TableScanNode("s1"), TableScanNode("s2", 0, 100)),
+            epoch=2,
+        )
+        narrow = catalog.query(
+            JoinNode(TableScanNode("s1"), TableScanNode("s2", 2, 4)),
+            epoch=2,
+        )
+        assert wide.rows.tolist()[: narrow.oracle_count] == narrow.rows.tolist()
+
+    def test_forgotten_iff_any_side_forgotten(self, catalog):
+        catalog.get("s2").forget(np.array([3]), epoch=2)  # value 8 (no match)
+        result = catalog.query("join:s1,s2:on=value", epoch=3)
+        assert result.forgotten.tolist() == [True, False, False]
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(QueryError, match="join key"):
+            JoinNode(TableScanNode("s1"), TableScanNode("s2"), on="serial")
+
+    def test_three_way_chain_left_deep(self, catalog):
+        table = catalog.create_table("s3", ["a"])
+        table.insert_batch(0, {"a": [3, 5]})
+        node = build_plan(catalog, "join:s1,s2,s3:on=value")
+        result = catalog.query(node, epoch=2)
+        # (3,3,3) twice (two 3s in s2) and nothing else: 5 has no s2 match.
+        assert result.column("l.l.value").tolist() == [3, 3]
+        assert result.column("r.value").tolist() == [3, 3]
+
+    def test_node_reuse_rejected(self, catalog):
+        scan = TableScanNode("s1")
+        with pytest.raises(QueryError, match="appears twice"):
+            catalog.query(JoinNode(scan, scan), epoch=2)
+
+
+class TestShardedInputs:
+    @pytest.fixture
+    def sharded_catalog(self, catalog):
+        store = PartitionedAmnesiaDatabase(
+            "a",
+            (0, 4, 8),
+            total_budget=40,
+            policy_factory=FifoAmnesia,
+            plan="auto",
+        )
+        store.insert({"a": np.array([1, 3, 5, 9, -2])})
+        catalog.register_sharded("sh", store)
+        return catalog, store
+
+    def test_scan_rows_merges_in_shard_order(self, sharded_catalog):
+        catalog, store = sharded_catalog
+        result = catalog.query(ShardedScanNode("sh"), epoch=2)
+        # Shard 0 ([−inf, 4)) got 1, 3, −2 in insertion order; shard 1
+        # ([4, +inf)) got 5, 9.
+        assert result.column("value").tolist() == [1, 3, -2, 5, 9]
+
+    def test_scan_records_access_at_caller_epoch(self, sharded_catalog):
+        """Cross-table queries stamp sharded rows with the query epoch,
+        exactly like plain-table leaves — recency-sensitive policies
+        must not see the two source kinds differently."""
+        catalog, store = sharded_catalog
+        catalog.query("union:s1,sh", epoch=42)
+        for partition in store.partitions:
+            table = partition.db.table
+            touched = table.access_counts() > 0
+            assert touched.any()
+            assert (table.last_access_epochs()[touched] == 42).all()
+        table = catalog.get("s1")
+        touched = table.access_counts() > 0
+        assert (table.last_access_epochs()[touched] == 42).all()
+
+    def test_sharded_join_input(self, sharded_catalog):
+        catalog, _ = sharded_catalog
+        result = catalog.query("join:s1,sh:on=value", epoch=2)
+        assert result.column("l.value").tolist() == [1, 3, 5]
+        assert result.forgotten.tolist() == [False, False, False]
+
+    def test_estimate_scan_prunes_uncovered_shards(self, sharded_catalog):
+        _, store = sharded_catalog
+        full = store.estimate_scan()
+        assert full == 5.0
+        low_only = store.estimate_scan(100, 200)  # only the open edge shard
+        assert low_only <= full
+
+    def test_scan_rows_validates_bounds(self, sharded_catalog):
+        _, store = sharded_catalog
+        with pytest.raises(QueryError):
+            store.scan_rows(5, 1)
+        with pytest.raises(QueryError):
+            store.scan_rows(low=5)
+
+    def test_registry_guards(self, sharded_catalog):
+        catalog, store = sharded_catalog
+        with pytest.raises(SchemaError):
+            catalog.register_sharded("s1", store)  # name taken by a table
+        with pytest.raises(SchemaError):
+            catalog.register_sharded("sh", store)  # already registered
+        with pytest.raises(SchemaError):
+            catalog.register_sharded("bad", object())  # no scan_rows()
+
+        class ScanOnly:  # satisfies scan_rows but not explain/report
+            def scan_rows(self, *args, **kwargs):
+                return None
+
+        with pytest.raises(SchemaError, match="lacks"):
+            catalog.register_sharded("bad", ScanOnly())
+        with pytest.raises(SchemaError):
+            catalog.sharded("nope")
+        # The shadow works both ways: a table cannot take a sharded
+        # name either (created or externally registered) — otherwise
+        # build_plan's tables-first resolution would silently read the
+        # empty shadow table instead of the store.
+        with pytest.raises(SchemaError):
+            catalog.create_table("sh", ["a"])
+        from repro.storage import Table
+
+        with pytest.raises(SchemaError):
+            catalog.register(Table("sh", ["a"]))
+        assert catalog.has_sharded("sh") and catalog.sharded_names() == ["sh"]
+        catalog.drop("sh")
+        assert not catalog.has_sharded("sh")
+
+
+class TestExplainAndReport:
+    def test_explain_tree_shape(self, catalog):
+        tree = explain_plan(
+            JoinNode(
+                UnionNode(TableScanNode("s1"), TableScanNode("s2")),
+                TableScanNode("s1", 0, 4),
+            ),
+            catalog,
+        )
+        lines = tree.splitlines()
+        assert lines[0].startswith("Join(on='value'")
+        assert lines[1].startswith("├─ Union(2 inputs)")
+        assert lines[2].startswith("│  ├─ TableScan('s1')")
+        assert lines[4].startswith("└─ TableScan('s1' ∈ [0, 4))")
+        assert "cost≈" in lines[0]
+
+    def test_render_executed_carries_accounting(self, catalog):
+        node = build_plan(catalog, "join:s1,s2:on=value")
+        result = execute_plan(node, catalog, epoch=2)
+        rendered = render_executed(node, result, catalog)
+        assert "rf=2 mf=1 precision=0.667" in rendered.splitlines()[0]
+
+    def test_catalog_plan_report_includes_cross_section(self, catalog):
+        catalog.query("union:s1,s2", epoch=2)
+        report = catalog.plan_report()
+        assert "cross-table queries executed: 1" in report
+        assert "Union(2 inputs" in report
+
+    def test_plan_report_survives_dropped_source(self, catalog):
+        """Regression: dropping a source referenced by the newest
+        cross-table query must not crash plan_report — the node
+        renders unbound (no estimates) instead."""
+        catalog.query("join:s1,s2:on=value", epoch=2)
+        catalog.drop("s2")
+        report = catalog.plan_report()
+        assert "rf=2 mf=1" in report
+        assert "TableScan('s2')" in report
+
+    def test_plan_report_retains_counts_not_rows(self, catalog):
+        """The report cache keeps per-node counts, not the result's
+        materialized row matrices."""
+        catalog.query("join:s1,s2:on=value", epoch=2)
+        node, summary = catalog._last_cross
+        assert summary == (
+            2, 1, 2 / 3, ((3, 1, 0.75, ()), (4, 0, 1.0, ()))
+        )
+
+    def test_explain_query_spec(self, catalog):
+        tree = catalog.explain_query("union:s1,s2:low=0,high=3")
+        assert "∈ [0, 3)" in tree
+
+    def test_node_result_unknown_column(self, catalog):
+        result = catalog.query("union:s1,s2", epoch=2)
+        with pytest.raises(QueryError, match="no column"):
+            result.column("serial")
+        assert isinstance(result, NodeResult)

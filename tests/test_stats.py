@@ -99,6 +99,65 @@ class TestEquiDepthHistogram:
             EquiDepthHistogram.from_values(np.empty(0))
 
 
+class TestHistogramContracts:
+    """Direct contracts for the planner-facing histogram behaviours
+    (previously exercised mostly through the summary layer)."""
+
+    def test_equiwidth_add_remove_roundtrip(self, rng):
+        """remove() is the exact inverse of add(): interleaved batches
+        come back out leaving precisely the still-resident mass."""
+        hist = EquiWidthHistogram(0, 999, bins=32)
+        keep = rng.integers(0, 1000, 500)
+        churn = [rng.integers(0, 1000, rng.integers(1, 80)) for _ in range(6)]
+        hist.add(keep)
+        for batch in churn:
+            hist.add(batch)
+        for batch in reversed(churn):
+            hist.remove(batch)
+        reference = EquiWidthHistogram.from_values(keep, 0, 999, bins=32)
+        assert hist.counts.tolist() == reference.counts.tolist()
+        assert hist.total == keep.size
+        hist.remove(keep)
+        assert hist.total == 0
+        assert hist.counts.tolist() == [0] * 32
+        np.testing.assert_allclose(hist.pmf(), np.full(32, 1 / 32))
+
+    def test_equiwidth_remove_unknown_values_caught(self):
+        hist = EquiWidthHistogram(0, 9, bins=10)
+        hist.add(np.array([1, 1, 5]))
+        with pytest.raises(ConfigError):
+            hist.remove(np.array([7]))  # bin 7 never held a value
+
+    def test_equidepth_boundaries_on_skewed_data(self, rng):
+        """Quantile boundaries on Zipf-skewed data: monotone, spanning
+        the sample, and splitting the mass into near-equal buckets —
+        narrow hot buckets, wide cold ones."""
+        values = rng.zipf(1.5, 4000).astype(np.float64)
+        hist = EquiDepthHistogram.from_values(values, bins=8)
+        boundaries = hist.boundaries
+        assert boundaries.size == 9
+        assert (np.diff(boundaries) >= 0).all()
+        assert boundaries[0] == values.min()
+        assert boundaries[-1] == values.max()
+        # Equi-depth means each bucket holds ~1/8 of the sample.  Heavy
+        # ties on the hot keys can shift mass between adjacent buckets,
+        # so allow a generous band around the ideal share.
+        counts = np.bincount(hist.bin_of(values), minlength=8)
+        assert counts.sum() == values.size
+        assert counts.max() <= values.size * 0.45
+        # The hot end is far narrower than the cold tail.
+        assert (boundaries[1] - boundaries[0]) < (
+            boundaries[-1] - boundaries[-2]
+        )
+
+    def test_equidepth_uniform_matches_linspace(self):
+        values = np.arange(1000, dtype=np.float64)
+        hist = EquiDepthHistogram.from_values(values, bins=4)
+        np.testing.assert_allclose(
+            hist.boundaries, np.linspace(0, 999, 5), atol=1e-9
+        )
+
+
 class TestStreamingMoments:
     def test_push_matches_numpy(self):
         values = np.array([1.5, -2.0, 7.0, 3.0])

@@ -290,6 +290,138 @@ class TestCatalogPlanning:
                 == sequential.get(name).access_counts().tolist()
             )
 
+    def test_execute_batch_duplicate_name_order_pinned(self):
+        """Regression: a table name queried several times in one batch
+        keeps its results at their request indices and its queries in
+        submission order, at any worker width.
+
+        The contract is pinned on full result fingerprints (positions
+        and aggregate values, not just counts) plus the per-table
+        planner/access state the submission order determines.
+        """
+        from repro.query import (
+            AggregateFunction,
+            AggregateQuery,
+            RangePredicate,
+            RangeQuery,
+        )
+
+        def build(workers):
+            catalog = Catalog(plan="auto", workers=workers)
+            for name in ("s1", "s2"):
+                table = catalog.create_table(name, ["a"])
+                table.insert_batch(0, {"a": np.arange(300)})
+                table.forget(np.arange(0, 300, 5), epoch=1)
+            return catalog
+
+        def fingerprint(result):
+            if hasattr(result, "active_positions"):
+                return (
+                    result.rf,
+                    result.mf,
+                    result.active_positions.tolist(),
+                    result.missed_positions.tolist(),
+                )
+            return (result.amnesiac_value, result.oracle_value)
+
+        requests = []
+        for low in (0, 40, 150, 220):
+            requests.append(
+                ("s1", RangeQuery(RangePredicate("a", low, low + 50)))
+            )
+            requests.append(
+                (
+                    "s1",
+                    AggregateQuery(
+                        AggregateFunction.SUM,
+                        "a",
+                        RangePredicate("a", low, low + 80),
+                    ),
+                )
+            )
+            requests.append(
+                ("s2", RangeQuery(RangePredicate("a", low, low + 50)))
+            )
+            requests.append(
+                ("s1", RangeQuery(RangePredicate("a", low + 5, low + 30)))
+            )
+        sequential = build(workers=1)
+        expected = [
+            fingerprint(sequential.execute(name, query, epoch=2))
+            for name, query in requests
+        ]
+        for workers in (2, 8):
+            parallel = build(workers=workers)
+            got = [
+                fingerprint(r)
+                for r in parallel.execute_batch(requests, epoch=2)
+            ]
+            assert got == expected
+            for name in ("s1", "s2"):
+                assert (
+                    parallel.get(name).access_counts().tolist()
+                    == sequential.get(name).access_counts().tolist()
+                )
+                assert (
+                    parallel.planner(name).stats()
+                    == sequential.planner(name).stats()
+                )
+
+    def test_concurrent_batches_share_tables_exactly(self):
+        """Two caller threads batching over the *same* tables: the
+        per-table source locks keep access accounting exact (each
+        query's bump lands atomically), so the final counters equal the
+        sequential double-run."""
+        import threading
+
+        from repro.query import RangePredicate, RangeQuery
+
+        def build(workers):
+            catalog = Catalog(plan="auto", workers=workers)
+            table = catalog.create_table("s1", ["a"])
+            table.insert_batch(0, {"a": np.arange(400)})
+            return catalog
+
+        requests = [
+            ("s1", RangeQuery(RangePredicate("a", low, low + 120)))
+            for low in (0, 60, 180, 240)
+        ] * 5
+        sequential = build(workers=1)
+        for _ in range(2):
+            sequential.execute_batch(requests, epoch=1)
+        expected = sequential.get("s1").access_counts().tolist()
+
+        parallel = build(workers=4)
+        threads = [
+            threading.Thread(
+                target=parallel.execute_batch, args=(requests, 1)
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert parallel.get("s1").access_counts().tolist() == expected
+
+    def test_source_lock_surface(self):
+        """Tables share one lock per name; sharded sources are a null
+        context (they serialize per shard internally)."""
+        from repro.amnesia import FifoAmnesia
+        from repro.partitioning import PartitionedAmnesiaDatabase
+
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        assert catalog.source_lock("t") is catalog.source_lock("t")
+        store = PartitionedAmnesiaDatabase(
+            "a", (0, 10), total_budget=5, policy_factory=FifoAmnesia
+        )
+        catalog.register_sharded("sh", store)
+        with catalog.source_lock("sh"):
+            pass  # null context — no lock to hold
+        with pytest.raises(SchemaError):
+            catalog.source_lock("nope")
+
     def test_default_plan_pinned_at_first_use(self):
         """One catalog = one plan story, even if the process default
         changes mid-run (as the CLI does around each experiment)."""
