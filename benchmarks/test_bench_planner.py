@@ -39,6 +39,7 @@ from repro.amnesia import FifoAmnesia
 from repro.indexes import BlockRangeIndex
 from repro.partitioning import PartitionedAmnesiaDatabase
 from repro.query import QueryExecutor, QueryPlanner, RangePredicate, RangeQuery
+from repro.stats import TableHistogramStats
 from repro.storage import Catalog, CohortZoneMap, Table
 
 FULL_ROWS = 1_000_000
@@ -72,6 +73,31 @@ CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
 JOIN_FULL_ROWS = 256_000
 JOIN_QUICK_ROWS = 32_000
 
+#: Skewed (Zipf) suite: histogram vs uniform statistics.  The sharded
+#: run measures adaptive rebalancing with median vs midpoint splits on
+#: a Zipf-hot stream (cost plan mode, single-threaded, so its floor
+#: gates unconditionally — no CPU-count gate needed); the q-error run
+#: measures estimate accuracy on the same kind of stream; the blocked
+#: join measures the pair-discovery working set.
+ZIPF_FULL_ROWS = 1_000_000
+ZIPF_QUICK_ROWS = 125_000
+ZIPF_EXPONENT = 1.3
+#: Fewer, fatter cohorts than the time-correlated suite: Zipf cohorts
+#: all span the whole domain (no zone-map pruning), so the interesting
+#: cost is rows-in-covered-shards, not per-cohort loop overhead.
+ZIPF_COHORTS = 50
+ZIPF_REBALANCE_ROUNDS = 6
+ZIPF_WARMUP_QUERIES = 30
+#: Warm-up windows are wide (spreading traffic over the hot head, so
+#: median cuts keep subdividing it); the timed probes are width-1 and
+#: shifted off the two hottest values, so their cost is dominated by
+#: the rows the covered shards hold — the thing the split policy moves.
+ZIPF_WARMUP_WIDTH = 300
+ZIPF_TIMED_SHIFT = 2
+BLOCKED_JOIN_ROWS = 48_000
+BLOCKED_JOIN_QUICK_ROWS = 12_000
+BLOCKED_JOIN_BLOCK = 2_048
+
 #: Trajectory artifact consumed by CI (ops/s per plan mode + shards).
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
 
@@ -92,6 +118,7 @@ def artifact(quick):
             "single_table": {"modes": {}},
             "sharded": {"shards": SHARDS, "modes": {}, "workers": {}},
             "join": {"modes": {}, "workers": {}},
+            "skewed": {"modes": {}, "qerror": {}, "blocked_join": {}},
         }
     )
     yield _ARTIFACT
@@ -442,6 +469,206 @@ def test_bench_cross_table_join(quick):
             f"expected >={floor}x join fan-out speedup on {rows} rows "
             f"with {CPUS} cpus, got {speedup:.2f}x"
         )
+
+
+def _zipf_values(rng, n: int, domain: int) -> np.ndarray:
+    """Zipf-skewed values in [0, domain): heavy mass on a hot head."""
+    return np.minimum(rng.zipf(ZIPF_EXPONENT, n) - 1, domain - 1)
+
+
+def _zipf_warmup(rows: int) -> list[tuple[int, int]]:
+    """Wide windows at Zipf-drawn anchors: the traffic that teaches the
+    adaptive rebalancer where the hot value mass lives."""
+    rng = np.random.default_rng(BENCH_SEED + 5)
+    lows = _zipf_values(rng, ZIPF_WARMUP_QUERIES, rows)
+    return [(int(low), int(low) + ZIPF_WARMUP_WIDTH) for low in lows]
+
+
+def _zipf_timed(rows: int) -> list[tuple[int, int]]:
+    """Width-1 probes at (shifted) Zipf anchors: selective enough that
+    their cost is the rows held by the shards they cover."""
+    rng = np.random.default_rng(BENCH_SEED + 9)
+    lows = np.minimum(
+        ZIPF_TIMED_SHIFT + _zipf_values(rng, QUERIES, rows), rows - 2
+    )
+    return [(int(low), int(low) + 1) for low in lows]
+
+
+def _build_zipf_sharded(rows: int, stats: str) -> PartitionedAmnesiaDatabase:
+    rng = np.random.default_rng(BENCH_SEED + 6)
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        [0, rows // 2, rows],
+        total_budget=rows // 2,
+        policy_factory=FifoAmnesia,
+        seed=BENCH_SEED,
+        plan="cost",
+        rebalance="adaptive",
+        split_threshold=1.5,
+        max_partitions=10,
+        stats=stats,
+    )
+    span = rows // ZIPF_COHORTS
+    for _ in range(ZIPF_COHORTS):
+        store.insert({"a": _zipf_values(rng, span, rows)})
+    return store
+
+
+def test_bench_skewed_hist_splits_beat_midpoint(quick):
+    """Acceptance: histogram-cost ≥ uniform-cost ops/s on the Zipf
+    sharded suite.
+
+    Same Zipf stream, same adaptive rebalancing cadence, same hot
+    point queries — the only knob is ``stats``: ``uniform`` cuts hot
+    shards at range midpoints (which, on a Zipf stream whose mass sits
+    at the head, leave one side holding almost all rows *and* traffic),
+    ``hist`` cuts at the traffic-weighted median, so the hot region's
+    rows split in half each round and selective hot probes touch a
+    fraction of the store.  Single-threaded, so the floor gates
+    unconditionally (no CPU-count gate): full-size runs must show
+    hist ≥ uniform; ``--quick`` keeps 10% noise headroom.
+    """
+    rows = ZIPF_QUICK_ROWS if quick else ZIPF_FULL_ROWS
+    _ARTIFACT["skewed"]["rows"] = rows
+    warmup = _zipf_warmup(rows)
+    timed = _zipf_timed(rows)
+    timings = {}
+    for stats in ("uniform", "hist"):
+        store = _build_zipf_sharded(rows, stats)
+        for _ in range(ZIPF_REBALANCE_ROUNDS):
+            for low, high in warmup:
+                store.range_query(low, high)
+            store.rebalance(policy="adaptive")
+        timings[stats] = _time_best_of(
+            lambda s=store: [s.range_query(low, high) for low, high in timed]
+        )
+        _record("skewed", stats, timings[stats], len(timed))
+        _ARTIFACT["skewed"][f"{stats}_boundaries"] = list(store.boundaries)
+        if stats == "hist":
+            assert any("at median" in e for e in store.adaptations)
+        else:
+            assert any("at midpoint" in e for e in store.adaptations)
+        store.close()
+    ratio = timings["uniform"] / timings["hist"]
+    _ARTIFACT["skewed"]["hist_speedup_over_uniform"] = round(ratio, 2)
+    print(
+        f"\nzipf sharded on {rows} rows: uniform(midpoint) "
+        f"{timings['uniform'] * 1e3:.1f}ms vs hist(median) "
+        f"{timings['hist'] * 1e3:.1f}ms ({ratio:.2f}x)"
+    )
+    floor = 1.0 if rows >= ZIPF_FULL_ROWS else 0.9
+    assert ratio >= floor, (
+        f"histogram-cost slower than uniform-cost on {rows} Zipf rows "
+        f"({ratio:.2f}x, floor {floor}x)"
+    )
+
+
+def test_bench_skewed_qerror(quick):
+    """Acceptance: recorded q-error improves under histogram stats.
+
+    One Zipf table, one zone map, two estimate sources; mean/max
+    q-error over a skew-matched probe mix lands in the artifact and
+    the histogram mean must beat per-cohort uniformity.  Deterministic
+    (no timing), so it gates in ``--quick`` too.
+    """
+    rows = (ZIPF_QUICK_ROWS if quick else ZIPF_FULL_ROWS) // 4
+    rng = np.random.default_rng(BENCH_SEED + 7)
+    table = Table("bench_zipf", ["a"])
+    zone_map = CohortZoneMap(table)
+    span = rows // COHORTS
+    for epoch in range(COHORTS):
+        table.insert_batch(epoch, {"a": _zipf_values(rng, span, rows)})
+    table.forget(np.arange(rows // 10), epoch=COHORTS)
+    stats = TableHistogramStats(table, bins=256)
+    values = table.values("a")
+    # Width-64 windows around skew-matched anchors: wide enough that
+    # the histogram's uniform-within-bin floor is not the story.
+    probes = [(low, low + 64) for low, _ in _zipf_timed(rows)]
+
+    def qerror(est: float, actual: int) -> float:
+        est, actual = max(est, 1.0), max(float(actual), 1.0)
+        return max(est / actual, actual / est)
+
+    errors: dict[str, list[float]] = {"uniform": [], "hist": []}
+    for low, high in probes:
+        actual = int(((values >= low) & (values < high)).sum())
+        errors["uniform"].append(
+            qerror(zone_map.estimate("a", low, high).est_rows, actual)
+        )
+        errors["hist"].append(
+            qerror(
+                zone_map.estimate("a", low, high, stats=stats).est_rows,
+                actual,
+            )
+        )
+    for source, errs in errors.items():
+        _ARTIFACT["skewed"]["qerror"][source] = {
+            "mean": round(float(np.mean(errs)), 2),
+            "max": round(float(np.max(errs)), 2),
+        }
+    print(
+        f"\nzipf q-error on {rows} rows: "
+        + ", ".join(
+            f"{source} mean={np.mean(errs):.1f} max={np.max(errs):.1f}"
+            for source, errs in errors.items()
+        )
+    )
+    assert np.mean(errors["hist"]) < np.mean(errors["uniform"])
+
+
+def test_bench_skewed_blocked_join(quick):
+    """Acceptance: blocked-join peak pairs ≤ block size × build rows.
+
+    Two tables sharing a hot key (1% of rows on each side): the full
+    hash join materializes the whole pair set during discovery, the
+    blocked probe caps the working set per block.  Both streams must be
+    bit-identical; the peak pair counts and ops/s land in the artifact.
+    """
+    rows = BLOCKED_JOIN_QUICK_ROWS if quick else BLOCKED_JOIN_ROWS
+    rng = np.random.default_rng(BENCH_SEED + 8)
+    catalog = Catalog(plan="auto", workers=1)
+    for name in ("s1", "s2"):
+        table = catalog.create_table(name, ["a"])
+        values = rng.integers(0, rows * 4, rows)
+        values[rng.random(rows) < 0.01] = 7  # shared hot key
+        table.insert_batch(0, {"a": values})
+        table.forget(np.arange(rows // 10), epoch=1)
+    from repro.query import build_plan
+
+    full_node = build_plan(catalog, "join:s1,s2:on=value")
+    blocked_node = build_plan(
+        catalog, f"join:s1,s2:on=value,block={BLOCKED_JOIN_BLOCK}"
+    )
+    full = catalog.query(full_node, epoch=1)
+    blocked = catalog.query(blocked_node, epoch=1)
+    assert blocked.rows.tolist() == full.rows.tolist()
+    assert blocked.forgotten.tolist() == full.forgotten.tolist()
+    build_rows = min(r.oracle_count for r in full.inputs)
+    assert full_node.peak_pairs == full.oracle_count
+    assert 0 < blocked_node.peak_pairs <= BLOCKED_JOIN_BLOCK * build_rows
+    assert blocked_node.peak_pairs < full_node.peak_pairs
+    full_time = _time_best_of(lambda: catalog.query(full_node, epoch=1))
+    blocked_time = _time_best_of(lambda: catalog.query(blocked_node, epoch=1))
+    _ARTIFACT["skewed"]["blocked_join"] = {
+        "rows": rows,
+        "block": BLOCKED_JOIN_BLOCK,
+        "build_rows": build_rows,
+        "full_peak_pairs": int(full_node.peak_pairs),
+        "blocked_peak_pairs": int(blocked_node.peak_pairs),
+        "peak_shrink": round(
+            full_node.peak_pairs / max(blocked_node.peak_pairs, 1), 2
+        ),
+        "full_seconds": round(full_time, 6),
+        "blocked_seconds": round(blocked_time, 6),
+    }
+    print(
+        f"\nblocked join on 2x{rows} rows: peak pairs "
+        f"{full_node.peak_pairs:,} -> {blocked_node.peak_pairs:,} "
+        f"({full_node.peak_pairs / max(blocked_node.peak_pairs, 1):.1f}x "
+        f"smaller working set); full {full_time * 1e3:.1f}ms vs "
+        f"blocked {blocked_time * 1e3:.1f}ms"
+    )
+    catalog.close()
 
 
 def test_bench_planner_auto(history, once):

@@ -1,0 +1,121 @@
+"""Histogram statistics: where uniformity misplans and histograms don't.
+
+The cost model's original statistic is per-cohort *uniformity* — fine
+for benchmark-style uniform streams, wrong for the Zipf workloads of
+§2.2 where a handful of hot values carry most of the mass.  This
+script builds exactly that situation twice, once per statistics mode
+(``stats="uniform"`` vs ``stats="hist"``), and shows three consumers
+of the sharper estimates:
+
+1. **EXPLAIN trees** — a join between a Zipf-hot sensor and a small
+   narrow-domain dimension table, bounded to the hot window.
+   Uniformity underestimates the hot side (its mass hides inside a
+   wide value span) and overestimates the dimension side (narrow span),
+   so it predicts the *wrong build side*; the histogram prediction
+   matches what execution actually does.
+2. **q-error** — estimated vs actual match counts for hot probes.
+3. **Median shard splits** — under ``--stats hist`` the adaptive
+   partitioner cuts a hot shard at the traffic-weighted value median
+   instead of the range midpoint, so a Zipf-hot shard splits into two
+   halves that actually share the rows.
+
+Run with ``PYTHONPATH=src python examples/histogram_planning.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amnesia import FifoAmnesia
+from repro.partitioning import PartitionedAmnesiaDatabase
+from repro.storage import Catalog
+
+DOMAIN = 2_000
+HOT_ROWS = 4_000
+DIM_ROWS = 1_200
+HOT_WINDOW = (0, 16)
+
+
+def zipf_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Zipf-skewed values: most of the mass on a hot head near 0."""
+    return np.minimum((rng.zipf(1.3, n) - 1) * 4, DOMAIN - 1)
+
+
+def build_catalog(stats: str) -> Catalog:
+    catalog = Catalog(plan="cost", stats=stats)
+    rng = np.random.default_rng(11)
+    hot = catalog.create_table("sensor", ["a"])
+    hot.insert_batch(0, {"a": zipf_values(rng, HOT_ROWS)})
+    hot.forget(np.arange(0, HOT_ROWS, 10), epoch=1)
+    dim = catalog.create_table("dim", ["a"])
+    dim.insert_batch(0, {"a": rng.integers(0, 64, DIM_ROWS)})
+    return catalog
+
+
+def main() -> None:
+    spec = (
+        f"join:sensor,dim:on=value,low={HOT_WINDOW[0]},high={HOT_WINDOW[1]}"
+    )
+    catalogs = {stats: build_catalog(stats) for stats in ("uniform", "hist")}
+
+    print("-- EXPLAIN under both statistics sources " + "-" * 22)
+    for stats, catalog in catalogs.items():
+        print(f"\nstats={stats!r}:")
+        print(catalog.explain_query(spec))
+    result = catalogs["hist"].query(spec, epoch=1)
+    left, right = result.inputs
+    print(
+        f"\nexecution: left(sensor)={left.oracle_count} rows, "
+        f"right(dim)={right.oracle_count} rows -> actual build side: "
+        f"{'right' if right.oracle_count <= left.oracle_count else 'left'}"
+    )
+    print(
+        "uniformity predicted build≈left (it cannot see the hot head); "
+        "the histogram prediction matches execution."
+    )
+
+    print("\n-- estimate accuracy on hot probes " + "-" * 28)
+    values = catalogs["hist"].get("sensor").values("a")
+    planners = {
+        stats: catalog.planner("sensor") for stats, catalog in catalogs.items()
+    }
+    print(f"{'probe':>14} {'actual':>8} {'uniform':>10} {'hist':>10}")
+    for low, high in ((0, 4), (0, 16), (4, 64), (256, 1024)):
+        actual = int(((values >= low) & (values < high)).sum())
+        row = [f"[{low}, {high}):".rjust(14), f"{actual:>8}"]
+        for stats in ("uniform", "hist"):
+            estimate = planners[stats].estimate("a", low, high)
+            row.append(f"{estimate.est_rows:>10.1f}")
+        print(" ".join(row))
+
+    print("\n-- adaptive splits: midpoint vs median " + "-" * 24)
+    for stats in ("uniform", "hist"):
+        store = PartitionedAmnesiaDatabase(
+            "a",
+            [0, DOMAIN // 2, DOMAIN],
+            total_budget=2_000,
+            policy_factory=FifoAmnesia,
+            seed=3,
+            plan="cost",
+            rebalance="adaptive",
+            split_threshold=1.5,
+            stats=stats,
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            store.insert({"a": zipf_values(rng, 600)})
+        for low in (0, 2, 0, 8, 1, 0):
+            store.range_query(low, low + 4)
+        store.rebalance()
+        rows = [p.db.total_rows for p in store.partitions]
+        print(f"stats={stats!r}: boundaries {store.boundaries}, rows/shard {rows}")
+        for event in store.adaptations:
+            print(f"  {event}")
+        store.close()
+
+    for catalog in catalogs.values():
+        catalog.close()
+
+
+if __name__ == "__main__":
+    main()

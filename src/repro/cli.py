@@ -7,6 +7,7 @@ Usage::
     python -m repro run all              # reproduce everything
     python -m repro run F3 --seed 7      # override the root seed
     python -m repro run F3 --plan scan   # force the query access path
+    python -m repro run F3 --stats hist  # histogram-backed estimates
 
 Every experiment prints the same rows/series the paper's figures and
 tables report, rendered as ASCII heat maps, line charts and tables.
@@ -20,13 +21,16 @@ import sys
 from ._util.errors import QueryError
 from .core.config import (
     REBALANCE_POLICIES,
+    STATS_MODES,
     default_cross_query,
     default_plan,
     default_rebalance,
+    default_stats,
     default_workers,
     set_default_cross_query,
     set_default_plan,
     set_default_rebalance,
+    set_default_stats,
     set_default_workers,
 )
 from .experiments import EXPERIMENTS
@@ -87,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
             "query access-path mode for every simulator the experiment "
             "builds (default: auto; 'cost' picks paths from cardinality "
             "estimates; results are identical across modes)"
+        ),
+    )
+    run.add_argument(
+        "--stats",
+        choices=STATS_MODES,
+        default=None,
+        help=(
+            "cardinality-statistics source for every planner the "
+            "experiment builds (default: uniform = per-cohort "
+            "uniformity; 'hist' maintains per-column value histograms "
+            "so estimates track skewed streams and adaptive shard "
+            "splits cut at the traffic-weighted median; results are "
+            "identical under either source)"
         ),
     )
     run.add_argument(
@@ -156,11 +173,14 @@ def main(argv=None, out=None) -> int:
             print(f"--query: {error}", file=sys.stderr)
             return 2
     previous_plan = default_plan()
+    previous_stats = default_stats()
     previous_workers = default_workers()
     previous_rebalance = default_rebalance()
     previous_cross_query = default_cross_query()
     if getattr(args, "plan", None) is not None:
         set_default_plan(args.plan)
+    if getattr(args, "stats", None) is not None:
+        set_default_stats(args.stats)
     if getattr(args, "workers", None) is not None:
         set_default_workers(args.workers)
     if getattr(args, "rebalance", None) is not None:
@@ -198,6 +218,7 @@ def main(argv=None, out=None) -> int:
         return 2
     finally:
         set_default_plan(previous_plan)
+        set_default_stats(previous_stats)
         set_default_workers(previous_workers)
         set_default_rebalance(previous_rebalance)
         set_default_cross_query(previous_cross_query)

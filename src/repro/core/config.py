@@ -22,14 +22,17 @@ from ..query.plans import parse_query_spec
 
 __all__ = [
     "REBALANCE_POLICIES",
+    "STATS_MODES",
     "SimulationConfig",
     "default_cross_query",
     "default_plan",
     "default_rebalance",
+    "default_stats",
     "default_workers",
     "set_default_cross_query",
     "set_default_plan",
     "set_default_rebalance",
+    "set_default_stats",
     "set_default_workers",
 ]
 
@@ -42,10 +45,24 @@ __all__ = [
 #: imports the partitioned store it configures.
 REBALANCE_POLICIES = ("hits", "rows", "adaptive")
 
+#: Statistics sources for the planner's cardinality estimates (and the
+#: adaptive partitioner's split cuts): ``uniform`` keeps the zone map's
+#: per-cohort uniformity assumption and midpoint splits, ``hist``
+#: attaches per-column :class:`~repro.stats.TableHistogramStats` (value
+#: histograms maintained through the observer protocol) so estimates
+#: track skewed streams and hot shards split at the traffic-weighted
+#: median.  Estimate-only for queries: results are bit-identical under
+#: either mode.
+STATS_MODES = ("uniform", "hist")
+
 #: Process-wide default for :attr:`SimulationConfig.plan` — the CLI's
 #: ``--plan`` flag sets it so every experiment picks the mode up without
 #: threading a parameter through each runner.
 _DEFAULT_PLAN = "auto"
+
+#: Process-wide default for :attr:`SimulationConfig.stats` — the CLI's
+#: ``--stats`` flag sets it, like ``--plan``.
+_DEFAULT_STATS = "uniform"
 
 #: Process-wide defaults for the sharded store's fan-out width and
 #: rebalance policy — the CLI's ``--workers`` / ``--rebalance`` flags
@@ -70,6 +87,18 @@ def set_default_plan(mode: str) -> str:
     global _DEFAULT_PLAN
     _DEFAULT_PLAN = check_in(mode, PLAN_MODES, "plan")
     return _DEFAULT_PLAN
+
+
+def default_stats() -> str:
+    """The statistics mode new configs and databases default to."""
+    return _DEFAULT_STATS
+
+
+def set_default_stats(mode: str) -> str:
+    """Set the process-wide default statistics mode; returns it."""
+    global _DEFAULT_STATS
+    _DEFAULT_STATS = check_in(mode, STATS_MODES, "stats")
+    return _DEFAULT_STATS
 
 
 def default_workers() -> int:
@@ -149,6 +178,15 @@ class SimulationConfig:
         cardinality estimates and picks the cheapest.  Every mode
         returns bit-identical results; only the work done per query
         differs.
+    stats:
+        Cardinality-statistics source (one of :data:`STATS_MODES`):
+        ``"uniform"`` (default) keeps the zone map's per-cohort
+        uniformity assumption, ``"hist"`` maintains per-column value
+        histograms (:class:`~repro.stats.TableHistogramStats`) through
+        the observer protocol and feeds them to every cost estimate —
+        sharp on skewed (Zipf) streams.  Query results are identical
+        under either source; only estimates (and the adaptive
+        partitioner's split cuts) change.
     workers:
         Thread-pool width for sharded (partitioned) execution: how many
         per-shard planner+executor pipelines may run concurrently.  1
@@ -179,6 +217,7 @@ class SimulationConfig:
     seed: int = DEFAULT_SEED
     histogram_bins: int = 64
     plan: str = field(default_factory=default_plan)
+    stats: str = field(default_factory=default_stats)
     workers: int = field(default_factory=default_workers)
     rebalance: str = field(default_factory=default_rebalance)
     cross_query: str = field(default_factory=default_cross_query)
@@ -190,6 +229,7 @@ class SimulationConfig:
         check_non_negative_int(self.queries_per_epoch, "queries_per_epoch")
         check_non_negative_int(self.histogram_bins, "histogram_bins")
         check_in(self.plan, PLAN_MODES, "plan")
+        check_in(self.stats, STATS_MODES, "stats")
         check_positive_int(self.workers, "workers")
         check_in(self.rebalance, REBALANCE_POLICIES, "rebalance")
         parse_query_spec(self.cross_query)  # grammar check; binding is lazy

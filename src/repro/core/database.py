@@ -39,9 +39,10 @@ from ..query.queries import (
     RangeQuery,
     RangeResult,
 )
+from ..stats.table_stats import TableHistogramStats
 from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
-from .config import default_plan
+from .config import STATS_MODES, default_plan, default_stats
 
 __all__ = ["AmnesiaDatabase"]
 
@@ -80,6 +81,16 @@ class AmnesiaDatabase:
         Optional ``{column: (low, high)}`` invariants handed to the
         planner — a range shard declares its partition bounds here so
         out-of-range probes are answered from statistics alone.
+    stats:
+        Cardinality-statistics source (see
+        :data:`repro.core.config.STATS_MODES`): ``"hist"`` attaches
+        per-column :class:`~repro.stats.TableHistogramStats` so the
+        planner's estimates track skewed value distributions;
+        ``"uniform"`` keeps the zone map's per-cohort uniformity
+        assumption.  ``None`` (default) resolves to
+        :func:`repro.core.config.default_stats`, so the CLI's
+        ``--stats`` flag reaches facade-backed experiments.  Estimate
+        -only: query results are identical under either source.
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class AmnesiaDatabase:
         table_name: str = "amnesia_db",
         plan: str | None = None,
         value_bounds: dict | None = None,
+        stats: str | None = None,
     ):
         if budget < 1:
             raise ConfigError(f"budget must be >= 1, got {budget}")
@@ -101,14 +113,26 @@ class AmnesiaDatabase:
         if plan is None:
             plan = default_plan()
         self.plan_mode = check_in(plan, PLAN_MODES, "plan")
+        if stats is None:
+            stats = default_stats()
+        self.stats_mode = check_in(stats, STATS_MODES, "stats")
         zone_map = (
             CohortZoneMap(self.table) if self.plan_mode != "scan" else None
+        )
+        # Like the zone map, histogram statistics are skipped in scan
+        # mode: the trust-nothing baseline consults no estimates, so
+        # maintaining them would be pure observer overhead.
+        table_stats = (
+            TableHistogramStats(self.table)
+            if self.stats_mode == "hist" and self.plan_mode != "scan"
+            else None
         )
         self.planner = QueryPlanner(
             self.table,
             mode=self.plan_mode,
             zone_map=zone_map,
             value_bounds=value_bounds,
+            stats=table_stats,
         )
         self.executor = QueryExecutor(
             self.table, record_access=True, planner=self.planner
@@ -299,6 +323,7 @@ class AmnesiaDatabase:
             "policy": self.policy.name,
             "cohorts": len(self.table.cohorts),
             "plan": self.plan_mode,
+            "stats": self.stats_mode,
         }
 
     def __repr__(self) -> str:

@@ -35,6 +35,7 @@ from ..query.generators import RangeQueryGenerator
 from ..query.planner import QueryPlanner
 from ..stats.divergence import js_divergence
 from ..stats.histograms import EquiWidthHistogram
+from ..stats.table_stats import TableHistogramStats
 from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
 from .config import SimulationConfig
@@ -101,7 +102,14 @@ class AmnesiaSimulator:
             if config.plan != "scan"
             else None
         )
-        self.planner = QueryPlanner(self.table, mode=config.plan, zone_map=zone_map)
+        table_stats = (
+            TableHistogramStats(self.table, columns=[config.column])
+            if config.stats == "hist" and config.plan != "scan"
+            else None
+        )
+        self.planner = QueryPlanner(
+            self.table, mode=config.plan, zone_map=zone_map, stats=table_stats
+        )
         if config.plan == "index":
             # Forced index mode would otherwise degrade to zone maps on
             # a bare table; give it the index it was asked to use.

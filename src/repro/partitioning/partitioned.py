@@ -67,7 +67,9 @@ from .._util.validation import check_in
 from ..amnesia.base import AmnesiaPolicy
 from ..core.config import (
     REBALANCE_POLICIES,
+    STATS_MODES,
     default_rebalance,
+    default_stats,
     default_workers,
 )
 from ..core.database import AmnesiaDatabase
@@ -76,6 +78,7 @@ from ..query.plans import check_scan_bounds, merge_match_sides
 from ..query.predicates import RangePredicate, TruePredicate
 from ..query.queries import AggregateFunction
 from ..stats.moments import StreamingMoments
+from ..stats.table_stats import traffic_weighted_median
 
 __all__ = ["MergedRangeResult", "Partition", "PartitionedAmnesiaDatabase"]
 
@@ -128,6 +131,7 @@ class Partition:
         edge_low: bool = False,
         edge_high: bool = False,
         table_name: str | None = None,
+        stats: str | None = None,
     ):
         if high <= low:
             raise ConfigError(f"partition range [{low}, {high}) is empty")
@@ -145,6 +149,7 @@ class Partition:
             table_name=table_name or f"partition_{index}",
             plan=plan,
             value_bounds={column: (self.bound_low, self.bound_high)},
+            stats=stats,
         )
         self.lock = threading.Lock()
         self.query_hits = 0
@@ -278,6 +283,17 @@ class PartitionedAmnesiaDatabase:
         :mod:`repro.query.planner`); ``None`` resolves to
         :func:`repro.core.config.default_plan`.  ``"cost"`` prices
         paths per shard from its cohort statistics.
+    stats:
+        Statistics source for every shard (see
+        :data:`repro.core.config.STATS_MODES`); ``None`` resolves to
+        :func:`repro.core.config.default_stats`.  Under ``"hist"``
+        each shard carries value histograms for its planner's
+        estimates, and ``adaptive`` rebalancing cuts a hot shard at
+        its **traffic-weighted value median** instead of the range
+        midpoint — computed from the shard's stored values and access
+        counters, both plan-mode- and worker-count-independent, so the
+        boundary trajectory stays bit-identical across plans and
+        widths.
     workers:
         Fan-out width for reads: how many per-shard pipelines may run
         concurrently (``None`` resolves to
@@ -317,6 +333,7 @@ class PartitionedAmnesiaDatabase:
         rebalance: str | None = None,
         split_threshold: float = 2.0,
         max_partitions: int | None = None,
+        stats: str | None = None,
     ):
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
@@ -336,6 +353,9 @@ class PartitionedAmnesiaDatabase:
         if rebalance is None:
             rebalance = default_rebalance()
         check_in(rebalance, REBALANCE_POLICIES, "rebalance")
+        if stats is None:
+            stats = default_stats()
+        check_in(stats, STATS_MODES, "stats")
         if split_threshold < 1.0:
             raise ConfigError(
                 f"split_threshold must be >= 1.0, got {split_threshold}"
@@ -351,6 +371,7 @@ class PartitionedAmnesiaDatabase:
         self.total_budget = int(total_budget)
         self.workers = int(workers)
         self.rebalance_policy = rebalance
+        self.stats_mode = stats
         self.split_threshold = float(split_threshold)
         self.max_partitions = int(max_partitions)
         self._seed = seed
@@ -373,6 +394,7 @@ class PartitionedAmnesiaDatabase:
                 plan=plan,
                 edge_low=(i == 0),
                 edge_high=(i == n_partitions - 1),
+                stats=stats,
             )
             for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
         ]
@@ -637,20 +659,20 @@ class PartitionedAmnesiaDatabase:
         self, low: int | None = None, high: int | None = None, *, cost: bool = False
     ) -> float:
         """Estimated matches (or, with ``cost=True``, rows considered)
-        of a :meth:`scan_rows` call — per-shard zone-map estimates
-        summed over the shards the range covers."""
+        of a :meth:`scan_rows` call — per-shard planner estimates
+        (histogram-sharpened under ``stats="hist"``) summed over the
+        shards the range covers."""
         total = 0.0
         for partition in self._partitions:
             if low is not None and not partition.covers(low, high):
                 continue
             db = partition.db
-            zone_map = db.planner.zone_map
-            if (
-                low is not None
-                and zone_map is not None
-                and zone_map.covers(self.column)
-            ):
-                estimate = zone_map.estimate(self.column, low, high)
+            estimate = (
+                db.planner.estimate(self.column, low, high)
+                if low is not None
+                else None
+            )
+            if estimate is not None:
                 total += (
                     float(estimate.candidate_rows) if cost else estimate.est_rows
                 )
@@ -692,7 +714,8 @@ class PartitionedAmnesiaDatabase:
         """
         totals = {"considered": 0, "pruned_rows": 0, "pruned_shards": 0}
         lines = [
-            f"PartitionedAmnesiaDatabase(plan={self.plan_mode!r}) — "
+            f"PartitionedAmnesiaDatabase(plan={self.plan_mode!r}, "
+            f"stats={self.stats_mode!r}) — "
             f"{self.partition_count} shard(s), "
             f"budget {self.total_budget}, workers {self.workers}, "
             f"rebalance {self.rebalance_policy!r}"
@@ -752,6 +775,7 @@ class PartitionedAmnesiaDatabase:
             edge_low=edge_low,
             edge_high=edge_high,
             table_name=f"partition_g{self._generation}_{low}_{high}",
+            stats=self.stats_mode,
         )
         partition.adopt_history(sources)
         partition.db.advance_epoch_to(epoch)
@@ -759,17 +783,44 @@ class PartitionedAmnesiaDatabase:
         partition.query_rows = query_rows
         return partition
 
+    def _split_point(self, hot_part: Partition) -> tuple[int, str]:
+        """Where to cut a hot shard: median under ``hist``, else midpoint.
+
+        The ``hist`` statistics mode cuts at the shard's
+        traffic-weighted value median — the equi-depth histogram cut of
+        its stored values, weighted by per-row access counts (+1, so an
+        unqueried shard still splits by value mass).  Both inputs are
+        proven plan-mode- and worker-count-independent by the
+        equivalence harness, so the boundary trajectory stays
+        bit-identical whatever access paths answered the queries.  On
+        skewed streams the midpoint leaves one side holding almost all
+        the rows *and* almost all the traffic; the median splits both
+        in half.
+        """
+        table = hot_part.db.table
+        if self.stats_mode == "hist" and table.total_rows > 0:
+            cut = traffic_weighted_median(
+                table.values(self.column),
+                table.access_counts().astype(np.float64) + 1.0,
+            )
+            cut = int(np.clip(cut, hot_part.low + 1, hot_part.high - 1))
+            return cut, "median"
+        return (hot_part.low + hot_part.high) // 2, "midpoint"
+
     def _adapt_boundaries(self, floor: int) -> None:
         """Split the hottest shard / merge the coldest adjacent pair.
 
         Triggered by :meth:`rebalance` under the ``adaptive`` policy:
         when one shard draws more than ``split_threshold`` times its
-        fair share of row traffic, its range is split at the midpoint.
-        The split is funded by merging the adjacent pair with the least
-        combined traffic (hot shard excluded); without an eligible pair
-        the count may grow up to ``max_partitions``.  All decisions
-        read only coverage-based counters, so the trajectory is
-        identical under every plan mode.
+        fair share of row traffic, its range is split — at the
+        traffic-weighted value median under the ``hist`` statistics
+        mode, at the range midpoint otherwise (see
+        :meth:`_split_point`).  The split is funded by merging the
+        adjacent pair with the least combined traffic (hot shard
+        excluded); without an eligible pair the count may grow up to
+        ``max_partitions``.  All decisions read only coverage-based
+        counters and table state, so the trajectory is identical under
+        every plan mode.
         """
         partitions = self._partitions
         n = len(partitions)
@@ -778,13 +829,26 @@ class PartitionedAmnesiaDatabase:
         if n < 2 or total <= 0.0:
             return
         shares = traffic / total
-        hot = int(np.argmax(shares))
-        if shares[hot] * n < self.split_threshold:
+        # Hottest shard first; when it cannot split (a width-1 range —
+        # a single scorching value, which median cuts isolate quickly)
+        # fall through to the next shard still above the threshold
+        # instead of stalling the adaptation for the whole window.
+        hot = None
+        for candidate in sorted(range(n), key=lambda i: (-shares[i], i)):
+            if shares[candidate] * n < self.split_threshold:
+                break  # descending shares: nothing below is eligible
+            # The cut reads the shard's values and access counters;
+            # hold its lock (like the migration snapshot below) so an
+            # in-flight query's half-applied access bumps cannot make
+            # the median race-dependent.
+            with partitions[candidate].lock:
+                cut, kind = self._split_point(partitions[candidate])
+            if partitions[candidate].low < cut < partitions[candidate].high:
+                hot, mid, cut_kind = candidate, cut, kind
+                break
+        if hot is None:
             return
         hot_part = partitions[hot]
-        mid = (hot_part.low + hot_part.high) // 2
-        if not hot_part.low < mid < hot_part.high:
-            return  # range of width 1 cannot split
         merge_at = None
         candidates = [j for j in range(n - 1) if hot not in (j, j + 1)]
         if candidates:
@@ -831,7 +895,7 @@ class PartitionedAmnesiaDatabase:
             )
         events = [
             f"gen {self._generation}: split shard [{hot_part.low}, "
-            f"{hot_part.high}) at {mid} "
+            f"{hot_part.high}) at {cut_kind} {mid} "
             f"(traffic share {shares[hot]:.0%} of {n} shards)"
         ]
         merged = None
@@ -951,6 +1015,7 @@ class PartitionedAmnesiaDatabase:
             "query_hits": [p.query_hits for p in partitions],
             "query_rows": [p.query_rows for p in partitions],
             "plan": self.plan_mode,
+            "stats": self.stats_mode,
             "workers": self.workers,
             "rebalance": self.rebalance_policy,
             "adaptations": list(self._adaptations),

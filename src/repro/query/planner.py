@@ -50,12 +50,28 @@ pruning becomes a planner decision rather than topology code around
 it.  ``scan`` mode ignores value bounds on purpose: it stays the
 trust-nothing ground truth the equivalence harness compares against.
 
-Only single-column bounds (``RangePredicate`` / ``PointPredicate``) are
-prunable; composite and ``TruePredicate`` queries fall back to ``scan``
-regardless of the configured mode, and a forced mode degrades
-gracefully down the same chain (``index`` → ``zonemap`` → ``scan``)
-when its structure is missing — the planner never fails a query it can
-answer, it only records *why* it picked a cheaper-or-safer path.
+A planner may also carry *histogram statistics*
+(:class:`~repro.stats.table_stats.TableHistogramStats`): per-column
+active/forgotten value histograms maintained through the same observer
+protocol as the zone map.  When present, :meth:`QueryPlanner.estimate`
+(and with it the ``cost`` mode and every explain tree) reads match
+cardinalities from the histograms instead of the zone map's per-cohort
+uniformity assumption — sharp on skewed streams, and estimate-only:
+plan *results* stay bit-identical under either statistics source.
+
+``AND``-composed predicates whose children all carry single-column
+bounds are prunable too: same-column bounds intersect (an empty
+intersection short-circuits to a ``pruned`` plan), a single surviving
+column routes through the ordinary single-column paths, and a genuine
+multi-column conjunction intersects the per-column zone-map candidate
+ranges and scans only the intersection — instead of the historical
+full-scan fallback.  Composite predicates beyond that shape (``OR``,
+``NOT``, non-range children) and ``TruePredicate`` queries still fall
+back to ``scan`` regardless of the configured mode, and a forced mode
+degrades gracefully down the same chain (``index`` → ``zonemap`` →
+``scan``) when its structure is missing — the planner never fails a
+query it can answer, it only records *why* it picked a
+cheaper-or-safer path.
 
 :meth:`QueryPlanner.plan_report` renders an ``EXPLAIN``-style summary
 of every decision taken so far; :meth:`QueryPlanner.explain` previews
@@ -74,7 +90,7 @@ from ..indexes.base import Index
 from ..indexes.hash_index import HashIndex
 from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
-from .predicates import PointPredicate, Predicate, RangePredicate
+from .predicates import AndPredicate, PointPredicate, Predicate, RangePredicate
 from .queries import AggregateQuery, RangeQuery
 
 __all__ = [
@@ -115,11 +131,24 @@ class QueryPlan:
     #: Cost-model prediction of rows the chosen path considers (only
     #: set by ``cost`` plans and ``pruned`` short-circuits).
     estimated_rows: float | None = None
+    #: Per-column bounds of an AND-composed multi-column plan:
+    #: ``((column, low, high), ...)``.  Execution intersects each
+    #: column's zone-map candidate ranges and scans the intersection.
+    and_bounds: tuple | None = None
+    #: The intersected ``(start, stop)`` candidate ranges, when the
+    #: planner already computed them to price the plan (``cost`` mode)
+    #: — execution reuses them instead of intersecting twice.
+    and_ranges: tuple | None = None
 
     def describe(self) -> str:
         """Human-readable one-line plan description."""
         target = ""
-        if self.column is not None:
+        if self.and_bounds is not None:
+            target = " on " + " AND ".join(
+                f"{column!r} [{low}, {high})"
+                for column, low, high in self.and_bounds
+            )
+        elif self.column is not None:
             target = f" on {self.column!r} [{self.low}, {self.high})"
         via = f" via {type(self.index).__name__}" if self.index is not None else ""
         est = (
@@ -148,6 +177,49 @@ def _range_bounds(predicate: Predicate) -> tuple[str, int, int] | None:
     return None
 
 
+def _and_bounds(predicate: Predicate) -> list[tuple[str, int, int]] | None:
+    """Per-column bounds of a conjunction of range/point predicates.
+
+    Same-column conjuncts intersect (``low`` rises, ``high`` drops — a
+    resulting empty range proves the whole conjunction empty).  Returns
+    ``None`` unless *every* child carries single-column bounds.
+    """
+    if not isinstance(predicate, AndPredicate):
+        return None
+    merged: dict[str, list[int]] = {}
+    order: list[str] = []
+    for child in predicate.children:
+        bounds = _range_bounds(child)
+        if bounds is None:
+            return None
+        column, low, high = bounds
+        if column in merged:
+            merged[column][0] = max(merged[column][0], low)
+            merged[column][1] = min(merged[column][1], high)
+        else:
+            merged[column] = [low, high]
+            order.append(column)
+    return [(column, *merged[column]) for column in order]
+
+
+def _intersect_ranges(
+    a: list[tuple[int, int]], b: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Intersect two sorted, disjoint ``[start, stop)`` range lists."""
+    out: list[tuple[int, int]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        stop = min(a[i][1], b[j][1])
+        if start < stop:
+            out.append((start, stop))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
 class QueryPlanner:
     """Chooses and executes access paths over one table.
 
@@ -171,6 +243,12 @@ class QueryPlanner:
         A range shard declares its partition bounds here, so probes
         outside them are answered as empty ``pruned`` plans without
         touching data.
+    stats:
+        Optional :class:`~repro.stats.table_stats.TableHistogramStats`
+        already observing ``table``.  When it covers a probed column,
+        :meth:`estimate` (and the ``cost`` mode behind it) reads match
+        cardinalities from the value histograms instead of per-cohort
+        uniformity — estimates sharpen, results stay bit-identical.
     """
 
     def __init__(
@@ -181,12 +259,16 @@ class QueryPlanner:
         zone_map: CohortZoneMap | None = None,
         indexes=(),
         value_bounds: dict | None = None,
+        stats=None,
     ):
         self.table = table
         self.mode = check_in(mode, PLAN_MODES, "plan mode")
         if zone_map is not None and zone_map.table is not table:
             raise QueryError("zone map observes a different table")
         self.zone_map = zone_map
+        if stats is not None and stats.table is not table:
+            raise QueryError("histogram statistics observe a different table")
+        self.table_stats = stats
         self._value_bounds: dict[str, tuple[int | None, int | None]] = {}
         for column, bounds in (value_bounds or {}).items():
             self.declare_value_bounds(column, *bounds)
@@ -284,14 +366,28 @@ class QueryPlanner:
             )
         return None
 
+    def estimate(self, column: str, low: int, high: int):
+        """Cardinality estimate for a probe of ``[low, high)``.
+
+        Pruned-scan costs come from the zone map (exact); the match
+        counts come from the histogram statistics when they cover the
+        column, else from per-cohort uniformity.  ``None`` when no zone
+        map covers the column — the caller has no statistics to price
+        with.
+        """
+        if self.zone_map is not None and self.zone_map.covers(column):
+            return self.zone_map.estimate(
+                column, low, high, stats=self.table_stats
+            )
+        return None
+
     def _plan_cost(
         self, column: str, low: int, high: int
     ) -> QueryPlan:
         """Price every applicable path in rows-considered; cheapest wins."""
         total = self.table.total_rows
-        estimate = None
-        if self.zone_map is not None and self.zone_map.covers(column):
-            estimate = self.zone_map.estimate(column, low, high)
+        estimate = self.estimate(column, low, high)
+        if estimate is not None:
             missed_cost = estimate.forgotten_candidate_rows
         else:
             # Without a zone map the missed (M_F) side scans every
@@ -341,13 +437,75 @@ class QueryPlanner:
         if requested == "scan":
             return QueryPlan("scan", requested, "scan mode configured")
         bounds = _range_bounds(predicate)
-        if bounds is None:
+        if bounds is not None:
+            return self._plan_bounds(*bounds)
+        merged = _and_bounds(predicate)
+        if merged is not None:
+            return self._plan_and(merged)
+        return QueryPlan(
+            "scan",
+            requested,
+            f"{type(predicate).__name__} has no single-column bounds",
+        )
+
+    def _plan_and(self, merged: list[tuple[str, int, int]]) -> QueryPlan:
+        """Plan an AND of per-column bounds (post same-column merging)."""
+        requested = self.mode
+        for column, low, high in merged:
+            if high <= low:
+                return QueryPlan(
+                    "pruned",
+                    requested,
+                    f"AND bounds on {column!r} intersect to the empty range",
+                    column,
+                    low,
+                    high,
+                    None,
+                    0.0,
+                )
+            pruned = self._prune_by_bounds(column, low, high)
+            if pruned is not None:
+                return pruned
+        if len(merged) == 1:
+            # The conjunction collapsed to one column: every ordinary
+            # single-column path (index probes included) applies.
+            return self._plan_bounds(*merged[0])
+        if self.zone_map is not None and all(
+            self.zone_map.covers(column) for column, _, _ in merged
+        ):
+            and_bounds = tuple(merged)
+            estimated = None
+            ranges = None
+            reason = "AND-composed: scan the intersected per-column candidates"
+            if requested == "cost":
+                ranges = tuple(self._and_ranges(and_bounds))
+                rows = sum(stop - start for start, stop in ranges)
+                estimated = float(rows)
+                reason = (
+                    f"cost model picked zonemap (intersected={rows}, "
+                    f"scan={self.table.total_rows} rows)"
+                )
             return QueryPlan(
-                "scan",
+                "zonemap",
                 requested,
-                f"{type(predicate).__name__} has no single-column bounds",
+                reason,
+                None,
+                None,
+                None,
+                None,
+                estimated,
+                and_bounds,
+                ranges,
             )
-        column, low, high = bounds
+        return QueryPlan(
+            "scan",
+            requested,
+            "multi-column AND: no zone map covers every column; fell back",
+        )
+
+    def _plan_bounds(self, column: str, low: int, high: int) -> QueryPlan:
+        """Plan a single-column probe of ``[low, high)``."""
+        requested = self.mode
         pruned = self._prune_by_bounds(column, low, high)
         if pruned is not None:
             return pruned
@@ -401,6 +559,10 @@ class QueryPlanner:
         if plan.mode == "pruned":
             empty = np.empty(0, dtype=np.int64)
             active, missed, considered = empty, empty.copy(), 0
+        elif plan.mode == "zonemap" and plan.and_bounds is not None:
+            active, missed, considered = self._match_and(
+                plan, predicate, columns
+            )
         elif plan.mode == "zonemap":
             active, missed, considered = self._match_zonemap(plan)
         elif plan.mode == "index":
@@ -452,6 +614,54 @@ class QueryPlanner:
             _concat(missed_chunks),
             considered,
         )
+
+    def _and_ranges(self, and_bounds: tuple) -> list[tuple[int, int]]:
+        """Intersected zone-map candidate ranges of an AND plan.
+
+        Each column's candidate list is a superset of the rows matching
+        that column's bounds, so the intersection is a superset of the
+        conjunction's matches — pruning is safe, results stay exact.
+        """
+        ranges: list[tuple[int, int]] | None = None
+        for column, low, high in and_bounds:
+            candidates = self.zone_map.candidate_ranges(column, low, high)
+            ranges = (
+                candidates
+                if ranges is None
+                else _intersect_ranges(ranges, candidates)
+            )
+            if not ranges:
+                break
+        return ranges or []
+
+    def _match_and(
+        self, plan: QueryPlan, predicate: Predicate, columns: tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Evaluate the full predicate over the intersected candidates."""
+        values = {name: self.table.values(name) for name in columns}
+        active_mask = self.table.active_mask()
+        active_chunks: list[np.ndarray] = []
+        missed_chunks: list[np.ndarray] = []
+        considered = 0
+        ranges = (
+            plan.and_ranges
+            if plan.and_ranges is not None
+            else self._and_ranges(plan.and_bounds)
+        )
+        for start, stop in ranges:
+            considered += stop - start
+            window = {name: arr[start:stop] for name, arr in values.items()}
+            mask = predicate.mask(window)
+            if not mask.any():
+                continue
+            active_window = active_mask[start:stop]
+            hits = np.flatnonzero(mask & active_window)
+            if hits.size:
+                active_chunks.append(hits + start)
+            hits = np.flatnonzero(mask & ~active_window)
+            if hits.size:
+                missed_chunks.append(hits + start)
+        return _concat(active_chunks), _concat(missed_chunks), considered
 
     def _match_index(
         self, plan: QueryPlan
@@ -519,6 +729,14 @@ class QueryPlanner:
             "zone_map_cohorts": (
                 self.zone_map.cohort_count if self.zone_map is not None else 0
             ),
+            "histogram_stats": (
+                None
+                if self.table_stats is None
+                else {
+                    "columns": list(self.table_stats.columns),
+                    "bins": self.table_stats.bins,
+                }
+            ),
             "value_bounds": dict(self._value_bounds),
         }
 
@@ -534,6 +752,11 @@ class QueryPlanner:
             structures.append(
                 f"zone map over {len(self.zone_map.columns)} column(s), "
                 f"{stats['zone_map_cohorts']} cohorts"
+            )
+        if self.table_stats is not None:
+            structures.append(
+                f"histograms over {len(self.table_stats.columns)} column(s), "
+                f"{self.table_stats.bins} bins"
             )
         for column, kinds in stats["indexes"].items():
             structures.append(f"{'+'.join(kinds)} on {column!r}")

@@ -50,6 +50,7 @@ layer (``--query``), parsed by :func:`parse_query_spec`::
     union:s1,s2:low=0,high=100       -- bounded scans
     join:s1,s2:on=value              -- equi-join on the value column
     join:s1,s2:on=epoch,low=0,high=500
+    join:s1,s2:on=value,block=512    -- blocked probe (bounded memory)
 
 >>> import numpy as np
 >>> from repro.storage import Catalog
@@ -168,10 +169,63 @@ class NodeResult:
         )
 
 
+class _KeyDistribution:
+    """Join-key mass model: a leaf's oracle value histogram, clipped.
+
+    Wraps a scan's (active, forgotten) histograms and restricts their
+    mass to the scan's bounds, exposing just what the join estimator
+    needs: bin edges and the oracle mass of a value interval.
+    """
+
+    def __init__(self, active, forgotten, low, high):
+        self._active = active
+        self._forgotten = forgotten
+        self._low = low
+        self._high = high
+
+    def edges(self) -> np.ndarray:
+        return self._active.bin_edges()
+
+    def mass(self, low: float, high: float) -> float:
+        if self._low is not None:
+            low = max(low, self._low)
+            high = min(high, self._high)
+        if high <= low:
+            return 0.0
+        return self._active.mass(low, high) + self._forgotten.mass(low, high)
+
+
+def _estimate_equijoin(left: "_KeyDistribution", right: "_KeyDistribution") -> float:
+    """Expected equi-join pairs under uniform-within-bin key mass.
+
+    Walks the left distribution's bins: an interval holding ``l`` left
+    keys and ``r`` right keys over ``w`` distinct values yields about
+    ``l * r / w`` matching pairs — the per-bin refinement of the
+    classic ``|L|·|R| / ndv`` estimate, which is what lets skewed key
+    histograms price a Zipf join correctly where the FK-ish
+    max-of-inputs heuristic collapses.
+    """
+    edges = left.edges()
+    total = 0.0
+    for e0, e1 in zip(edges[:-1].tolist(), edges[1:].tolist()):
+        l_mass = left.mass(e0, e1)
+        if l_mass <= 0.0:
+            continue
+        r_mass = right.mass(e0, e1)
+        if r_mass <= 0.0:
+            continue
+        total += l_mass * r_mass / max(e1 - e0, 1.0)
+    return total
+
+
 class PlanNode(ABC):
     """One node of a cross-table plan tree."""
 
     children: tuple["PlanNode", ...] = ()
+
+    def key_histogram(self, catalog, key: str):
+        """Key-mass model for join estimation (leaves may override)."""
+        return None
 
     @abstractmethod
     def output_columns(self) -> tuple[str, ...]:
@@ -320,11 +374,32 @@ class TableScanNode(_ScanNode):
     def estimate_rows(self, catalog) -> float:
         planner = catalog.planner(self.source)
         column = self._column(catalog)
-        if self.low is not None and planner.zone_map is not None and (
-            planner.zone_map.covers(column)
-        ):
-            return planner.zone_map.estimate(column, self.low, self.high).est_rows
+        if self.low is not None:
+            estimate = planner.estimate(column, self.low, self.high)
+            if estimate is not None:
+                # Histogram-sharpened when the planner carries table
+                # statistics; per-cohort uniformity otherwise.
+                return estimate.est_rows
         return float(catalog.get(self.source).total_rows)
+
+    def key_histogram(self, catalog, key: str):
+        """Oracle-mass histogram of the ``value`` column, if tracked.
+
+        Feeds the join's output-cardinality estimate; ``None`` when the
+        scan has no histogram statistics (or the key is ``epoch``,
+        which the statistics layer does not bin).
+        """
+        if key != "value":
+            return None
+        planner = catalog.planner(self.source)
+        stats = planner.table_stats
+        column = self._column(catalog)
+        if stats is None or not stats.covers(column):
+            return None
+        active, forgotten = stats.histograms(column)
+        if active is None:
+            return None
+        return _KeyDistribution(active, forgotten, self.low, self.high)
 
     def estimate_cost(self, catalog) -> float:
         planner = catalog.planner(self.source)
@@ -457,6 +532,14 @@ class JoinNode(PlanNode):
     worker count.  An output row is forgotten iff either contributing
     input row was; RF counts only both-sides-active pairs, exactly
     what the amnesiac DBMS would return.
+
+    ``block_size`` enables the *blocked probe* mode: the probe side
+    streams in fixed-size blocks against the one sorted build side, so
+    the pair-discovery working set is bounded by ``block_size × build
+    rows`` instead of the full cross-match — the difference between a
+    bounded and an unbounded spike on heavily skewed keys.  Purely an
+    execution knob: the pair stream (and everything downstream) stays
+    bit-identical.
     """
 
     def __init__(
@@ -467,6 +550,7 @@ class JoinNode(PlanNode):
         *,
         left_on: str | None = None,
         right_on: str | None = None,
+        block_size: int | None = None,
     ):
         self.left_on = on if left_on is None else left_on
         self.right_on = on if right_on is None else right_on
@@ -477,8 +561,25 @@ class JoinNode(PlanNode):
                     f"{side.output_columns()}; choose one of "
                     f"{JOIN_KEYS} at the leaf level"
                 )
+        if block_size is not None and int(block_size) < 1:
+            raise QueryError(f"join block size must be >= 1, got {block_size}")
+        self.block_size = None if block_size is None else int(block_size)
         self.children = (left, right)
         self.on = on
+        self._peak_pairs = 0
+
+    @property
+    def peak_pairs(self) -> int:
+        """Largest pair batch the last execution materialized at once.
+
+        Full (unblocked) mode discovers the entire pair set in one
+        batch, so this equals the oracle output size; blocked mode is
+        bounded by ``block_size × build rows`` however skewed the keys.
+        Introspection only, written once per execution: concurrent
+        ``Catalog.query`` callers sharing one node object see the most
+        recently finished execution's value (results are unaffected).
+        """
+        return self._peak_pairs
 
     def output_columns(self) -> tuple[str, ...]:
         left, right = self.children
@@ -487,26 +588,42 @@ class JoinNode(PlanNode):
             + [f"r.{name}" for name in right.output_columns()]
         )
 
-    @staticmethod
     def _match_pairs(
-        probe_keys: np.ndarray, build_keys: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(probe_idx, build_idx) pairs, probe-major ascending."""
+        self, probe_keys: np.ndarray, build_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """(probe_idx, build_idx, peak batch size), probe-major ascending.
+
+        With ``block_size`` set, the probe side streams in fixed-size
+        blocks against the one sorted build side: each block's pairs
+        materialize independently (at most ``block_size × build rows``
+        at once, however skewed the keys) and concatenate in block
+        order — which *is* probe-major order, so the pair stream is
+        bit-identical to the single-batch discovery.
+        """
         order = np.argsort(build_keys, kind="stable")
         sorted_keys = build_keys[order]
-        lo = np.searchsorted(sorted_keys, probe_keys, side="left")
-        hi = np.searchsorted(sorted_keys, probe_keys, side="right")
-        counts = hi - lo
-        probe_idx = np.repeat(
-            np.arange(probe_keys.size, dtype=np.int64), counts
-        )
-        if probe_idx.size == 0:
-            return probe_idx, np.empty(0, dtype=np.int64)
-        within = np.arange(probe_idx.size, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        build_idx = order[np.repeat(lo, counts) + within]
-        return probe_idx, build_idx
+        step = probe_keys.size if self.block_size is None else self.block_size
+        probe_chunks: list[np.ndarray] = []
+        build_chunks: list[np.ndarray] = []
+        peak = 0
+        for start in range(0, probe_keys.size, max(step, 1)):
+            block = probe_keys[start : start + step]
+            lo = np.searchsorted(sorted_keys, block, side="left")
+            hi = np.searchsorted(sorted_keys, block, side="right")
+            counts = hi - lo
+            probe_idx = np.repeat(np.arange(block.size, dtype=np.int64), counts)
+            if probe_idx.size == 0:
+                continue
+            within = np.arange(probe_idx.size, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            build_chunks.append(order[np.repeat(lo, counts) + within])
+            probe_chunks.append(probe_idx + start)
+            peak = max(peak, int(probe_idx.size))
+        if not probe_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), peak
+        return np.concatenate(probe_chunks), np.concatenate(build_chunks), peak
 
     def combine(self, inputs: tuple[NodeResult, ...]) -> NodeResult:
         left, right = inputs
@@ -516,9 +633,10 @@ class JoinNode(PlanNode):
         # canonical (left, right) sort below erases the choice from
         # the result — it is purely a cost decision.
         if self._build_side(left, right) == "right":
-            li, ri = self._match_pairs(lkeys, rkeys)
+            li, ri, peak = self._match_pairs(lkeys, rkeys)
         else:
-            ri, li = self._match_pairs(rkeys, lkeys)
+            ri, li, peak = self._match_pairs(rkeys, lkeys)
+        self._peak_pairs = peak  # single write; see peak_pairs
         order = np.lexsort((ri, li))
         li, ri = li[order], ri[order]
         rows = (
@@ -535,6 +653,12 @@ class JoinNode(PlanNode):
 
     def estimate_rows(self, catalog) -> float:
         left, right = self.children
+        left_keys = left.key_histogram(catalog, self.left_on)
+        right_keys = right.key_histogram(catalog, self.right_on)
+        if left_keys is not None and right_keys is not None:
+            # Histogram cardinalities: expected pairs per key interval,
+            # which survives skewed (many-to-many) keys.
+            return _estimate_equijoin(left_keys, right_keys)
         # Key-uniqueness (FK-ish) assumption: the smaller side's keys
         # are mostly distinct, so the output is about as large as the
         # bigger input.  Crude, but honest enough for explain trees.
@@ -567,7 +691,8 @@ class JoinNode(PlanNode):
             if self.left_on == self.right_on == self.on
             else f"on={self.left_on!r}={self.right_on!r}"
         )
-        return f"Join({keys}{est})"
+        block = "" if self.block_size is None else f", block={self.block_size}"
+        return f"Join({keys}{block}{est})"
 
 
 # -- execution engine ------------------------------------------------------
@@ -721,6 +846,7 @@ class QuerySpec:
     on: str = "value"
     low: int | None = None
     high: int | None = None
+    block: int | None = None
 
     def render(self) -> str:
         """The canonical spec string this object parses back from."""
@@ -730,6 +856,8 @@ class QuerySpec:
         if self.low is not None:
             options.append(f"low={self.low}")
             options.append(f"high={self.high}")
+        if self.block is not None:
+            options.append(f"block={self.block}")
         spec = f"{self.kind}:{','.join(self.tables)}"
         return spec + (f":{','.join(options)}" if options else "")
 
@@ -742,9 +870,15 @@ def parse_query_spec(spec: str) -> QuerySpec:
         spec    := kind ":" table ("," table)+ [":" option ("," option)*]
         kind    := "union" | "join"
         option  := "on=" ("value" | "epoch") | "low=" int | "high=" int
+                 | "block=" int
+
+    ``block=`` (join only) streams the probe side in blocks of that
+    many rows — see :class:`JoinNode`'s blocked probe mode.
 
     >>> parse_query_spec("join:s1,s2:on=epoch,low=0,high=50")
-    QuerySpec(kind='join', tables=('s1', 's2'), on='epoch', low=0, high=50)
+    QuerySpec(kind='join', tables=('s1', 's2'), on='epoch', low=0, high=50, block=None)
+    >>> parse_query_spec("join:s1,s2:block=512").block
+    512
     """
     parts = [part.strip() for part in str(spec).split(":")]
     if len(parts) not in (2, 3):
@@ -764,7 +898,7 @@ def parse_query_spec(spec: str) -> QuerySpec:
                 raise QueryError(f"bad option {item!r} in query spec {spec!r}")
             key, _, value = item.partition("=")
             options[key.strip()] = value.strip()
-    unknown = set(options) - {"on", "low", "high"}
+    unknown = set(options) - {"on", "low", "high", "block"}
     if unknown:
         raise QueryError(f"unknown query spec options {sorted(unknown)}")
     on = options.get("on", "value")
@@ -772,6 +906,18 @@ def parse_query_spec(spec: str) -> QuerySpec:
         raise QueryError(f"join key must be one of {JOIN_KEYS}, got {on!r}")
     if "on" in options and kind != "join":
         raise QueryError("on= only applies to join specs")
+    block = None
+    if "block" in options:
+        if kind != "join":
+            raise QueryError("block= only applies to join specs")
+        try:
+            block = int(options["block"])
+        except ValueError:
+            raise QueryError(
+                f"block must be an integer in query spec {spec!r}"
+            ) from None
+        if block < 1:
+            raise QueryError(f"block must be >= 1, got {block}")
     low = high = None
     if ("low" in options) != ("high" in options):
         raise QueryError("query spec needs both low= and high=, or neither")
@@ -783,7 +929,9 @@ def parse_query_spec(spec: str) -> QuerySpec:
                 f"low/high must be integers in query spec {spec!r}"
             ) from None
         check_scan_bounds(low, high)  # reject reversed ranges up front
-    return QuerySpec(kind=kind, tables=tables, on=on, low=low, high=high)
+    return QuerySpec(
+        kind=kind, tables=tables, on=on, low=low, high=high, block=block
+    )
 
 
 def build_plan(catalog, spec: QuerySpec | str) -> PlanNode:
@@ -810,13 +958,23 @@ def build_plan(catalog, spec: QuerySpec | str) -> PlanNode:
 
     if spec.kind == "union":
         return UnionNode(*(leaf(name) for name in spec.tables))
-    node: PlanNode = JoinNode(leaf(spec.tables[0]), leaf(spec.tables[1]), on=spec.on)
+    node: PlanNode = JoinNode(
+        leaf(spec.tables[0]),
+        leaf(spec.tables[1]),
+        on=spec.on,
+        block_size=spec.block,
+    )
     left_key = spec.on
     for name in spec.tables[2:]:
         # Left-deep chain: the previous join buried the leftmost leaf's
         # key under one more l.-prefix; the fresh right scan keys bare.
         left_key = f"l.{left_key}"
         node = JoinNode(
-            node, leaf(name), on=spec.on, left_on=left_key, right_on=spec.on
+            node,
+            leaf(name),
+            on=spec.on,
+            left_on=left_key,
+            right_on=spec.on,
+            block_size=spec.block,
         )
     return node

@@ -9,6 +9,11 @@ from .divergence import (
 )
 from .histograms import EquiDepthHistogram, EquiWidthHistogram
 from .moments import StreamingMoments
+from .table_stats import (
+    STATS_BINS,
+    TableHistogramStats,
+    traffic_weighted_median,
+)
 from .zipf import fit_zipf_exponent, gini_coefficient, top_share
 
 __all__ = [
@@ -19,7 +24,10 @@ __all__ = [
     "total_variation",
     "EquiDepthHistogram",
     "EquiWidthHistogram",
+    "STATS_BINS",
     "StreamingMoments",
+    "TableHistogramStats",
+    "traffic_weighted_median",
     "fit_zipf_exponent",
     "gini_coefficient",
     "top_share",

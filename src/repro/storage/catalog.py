@@ -61,6 +61,13 @@ class Catalog:
         accounting is bit-identical at any width).  ``None`` resolves
         to :func:`repro.core.config.default_workers` lazily, like
         ``plan``.
+    stats:
+        Cardinality-statistics source for every table's planner (one
+        of :data:`repro.core.config.STATS_MODES`): ``"hist"`` attaches
+        per-table :class:`~repro.stats.TableHistogramStats` so cost
+        estimates — including cross-table join cardinalities — track
+        skewed streams.  ``None`` resolves to
+        :func:`repro.core.config.default_stats` lazily, like ``plan``.
 
     >>> cat = Catalog()
     >>> t = cat.create_table("obs", ["a"])
@@ -68,13 +75,22 @@ class Catalog:
     True
     """
 
-    def __init__(self, plan: str | None = None, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        plan: str | None = None,
+        workers: int | None = None,
+        stats: str | None = None,
+    ) -> None:
         if plan is not None:
             # Imported lazily: the query package imports storage, so a
             # module-level import here would be circular.
             from ..query.planner import PLAN_MODES
 
             check_in(plan, PLAN_MODES, "plan")
+        if stats is not None:
+            from ..core.config import STATS_MODES
+
+            check_in(stats, STATS_MODES, "stats")
         if workers is not None and workers < 1:
             raise SchemaError(f"workers must be >= 1, got {workers}")
         # Imported lazily like the planner bits (storage must not pull
@@ -82,6 +98,7 @@ class Catalog:
         from .._util.parallel import FanOutPool
 
         self._plan = plan
+        self._stats = stats
         self._workers = workers
         self._fanout = FanOutPool()
         self._tables: dict[str, Table] = {}
@@ -138,6 +155,19 @@ class Catalog:
 
             return default_plan()
         return self._plan
+
+    @property
+    def stats_mode(self) -> str:
+        """The statistics source the catalog's planners are built with.
+
+        Resolves lazily like :attr:`plan_mode`: previews the process
+        default until the first planner pins it.
+        """
+        if self._stats is None:
+            from ..core.config import default_stats
+
+            return default_stats()
+        return self._stats
 
     def create_table(self, name: str, column_names) -> Table:
         """Create and register a new table."""
@@ -224,9 +254,12 @@ class Catalog:
         """The table's planner, built on first use.
 
         Non-``scan`` modes attach a :class:`CohortZoneMap` (backfilled
-        over existing history, so late attachment is exact).
+        over existing history, so late attachment is exact); the
+        ``hist`` statistics mode additionally attaches a
+        :class:`~repro.stats.TableHistogramStats` the same way.
         """
         from ..query.planner import QueryPlanner
+        from ..stats.table_stats import TableHistogramStats
 
         planner = self._planners.get(name)
         if planner is None:
@@ -236,9 +269,18 @@ class Catalog:
                     table = self.get(name)
                     if self._plan is None:
                         self._plan = self.plan_mode  # pin the resolved default
+                    if self._stats is None:
+                        self._stats = self.stats_mode
                     mode = self._plan
                     zone_map = CohortZoneMap(table) if mode != "scan" else None
-                    planner = QueryPlanner(table, mode=mode, zone_map=zone_map)
+                    table_stats = (
+                        TableHistogramStats(table)
+                        if self._stats == "hist" and mode != "scan"
+                        else None
+                    )
+                    planner = QueryPlanner(
+                        table, mode=mode, zone_map=zone_map, stats=table_stats
+                    )
                     self._planners[name] = planner
         return planner
 
@@ -386,7 +428,8 @@ class Catalog:
     def plan_report(self) -> str:
         """One EXPLAIN-style report covering every planned table."""
         lines = [
-            f"Catalog(plan={self.plan_mode!r}) — {len(self._tables)} table(s), "
+            f"Catalog(plan={self.plan_mode!r}, stats={self.stats_mode!r}) — "
+            f"{len(self._tables)} table(s), "
             f"{len(self._planners)} planned, workers {self.workers}"
         ]
         for name in self._tables:

@@ -342,7 +342,9 @@ class CohortZoneMap:
 
     # -- cardinality estimation -----------------------------------------
 
-    def estimate(self, column: str, low: int, high: int) -> CardinalityEstimate:
+    def estimate(
+        self, column: str, low: int, high: int, *, stats=None
+    ) -> CardinalityEstimate:
         """Estimate how many rows a probe of ``[low, high)`` matches.
 
         Exact pruned-scan costs come straight from the cohort layout;
@@ -351,6 +353,13 @@ class CohortZoneMap:
         value span ``[min, max]`` the probe covers (uniformity
         assumption).  This is the statistic the planner's ``cost`` mode
         feeds on.
+
+        ``stats`` optionally supplies a
+        :class:`~repro.stats.table_stats.TableHistogramStats` covering
+        ``column``: the match-count estimates are then read from the
+        value histograms (sharp on skewed streams) while the pruned-scan
+        costs stay zone-map exact.  A ``stats`` object that does not
+        cover the column falls back to per-cohort uniformity.
         """
         self._sync()
         try:
@@ -371,13 +380,18 @@ class CohortZoneMap:
             intersects, np.clip(overlap / np.maximum(span, 1), 0.0, 1.0), 0.0
         )
         forgotten = sizes - self._active
+        if stats is not None and stats.covers(column):
+            est_active, est_forgotten = stats.estimate(column, low, high)
+        else:
+            est_active = float((self._active * fraction).sum())
+            est_forgotten = float((forgotten * fraction).sum())
         return CardinalityEstimate(
             candidate_rows=int(sizes[intersects].sum()),
             forgotten_candidate_rows=int(
                 sizes[intersects & (forgotten > 0)].sum()
             ),
-            est_active=float((self._active * fraction).sum()),
-            est_forgotten=float((forgotten * fraction).sum()),
+            est_active=est_active,
+            est_forgotten=est_forgotten,
         )
 
     # -- introspection --------------------------------------------------

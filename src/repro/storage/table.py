@@ -255,16 +255,39 @@ class Table:
 
         Returns ``{epoch: active_fraction}`` over all recorded cohorts.
         This is exactly one vertical slice of the paper's Figures 1–2.
+        Runs once per amnesia-map slice on every epoch, so the
+        per-cohort counts come from a single ``np.add.reduceat`` over
+        the activity bitmap instead of a Python loop — cohorts tile
+        ``[0, total_rows)``, so each cohort's segment ends where the
+        next one starts.
         """
+        cohorts = list(self._cohorts)
+        if not cohorts:
+            return {}
         mask = self.active_mask()
-        out: dict[int, float] = {}
-        for cohort in self._cohorts:
-            if cohort.size == 0:
-                out[cohort.epoch] = 0.0
-                continue
-            active = int(np.count_nonzero(mask[cohort.start : cohort.stop]))
-            out[cohort.epoch] = active / cohort.size
-        return out
+        sizes = np.asarray([c.size for c in cohorts], dtype=np.int64)
+        if mask.size == 0:
+            fractions = np.zeros(len(cohorts))
+        else:
+            # reduceat quirks: a repeated index (mid-stream empty
+            # cohort) yields mask[start] instead of 0 — overwritten
+            # below — and an index == len(mask) (trailing empty
+            # cohort) is rejected outright, so those cohorts stay out
+            # of the reduceat entirely rather than shifting the last
+            # real segment's boundary.
+            starts = np.asarray([c.start for c in cohorts], dtype=np.int64)
+            counts = np.zeros(len(cohorts), dtype=np.int64)
+            valid = starts < mask.size
+            counts[valid] = np.add.reduceat(
+                mask.astype(np.int64), starts[valid]
+            )
+            fractions = np.where(
+                sizes > 0, counts / np.maximum(sizes, 1), 0.0
+            )
+        return {
+            cohort.epoch: float(fraction)
+            for cohort, fraction in zip(cohorts, fractions)
+        }
 
     # -- observers ---------------------------------------------------------
 

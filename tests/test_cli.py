@@ -143,6 +143,32 @@ class TestPlanFlag:
         assert default_plan() == before
 
 
+class TestStatsFlag:
+    def test_parser_accepts_stats(self):
+        args = build_parser().parse_args(["run", "F1", "--stats", "hist"])
+        assert args.stats == "hist"
+
+    def test_parser_rejects_unknown_stats(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "F1", "--stats", "psychic"])
+
+    def test_stats_flag_scoped_to_invocation(self, monkeypatch):
+        from repro.core.config import default_stats
+
+        seen = {}
+
+        def fake(seed=None):
+            seen["stats"] = default_stats()
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", fake)
+        before = default_stats()
+        out = io.StringIO()
+        assert main(["run", "F1", "--stats", "hist"], out=out) == 0
+        assert seen["stats"] == "hist"  # the experiment saw the flag
+        assert default_stats() == before  # and the default was restored
+
+
 class TestWorkersAndRebalanceFlags:
     def test_parser_accepts_workers_and_rebalance(self):
         args = build_parser().parse_args(

@@ -38,6 +38,7 @@ import repro.query.plans
 import repro.query.predicates
 import repro.stats.histograms
 import repro.stats.moments
+import repro.stats.table_stats
 import repro.storage.bitmap
 import repro.storage.catalog
 import repro.storage.cohorts
@@ -77,6 +78,7 @@ MODULES = [
     repro.query.predicates,
     repro.stats.histograms,
     repro.stats.moments,
+    repro.stats.table_stats,
     repro.storage.bitmap,
     repro.storage.catalog,
     repro.storage.cohorts,

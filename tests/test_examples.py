@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "sharded_explain.py",
     "parallel_shards.py",
     "cross_table_join.py",
+    "histogram_planning.py",
 ]
 
 

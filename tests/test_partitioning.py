@@ -501,7 +501,10 @@ class TestAdaptiveBoundaries:
         assert store.boundaries == (0, 125, 250, 750, 1000)
         assert store.partition_count == 4  # split funded by a merge
         assert [p.index for p in store.partitions] == [0, 1, 2, 3]
-        assert any("split shard [0, 250) at 125" in e for e in store.adaptations)
+        assert any(
+            "split shard [0, 250) at midpoint 125" in e
+            for e in store.adaptations
+        )
         assert any("merged shards [250, 500) + [500, 750)" in e
                    for e in store.adaptations)
 

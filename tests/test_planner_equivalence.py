@@ -158,10 +158,14 @@ def _make_policy(name):
     return make_policy(name, **kwargs)
 
 
-def _run_facade_scenario(policy_name: str, plan: str):
+def _run_facade_scenario(policy_name: str, plan: str, stats: str = "uniform"):
     """Drive an AmnesiaDatabase end to end; return every observable."""
     db = AmnesiaDatabase(
-        budget=60, policy=_make_policy(policy_name), seed=11, plan=plan
+        budget=60,
+        policy=_make_policy(policy_name),
+        seed=11,
+        plan=plan,
+        stats=stats,
     )
     if plan in ("index", "cost"):
         db.create_index("a", kind="sorted", merge_threshold=32)
@@ -194,6 +198,18 @@ def test_every_policy_evolves_identically_under_every_plan(policy_name, plan):
     assert _run_facade_scenario(policy_name, "scan") == _run_facade_scenario(
         policy_name, plan
     )
+
+
+@pytest.mark.parametrize("plan", ("scan",) + PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_histogram_statistics_are_estimate_only(policy_name, plan):
+    """``--stats hist`` sharpens estimates and *nothing else*: every
+    observable of a histogram-statistics run — under every plan mode,
+    including the scan baseline itself — equals the uniform-statistics
+    scan baseline bit for bit."""
+    assert _run_facade_scenario(
+        policy_name, plan, stats="hist"
+    ) == _run_facade_scenario(policy_name, "scan", stats="uniform")
 
 
 @pytest.mark.parametrize("plan", PLAN_VARIANTS)
@@ -245,6 +261,7 @@ def _run_partitioned_scenario(
     plan: str,
     workers: int = 1,
     rebalance: str = "hits",
+    stats: str = "uniform",
 ):
     """Drive a sharded store end to end; return every observable.
 
@@ -266,6 +283,7 @@ def _run_partitioned_scenario(
         workers=workers,
         rebalance=rebalance,
         split_threshold=1.5,
+        stats=stats,
     )
     rng = np.random.default_rng(3)
     observed = []
@@ -340,6 +358,46 @@ def test_fanout_identical_across_rebalance_trajectories(workers, rebalance):
     assert _run_partitioned_scenario(
         "fifo", "cost", workers=workers, rebalance=rebalance
     ) == baseline
+
+
+_MEDIAN_BASELINES: dict = {}
+
+
+def _median_baseline(policy_name: str):
+    if policy_name not in _MEDIAN_BASELINES:
+        _MEDIAN_BASELINES[policy_name] = _run_partitioned_scenario(
+            policy_name, "scan", workers=1, rebalance="adaptive", stats="hist"
+        )
+    return _MEDIAN_BASELINES[policy_name]
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot"))
+def test_median_split_trajectories_identical(policy_name, plan, workers):
+    """Histogram-median boundary cuts (``stats="hist"`` + adaptive
+    rebalancing) are driven only by plan-independent table state and
+    access counters, so the whole trajectory — cut points, migrated
+    shard state, every downstream forgetting decision — is
+    bit-identical to the sequential scan baseline under every plan
+    mode and fan-out width."""
+    baseline = _median_baseline(policy_name)
+    got = _run_partitioned_scenario(
+        policy_name, plan, workers=workers, rebalance="adaptive", stats="hist"
+    )
+    assert got == baseline
+    (adaptations,) = [
+        o
+        for o in baseline
+        if isinstance(o, tuple) and all(isinstance(e, str) for e in o)
+    ]
+    assert any("at median" in event for event in adaptations)
+    # Median cuts genuinely diverge from the midpoint trajectory —
+    # the statistics mode is a real knob, not a relabeling.
+    midpoint = _run_partitioned_scenario(
+        policy_name, "scan", workers=1, rebalance="adaptive", stats="uniform"
+    )
+    assert got != midpoint
 
 
 def _run_catalog_scenario(plan: str):
@@ -467,12 +525,15 @@ CROSS_SPECS = (
     "union:s1,s2,s3",
     "union:s1,s2:low=50,high=300",
     "join:s1,s2:on=value",
+    "join:s1,s2:on=value,block=7",  # blocked probe: execution-only knob
     "join:s1,s3:on=value,low=0,high=150",
     "join:s2,s3:on=epoch",
 )
 
 
-def _run_cross_table_scenario(policy_name: str, plan: str, workers: int = 1):
+def _run_cross_table_scenario(
+    policy_name: str, plan: str, workers: int = 1, stats: str = "uniform"
+):
     """Drive unions/joins over two tables + one sharded store.
 
     Every query is checked against the nested-loop oracle *inline* (so
@@ -481,7 +542,7 @@ def _run_cross_table_scenario(policy_name: str, plan: str, workers: int = 1):
     per-input accounting, final table state including access counters
     — let callers prove cross-mode/cross-width bit-equality.
     """
-    catalog = Catalog(plan=plan, workers=workers)
+    catalog = Catalog(plan=plan, workers=workers, stats=stats)
     dbs = {}
     for i, name in enumerate(("s1", "s2")):
         dbs[name] = AmnesiaDatabase(
@@ -489,6 +550,7 @@ def _run_cross_table_scenario(policy_name: str, plan: str, workers: int = 1):
             policy=_make_policy(policy_name),
             seed=13 + i,
             table_name=name,
+            stats=stats,
         )
         catalog.register(dbs[name].table)
     store = PartitionedAmnesiaDatabase(
@@ -499,6 +561,7 @@ def _run_cross_table_scenario(policy_name: str, plan: str, workers: int = 1):
         seed=21,
         plan=plan,
         workers=workers,
+        stats=stats,
     )
     catalog.register_sharded("s3", store)
     if plan in ("index", "cost"):
@@ -569,6 +632,19 @@ def test_cross_table_fanout_identical_to_sequential(policy_name, plan, workers):
     returns every observable bit-identical to sequential scan."""
     assert _run_cross_table_scenario(
         policy_name, plan, workers=workers
+    ) == _cross_baseline(policy_name)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("plan", ("scan", "cost"))
+@pytest.mark.parametrize("policy_name", ("fifo", "rot"))
+def test_cross_table_hist_stats_identical(policy_name, plan, workers):
+    """Histogram statistics under the cross-table layer — join
+    build-side predictions, output estimates, blocked probes — change
+    nothing observable: every stream, per-input accounting and
+    downstream forgetting equals the uniform-statistics scan baseline."""
+    assert _run_cross_table_scenario(
+        policy_name, plan, workers=workers, stats="hist"
     ) == _cross_baseline(policy_name)
 
 

@@ -20,6 +20,7 @@ from repro.query import (
     TruePredicate,
 )
 from repro.query.planner import HASH_RANGE_LIMIT
+from repro.stats import TableHistogramStats
 from repro.storage import CohortZoneMap, Table
 
 
@@ -81,45 +82,78 @@ class TestPlanSelection:
         assert plan.mode == "zonemap"
         assert (plan.low, plan.high) == (42, 43)
 
-    def test_composite_and_true_predicates_scan(self, loaded_table):
+    def test_true_and_non_range_composites_scan(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="zonemap", zone_map=CohortZoneMap(loaded_table)
+        )
+        assert planner.plan(TruePredicate()).mode == "scan"
+        # OR / NOT shapes carry no conjunctive bounds — still a scan.
+        either = RangePredicate("a", 0, 10) | RangePredicate("a", 50, 60)
+        assert planner.plan(either).mode == "scan"
+        assert planner.plan(~RangePredicate("a", 0, 10)).mode == "scan"
+        # An AND with a non-range child cannot compose either.
+        mixed = AndPredicate(RangePredicate("a", 0, 10), TruePredicate())
+        assert planner.plan(mixed).mode == "scan"
+
+    def test_same_column_and_composes_to_one_range(self, loaded_table):
+        """Same-column conjuncts intersect into a single range probe."""
         planner = QueryPlanner(
             loaded_table, mode="zonemap", zone_map=CohortZoneMap(loaded_table)
         )
         both = AndPredicate(
             RangePredicate("a", 0, 10), RangePredicate("a", 5, 20)
         )
-        assert planner.plan(both).mode == "scan"
-        assert planner.plan(TruePredicate()).mode == "scan"
+        plan = planner.plan(both)
+        assert plan.mode == "zonemap"
+        assert (plan.low, plan.high) == (5, 10)
+        active, missed, _ = planner.match(both, both.columns)
+        values = loaded_table.values("a")
+        mask = (values >= 5) & (values < 10)
+        active_mask = loaded_table.active_mask()
+        assert active.tolist() == np.flatnonzero(mask & active_mask).tolist()
+        assert missed.tolist() == np.flatnonzero(mask & ~active_mask).tolist()
+        # Disjoint same-column conjuncts prove the result empty.
+        empty = AndPredicate(
+            RangePredicate("a", 0, 10), RangePredicate("a", 20, 30)
+        )
+        plan = planner.plan(empty)
+        assert plan.mode == "pruned"
+        assert "empty" in plan.reason
+        active, missed, execution = planner.match(empty, empty.columns)
+        assert active.size == 0 and missed.size == 0
+        assert execution.rows_considered == 0
 
     def test_multi_column_predicate_scan_fallback_contract(self):
-        """Pinned contract: multi-column (AND-composed) predicates fall
-        back to a full scan in *every* plan mode, considering every
-        row, with results identical to the manual mask.
+        """Pinned contract (updated by the AND-composition satellite):
+        multi-column AND predicates intersect per-column zone-map
+        candidate ranges and scan only the intersection — every plan
+        mode except the trust-nothing ``scan`` baseline prunes, and
+        all of them return results bit-identical to the manual mask.
 
-        A future AND-composition PR that intersects per-column
-        candidate ranges before scanning has this baseline to beat —
-        it must flip the mode/rows-considered assertions while keeping
-        the result assertions bit-for-bit.
+        The table is built so the columns disagree about which cohorts
+        are hot: ``a`` is ascending, ``b`` descending, so each column
+        alone admits two cohorts but their conjunction only one —
+        exactly the case the old full-scan fallback paid 3× for.
         """
         table = Table("t2", ["a", "b"])
-        rng = np.random.default_rng(11)
         for epoch in range(3):
             table.insert_batch(
                 epoch,
                 {
-                    "a": rng.integers(0, 100, 40),
-                    "b": rng.integers(0, 100, 40),
+                    "a": np.arange(epoch * 100, epoch * 100 + 40),
+                    "b": np.arange((2 - epoch) * 100, (2 - epoch) * 100 + 40),
                 },
             )
         table.forget(np.arange(0, 120, 4), epoch=3)
         predicate = AndPredicate(
-            RangePredicate("a", 10, 60), RangePredicate("b", 20, 80)
+            RangePredicate("a", 100, 220), RangePredicate("b", 100, 220)
         )
         values = {"a": table.values("a"), "b": table.values("b")}
         mask = predicate.mask(values)
         active = table.active_mask()
         expected_active = np.flatnonzero(mask & active).tolist()
         expected_missed = np.flatnonzero(mask & ~active).tolist()
+        assert expected_active and expected_missed  # both sides exercised
         zone_map = CohortZoneMap(table)
         index = SortedIndex(table, "a", merge_threshold=16)
         for mode in PLAN_MODES:
@@ -127,18 +161,51 @@ class TestPlanSelection:
                 table, mode=mode, zone_map=zone_map, indexes=[index]
             )
             plan = planner.plan(predicate)
-            assert plan.mode == "scan", mode
             assert plan.requested == mode
-            if mode != "scan":
-                assert "no single-column bounds" in plan.reason
             got_active, got_missed, execution = planner.match(
                 predicate, predicate.columns
             )
             assert got_active.tolist() == expected_active
             assert got_missed.tolist() == expected_missed
-            # The fallback is a *full* scan today: zero pruning.
-            assert execution.rows_considered == table.total_rows
-            assert execution.rows_pruned == 0
+            if mode == "scan":
+                assert plan.mode == "scan"
+                assert execution.rows_considered == table.total_rows
+                assert execution.rows_pruned == 0
+            else:
+                # Columns admit cohorts {1, 2} ('a') and {0, 1} ('b');
+                # the intersection is cohort 1 alone: 40 of 120 rows.
+                assert plan.mode == "zonemap", mode
+                assert plan.and_bounds == (
+                    ("a", 100, 220),
+                    ("b", 100, 220),
+                )
+                assert execution.rows_considered == 40
+                assert execution.rows_pruned == 80
+        # Cost mode prices the intersection it is about to scan.
+        plan = QueryPlanner(table, mode="cost", zone_map=zone_map).plan(
+            predicate
+        )
+        assert plan.estimated_rows == 40.0
+
+    def test_multi_column_and_without_zone_map_scans(self):
+        """No zone map (or a partial one) still falls back to scan."""
+        table = Table("t3", ["a", "b"])
+        table.insert_batch(0, {"a": np.arange(20), "b": np.arange(20)})
+        predicate = AndPredicate(
+            RangePredicate("a", 0, 10), RangePredicate("b", 5, 15)
+        )
+        bare = QueryPlanner(table, mode="auto")
+        plan = bare.plan(predicate)
+        assert plan.mode == "scan"
+        assert "no zone map covers every column" in plan.reason
+        partial = QueryPlanner(
+            table, mode="auto", zone_map=CohortZoneMap(table, columns=["a"])
+        )
+        assert partial.plan(predicate).mode == "scan"
+        values = {"a": table.values("a"), "b": table.values("b")}
+        expected = np.flatnonzero(predicate.mask(values)).tolist()
+        active, missed, _ = partial.match(predicate, predicate.columns)
+        assert active.tolist() == expected and missed.size == 0
 
     def test_forced_index_falls_back_through_chain(self, loaded_table):
         # No index, no zone map -> scan.
@@ -266,6 +333,81 @@ class TestCostMode:
                 results["scan"].missed_positions.tolist()
                 == results["cost"].missed_positions.tolist()
             )
+
+
+class TestHistogramStatistics:
+    def test_estimate_is_histogram_sharpened(self):
+        """Skewed data: uniformity mis-estimates, histograms track it."""
+        table = Table("t", ["a"])
+        # One cohort spanning [0, 1000] with 90% of its mass at 0-9.
+        values = np.concatenate(
+            [np.repeat(np.arange(10), 90), np.arange(0, 1000, 10)]
+        )
+        table.insert_batch(0, {"a": values})
+        zone_map = CohortZoneMap(table)
+        stats = TableHistogramStats(table, bins=100)
+        uniform = QueryPlanner(table, mode="cost", zone_map=zone_map)
+        hist = QueryPlanner(
+            table, mode="cost", zone_map=zone_map, stats=stats
+        )
+        actual = int(np.count_nonzero((values >= 0) & (values < 10)))
+        uniform_est = uniform.estimate("a", 0, 10).est_rows
+        hist_est = hist.estimate("a", 0, 10).est_rows
+        assert abs(hist_est - actual) < abs(uniform_est - actual)
+        # Exact pruned-scan costs are shared — only match counts differ.
+        assert (
+            uniform.estimate("a", 0, 10).candidate_rows
+            == hist.estimate("a", 0, 10).candidate_rows
+        )
+
+    def test_estimates_never_change_results(self, loaded_table):
+        stats = TableHistogramStats(loaded_table)
+        zone_map = CohortZoneMap(loaded_table)
+        baseline = QueryExecutor(loaded_table, record_access=False)
+        sharpened = QueryExecutor(
+            loaded_table,
+            record_access=False,
+            planner=QueryPlanner(
+                loaded_table, mode="cost", zone_map=zone_map, stats=stats
+            ),
+        )
+        for low in (-10, 0, 60, 140, 200):
+            query = RangeQuery(RangePredicate("a", low, low + 25))
+            expected = baseline.execute_range(query, epoch=4)
+            got = sharpened.execute_range(query, epoch=4)
+            assert (
+                got.active_positions.tolist()
+                == expected.active_positions.tolist()
+            )
+            assert (
+                got.missed_positions.tolist()
+                == expected.missed_positions.tolist()
+            )
+
+    def test_foreign_stats_rejected(self, loaded_table):
+        other = Table("other", ["a"])
+        other.insert_batch(0, {"a": [1]})
+        with pytest.raises(QueryError):
+            QueryPlanner(loaded_table, stats=TableHistogramStats(other))
+
+    def test_report_mentions_histograms(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table,
+            mode="cost",
+            zone_map=CohortZoneMap(loaded_table),
+            stats=TableHistogramStats(loaded_table, bins=32),
+        )
+        assert "histograms over 1 column(s), 32 bins" in planner.plan_report()
+        assert planner.stats()["histogram_stats"] == {
+            "columns": ["a"],
+            "bins": 32,
+        }
+
+    def test_estimate_without_zone_map_is_none(self, loaded_table):
+        planner = QueryPlanner(
+            loaded_table, mode="cost", stats=TableHistogramStats(loaded_table)
+        )
+        assert planner.estimate("a", 0, 10) is None
 
 
 class TestValueBounds:

@@ -115,6 +115,26 @@ class TestCohortActivity:
         assert activity[1] == 0.5
         assert activity[2] == 1.0
 
+    def test_empty_cohorts_anywhere_in_the_log(self):
+        """Zero-row batches must not perturb their neighbours' counts —
+        the reduceat rewrite's edge cases (regression: a trailing empty
+        cohort used to steal the last row of the cohort before it)."""
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": [5, 6]})
+        table.insert_batch(1, {"a": []})
+        assert table.cohort_activity() == {0: 1.0, 1: 0.0}
+        table.insert_batch(2, {"a": [7, 8, 9]})
+        table.insert_batch(3, {"a": []})
+        table.insert_batch(4, {"a": []})
+        table.forget(np.array([2]), epoch=5)
+        assert table.cohort_activity() == {
+            0: 1.0, 1: 0.0, 2: 2 / 3, 3: 0.0, 4: 0.0,
+        }
+        empty = Table("e", ["a"])
+        assert empty.cohort_activity() == {}
+        empty.insert_batch(0, {"a": []})
+        assert empty.cohort_activity() == {0: 0.0}
+
 
 class TestObservers:
     class Recorder:
