@@ -73,6 +73,17 @@ CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
 JOIN_FULL_ROWS = 256_000
 JOIN_QUICK_ROWS = 32_000
 
+#: Concurrent-ingest suite: the batched enqueue/flush write path timed
+#: at ``workers in {1, 4}`` over a 1M-row stream, then a mixed
+#: read/write phase on the same store.  Scan plan mode, like the other
+#: fan-out stress cases: per-shard applier work is real numpy, so the
+#: pool has something to overlap.
+INGEST_FULL_ROWS = 1_000_000
+INGEST_QUICK_ROWS = 128_000
+INGEST_BATCHES = 50
+MIXED_ROUNDS = 8
+MIXED_QUERIES_PER_ROUND = 6
+
 #: Skewed (Zipf) suite: histogram vs uniform statistics.  The sharded
 #: run measures adaptive rebalancing with median vs midpoint splits on
 #: a Zipf-hot stream (cost plan mode, single-threaded, so its floor
@@ -118,6 +129,7 @@ def artifact(quick):
             "single_table": {"modes": {}},
             "sharded": {"shards": SHARDS, "modes": {}, "workers": {}},
             "join": {"modes": {}, "workers": {}},
+            "ingest": {"shards": SHARDS, "workers": {}, "mixed": {}},
             "skewed": {"modes": {}, "qerror": {}, "blocked_join": {}},
         }
     )
@@ -468,6 +480,125 @@ def test_bench_cross_table_join(quick):
         assert speedup >= floor, (
             f"expected >={floor}x join fan-out speedup on {rows} rows "
             f"with {CPUS} cpus, got {speedup:.2f}x"
+        )
+
+
+def _ingest_batches(rows: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(BENCH_SEED + 10)
+    size = rows // INGEST_BATCHES
+    return [rng.integers(0, rows, size) for _ in range(INGEST_BATCHES)]
+
+
+def _build_ingest_store(rows: int, workers: int) -> PartitionedAmnesiaDatabase:
+    boundaries = np.linspace(0, rows, SHARDS + 1).astype(int).tolist()
+    return PartitionedAmnesiaDatabase(
+        "a",
+        boundaries,
+        total_budget=rows // 2,
+        policy_factory=FifoAmnesia,
+        seed=BENCH_SEED,
+        plan="scan",
+        workers=workers,
+    )
+
+
+def _shard_state(store: PartitionedAmnesiaDatabase) -> list:
+    return [
+        (
+            partition.db.table.values("a").tolist(),
+            partition.db.table.insert_epochs().tolist(),
+            partition.db.table.active_mask().tolist(),
+        )
+        for partition in store.partitions
+    ]
+
+
+def test_bench_concurrent_ingest(quick):
+    """Acceptance: the mixed read/write (``ingest``) suite.
+
+    Phase 1 times pure batched ingest — every batch enqueued and
+    flushed through the per-shard appliers — at ``workers in {1, 4}``
+    over the 1M-row stream.  Phase 2 times a mixed read/write loop
+    (enqueue/flush rounds interleaved with selective range queries) on
+    the stores phase 1 built.  Final shard state and every mixed-phase
+    result must be bit-identical across widths; rows/s, ops/s and the
+    speedups land in the trajectory artifact.  The ingest throughput
+    floor — 4-worker ≥ 1.5× sequential on the full-size run, ≥ 0.9× in
+    ``--quick`` (noise headroom on the small workload) — gates on ≥ 4
+    visible cores, per the established convention.
+    """
+    rows = INGEST_QUICK_ROWS if quick else INGEST_FULL_ROWS
+    batches = _ingest_batches(rows)
+    width = max(1, int(rows * WIDTH_FRACTION))
+    query_rng = np.random.default_rng(BENCH_SEED + 11)
+    mixed_lows = query_rng.integers(
+        0, rows - width, MIXED_ROUNDS * MIXED_QUERIES_PER_ROUND
+    ).tolist()
+    mixed_batches = [
+        query_rng.integers(0, rows, len(batches[0]))
+        for _ in range(MIXED_ROUNDS * 2)
+    ]
+    _ARTIFACT["ingest"]["rows"] = rows
+    stores = {}
+    ingest_timings = {}
+    mixed_timings = {}
+    mixed_results = {}
+    for workers in FANOUT_WORKERS:
+        store = _build_ingest_store(rows, workers)
+        start = time.perf_counter()
+        for batch in batches:
+            store.enqueue({"a": batch})
+            store.flush()
+        ingest_timings[workers] = time.perf_counter() - start
+        assert store.ingest_epoch == INGEST_BATCHES
+        _ARTIFACT["ingest"]["workers"][str(workers)] = {
+            "seconds": round(ingest_timings[workers], 6),
+            "rows_per_s": round(rows / ingest_timings[workers], 2),
+        }
+        stores[workers] = store
+
+    # Bit-identity before any floor: the applier fan-out must land
+    # exactly the sequential state, shard by shard.
+    assert _shard_state(stores[4]) == _shard_state(stores[1])
+
+    for workers, store in stores.items():
+        results = []
+        start = time.perf_counter()
+        for round_index in range(MIXED_ROUNDS):
+            store.enqueue({"a": mixed_batches[2 * round_index]})
+            store.enqueue({"a": mixed_batches[2 * round_index + 1]})
+            store.flush()
+            for q in range(MIXED_QUERIES_PER_ROUND):
+                low = mixed_lows[round_index * MIXED_QUERIES_PER_ROUND + q]
+                result = store.range_query(low, low + width)
+                results.append((result.rf, result.mf))
+        mixed_timings[workers] = time.perf_counter() - start
+        mixed_results[workers] = results
+        ops = MIXED_ROUNDS * (MIXED_QUERIES_PER_ROUND + 1)
+        _ARTIFACT["ingest"]["mixed"][str(workers)] = {
+            "seconds": round(mixed_timings[workers], 6),
+            "ops_per_s": round(ops / mixed_timings[workers], 2),
+        }
+    assert mixed_results[4] == mixed_results[1]
+    assert _shard_state(stores[4]) == _shard_state(stores[1])
+    for store in stores.values():
+        store.close()
+
+    ingest_speedup = ingest_timings[1] / ingest_timings[4]
+    mixed_speedup = mixed_timings[1] / mixed_timings[4]
+    _ARTIFACT["ingest"]["fanout_speedup"] = round(ingest_speedup, 2)
+    _ARTIFACT["ingest"]["mixed_fanout_speedup"] = round(mixed_speedup, 2)
+    print(
+        f"\nconcurrent ingest of {rows} rows ({CPUS} cpus): "
+        f"workers=1 {ingest_timings[1] * 1e3:.1f}ms vs "
+        f"workers=4 {ingest_timings[4] * 1e3:.1f}ms "
+        f"({ingest_speedup:.2f}x); mixed r/w {mixed_speedup:.2f}x"
+    )
+    if CPUS >= 4:
+        floor = 1.5 if rows >= INGEST_FULL_ROWS else 0.9
+        assert ingest_speedup >= floor, (
+            f"expected >={floor}x ingest fan-out speedup on {rows} rows "
+            f"with {CPUS} cpus, got {ingest_speedup:.2f}x"
         )
 
 

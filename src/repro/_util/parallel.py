@@ -21,14 +21,110 @@ Two design points keep the parallel path honest:
 Numpy releases the GIL inside its ufunc loops, so shard scans genuinely
 overlap on multi-core hosts; on a single core the striping keeps the
 degradation to dispatch overhead only.
+
+:class:`EpochGate` is the write-side companion: a write-preferring
+read/write gate whose published epoch counter is the snapshot handoff
+for concurrent ingest — appliers drain per-shard queues under the
+exclusive hold and the epoch advance publishes the batch atomically,
+so readers never observe a half-applied batch.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
-__all__ = ["FanOutPool"]
+__all__ = ["EpochGate", "FanOutPool"]
+
+
+class EpochGate:
+    """Write-preferring read/write gate with a published epoch counter.
+
+    The concurrency seam of the concurrent ingest path: readers hold
+    the gate *shared* for the duration of one query, a writer holds it
+    *exclusive* for the duration of one batch application and calls
+    :meth:`publish` before releasing — so the epoch advance is the
+    barrier that makes a batch visible atomically.  A reader that
+    observes published epoch N can never see a half-applied batch
+    N + 1: the batch's per-shard inserts all happen between the
+    writer's acquire and its release.
+
+    Write preference (readers queue behind a *waiting* writer) keeps a
+    steady query stream from starving ingest.  The gate is not
+    reentrant — a reader must not re-enter :meth:`reading` while
+    holding it, which the store's read paths never do (shard fan-out
+    happens inside one ``reading()`` scope).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._waiting_writers = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Number of batches published so far."""
+        with self._cond:
+            return self._epoch
+
+    @contextmanager
+    def reading(self):
+        """Hold the gate shared; blocks while a writer holds or waits."""
+        with self._cond:
+            while self._writing or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def writing(self):
+        """Hold the gate exclusive (one writer, zero readers)."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+    def publish(self, batches: int = 1) -> int:
+        """Advance the published epoch; caller must hold :meth:`writing`.
+
+        Returns the new epoch.  Requiring the exclusive hold is what
+        ties visibility to the barrier: the epoch moves only while no
+        reader can be mid-flight.
+        """
+        with self._cond:
+            if not self._writing:
+                raise RuntimeError("publish() requires the writing() hold")
+            if batches < 0:
+                raise RuntimeError(f"cannot publish {batches} batches")
+            self._epoch += int(batches)
+            return self._epoch
+
+    def reset(self, epoch: int) -> None:
+        """Force the published epoch (checkpoint restore only)."""
+        with self._cond:
+            self._epoch = int(epoch)
+
+    def __repr__(self) -> str:
+        return f"EpochGate(epoch={self.epoch})"
 
 
 class FanOutPool:

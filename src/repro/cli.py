@@ -177,17 +177,21 @@ def main(argv=None, out=None) -> int:
     previous_workers = default_workers()
     previous_rebalance = default_rebalance()
     previous_cross_query = default_cross_query()
-    if getattr(args, "plan", None) is not None:
-        set_default_plan(args.plan)
-    if getattr(args, "stats", None) is not None:
-        set_default_stats(args.stats)
-    if getattr(args, "workers", None) is not None:
-        set_default_workers(args.workers)
-    if getattr(args, "rebalance", None) is not None:
-        set_default_rebalance(args.rebalance)
-    if getattr(args, "query", None) is not None:
-        set_default_cross_query(args.query)
+    # Every set_default_* sits INSIDE the try: a setter raising midway
+    # (or any failure in the run itself) must restore all five process
+    # defaults — a leaked half-applied configuration would silently
+    # reshape every later in-process run.
     try:
+        if getattr(args, "plan", None) is not None:
+            set_default_plan(args.plan)
+        if getattr(args, "stats", None) is not None:
+            set_default_stats(args.stats)
+        if getattr(args, "workers", None) is not None:
+            set_default_workers(args.workers)
+        if getattr(args, "rebalance", None) is not None:
+            set_default_rebalance(args.rebalance)
+        if getattr(args, "query", None) is not None:
+            set_default_cross_query(args.query)
         target = args.experiment.upper()
         if target == "ALL":
             for experiment_id in EXPERIMENTS:

@@ -23,7 +23,7 @@ import numpy as np
 
 from .._util.errors import ConfigError
 from .._util.rng import DEFAULT_SEED, spawn
-from .._util.validation import check_in
+from .._util.validation import check_in, checked_int64
 from ..amnesia.base import AmnesiaPolicy
 from ..indexes.base import Index
 from ..indexes.brin import BlockRangeIndex
@@ -209,8 +209,17 @@ class AmnesiaDatabase:
 
         Returns the positions of the inserted rows.  Each call advances
         the epoch by one, so policies measuring age-in-epochs see every
-        insert batch as a new cohort.
+        insert batch as a new cohort.  Values are cast to ``int64``
+        with a lossless-cast check: a float like ``2.7`` raises
+        :class:`~repro._util.errors.QueryError` instead of silently
+        truncating to ``2``.
         """
+        values_by_column = {
+            name: checked_int64(
+                values, f"insert values for column {name!r}"
+            )
+            for name, values in values_by_column.items()
+        }
         self._epoch += 1
         positions = self.table.insert_batch(self._epoch, values_by_column)
         self.policy.on_insert(self.table, positions, self._epoch)
@@ -283,6 +292,23 @@ class AmnesiaDatabase:
         """
         query = self._aggregate_query(function, column, low, high)
         return self.executor.execute_moments(query, self._epoch)
+
+    # -- persistence ------------------------------------------------------
+
+    def checkpoint(self, path):
+        """Save this database to ``path`` (see :func:`repro.storage.save_store`).
+
+        The checkpoint carries the table (values, activity, metadata,
+        cohorts) plus the facade state a restore cannot rederive:
+        budget, epoch, plan and stats modes, and the policy name.
+        Restore with :func:`repro.storage.load_store`, supplying a
+        ``policy_factory`` — policy objects themselves are not
+        serialized (they rebuild their bookkeeping from the restored
+        table, like indexes do).
+        """
+        from ..storage.io import save_store
+
+        return save_store(self, path)
 
     # -- indexing ---------------------------------------------------------
 

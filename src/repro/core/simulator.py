@@ -140,6 +140,20 @@ class AmnesiaSimulator:
         """EXPLAIN-style report of the planner's activity so far."""
         return self.planner.plan_report()
 
+    def checkpoint(self, path):
+        """Save the simulator's table state to ``path``.
+
+        Persists everything the table owns — values, activity bitmap,
+        amnesia metadata, cohort log — via
+        :func:`repro.storage.save_table`.  Restore with
+        :func:`repro.storage.load_table`; config, policy and RNG
+        streams rebuild from code (they are inputs, not state), so a
+        resumed study re-declares them and adopts the restored table.
+        """
+        from ..storage.io import save_table
+
+        return save_table(self.table, path)
+
     def load_initial(self) -> EpochReport:
         """Epoch 0: fill the table up to DBSIZE."""
         if self._epoch >= 0:

@@ -37,6 +37,19 @@ windowed and VAR/STD forms — merge per-shard
 finalizing, so AVG/VAR/STD come out as one global computation, not an
 average of averages.
 
+Writes scale the same way, through a queue/applier seam with an
+**epoch-snapshot handoff**: :meth:`~PartitionedAmnesiaDatabase.enqueue`
+routes rows by the current layout snapshot into per-shard ingest
+queues (a short critical section — no shard work), and
+:meth:`~PartitionedAmnesiaDatabase.flush` drains the queues with
+batched appliers fanned out on the same pool, under the exclusive side
+of an :class:`~repro._util.parallel.EpochGate`.  Queries hold the
+gate shared, so a reader at published ingest epoch N can never observe
+a half-applied batch — the epoch advance inside the exclusive hold is
+the barrier that publishes each batch atomically across shards.
+:meth:`~PartitionedAmnesiaDatabase.insert` is enqueue + flush, and is
+bit-identical to the old sequential loop at any worker count.
+
 Per-partition query traffic is tracked two ways so that
 :meth:`~PartitionedAmnesiaDatabase.rebalance` can *move storage toward
 the partitions the workload actually reads*: ``query_hits`` counts
@@ -48,9 +61,10 @@ happened to execute — so budgets, and every forgetting decision
 downstream of them, evolve identically under ``scan`` and the pruned
 modes.  Under the ``adaptive`` policy, rebalancing also adapts the
 *boundaries*: a shard drawing more than ``split_threshold`` times its
-fair share of traffic is split at its midpoint, funded by merging the
-coldest adjacent pair, so the partition layout itself tracks the query
-stream — the paper's adaptive-partitioning endgame.
+fair share of traffic is split — multi-way when the skew warrants it,
+at traffic-weighted quantiles under ``hist`` statistics — funded by
+merging the coldest adjacent pair, so the partition layout itself
+tracks the query stream — the paper's adaptive-partitioning endgame.
 """
 
 from __future__ import annotations
@@ -61,9 +75,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util.errors import ConfigError, QueryError
-from .._util.parallel import FanOutPool
+from .._util.parallel import EpochGate, FanOutPool
 from .._util.rng import DEFAULT_SEED, derive_seed
-from .._util.validation import check_in
+from .._util.validation import check_in, checked_int64
 from ..amnesia.base import AmnesiaPolicy
 from ..core.config import (
     REBALANCE_POLICIES,
@@ -78,7 +92,7 @@ from ..query.plans import check_scan_bounds, merge_match_sides
 from ..query.predicates import RangePredicate, TruePredicate
 from ..query.queries import AggregateFunction
 from ..stats.moments import StreamingMoments
-from ..stats.table_stats import traffic_weighted_median
+from ..stats.table_stats import traffic_weighted_quantiles
 
 __all__ = ["MergedRangeResult", "Partition", "PartitionedAmnesiaDatabase"]
 
@@ -156,6 +170,11 @@ class Partition:
         #: Coverage-based row traffic: oracle matches (RF + MF) of every
         #: covering query — a plan-mode-independent rows signal.
         self.query_rows = 0
+        #: Ingest queue: routed-but-unapplied value chunks, FIFO.  One
+        #: chunk per enqueued batch that touched this shard; appliers
+        #: drain each chunk as one ``db.insert`` (one shard epoch), so
+        #: the applied sequence is exactly the sequential one.
+        self.pending: list[np.ndarray] = []
 
     @property
     def budget(self) -> int:
@@ -295,10 +314,11 @@ class PartitionedAmnesiaDatabase:
         boundary trajectory stays bit-identical across plans and
         widths.
     workers:
-        Fan-out width for reads: how many per-shard pipelines may run
-        concurrently (``None`` resolves to
+        Fan-out width for reads *and* ingest appliers: how many
+        per-shard pipelines may run concurrently (``None`` resolves to
         :func:`repro.core.config.default_workers`).  1 executes shards
-        sequentially; any width returns bit-identical results.  The
+        sequentially; any width returns bit-identical results — for
+        ingest too, because each shard drains its queue FIFO.  The
         attribute is mutable — benchmarks flip it between runs.
     rebalance:
         Default traffic signal for :meth:`rebalance` — one of
@@ -377,7 +397,13 @@ class PartitionedAmnesiaDatabase:
         self._seed = seed
         self._policy_factory = policy_factory
         self._fanout = FanOutPool()
-        self._admin_lock = threading.Lock()
+        # Write-side serialization: _ingest_lock orders routers
+        # (enqueue) and layout changes; the gate hands batches over to
+        # readers atomically.  Lock order is always _ingest_lock →
+        # gate.writing() → partition locks.
+        self._ingest_lock = threading.Lock()
+        self._gate = EpochGate()
+        self._pending_batches = 0
         self._generation = 0
         self._adaptations: list[str] = []
         base = total_budget // n_partitions
@@ -454,6 +480,16 @@ class PartitionedAmnesiaDatabase:
         idx = np.searchsorted(bounds, values, side="right") - 1
         return np.clip(idx, 0, count - 1)
 
+    @property
+    def gate(self) -> EpochGate:
+        """The epoch gate readers share and :meth:`flush` holds exclusively.
+
+        Exposed for checkpointing and tests; ordinary callers never
+        touch it — :meth:`insert`/:meth:`flush`/queries synchronize
+        internally.
+        """
+        return self._gate
+
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
@@ -468,28 +504,113 @@ class PartitionedAmnesiaDatabase:
 
     # -- writes -------------------------------------------------------------
 
-    def insert(self, values_by_column: dict) -> None:
-        """Route a batch to partitions by value and insert.
+    @property
+    def ingest_epoch(self) -> int:
+        """Batches published so far (the epoch-snapshot handoff counter).
 
-        Writes serialize against boundary adaptation (the admin lock):
-        an insert racing an adaptive :meth:`rebalance` would otherwise
-        route rows into shards the migration already snapshotted —
-        losing them from the new layout.  Queries never take the admin
-        lock, so reads stay concurrent.
+        Advances only inside :meth:`flush`'s exclusive gate hold, so a
+        reader observing ingest epoch N sees exactly the first N
+        batches on every shard — never a half-applied batch.
+        """
+        return self._gate.epoch
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches enqueued but not yet flushed."""
+        with self._ingest_lock:
+            return self._pending_batches
+
+    def enqueue(self, values_by_column: dict) -> int:
+        """Route one batch into the per-shard ingest queues; no shard work.
+
+        The critical section is a layout snapshot plus the routing
+        append — concurrent writers on disjoint shards no longer
+        serialize on shard-level inserts, and queries are untouched
+        (they synchronize with :meth:`flush`, not with routing).
+        Values get the checked ``int64`` cast: lossy inputs (``2.7``,
+        NaN, out-of-range) raise :class:`~repro._util.errors.
+        QueryError` instead of silently truncating.  Returns the
+        number of batches now queued.  Rows become visible to queries
+        only when :meth:`flush` publishes them.
         """
         if set(values_by_column) != {self.column}:
             raise QueryError(
                 f"partitioned store holds only column {self.column!r}"
             )
-        values = np.asarray(values_by_column[self.column], dtype=np.int64)
-        with self._admin_lock:
+        values = checked_int64(
+            values_by_column[self.column],
+            f"insert values for column {self.column!r}",
+        )
+        with self._ingest_lock:
+            # Routing under the ingest lock keeps the snapshot honest:
+            # layout swaps (rebalance) also hold this lock, so a chunk
+            # can never be appended to a shard the migration already
+            # snapshotted — the documented insert-vs-migration race
+            # stays closed without serializing whole-shard inserts.
             partitions, bounds = self._layout
             owners = self._partition_of(values, bounds, len(partitions))
             for i, partition in enumerate(partitions):
                 chunk = values[owners == i]
                 if chunk.size:
-                    with partition.lock:
-                        partition.db.insert({self.column: chunk})
+                    partition.pending.append(chunk)
+            self._pending_batches += 1
+            return self._pending_batches
+
+    def _apply_pending_locked(self, partitions) -> int:
+        """Drain every non-empty shard queue; caller holds the ingest
+        lock and the gate's exclusive side.  Returns batches applied.
+
+        Appliers fan out on the shared pool (``workers`` wide): each
+        drains its shard FIFO, one queued chunk per ``db.insert`` call
+        under the shard lock — so the per-shard epoch/cohort sequence
+        is exactly what the sequential loop would have produced, and
+        the equivalence harness can hold every observable bit-identical
+        across worker counts.
+        """
+        applied = self._pending_batches
+        if applied == 0:
+            return 0
+        busy = [p for p in partitions if p.pending]
+
+        def drain(partition: Partition) -> None:
+            with partition.lock:
+                chunks, partition.pending = partition.pending, []
+                for chunk in chunks:
+                    partition.db.insert({self.column: chunk})
+
+        if busy:
+            self._fanout.map_ordered(drain, busy, self.workers)
+        self._pending_batches = 0
+        return applied
+
+    def flush(self) -> int:
+        """Apply every queued batch and publish them atomically.
+
+        Takes the gate's exclusive side for the duration of one apply
+        wave: in-flight queries finish first, new ones wait, the
+        appliers drain all shards in parallel, and the ingest epoch
+        advances by the number of batches applied — the handoff that
+        makes the whole wave visible at once.  Returns the published
+        ingest epoch.
+        """
+        with self._ingest_lock:
+            partitions, _ = self._layout
+            if self._pending_batches == 0:
+                return self._gate.epoch
+            with self._gate.writing():
+                applied = self._apply_pending_locked(partitions)
+                return self._gate.publish(applied)
+
+    def insert(self, values_by_column: dict) -> None:
+        """Route a batch to partitions by value, apply, and publish.
+
+        ``enqueue`` + ``flush``: the rows are visible (atomically, on
+        every shard) when the call returns, exactly like the historical
+        sequential insert — but the apply wave fans out across shards
+        and no longer blocks concurrent writers during shard work.
+        """
+        self.enqueue(values_by_column)
+        self.flush()
 
     # -- reads ----------------------------------------------------------------
 
@@ -538,9 +659,13 @@ class PartitionedAmnesiaDatabase:
                 executed = int(covered or partition.db.plan_mode == "scan")
                 return (result.rf, result.mf, executed, 1 - executed)
 
-        outputs = self._fanout.map_ordered(
-            run_shard, self._partitions, self.workers
-        )
+        # Shared gate hold: a concurrent flush() publishes its batches
+        # either entirely before or entirely after this query — no
+        # shard can answer from a half-applied ingest wave.
+        with self._gate.reading():
+            outputs = self._fanout.map_ordered(
+                run_shard, self._partitions, self.workers
+            )
         rf, mf, executed, pruned = (sum(col) for col in zip(*outputs))
         return MergedRangeResult(
             rf=rf, mf=mf, shards_executed=executed, shards_pruned=pruned
@@ -577,9 +702,10 @@ class PartitionedAmnesiaDatabase:
                     function, self.column, low, high
                 )
 
-        outputs = self._fanout.map_ordered(
-            run_shard, self._partitions, self.workers
-        )
+        with self._gate.reading():
+            outputs = self._fanout.map_ordered(
+                run_shard, self._partitions, self.workers
+            )
         active = StreamingMoments()
         oracle = StreamingMoments()
         for moments in outputs:
@@ -646,9 +772,10 @@ class PartitionedAmnesiaDatabase:
                     flags,
                 )
 
-        outputs = self._fanout.map_ordered(
-            run_shard, self._partitions, self.workers
-        )
+        with self._gate.reading():
+            outputs = self._fanout.map_ordered(
+                run_shard, self._partitions, self.workers
+            )
         return (
             np.concatenate([o[0] for o in outputs]),
             np.concatenate([o[1] for o in outputs]),
@@ -663,21 +790,24 @@ class PartitionedAmnesiaDatabase:
         (histogram-sharpened under ``stats="hist"``) summed over the
         shards the range covers."""
         total = 0.0
-        for partition in self._partitions:
-            if low is not None and not partition.covers(low, high):
-                continue
-            db = partition.db
-            estimate = (
-                db.planner.estimate(self.column, low, high)
-                if low is not None
-                else None
-            )
-            if estimate is not None:
-                total += (
-                    float(estimate.candidate_rows) if cost else estimate.est_rows
+        with self._gate.reading():
+            for partition in self._partitions:
+                if low is not None and not partition.covers(low, high):
+                    continue
+                db = partition.db
+                estimate = (
+                    db.planner.estimate(self.column, low, high)
+                    if low is not None
+                    else None
                 )
-            else:
-                total += float(db.total_rows)
+                if estimate is not None:
+                    total += (
+                        float(estimate.candidate_rows)
+                        if cost
+                        else estimate.est_rows
+                    )
+                else:
+                    total += float(db.total_rows)
         return total
 
     # -- planning introspection ---------------------------------------------
@@ -718,7 +848,9 @@ class PartitionedAmnesiaDatabase:
             f"stats={self.stats_mode!r}) — "
             f"{self.partition_count} shard(s), "
             f"budget {self.total_budget}, workers {self.workers}, "
-            f"rebalance {self.rebalance_policy!r}"
+            f"rebalance {self.rebalance_policy!r}, "
+            f"ingest epoch {self.ingest_epoch} "
+            f"({self.pending_batches} queued)"
         ]
         for partition in self._ordered_partitions():
             stats = partition.db.planner.stats()
@@ -783,44 +915,63 @@ class PartitionedAmnesiaDatabase:
         partition.query_rows = query_rows
         return partition
 
-    def _split_point(self, hot_part: Partition) -> tuple[int, str]:
-        """Where to cut a hot shard: median under ``hist``, else midpoint.
+    def _split_points(
+        self, hot_part: Partition, ways: int
+    ) -> tuple[list[int], str]:
+        """Where to cut a hot shard: quantiles under ``hist``, else midpoint.
 
         The ``hist`` statistics mode cuts at the shard's
-        traffic-weighted value median — the equi-depth histogram cut of
-        its stored values, weighted by per-row access counts (+1, so an
-        unqueried shard still splits by value mass).  Both inputs are
-        proven plan-mode- and worker-count-independent by the
-        equivalence harness, so the boundary trajectory stays
-        bit-identical whatever access paths answered the queries.  On
-        skewed streams the midpoint leaves one side holding almost all
-        the rows *and* almost all the traffic; the median splits both
-        in half.
+        traffic-weighted value quantiles — the equi-depth histogram
+        cuts of its stored values, weighted by per-row access counts
+        (+1, so an unqueried shard still splits by value mass).  With
+        ``ways=2`` that is the classic traffic-weighted median; a shard
+        drawing ``k`` times the split threshold is cut ``k+1`` ways in
+        one window, so the layout converges under heavy write skew
+        instead of one median per rebalance.  Both inputs are proven
+        plan-mode- and worker-count-independent by the equivalence
+        harness, so the boundary trajectory stays bit-identical
+        whatever access paths answered the queries.  Uniform statistics
+        keep the historical 2-way midpoint.  Cuts are clipped into the
+        shard's open interval and deduplicated; the returned list may
+        therefore be shorter than ``ways - 1`` (or empty, when no valid
+        interior cut exists).
         """
         table = hot_part.db.table
         if self.stats_mode == "hist" and table.total_rows > 0:
-            cut = traffic_weighted_median(
+            cuts = traffic_weighted_quantiles(
                 table.values(self.column),
                 table.access_counts().astype(np.float64) + 1.0,
+                [i / ways for i in range(1, ways)],
             )
-            cut = int(np.clip(cut, hot_part.low + 1, hot_part.high - 1))
-            return cut, "median"
-        return (hot_part.low + hot_part.high) // 2, "midpoint"
+            clipped = np.clip(
+                cuts, hot_part.low + 1, hot_part.high - 1
+            ).astype(int)
+            valid = {
+                int(c)
+                for c in clipped.tolist()
+                if hot_part.low < c < hot_part.high
+            }
+            return sorted(valid), "median"
+        mid = (hot_part.low + hot_part.high) // 2
+        return (
+            [mid] if hot_part.low < mid < hot_part.high else []
+        ), "midpoint"
 
     def _adapt_boundaries(self, floor: int) -> None:
         """Split the hottest shard / merge the coldest adjacent pair.
 
         Triggered by :meth:`rebalance` under the ``adaptive`` policy:
         when one shard draws more than ``split_threshold`` times its
-        fair share of row traffic, its range is split — at the
-        traffic-weighted value median under the ``hist`` statistics
-        mode, at the range midpoint otherwise (see
-        :meth:`_split_point`).  The split is funded by merging the
-        adjacent pair with the least combined traffic (hot shard
-        excluded); without an eligible pair the count may grow up to
-        ``max_partitions``.  All decisions read only coverage-based
-        counters and table state, so the trajectory is identical under
-        every plan mode.
+        fair share of row traffic, its range is split — multi-way, at
+        the traffic-weighted value quantiles under the ``hist``
+        statistics mode (a shard ``k`` times over the threshold is cut
+        ``k + 1`` ways, capacity permitting), at the 2-way range
+        midpoint otherwise (see :meth:`_split_points`).  The split is
+        funded by merging the adjacent pair with the least combined
+        traffic (hot shard excluded); without an eligible pair the
+        count may grow up to ``max_partitions``.  All decisions read
+        only coverage-based counters and table state, so the trajectory
+        is identical under every plan mode.
         """
         partitions = self._partitions
         n = len(partitions)
@@ -829,6 +980,9 @@ class PartitionedAmnesiaDatabase:
         if n < 2 or total <= 0.0:
             return
         shares = traffic / total
+        # Shard-count ceiling from both caps: the configured maximum
+        # and what the budget floor can fund.
+        headroom = min(self.max_partitions, self.total_budget // floor)
         # Hottest shard first; when it cannot split (a width-1 range —
         # a single scorching value, which median cuts isolate quickly)
         # fall through to the next shard still above the threshold
@@ -837,65 +991,87 @@ class PartitionedAmnesiaDatabase:
         for candidate in sorted(range(n), key=lambda i: (-shares[i], i)):
             if shares[candidate] * n < self.split_threshold:
                 break  # descending shares: nothing below is eligible
-            # The cut reads the shard's values and access counters;
+            pairs = [j for j in range(n - 1) if candidate not in (j, j + 1)]
+            merge_gain = 1 if pairs else 0
+            # Final count is n - merge_gain + (segments - 1); cap the
+            # fan of the split to what the ceiling can absorb.
+            max_ways = headroom - n + merge_gain + 1
+            if max_ways < 2:
+                return  # no capacity for any split this window
+            ways = 2
+            if self.stats_mode == "hist":
+                hotness = shares[candidate] * n / self.split_threshold
+                ways = min(max_ways, 1 + int(hotness))
+            # The cuts read the shard's values and access counters;
             # hold its lock (like the migration snapshot below) so an
             # in-flight query's half-applied access bumps cannot make
-            # the median race-dependent.
+            # the quantiles race-dependent.
             with partitions[candidate].lock:
-                cut, kind = self._split_point(partitions[candidate])
-            if partitions[candidate].low < cut < partitions[candidate].high:
-                hot, mid, cut_kind = candidate, cut, kind
+                cuts, kind = self._split_points(
+                    partitions[candidate], max(ways, 2)
+                )
+            if cuts:
+                hot, cut_kind, merge_pairs = candidate, kind, pairs
                 break
         if hot is None:
             return
         hot_part = partitions[hot]
         merge_at = None
-        candidates = [j for j in range(n - 1) if hot not in (j, j + 1)]
-        if candidates:
+        if merge_pairs:
             merge_at = min(
-                candidates, key=lambda j: (traffic[j] + traffic[j + 1], j)
+                merge_pairs, key=lambda j: (traffic[j] + traffic[j + 1], j)
             )
-        new_count = n if merge_at is not None else n + 1
+        new_count = n + len(cuts) - (1 if merge_at is not None else 0)
         if new_count > self.max_partitions or floor * new_count > self.total_budget:
             return
         self._generation += 1
-        hits_left = hot_part.query_hits // 2
-        rows_left = hot_part.query_rows // 2
+        edges = [hot_part.low, *cuts, hot_part.high]
+        segments = len(edges) - 1
+        base_hits = hot_part.query_hits // segments
+        base_rows = hot_part.query_rows // segments
+        pieces: list[Partition] = []
         # Migration reads the source tables (values, activity, access
         # metadata); holding the source shard's lock keeps an in-flight
         # query from mutating that state mid-snapshot.
         with hot_part.lock:
-            left = self._spawn_partition(
-                hot_part.low,
-                mid,
-                edge_low=hot_part.bound_low is None,
-                edge_high=False,
-                sources=[(
-                    hot_part.db.table,
-                    np.flatnonzero(hot_part.db.table.values(self.column) < mid),
-                )],
-                epoch=hot_part.db.epoch,
-                query_hits=hits_left,
-                query_rows=rows_left,
-            )
-            right = self._spawn_partition(
-                mid,
-                hot_part.high,
-                edge_low=False,
-                edge_high=hot_part.bound_high is None,
-                sources=[(
-                    hot_part.db.table,
-                    np.flatnonzero(
-                        hot_part.db.table.values(self.column) >= mid
-                    ),
-                )],
-                epoch=hot_part.db.epoch,
-                query_hits=hot_part.query_hits - hits_left,
-                query_rows=hot_part.query_rows - rows_left,
-            )
+            values = hot_part.db.table.values(self.column)
+            for k in range(segments):
+                lo, hi = edges[k], edges[k + 1]
+                first, last = k == 0, k == segments - 1
+                # Outer segments are open-ended like the shard they
+                # split: clamped-in out-of-domain rows stay routable.
+                mask = np.ones(values.shape, dtype=bool)
+                if not first:
+                    mask &= values >= lo
+                if not last:
+                    mask &= values < hi
+                pieces.append(
+                    self._spawn_partition(
+                        lo,
+                        hi,
+                        edge_low=first and hot_part.bound_low is None,
+                        edge_high=last and hot_part.bound_high is None,
+                        sources=[(hot_part.db.table, np.flatnonzero(mask))],
+                        epoch=hot_part.db.epoch,
+                        query_hits=(
+                            hot_part.query_hits - base_hits * (segments - 1)
+                            if last
+                            else base_hits
+                        ),
+                        query_rows=(
+                            hot_part.query_rows - base_rows * (segments - 1)
+                            if last
+                            else base_rows
+                        ),
+                    )
+                )
+        cut_noun = "midpoint" if cut_kind == "midpoint" else (
+            "median" if len(cuts) == 1 else "medians"
+        )
         events = [
             f"gen {self._generation}: split shard [{hot_part.low}, "
-            f"{hot_part.high}) at {cut_kind} {mid} "
+            f"{hot_part.high}) at {cut_noun} "
+            f"{', '.join(str(c) for c in cuts)} "
             f"(traffic share {shares[hot]:.0%} of {n} shards)"
         ]
         merged = None
@@ -924,7 +1100,7 @@ class PartitionedAmnesiaDatabase:
         layout: list[Partition] = []
         for i, partition in enumerate(partitions):
             if i == hot:
-                layout.extend((left, right))
+                layout.extend(pieces)
             elif merge_at is not None and i == merge_at:
                 layout.append(merged)
             elif merge_at is not None and i == merge_at + 1:
@@ -959,17 +1135,14 @@ class PartitionedAmnesiaDatabase:
         traffic counters reset so the next window adapts afresh.
         Returns {partition: budget}.
 
-        Concurrency contract: queries may run concurrently with each
-        other at any time (per-shard locks keep results and counters
-        exact), and inserts serialize against rebalancing on the admin
-        lock, so writes can never land in a shard the migration
-        already snapshotted.  Rebalancing itself is an *administrative*
-        step — run it between query waves: migration locks the source
-        shards and the layout swap is atomic, so concurrent readers
-        always see a consistent topology and correct answers, but a
-        query still in flight across the swap counts its traffic on
-        the retired shard objects, where the next window no longer
-        reads it.
+        Concurrency contract: rebalancing is a *writer* — it holds the
+        ingest lock (so no batch can be routed by a layout the
+        migration is about to retire: the documented insert-vs-
+        migration race) and the gate's exclusive side (so no query is
+        in flight across the layout swap, and any queued batches are
+        drained — and published — before the shards are snapshotted).
+        Queries may run concurrently with each other at any time;
+        they simply order before or after the rebalance wave.
         """
         if floor < 1:
             raise ConfigError(f"floor must be >= 1, got {floor}")
@@ -978,7 +1151,13 @@ class PartitionedAmnesiaDatabase:
         if policy is None:
             policy = self.rebalance_policy
         check_in(policy, REBALANCE_POLICIES, "rebalance")
-        with self._admin_lock:
+        with self._ingest_lock, self._gate.writing():
+            # Drain queues before snapshotting shards: an enqueued-but-
+            # unapplied batch was routed by the current layout and must
+            # land (and publish) before any migration rebuilds it.
+            applied = self._apply_pending_locked(self._partitions)
+            if applied:
+                self._gate.publish(applied)
             if policy == "adaptive":
                 self._adapt_boundaries(floor)
             partitions = self._partitions
@@ -1002,11 +1181,26 @@ class PartitionedAmnesiaDatabase:
                     partition.query_rows = 0
             return {p.index: p.budget for p in partitions}
 
+    def checkpoint(self, path):
+        """Save the whole store to ``path`` (see :func:`repro.storage.save_store`).
+
+        Queued batches are flushed (and published) first, then the
+        snapshot is taken under the gate's shared side, so the saved
+        state is a published ingest epoch — never a half-applied batch.
+        Restore with :func:`repro.storage.load_store`, supplying the
+        ``policy_factory`` (policies are rebuilt, not serialized).
+        """
+        from ..storage.io import save_store
+
+        return save_store(self, path)
+
     def stats(self) -> dict:
         """Operational snapshot across shards."""
         partitions = self._ordered_partitions()
         return {
             "partitions": len(partitions),
+            "ingest_epoch": self.ingest_epoch,
+            "pending_batches": self.pending_batches,
             "total_budget": self.total_budget,
             "active_rows": self.active_count,
             "total_rows": self.total_rows,

@@ -437,6 +437,11 @@ class ShardedScanNode(_ScanNode):
     through its own planner (pruned shards answer from their declared
     bounds) and the outputs concatenate in shard order, so the stream
     is bit-identical at any worker count.
+
+    Under concurrent ingest the scan is epoch-snapshot consistent: it
+    enters the store's read gate, which admits readers only between
+    batch applications, so the stream reflects a published ingest epoch
+    — every flushed batch in full or not at all, never a torn middle.
     """
 
     def scan(self, catalog, epoch: int, record_access: bool) -> NodeResult:

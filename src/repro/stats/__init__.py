@@ -13,6 +13,7 @@ from .table_stats import (
     STATS_BINS,
     TableHistogramStats,
     traffic_weighted_median,
+    traffic_weighted_quantiles,
 )
 from .zipf import fit_zipf_exponent, gini_coefficient, top_share
 
@@ -28,6 +29,7 @@ __all__ = [
     "StreamingMoments",
     "TableHistogramStats",
     "traffic_weighted_median",
+    "traffic_weighted_quantiles",
     "fit_zipf_exponent",
     "gini_coefficient",
     "top_share",

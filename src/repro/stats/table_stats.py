@@ -33,7 +33,12 @@ from .._util.errors import StorageError
 from .._util.validation import check_positive_int
 from .histograms import EquiWidthHistogram
 
-__all__ = ["STATS_BINS", "TableHistogramStats", "traffic_weighted_median"]
+__all__ = [
+    "STATS_BINS",
+    "TableHistogramStats",
+    "traffic_weighted_median",
+    "traffic_weighted_quantiles",
+]
 
 #: Default bin count for per-column statistics histograms.
 STATS_BINS = 64
@@ -54,19 +59,56 @@ def traffic_weighted_median(values: np.ndarray, weights: np.ndarray) -> int:
     >>> traffic_weighted_median(np.array([1, 2, 3]), np.array([9, 1, 1]))
     1
     """
+    return traffic_weighted_quantiles(values, weights, (0.5,))[0]
+
+
+def traffic_weighted_quantiles(
+    values: np.ndarray, weights: np.ndarray, fractions
+) -> list[int]:
+    """The values splitting ``weights`` at the given cumulative fractions.
+
+    Generalizes :func:`traffic_weighted_median` to an arbitrary set of
+    equi-depth cut points: for each fraction ``f`` in ``(0, 1)``,
+    return the first value (in sorted order) whose cumulative weight
+    reaches ``f`` times the total.  The multi-way adaptive split cuts a
+    hot shard at ``[1/k, ..., (k-1)/k]`` in one adaptation window
+    instead of converging one median at a time.  Fully deterministic —
+    no sampling, no tie randomness — and, with access-count weights,
+    built only from plan-mode-independent inputs.
+
+    >>> traffic_weighted_quantiles(
+    ...     np.array([1, 2, 3, 100]), np.ones(4), [0.25, 0.5, 0.75]
+    ... )
+    [1, 2, 3]
+    >>> traffic_weighted_quantiles(
+    ...     np.array([1, 2, 3]), np.array([9.0, 1.0, 1.0]), [0.5]
+    ... )
+    [1]
+    """
     values = np.asarray(values, dtype=np.int64)
     if values.size == 0:
-        raise StorageError("cannot take the median of no values")
+        raise StorageError("cannot take quantiles of no values")
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != values.shape or (weights < 0).any():
         raise StorageError("weights must be non-negative and match values")
+    fractions = [float(f) for f in fractions]
+    if not fractions or any(not 0.0 < f < 1.0 for f in fractions):
+        raise StorageError(
+            f"quantile fractions must lie strictly in (0, 1), got {fractions}"
+        )
     order = np.argsort(values, kind="stable")
     cumulative = np.cumsum(weights[order])
     total = float(cumulative[-1])
-    if total <= 0.0:
-        return int(values[order[values.size // 2]])
-    idx = int(np.searchsorted(cumulative, total / 2.0))
-    return int(values[order[min(idx, values.size - 1)]])
+    cuts = []
+    for fraction in fractions:
+        if total <= 0.0:
+            # Zero traffic everywhere: fall back to positional
+            # (unweighted) quantiles of the sorted values.
+            idx = int(values.size * fraction)
+        else:
+            idx = int(np.searchsorted(cumulative, total * fraction))
+        cuts.append(int(values[order[min(idx, values.size - 1)]]))
+    return cuts
 
 
 class TableHistogramStats:

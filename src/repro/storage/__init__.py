@@ -10,7 +10,7 @@ from .bitmap import Bitmap
 from .catalog import Catalog
 from .cohorts import Cohort, CohortLog, CohortZoneMap
 from .column import IntColumn
-from .io import load_table, save_table
+from .io import load_store, load_table, save_store, save_table
 from .table import Table, TableObserver
 from .vectors import GrowableIntVector
 
@@ -24,6 +24,8 @@ __all__ = [
     "GrowableIntVector",
     "Table",
     "TableObserver",
+    "load_store",
     "load_table",
+    "save_store",
     "save_table",
 ]

@@ -415,6 +415,18 @@ class Catalog:
         node = build_plan(self, plan) if isinstance(plan, str) else plan
         return explain_plan(node, self)
 
+    def checkpoint(self, path):
+        """Save every table and sharded store (see :func:`repro.storage.save_store`).
+
+        Sharded members flush (publishing queued batches) before they
+        are snapshotted.  Restore with :func:`repro.storage.load_store`
+        — pass ``policy_factory`` when the catalog holds sharded
+        stores, since their policies rebuild instead of serializing.
+        """
+        from .io import save_store
+
+        return save_store(self, path)
+
     def close(self) -> None:
         """Release the fan-out thread pool (catalog stays usable)."""
         self._fanout.close()

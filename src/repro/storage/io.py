@@ -1,13 +1,32 @@
-"""Table persistence: checkpoint and restore amnesiac tables.
+"""Persistence: checkpoint and restore tables, stores and catalogs.
 
 Long amnesia studies (the §4.3 "increased run length" experiments and
-anything larger) want checkpoints: the full table state — values,
-activity bitmap, amnesia metadata, cohort log — round-trips through a
-single compressed ``.npz`` file.
+anything larger) want checkpoints.  Format 2 extends the original
+table-only path — one compressed ``.npz`` with a JSON header — to the
+whole storage hierarchy behind a single pair of entry points:
 
-Only state owned by the table is persisted.  Policies, indexes and
-dispositions rebuild from the restored table (indexes via
-``rebuild()``), which keeps the format small and forward-compatible.
+* :func:`save_table` / :func:`load_table` — one bare
+  :class:`~repro.storage.table.Table` (values, activity bitmap,
+  amnesia metadata, cohort log), unchanged API;
+* :func:`save_store` / :func:`load_store` — additionally a
+  :class:`~repro.core.database.AmnesiaDatabase` (budget, epoch, plan
+  and stats modes), a :class:`~repro.partitioning.
+  PartitionedAmnesiaDatabase` (layout, boundaries, per-shard budgets
+  and clocks, traffic counters, adaptation history, published ingest
+  epoch) or a :class:`~repro.storage.catalog.Catalog` (every plain
+  table plus every registered sharded store) — all nested into the
+  same one-file format rather than a second persistence path.
+
+Only state the storage layer owns is persisted.  Policies, indexes,
+zone maps and histogram statistics rebuild from the restored tables
+(the cohort-by-cohort replay drives the same observer stream a live
+run would have), which keeps the format small and forward-compatible.
+The facade's policy *random stream* is state it owns, so its generator
+position is saved too: a restored database or sharded store draws the
+same victims the uncheckpointed run would have, as long as the policy
+object itself carries no internal working state — policies that do
+(e.g. the area policy's mold-area list) rebuild fresh from
+``policy_factory`` and resume approximately.
 """
 
 from __future__ import annotations
@@ -17,13 +36,175 @@ from pathlib import Path
 
 import numpy as np
 
-from .._util.errors import StorageError
+from .._util.errors import ReproError, StorageError
 from .table import Table
 
-__all__ = ["save_table", "load_table"]
+__all__ = ["save_table", "load_table", "save_store", "load_store"]
 
-#: Format version embedded in every checkpoint.
-FORMAT_VERSION = 1
+#: Format version embedded in every checkpoint.  Version 2 added the
+#: store/catalog payloads (kind-tagged headers, prefixed array
+#: namespaces); version-1 files must be re-created.
+FORMAT_VERSION = 2
+
+
+# -- table payload (shared by every kind) --------------------------------
+
+
+def _table_header(table: Table) -> dict:
+    return {
+        "name": table.name,
+        "columns": list(table.column_names),
+        "cohorts": [
+            {"epoch": c.epoch, "start": c.start, "stop": c.stop}
+            for c in table.cohorts
+        ],
+    }
+
+
+def _table_arrays(table: Table, prefix: str) -> dict:
+    arrays = {
+        f"{prefix}active": table.active_mask().copy(),
+        f"{prefix}insert_epoch": table.insert_epochs().copy(),
+        f"{prefix}access_count": table.access_counts().copy(),
+        f"{prefix}last_access_epoch": table.last_access_epochs().copy(),
+        f"{prefix}forgotten_epoch": table.forgotten_epochs().copy(),
+    }
+    for name in table.column_names:
+        arrays[f"{prefix}column:{name}"] = table.values(name).copy()
+    return arrays
+
+
+def _replay_table(
+    table: Table, header: dict, bundle, prefix: str, on_insert=None
+) -> Table:
+    """Replay a saved table payload into (empty) ``table``.
+
+    Cohort-by-cohort replay drives the live observer stream, so zone
+    maps, histogram statistics and indexes attached to ``table``
+    rebuild exactly; ``on_insert(table, positions, epoch)`` lets a
+    database restore additionally feed its policy, mirroring
+    :meth:`~repro.partitioning.partitioned.Partition.adopt_history`.
+    """
+    for cohort in header["cohorts"]:
+        batch = {
+            name: bundle[f"{prefix}column:{name}"][
+                cohort["start"] : cohort["stop"]
+            ]
+            for name in header["columns"]
+        }
+        positions = table.insert_batch(cohort["epoch"], batch)
+        if on_insert is not None:
+            on_insert(table, positions, cohort["epoch"])
+
+    active = bundle[f"{prefix}active"]
+    if active.shape[0] != table.total_rows:
+        raise StorageError(
+            f"checkpoint is inconsistent: {active.shape[0]} activity "
+            f"bits for {table.total_rows} rows"
+        )
+    forgotten_epoch = bundle[f"{prefix}forgotten_epoch"]
+    forgotten = np.flatnonzero(~active)
+    # Group by forgotten epoch so stamps are restored exactly.
+    for epoch in np.unique(forgotten_epoch[forgotten]):
+        batch = forgotten[forgotten_epoch[forgotten] == epoch]
+        table.forget(batch, epoch=int(epoch))
+    # Counters restore directly — no query replay needed.
+    table._access_count.overwrite(bundle[f"{prefix}access_count"])
+    table._last_access_epoch.overwrite(bundle[f"{prefix}last_access_epoch"])
+    return table
+
+
+# -- store payloads -------------------------------------------------------
+
+
+def _database_payload(db, prefix: str) -> tuple[dict, dict]:
+    header = {
+        "kind": "database",
+        "budget": db.budget,
+        "epoch": db.epoch,
+        "policy": db.policy.name,
+        "plan": db.plan_mode,
+        "stats": db.stats_mode,
+        # The victim-selection stream's position: restoring it lets a
+        # randomized policy draw exactly what the live run would have.
+        "policy_rng": db._policy_rng.bit_generator.state,
+        "table": _table_header(db.table),
+    }
+    return header, _table_arrays(db.table, prefix)
+
+
+def _sharded_payload(store, prefix: str) -> tuple[dict, dict]:
+    """Caller must hold the store's gate shared (see :func:`save_store`)."""
+    partitions = sorted(store.partitions, key=lambda p: (p.low, p.high))
+    header = {
+        "kind": "sharded",
+        "column": store.column,
+        "total_budget": store.total_budget,
+        "seed": store._seed,
+        "plan": store.plan_mode,
+        "stats": store.stats_mode,
+        "workers": store.workers,
+        "rebalance": store.rebalance_policy,
+        "split_threshold": store.split_threshold,
+        "max_partitions": store.max_partitions,
+        "generation": store._generation,
+        "adaptations": list(store.adaptations),
+        "ingest_epoch": store.ingest_epoch,
+        "partitions": [
+            {
+                "low": p.low,
+                "high": p.high,
+                "budget": p.budget,
+                "epoch": p.db.epoch,
+                "query_hits": p.query_hits,
+                "query_rows": p.query_rows,
+                "policy_rng": p.db._policy_rng.bit_generator.state,
+                "table": _table_header(p.db.table),
+            }
+            for p in partitions
+        ],
+    }
+    arrays: dict = {}
+    for i, partition in enumerate(partitions):
+        arrays.update(_table_arrays(partition.db.table, f"{prefix}p{i}:"))
+    return header, arrays
+
+
+def _catalog_payload(catalog) -> tuple[dict, dict]:
+    tables = [catalog.get(name) for name in catalog.names()]
+    header = {
+        "kind": "catalog",
+        "plan": catalog._plan,
+        "stats": catalog._stats,
+        "workers": catalog._workers,
+        "tables": [_table_header(t) for t in tables],
+        "sharded": {},
+    }
+    arrays: dict = {}
+    for i, table in enumerate(tables):
+        arrays.update(_table_arrays(table, f"t{i}:"))
+    for j, name in enumerate(catalog.sharded_names()):
+        store = catalog.sharded(name)
+        store.flush()
+        with store.gate.reading():
+            sub_header, sub_arrays = _sharded_payload(store, f"s{j}:")
+        header["sharded"][name] = sub_header
+        arrays.update(sub_arrays)
+    return header, arrays
+
+
+# -- save ----------------------------------------------------------------
+
+
+def _write_bundle(path, header: dict, arrays: dict) -> Path:
+    path = Path(path)
+    header = {"format_version": FORMAT_VERSION, **header}
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return path
 
 
 def save_table(table: Table, path) -> Path:
@@ -36,70 +217,209 @@ def save_table(table: Table, path) -> Path:
     >>> load_table(out).total_rows
     3
     """
-    path = Path(path)
-    header = {
-        "format_version": FORMAT_VERSION,
-        "name": table.name,
-        "columns": list(table.column_names),
-        "cohorts": [
-            {"epoch": c.epoch, "start": c.start, "stop": c.stop}
-            for c in table.cohorts
-        ],
-    }
-    arrays = {
-        "active": table.active_mask().copy(),
-        "insert_epoch": table.insert_epochs().copy(),
-        "access_count": table.access_counts().copy(),
-        "last_access_epoch": table.last_access_epochs().copy(),
-        "forgotten_epoch": table.forgotten_epochs().copy(),
-    }
-    for name in table.column_names:
-        arrays[f"column:{name}"] = table.values(name).copy()
-    np.savez_compressed(
-        path, header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        **arrays,
+    header = {"kind": "table", **_table_header(table)}
+    return _write_bundle(path, header, _table_arrays(table, ""))
+
+
+def save_store(store, path) -> Path:
+    """Write a table, database, sharded store or catalog to ``path``.
+
+    One format, one file: the payload is tagged with its kind, and
+    :func:`load_store` rebuilds the matching object.  A sharded store
+    is flushed first (queued batches apply and publish), then
+    snapshotted under its epoch gate's shared side, so the saved state
+    is always a published ingest epoch — never a half-applied batch.
+    """
+    from ..core.database import AmnesiaDatabase
+    from ..partitioning.partitioned import PartitionedAmnesiaDatabase
+    from .catalog import Catalog
+
+    if isinstance(store, Table):
+        return save_table(store, path)
+    if isinstance(store, AmnesiaDatabase):
+        header, arrays = _database_payload(store, "")
+        return _write_bundle(path, header, arrays)
+    if isinstance(store, PartitionedAmnesiaDatabase):
+        store.flush()
+        with store.gate.reading():
+            header, arrays = _sharded_payload(store, "")
+        return _write_bundle(path, header, arrays)
+    if isinstance(store, Catalog):
+        header, arrays = _catalog_payload(store)
+        return _write_bundle(path, header, arrays)
+    raise StorageError(
+        f"cannot checkpoint a {type(store).__name__}; expected a Table, "
+        "AmnesiaDatabase, PartitionedAmnesiaDatabase or Catalog"
     )
-    return path
 
 
-def load_table(path) -> Table:
-    """Restore a table saved by :func:`save_table`."""
+# -- load ----------------------------------------------------------------
+
+
+def _read_header(bundle, path: Path) -> dict:
+    try:
+        header = json.loads(bytes(bundle["header"].tobytes()).decode())
+    except (KeyError, ValueError) as exc:
+        raise StorageError(f"{path} is not a repro checkpoint") from exc
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"checkpoint format {version} not supported (expected "
+            f"{FORMAT_VERSION}; format 1 files predate store/catalog "
+            "checkpoints — re-create them with save_table/save_store)"
+        )
+    return header
+
+
+def _load_database(header: dict, bundle, prefix: str, policy_factory):
+    from ..core.database import AmnesiaDatabase
+
+    if policy_factory is None:
+        raise StorageError(
+            "restoring a database checkpoint needs policy_factory= "
+            "(policies are rebuilt, not serialized)"
+        )
+    table_header = header["table"]
+    db = AmnesiaDatabase(
+        budget=header["budget"],
+        policy=policy_factory(),
+        columns=table_header["columns"],
+        table_name=table_header["name"],
+        plan=header["plan"],
+        stats=header["stats"],
+    )
+    _replay_table(
+        db.table,
+        table_header,
+        bundle,
+        prefix,
+        on_insert=db.policy.on_insert,
+    )
+    db.advance_epoch_to(header["epoch"])
+    db._policy_rng.bit_generator.state = header["policy_rng"]
+    return db
+
+
+def _load_sharded(header: dict, bundle, prefix: str, policy_factory):
+    from ..partitioning.partitioned import PartitionedAmnesiaDatabase
+
+    if policy_factory is None:
+        raise StorageError(
+            "restoring a sharded checkpoint needs policy_factory= "
+            "(policies are rebuilt, not serialized)"
+        )
+    parts = header["partitions"]
+    boundaries = [p["low"] for p in parts] + [parts[-1]["high"]]
+    store = PartitionedAmnesiaDatabase(
+        header["column"],
+        boundaries,
+        header["total_budget"],
+        policy_factory,
+        seed=header["seed"],
+        plan=header["plan"],
+        workers=header["workers"],
+        rebalance=header["rebalance"],
+        split_threshold=header["split_threshold"],
+        max_partitions=header["max_partitions"],
+        stats=header["stats"],
+    )
+    for i, (partition, saved) in enumerate(zip(store.partitions, parts)):
+        db = partition.db
+        db.table.name = saved["table"]["name"]
+        _replay_table(
+            db.table,
+            saved["table"],
+            bundle,
+            f"{prefix}p{i}:",
+            on_insert=db.policy.on_insert,
+        )
+        db.advance_epoch_to(saved["epoch"])
+        # Direct budget restore: the saved state already satisfies it,
+        # and set_budget's enforcement would let overshoot-style
+        # policies purge rows the checkpoint still holds.
+        db.budget = int(saved["budget"])
+        db._policy_rng.bit_generator.state = saved["policy_rng"]
+        partition.query_hits = int(saved["query_hits"])
+        partition.query_rows = int(saved["query_rows"])
+    store._generation = int(header["generation"])
+    store._adaptations = list(header["adaptations"])
+    store.gate.reset(int(header["ingest_epoch"]))
+    return store
+
+
+def _load_catalog(header: dict, bundle, policy_factory):
+    from .catalog import Catalog
+
+    catalog = Catalog(
+        plan=header["plan"],
+        workers=header["workers"],
+        stats=header["stats"],
+    )
+    for i, table_header in enumerate(header["tables"]):
+        table = catalog.create_table(
+            table_header["name"], table_header["columns"]
+        )
+        _replay_table(table, table_header, bundle, f"t{i}:")
+    for j, (name, sub_header) in enumerate(header["sharded"].items()):
+        store = _load_sharded(sub_header, bundle, f"s{j}:", policy_factory)
+        catalog.register_sharded(name, store)
+    return catalog
+
+
+def load_store(path, policy_factory=None):
+    """Restore whatever :func:`save_store` (or :func:`save_table`) wrote.
+
+    Returns the object matching the checkpoint's kind: a
+    :class:`Table`, an :class:`~repro.core.database.AmnesiaDatabase`,
+    a :class:`~repro.partitioning.PartitionedAmnesiaDatabase` or a
+    :class:`~repro.storage.catalog.Catalog`.  Database and sharded
+    checkpoints (and catalogs containing sharded stores) need
+    ``policy_factory`` — a zero-argument callable producing a fresh
+    policy, exactly like the sharded constructor's — because policies
+    rebuild from the replayed tables instead of being serialized.
+    Truncated or corrupt files raise :class:`~repro._util.errors.
+    StorageError`, never a bare numpy traceback.
+    """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"no checkpoint at {path}")
-    with np.load(path) as bundle:
-        try:
-            header = json.loads(bytes(bundle["header"].tobytes()).decode())
-        except (KeyError, ValueError) as exc:
-            raise StorageError(f"{path} is not a table checkpoint") from exc
-        version = header.get("format_version")
-        if version != FORMAT_VERSION:
+    try:
+        with np.load(path) as bundle:
+            header = _read_header(bundle, path)
+            kind = header.get("kind", "table")
+            if kind == "table":
+                table = Table(header["name"], header["columns"])
+                return _replay_table(table, header, bundle, "")
+            if kind == "database":
+                return _load_database(header, bundle, "", policy_factory)
+            if kind == "sharded":
+                return _load_sharded(header, bundle, "", policy_factory)
+            if kind == "catalog":
+                return _load_catalog(header, bundle, policy_factory)
             raise StorageError(
-                f"checkpoint format {version} not supported "
-                f"(expected {FORMAT_VERSION})"
+                f"{path} holds an unknown checkpoint kind {kind!r}"
             )
-        table = Table(header["name"], header["columns"])
-        for cohort in header["cohorts"]:
-            batch = {
-                name: bundle[f"column:{name}"][cohort["start"] : cohort["stop"]]
-                for name in header["columns"]
-            }
-            table.insert_batch(cohort["epoch"], batch)
+    except ReproError:
+        raise
+    except Exception as exc:
+        # Truncated zip members, mangled JSON, missing arrays: surface
+        # one storage diagnostic instead of a numpy/zipfile traceback.
+        raise StorageError(
+            f"{path} is not a readable checkpoint: {exc}"
+        ) from exc
 
-        # Replay metadata on top of the rebuilt skeleton.
-        active = bundle["active"]
-        if active.shape[0] != table.total_rows:
-            raise StorageError(
-                f"checkpoint is inconsistent: {active.shape[0]} activity "
-                f"bits for {table.total_rows} rows"
-            )
-        forgotten_epoch = bundle["forgotten_epoch"]
-        forgotten = np.flatnonzero(~active)
-        # Group by forgotten epoch so stamps are restored exactly.
-        for epoch in np.unique(forgotten_epoch[forgotten]):
-            batch = forgotten[forgotten_epoch[forgotten] == epoch]
-            table.forget(batch, epoch=int(epoch))
-        # Counters restore directly — no query replay needed.
-        table._access_count.overwrite(bundle["access_count"])
-        table._last_access_epoch.overwrite(bundle["last_access_epoch"])
-    return table
+
+def load_table(path) -> Table:
+    """Restore a table saved by :func:`save_table`.
+
+    Store-level checkpoints (database/sharded/catalog kinds) must go
+    through :func:`load_store`; pointing ``load_table`` at one raises
+    a clear :class:`~repro._util.errors.StorageError`.
+    """
+    result = load_store(path)
+    if not isinstance(result, Table):
+        raise StorageError(
+            f"{path} holds a {type(result).__name__} checkpoint; "
+            "restore it with load_store()"
+        )
+    return result

@@ -212,6 +212,78 @@ class TestWorkersAndRebalanceFlags:
         assert (default_workers(), default_rebalance()) == before
 
 
+class TestDefaultsRestoredOnFailure:
+    def _snapshot(self):
+        from repro.core.config import (
+            default_cross_query,
+            default_plan,
+            default_rebalance,
+            default_stats,
+            default_workers,
+        )
+
+        return (
+            default_plan(),
+            default_stats(),
+            default_workers(),
+            default_rebalance(),
+            default_cross_query(),
+        )
+
+    def test_raising_run_restores_every_process_default(self, monkeypatch):
+        """A run that explodes mid-experiment must not leak any of the
+        five process defaults it overrode — otherwise every later
+        in-process run silently inherits this invocation's flags."""
+
+        def boom(seed=None):
+            raise RuntimeError("experiment exploded")
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", boom)
+        before = self._snapshot()
+        with pytest.raises(RuntimeError, match="experiment exploded"):
+            main(
+                [
+                    "run", "F1",
+                    "--plan", "cost",
+                    "--stats", "hist",
+                    "--workers", "4",
+                    "--rebalance", "adaptive",
+                    "--query", "union:s1,s2",
+                ],
+                out=io.StringIO(),
+            )
+        assert self._snapshot() == before
+
+    def test_raising_setter_restores_prior_overrides(self, monkeypatch):
+        """Even a setter raising midway through the override sequence
+        (here: the workers setter, after plan and stats were already
+        applied) leaves all defaults untouched."""
+        from repro.core import config
+
+        def broken_setter(n):
+            raise RuntimeError("setter exploded")
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "F1", lambda seed=None: _FakeResult()
+        )
+        monkeypatch.setattr(
+            "repro.cli.set_default_workers", broken_setter
+        )
+        before = self._snapshot()
+        with pytest.raises(RuntimeError, match="setter exploded"):
+            main(
+                [
+                    "run", "F1",
+                    "--plan", "cost",
+                    "--stats", "hist",
+                    "--workers", "4",
+                ],
+                out=io.StringIO(),
+            )
+        assert self._snapshot() == before
+        assert config.default_plan() == before[0]
+
+
 class _FakeResult:
     def render(self):
         return "ok"

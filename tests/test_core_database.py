@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import AmnesiaDatabase
-from repro._util.errors import ConfigError
+from repro._util.errors import ConfigError, QueryError
 from repro.amnesia import FifoAmnesia, PrivacyRetentionWrapper, UniformAmnesia
 
 
@@ -39,6 +39,32 @@ class TestBudgetEnforcement:
     def test_budget_validated(self):
         with pytest.raises(ConfigError):
             AmnesiaDatabase(budget=0, policy=FifoAmnesia())
+
+
+class TestInsertValidation:
+    def test_lossy_float_insert_rejected(self):
+        """The old path silently truncated 2.7 to 2; now it refuses —
+        and atomically: no epoch advance, no partial rows."""
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        with pytest.raises(QueryError, match="without loss"):
+            db.insert({"a": np.array([1.0, 2.7])})
+        assert db.total_rows == 0
+        assert db.epoch == 0
+
+    def test_integer_valued_floats_accepted(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        db.insert({"a": np.array([1.0, 2.0, 3.0])})
+        assert db.total_rows == 3
+
+    def test_infinite_values_rejected(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        with pytest.raises(QueryError, match="finite"):
+            db.insert({"a": np.array([1.0, np.inf])})
+
+    def test_huge_uint64_rejected_not_wrapped(self):
+        db = AmnesiaDatabase(budget=100, policy=FifoAmnesia())
+        with pytest.raises(QueryError):
+            db.insert({"a": np.array([2**64 - 1], dtype=np.uint64)})
 
 
 class TestQueries:

@@ -11,6 +11,7 @@ import doctest
 import pytest
 
 import repro._util.rng
+import repro._util.validation
 import repro.amnesia.decay
 import repro.amnesia.registry
 import repro.amnesia.sampling
@@ -51,6 +52,7 @@ import repro.summaries.summary
 
 MODULES = [
     repro._util.rng,
+    repro._util.validation,
     repro.amnesia.decay,
     repro.amnesia.registry,
     repro.amnesia.sampling,

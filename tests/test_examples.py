@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "parallel_shards.py",
     "cross_table_join.py",
     "histogram_planning.py",
+    "concurrent_ingest.py",
 ]
 
 

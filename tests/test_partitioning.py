@@ -53,6 +53,24 @@ class TestRouting:
         with pytest.raises(QueryError):
             store.insert({"b": np.array([1])})
 
+    def test_lossy_float_insert_rejected(self):
+        """The old path silently truncated 2.7 to 2; now it refuses."""
+        store = make_store()
+        with pytest.raises(QueryError, match="without loss"):
+            store.insert({"a": np.array([1.0, 2.7])})
+        assert store.partitions[0].db.total_rows == 0
+
+    def test_integer_valued_floats_accepted(self):
+        store = make_store()
+        store.insert({"a": np.array([10.0, 600.0])})
+        assert store.range_query(0, 1000).rf == 2
+
+    def test_nan_insert_rejected(self):
+        store = make_store()
+        with pytest.raises(QueryError, match="finite"):
+            store.enqueue({"a": np.array([1.0, np.nan])})
+        assert store.pending_batches == 0
+
 
 class TestQueries:
     def test_range_query_merges_exactly(self, rng):
@@ -431,6 +449,171 @@ class TestParallelFanout:
         assert isinstance(store, PartitionedAmnesiaDatabase)
         assert store.workers == 3
         assert store.rebalance_policy == "rows"
+
+
+class TestIngestQueue:
+    """The batched write seam: enqueue routes, flush publishes."""
+
+    def test_enqueued_rows_invisible_until_flush(self):
+        store = make_store()
+        store.enqueue({"a": np.arange(100)})
+        assert store.pending_batches == 1
+        assert store.ingest_epoch == 0
+        result = store.range_query(0, 1000)
+        assert result.rf + result.mf == 0
+        store.flush()
+        assert store.pending_batches == 0
+        assert store.ingest_epoch == 1
+        result = store.range_query(0, 1000)
+        assert result.rf + result.mf == 100
+
+    def test_flush_publishes_whole_backlog_as_one_epoch(self):
+        store = make_store()
+        for start in (0, 200, 400):
+            store.enqueue({"a": np.arange(start, start + 50)})
+        assert store.pending_batches == 3
+        assert store.flush() == 3
+        assert store.ingest_epoch == 3
+        assert store.pending_batches == 0
+
+    def test_flush_without_backlog_is_a_noop(self):
+        store = make_store()
+        store.insert({"a": np.arange(10)})
+        assert store.ingest_epoch == 1
+        assert store.flush() == 1  # returns the published epoch unchanged
+
+    def test_insert_equals_enqueue_plus_flush(self):
+        one = make_store()
+        two = make_store()
+        batches = [np.arange(0, 60), np.arange(300, 420), np.arange(700, 790)]
+        for batch in batches:
+            one.insert({"a": batch})
+        for batch in batches:
+            two.enqueue({"a": batch})
+        two.flush()
+        for p1, p2 in zip(one.partitions, two.partitions):
+            assert np.array_equal(
+                p1.db.table.values("a"), p2.db.table.values("a")
+            )
+            assert np.array_equal(
+                p1.db.table.insert_epochs(), p2.db.table.insert_epochs()
+            )
+            assert p1.db.active_count == p2.db.active_count
+
+    def test_enqueue_validation_leaves_queue_untouched(self):
+        store = make_store()
+        with pytest.raises(QueryError):
+            store.enqueue({"b": np.arange(3)})
+        with pytest.raises(QueryError):
+            store.enqueue({"a": np.array([1.5])})
+        assert store.pending_batches == 0
+        assert all(not p.pending for p in store.partitions)
+
+    def test_rebalance_drains_backlog_first(self):
+        store = make_store()
+        store.enqueue({"a": np.arange(100)})
+        store.rebalance()
+        assert store.pending_batches == 0
+        assert store.ingest_epoch == 1
+        result = store.range_query(0, 1000)
+        assert result.rf + result.mf == 100
+
+    def test_stats_and_report_expose_ingest_state(self):
+        store = make_store()
+        store.enqueue({"a": np.arange(10)})
+        stats = store.stats()
+        assert stats["pending_batches"] == 1
+        assert stats["ingest_epoch"] == 0
+        assert "ingest epoch 0 (1 queued)" in store.plan_report()
+        store.flush()
+        assert "ingest epoch 1 (0 queued)" in store.plan_report()
+
+
+class TestMultiWaySplit:
+    """Hist-mode adaptive splits cut several quantiles at once when
+    the hotness warrants it."""
+
+    def _hot_store(self, n_shards=4, budget=400):
+        boundaries = tuple(range(0, 1001, 1000 // n_shards))
+        store = PartitionedAmnesiaDatabase(
+            "a",
+            boundaries,
+            budget,
+            policy_factory=FifoAmnesia,
+            seed=7,
+            rebalance="adaptive",
+            split_threshold=1.5,
+            stats="hist",
+            max_partitions=16,
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            store.insert({"a": rng.integers(0, 1000, 200)})
+        return store
+
+    def test_scorching_shard_splits_multiway(self):
+        store = self._hot_store()
+        # All traffic on the lowest shard: share 1.0 of 4 shards at
+        # threshold 1.5 → hotness 2.67 → a 3-way cut (two medians).
+        for _ in range(12):
+            store.range_query(0, 240)
+        store.rebalance(floor=10)
+        assert any("at medians" in e for e in store.adaptations)
+        n_before = 4
+        # One merge funds part of the growth: 4 - 1 + 2 = 5 shards.
+        assert store.partition_count == n_before + 1
+        assert store.boundaries[0] == 0 and store.boundaries[-1] == 1000
+
+    def test_multiway_split_loses_no_history(self):
+        store = self._hot_store()
+        before = np.sort(
+            np.concatenate(
+                [p.db.table.values("a") for p in store.partitions]
+            )
+        )
+        for _ in range(12):
+            store.range_query(0, 240)
+        store.rebalance(floor=10)
+        after = np.sort(
+            np.concatenate(
+                [p.db.table.values("a") for p in store.partitions]
+            )
+        )
+        assert np.array_equal(before, after)
+
+    def test_mild_overshoot_still_splits_two_ways(self):
+        store = self._hot_store()
+        # Spread traffic: hottest share just over threshold → 2-way.
+        for _ in range(6):
+            store.range_query(0, 240)
+        for _ in range(3):
+            store.range_query(250, 1000)
+        store.rebalance(floor=10)
+        split_events = [e for e in store.adaptations if "split shard" in e]
+        if split_events:
+            assert all("at medians" not in e for e in split_events)
+
+    def test_uniform_stats_still_cuts_midpoint_only(self):
+        store = PartitionedAmnesiaDatabase(
+            "a",
+            (0, 250, 500, 750, 1000),
+            400,
+            policy_factory=FifoAmnesia,
+            seed=7,
+            rebalance="adaptive",
+            split_threshold=1.5,
+            stats="uniform",
+            max_partitions=16,
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            store.insert({"a": rng.integers(0, 1000, 200)})
+        for _ in range(12):
+            store.range_query(0, 240)
+        store.rebalance(floor=10)
+        split_events = [e for e in store.adaptations if "split shard" in e]
+        assert split_events
+        assert all("at midpoint" in e for e in split_events)
 
 
 class TestTrafficCountersPlanIndependent:

@@ -11,6 +11,8 @@ regardless of the access path.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -646,6 +648,278 @@ def test_cross_table_hist_stats_identical(policy_name, plan, workers):
     assert _run_cross_table_scenario(
         policy_name, plan, workers=workers, stats="hist"
     ) == _cross_baseline(policy_name)
+
+
+# -- concurrent ingest (queue/applier/epoch handoff) ------------------------
+
+
+#: Per-round query mix replayed against the store between flushes —
+#: skewed toward the low shard so adaptive rebalancing splits mid-run.
+_INGEST_QUERIES = (
+    (-150, 120), (0, 300), (0, 150), (10, 80), (20, 60), (30, 90),
+    (400, 300), (900, 400),
+)
+
+
+def _run_ingest_scenario(
+    policy_name: str,
+    plan: str,
+    workers: int = 1,
+    stats: str = "uniform",
+    ingest: str = "sequential",
+    read_passes: int = 1,
+    threaded_readers: bool = False,
+):
+    """Drive the batched write path end to end; return every observable.
+
+    ``ingest="sequential"`` inserts each batch through the synchronous
+    :meth:`insert` facade; ``ingest="batched"`` enqueues a round's
+    batches and publishes them with one :meth:`flush` — per-shard
+    appliers drain their queues FIFO, one cohort per enqueued chunk,
+    so the two schedules must leave bit-identical table state.
+
+    ``threaded_readers=True`` runs each round's ``read_passes`` query
+    passes from concurrent threads (instead of sequential repeats),
+    proving that shared-gate readers leave results *and* access
+    accounting — and therefore every downstream forgetting and
+    rebalancing decision — exactly where sequential repeats leave
+    them.
+    """
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, 250, 500, 1000),
+        total_budget=120,
+        policy_factory=lambda: _make_policy(policy_name),
+        seed=9,
+        plan=plan,
+        workers=workers,
+        rebalance="adaptive",
+        split_threshold=1.5,
+        stats=stats,
+    )
+    rng = np.random.default_rng(3)
+    observed = []
+
+    def read_pass():
+        results = []
+        for low, width in _INGEST_QUERIES:
+            result = store.range_query(low, low + width)
+            results.append((result.rf, result.mf, result.precision))
+        results.append(store.aggregate("avg"))
+        results.append(store.aggregate("sum", 100, 800))
+        return results
+
+    for _ in range(5):
+        batches = [rng.integers(-100, 1100, 40) for _ in range(3)]
+        if ingest == "sequential":
+            for batch in batches:
+                store.insert({"a": batch})
+        else:
+            for batch in batches:
+                store.enqueue({"a": batch})
+            store.flush()
+        assert store.pending_batches == 0
+        if threaded_readers:
+            passes: list = [None] * read_passes
+            start = threading.Barrier(read_passes)
+
+            def run_reader(slot):
+                start.wait()
+                passes[slot] = read_pass()
+
+            threads = [
+                threading.Thread(target=run_reader, args=(i,))
+                for i in range(read_passes)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            passes = [read_pass() for _ in range(read_passes)]
+        observed.extend(passes)
+        observed.append(store.rebalance(floor=5))
+        observed.append(store.boundaries)
+    observed.append(store.adaptations)
+    for partition in store.partitions:
+        observed.append(partition.db.table.active_mask().tolist())
+        observed.append(partition.db.table.access_counts().tolist())
+        observed.append(partition.db.table.last_access_epochs().tolist())
+        observed.append(partition.db.table.forgotten_epochs().tolist())
+    store.close()
+    return observed
+
+
+_INGEST_BASELINES: dict = {}
+
+
+def _ingest_baseline(policy_name: str, stats: str = "uniform"):
+    key = (policy_name, stats)
+    if key not in _INGEST_BASELINES:
+        _INGEST_BASELINES[key] = _run_ingest_scenario(
+            policy_name, "scan", workers=1, stats=stats, ingest="sequential"
+        )
+    return _INGEST_BASELINES[key]
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_batched_ingest_identical_to_sequential(policy_name, plan, workers):
+    """The tentpole headline: enqueue/flush batched ingest — appliers
+    fanning out on the worker pool, epoch-gate handoff publishing each
+    flush — leaves every observable (results, access accounting,
+    boundary trajectories, forgetting) bit-identical to one-batch-at-
+    a-time sequential inserts, under every plan mode and width."""
+    got = _run_ingest_scenario(
+        policy_name, plan, workers=workers, ingest="batched"
+    )
+    assert got == _ingest_baseline(policy_name)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("stats", ("uniform", "hist"))
+@pytest.mark.parametrize("policy_name", ("fifo", "rot"))
+def test_batched_ingest_identical_under_stats_modes(
+    policy_name, stats, workers
+):
+    """Batched ingest composes with both statistics sources: the hist
+    trajectory (multi-way traffic-weighted cuts included) equals its
+    own sequential baseline bit for bit."""
+    got = _run_ingest_scenario(
+        policy_name, "cost", workers=workers, stats=stats, ingest="batched"
+    )
+    assert got == _ingest_baseline(policy_name, stats=stats)
+    if stats == "hist":
+        # Guard the setup: the skewed query mix must really have
+        # driven traffic-weighted boundary cuts mid-ingest.
+        (adaptations,) = [
+            o
+            for o in got
+            if isinstance(o, tuple) and all(isinstance(e, str) for e in o)
+        ]
+        assert any("split shard" in event for event in adaptations)
+
+
+def _reader_baseline():
+    """Sequential reference for the reader tests: three query passes
+    per round, one after another, on one thread."""
+    key = ("fifo", "scan", "passes3")
+    if key not in _INGEST_BASELINES:
+        _INGEST_BASELINES[key] = _run_ingest_scenario(
+            "fifo", "scan", workers=1, ingest="sequential", read_passes=3
+        )
+    return _INGEST_BASELINES[key]
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("ingest", ("sequential", "batched"))
+def test_concurrent_readers_identical_to_sequential_repeats(workers, ingest):
+    """Readers racing through the epoch gate between flushes observe
+    — and leave behind — exactly what sequential repeats would: same
+    results, same access counters and traffic tallies, and therefore
+    the same rebalance decisions downstream."""
+    got = _run_ingest_scenario(
+        "fifo",
+        "cost",
+        workers=workers,
+        ingest=ingest,
+        read_passes=3,
+        threaded_readers=True,
+    )
+    assert got == _reader_baseline()
+
+
+def test_free_running_readers_never_observe_torn_batches():
+    """Atomicity: a reader concurrent with ingest sees either all of a
+    flushed batch or none of it — every observed row count is a
+    prefix sum of published batch sizes (budget is large enough that
+    nothing is forgotten)."""
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, 250, 500, 750, 1000),
+        total_budget=200_000,
+        policy_factory=lambda: _make_policy("fifo"),
+        workers=4,
+    )
+    rng = np.random.default_rng(7)
+    sizes = [137, 251, 89, 300, 170, 413, 222, 95, 180, 143] * 3
+    batches = [rng.integers(0, 1000, size) for size in sizes]
+    prefix_sums = {0}
+    total = 0
+    for size in sizes:
+        total += size
+        prefix_sums.add(total)
+    seen: list = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            result = store.range_query(0, 1000)
+            seen.append(result.rf + result.mf)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for batch in batches:
+            store.insert({"a": batch})
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    torn = [count for count in seen if count not in prefix_sums]
+    assert not torn, f"readers observed torn batches: {sorted(set(torn))[:5]}"
+    assert store.ingest_epoch == len(sizes)
+    final = store.range_query(0, 1000)
+    assert final.rf + final.mf == total
+    store.close()
+
+
+def test_disjoint_writer_threads_identical_to_sequential():
+    """Two writer threads inserting into disjoint key ranges — so their
+    batches never share a shard queue — leave exactly the state a
+    single sequential writer leaves."""
+
+    def build(workers):
+        return PartitionedAmnesiaDatabase(
+            "a",
+            (0, 500, 1000),
+            total_budget=300,
+            policy_factory=lambda: _make_policy("fifo"),
+            workers=workers,
+        )
+
+    rng = np.random.default_rng(23)
+    low_batches = [rng.integers(0, 500, 50) for _ in range(8)]
+    high_batches = [rng.integers(500, 1000, 50) for _ in range(8)]
+
+    def writer(store, batches):
+        for batch in batches:
+            store.insert({"a": batch})
+
+    concurrent = build(workers=4)
+    threads = [
+        threading.Thread(target=writer, args=(concurrent, low_batches)),
+        threading.Thread(target=writer, args=(concurrent, high_batches)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    sequential = build(workers=1)
+    writer(sequential, low_batches)
+    writer(sequential, high_batches)
+    assert concurrent.ingest_epoch == sequential.ingest_epoch == 16
+    for got, want in zip(concurrent.partitions, sequential.partitions):
+        assert np.array_equal(
+            np.sort(got.db.table.values("a")),
+            np.sort(want.db.table.values("a")),
+        )
+        assert got.db.active_count == want.db.active_count
+        assert got.db.table.total_rows == want.db.table.total_rows
+    concurrent.close()
+    sequential.close()
 
 
 @pytest.mark.parametrize("plan", PLAN_VARIANTS)

@@ -1,12 +1,47 @@
-"""Tests for table checkpointing (repro.storage.io)."""
+"""Tests for table/store checkpointing (repro.storage.io)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro import AmnesiaDatabase
 from repro._util.errors import StorageError
-from repro.storage import Table, load_table, save_table
+from repro.amnesia.registry import POLICY_NAMES, make_policy
+from repro.partitioning import PartitionedAmnesiaDatabase
+from repro.storage import (
+    Catalog,
+    Table,
+    load_store,
+    load_table,
+    save_store,
+    save_table,
+)
+
+
+def _make_policy(name):
+    kwargs = {"column": "k"} if name in ("pair", "dist", "stratified") else {}
+    return make_policy(name, **kwargs)
+
+
+def _table_fingerprint(table):
+    """Every persisted observable of a table, as comparable lists."""
+    return {
+        "name": table.name,
+        "columns": table.column_names,
+        "values": {
+            name: table.values(name).tolist() for name in table.column_names
+        },
+        "active": table.active_mask().tolist(),
+        "insert_epochs": table.insert_epochs().tolist(),
+        "forgotten_epochs": table.forgotten_epochs().tolist(),
+        "access_counts": table.access_counts().tolist(),
+        "last_access": table.last_access_epochs().tolist(),
+        "cohorts": table.cohorts.epochs(),
+        "cohort_activity": table.cohort_activity(),
+    }
 
 
 @pytest.fixture
@@ -76,6 +111,277 @@ class TestRoundTrip:
         assert restored.active_count == 1
 
 
+@st.composite
+def table_histories(draw):
+    """A random cohort schedule: (size, forget seed/fraction, accesses)."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 40),       # cohort size (0 = empty batch skip)
+                st.integers(0, 2**16),    # forget rng seed
+                st.floats(0.0, 0.7),      # forget fraction
+                st.floats(0.0, 0.9),      # access fraction
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+
+
+class TestRoundTripProperties:
+    """Property tests: whatever history a table lived through — any mix
+    of cohorts, forgets and access traffic, including the empty and
+    single-cohort edges — the checkpoint restores it bit-identically."""
+
+    @given(table_histories())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        # tmp_path is function-scoped; the checkpoint file is unlinked
+        # after every example, so reuse across examples is safe.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_history_roundtrips(self, tmp_path, history):
+        table = Table("events", ["k", "v"])
+        for epoch, (size, seed, forget_frac, access_frac) in enumerate(
+            history
+        ):
+            step_rng = np.random.default_rng(seed)
+            if size:
+                table.insert_batch(
+                    epoch,
+                    {
+                        "k": step_rng.integers(0, 100, size),
+                        "v": step_rng.integers(0, 10_000, size),
+                    },
+                )
+            if table.total_rows:
+                victims = np.flatnonzero(
+                    step_rng.random(table.total_rows) < forget_frac
+                )
+                table.forget(victims, epoch=epoch)
+            active = table.active_positions()
+            touched = np.flatnonzero(
+                step_rng.random(active.size) < access_frac
+            )
+            if touched.size:
+                table.record_access(active[touched], epoch)
+        path = save_table(table, tmp_path / "prop.npz")
+        restored = load_table(path)
+        assert _table_fingerprint(restored) == _table_fingerprint(table)
+        path.unlink()  # hypothesis reuses tmp_path across examples
+
+    def test_empty_table_roundtrips(self, tmp_path):
+        table = Table("empty", ["k"])
+        restored = load_table(save_table(table, tmp_path / "e.npz"))
+        assert _table_fingerprint(restored) == _table_fingerprint(table)
+        assert restored.total_rows == 0
+
+    def test_single_cohort_roundtrips(self, tmp_path):
+        table = Table("one", ["k"])
+        table.insert_batch(3, {"k": [5, 6, 7]})
+        restored = load_table(save_table(table, tmp_path / "o.npz"))
+        assert _table_fingerprint(restored) == _table_fingerprint(table)
+        assert restored.cohorts.epochs() == [3]
+
+
+class TestDatabaseRoundTrip:
+    """save_store/load_store on the single-table amnesia facade."""
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_every_policy_state_roundtrips(self, policy_name, tmp_path):
+        """Forgotten rows, access metadata and cohort history restore
+        bit-identically whatever amnesia policy produced them."""
+        db = AmnesiaDatabase(
+            budget=60, policy=_make_policy(policy_name), columns=("k",), seed=11
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            db.insert({"k": rng.integers(0, 500, 25)})
+            db.range_query("k", 100, 300)
+        path = db.checkpoint(tmp_path / "db.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy(policy_name)
+        )
+        assert isinstance(restored, AmnesiaDatabase)
+        assert restored.epoch == db.epoch
+        assert restored.budget == db.budget
+        assert restored.policy.name == db.policy.name
+        assert _table_fingerprint(restored.table) == _table_fingerprint(
+            db.table
+        )
+
+    @pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+    def test_restored_run_continues_bit_identically(
+        self, policy_name, tmp_path
+    ):
+        """Stateless policies resume exactly — including randomized
+        ones, whose victim-selection stream position is checkpointed:
+        the restored database answers every later query like the
+        uncheckpointed original."""
+
+        def drive(db, rng):
+            observed = []
+            for _ in range(3):
+                db.insert({"k": rng.integers(0, 500, 30)})
+                for low in (0, 150, 350):
+                    result = db.range_query("k", low, low + 100)
+                    observed.append((result.rf, result.mf, result.precision))
+            observed.append(_table_fingerprint(db.table))
+            return observed
+
+        db = AmnesiaDatabase(
+            budget=50, policy=_make_policy(policy_name), columns=("k",), seed=3
+        )
+        warm = np.random.default_rng(9)
+        for _ in range(3):
+            db.insert({"k": warm.integers(0, 500, 30)})
+            db.range_query("k", 50, 250)
+        path = db.checkpoint(tmp_path / "mid.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy(policy_name)
+        )
+        assert drive(restored, np.random.default_rng(77)) == drive(
+            db, np.random.default_rng(77)
+        )
+
+
+class TestShardedRoundTrip:
+    """save_store/load_store on the partitioned store (acceptance
+    criterion: a checkpoint saved mid-run restores to a store whose
+    subsequent query results are bit-identical)."""
+
+    def _build(self, workers=2):
+        return PartitionedAmnesiaDatabase(
+            "k",
+            (0, 250, 500, 1000),
+            total_budget=120,
+            policy_factory=lambda: _make_policy("fifo"),
+            seed=9,
+            workers=workers,
+            rebalance="adaptive",
+            split_threshold=1.5,
+            stats="hist",
+        )
+
+    def _warm(self, store):
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            store.insert({"k": rng.integers(-100, 1100, 60)})
+            # Heavily skewed toward the low shard so the adaptive
+            # rebalances below cut boundaries mid-run.
+            for low, width in ((0, 200), (10, 80), (20, 60), (600, 50)):
+                store.range_query(low, low + width)
+            store.rebalance(floor=5)
+
+    def test_mid_run_checkpoint_continues_bit_identically(self, tmp_path):
+        store = self._build()
+        self._warm(store)
+        assert any("split shard" in e for e in store.adaptations)
+        path = store.checkpoint(tmp_path / "store.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+
+        assert restored.boundaries == store.boundaries
+        assert restored.adaptations == store.adaptations
+        assert restored.ingest_epoch == store.ingest_epoch
+        for got, want in zip(restored.partitions, store.partitions):
+            assert (got.low, got.high, got.budget) == (
+                want.low, want.high, want.budget,
+            )
+            assert (got.query_hits, got.query_rows) == (
+                want.query_hits, want.query_rows,
+            )
+            assert _table_fingerprint(got.db.table) == _table_fingerprint(
+                want.db.table
+            )
+
+        def drive(target):
+            rng = np.random.default_rng(41)
+            observed = []
+            for _ in range(3):
+                target.insert({"k": rng.integers(-100, 1100, 60)})
+                for low, width in ((0, 150), (10, 80), (500, 400)):
+                    result = target.range_query(low, low + width)
+                    observed.append((result.rf, result.mf, result.precision))
+                observed.append(target.rebalance(floor=5))
+                observed.append(target.boundaries)
+            observed.append(target.adaptations)
+            for partition in target.partitions:
+                observed.append(_table_fingerprint(partition.db.table))
+            return observed
+
+        assert drive(restored) == drive(store)
+        store.close()
+        restored.close()
+
+    def test_checkpoint_publishes_pending_batches(self, tmp_path):
+        """Queued-but-unflushed rows are flushed into the checkpoint —
+        a restore never resurrects a half-submitted batch."""
+        store = self._build()
+        store.enqueue({"k": np.arange(100)})
+        assert store.pending_batches == 1
+        path = store.checkpoint(tmp_path / "pending.npz")
+        assert store.pending_batches == 0
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        result = restored.range_query(0, 1000)
+        assert result.rf + result.mf == 100
+        assert restored.ingest_epoch == store.ingest_epoch == 1
+        store.close()
+        restored.close()
+
+
+class TestCatalogRoundTrip:
+    def test_catalog_with_sharded_member_roundtrips(self, tmp_path):
+        catalog = Catalog(workers=2)
+        events = catalog.create_table("events", ["k"])
+        rng = np.random.default_rng(19)
+        for epoch in range(3):
+            events.insert_batch(epoch, {"k": rng.integers(0, 400, 25)})
+        events.forget(np.arange(0, 60, 3), epoch=3)
+        store = PartitionedAmnesiaDatabase(
+            "k",
+            (0, 200, 400),
+            total_budget=80,
+            policy_factory=lambda: _make_policy("fifo"),
+            seed=7,
+            workers=2,
+        )
+        catalog.register_sharded("s", store)
+        store.insert({"k": rng.integers(0, 400, 50)})
+
+        path = catalog.checkpoint(tmp_path / "cat.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        assert isinstance(restored, Catalog)
+        assert sorted(restored.names()) == sorted(catalog.names())
+        assert restored.sharded_names() == catalog.sharded_names()
+        assert _table_fingerprint(restored.get("events")) == (
+            _table_fingerprint(events)
+        )
+        for spec in ("union:events,s", "join:events,s:on=value"):
+            want = catalog.query(spec, epoch=5)
+            got = restored.query(spec, epoch=5)
+            assert got.rows.tolist() == want.rows.tolist()
+            assert got.forgotten.tolist() == want.forgotten.tolist()
+        store.close()
+        catalog.close()
+        restored.close()
+
+    def test_tables_only_catalog_needs_no_factory(self, tmp_path):
+        catalog = Catalog()
+        t = catalog.create_table("t", ["k"])
+        t.insert_batch(0, {"k": [1, 2, 3]})
+        restored = load_store(catalog.checkpoint(tmp_path / "c.npz"))
+        assert _table_fingerprint(restored.get("t")) == _table_fingerprint(t)
+        catalog.close()
+        restored.close()
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(StorageError):
@@ -86,6 +392,53 @@ class TestErrors:
         np.savez(path, stuff=np.arange(3))
         with pytest.raises(StorageError):
             load_table(path)
+
+    def test_truncated_file_raises_storage_error(self, rich_table, tmp_path):
+        """A torn write surfaces as StorageError, not a numpy traceback."""
+        path = save_table(rich_table, tmp_path / "torn.npz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(StorageError, match="not a readable checkpoint"):
+            load_store(path)
+
+    def test_corrupt_bytes_raise_storage_error(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"\x00\x01garbage" * 40)
+        with pytest.raises(StorageError):
+            load_store(path)
+
+    def test_old_format_version_is_refused_clearly(self, tmp_path):
+        import json
+
+        header = json.dumps({"format_version": 1, "kind": "table"})
+        path = tmp_path / "v1.npz"
+        np.savez(
+            path, header=np.frombuffer(header.encode(), dtype=np.uint8)
+        )
+        with pytest.raises(StorageError, match="format 1"):
+            load_store(path)
+
+    def test_load_table_refuses_store_checkpoints(self, tmp_path):
+        db = AmnesiaDatabase(
+            budget=20, policy=_make_policy("fifo"), columns=("k",), seed=1
+        )
+        db.insert({"k": [1, 2, 3]})
+        path = db.checkpoint(tmp_path / "db.npz")
+        with pytest.raises(StorageError):
+            load_table(path)
+
+    def test_database_restore_requires_policy_factory(self, tmp_path):
+        db = AmnesiaDatabase(
+            budget=20, policy=_make_policy("fifo"), columns=("k",), seed=1
+        )
+        db.insert({"k": [1, 2, 3]})
+        path = db.checkpoint(tmp_path / "db.npz")
+        with pytest.raises(StorageError, match="policy_factory"):
+            load_store(path)
+
+    def test_unknown_store_type_is_refused(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot checkpoint"):
+            save_store(object(), tmp_path / "x.npz")
 
 
 class TestSimulatorCheckpoint:
