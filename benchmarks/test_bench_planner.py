@@ -17,7 +17,10 @@ per-shard scans, and the merged results must stay bit-identical.
 Every timed section feeds ``BENCH_planner.json`` at the repo root —
 an ops/s trajectory artifact (per plan mode, shard count and worker
 count, plus the host's CPU count) uploaded by CI so future PRs have a
-perf baseline to diff against.  With ``--quick`` the history shrinks
+perf baseline to diff against.  The ``streaming`` suite compares the
+same aggregate-over-join executed materialized, streamed-hash and
+sort-merge: identical exact moments, with the streamed peak working
+set bounded by batch × build rows and ≥10× under the full pair set.  With ``--quick`` the history shrinks
 for CI smoke runs and the wall-clock floors relax (shape and
 equivalence assertions still run).  Fan-out speed floors additionally
 gate on the visible CPU count: threads cannot beat sequential on a
@@ -36,10 +39,10 @@ import pytest
 
 from conftest import BENCH_SEED
 from repro.amnesia import FifoAmnesia
-from repro.indexes import BlockRangeIndex
+from repro.indexes import BlockRangeIndex, SortedIndex
 from repro.partitioning import PartitionedAmnesiaDatabase
 from repro.query import QueryExecutor, QueryPlanner, RangePredicate, RangeQuery
-from repro.stats import TableHistogramStats
+from repro.stats import ExactMoments, TableHistogramStats
 from repro.storage import Catalog, CohortZoneMap, Table
 
 FULL_ROWS = 1_000_000
@@ -109,6 +112,20 @@ BLOCKED_JOIN_ROWS = 48_000
 BLOCKED_JOIN_QUICK_ROWS = 12_000
 BLOCKED_JOIN_BLOCK = 2_048
 
+#: Streaming suite: aggregate-over-join on ~1M rows (2 × 500k sides)
+#: sharing a hot key, the working-set stress the streaming engine
+#: exists for.  The materializing baseline holds the full pair set at
+#: once; the streamed aggregate folds batches into exact moments, so
+#: its recorded peak must stay ≤ batch × build rows and ≥10× under the
+#: full |output|.  A second catalog adds ``SortedIndex`` leaves so the
+#: cost model flips the same query to sort-merge (peak ≤ batch, full
+#: stop).  Speed floors gate on ≥4 visible cores, per the carry-over
+#: convention for timing-sensitive assertions.
+STREAM_FULL_ROWS = 500_000
+STREAM_QUICK_ROWS = 50_000
+STREAM_BATCH = 2_048
+STREAM_HOT_FRACTION = 0.002
+
 #: Trajectory artifact consumed by CI (ops/s per plan mode + shards).
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
 
@@ -131,6 +148,7 @@ def artifact(quick):
             "join": {"modes": {}, "workers": {}},
             "ingest": {"shards": SHARDS, "workers": {}, "mixed": {}},
             "skewed": {"modes": {}, "qerror": {}, "blocked_join": {}},
+            "streaming": {"modes": {}},
         }
     )
     yield _ARTIFACT
@@ -800,6 +818,118 @@ def test_bench_skewed_blocked_join(quick):
         f"blocked {blocked_time * 1e3:.1f}ms"
     )
     catalog.close()
+
+
+def _build_stream_catalog(rows: int, *, ordered: bool) -> Catalog:
+    """Two hot-key-sharing sensor tables; ``ordered`` adds a
+    ``SortedIndex`` per leaf so the cost model can pick sort-merge."""
+    rng = np.random.default_rng(BENCH_SEED + 12)
+    catalog = Catalog(plan="auto", workers=1)
+    for name in ("s1", "s2"):
+        table = catalog.create_table(name, ["a"])
+        values = rng.integers(0, rows, rows)
+        values[rng.random(rows) < STREAM_HOT_FRACTION] = 7  # shared hot key
+        table.insert_batch(0, {"a": values})
+        table.forget(np.arange(rows // 10), epoch=1)
+        if ordered:
+            catalog.create_index(name, "a", SortedIndex)
+    return catalog
+
+
+def test_bench_streaming_aggregate_over_join(quick):
+    """Acceptance: the ``streaming`` suite of the trajectory artifact.
+
+    The same aggregate-over-join runs three ways on identical data:
+    materialized (full pair set, then moments — the pre-streaming
+    shape), streamed-hash (probe batches against the build side), and
+    sort-merge (``SortedIndex`` on both leaves flips the cost model's
+    strategy choice).  All three must produce bit-identical exact
+    moments and RF/MF counts.  The memory claims are deterministic and
+    gate everywhere, quick included: streamed peak pairs ≤ batch ×
+    build rows and ≥10× under the materialized |output|; sort-merge
+    peak ≤ batch outright.  The wall-clock floor — streaming must cost
+    at most 2× the materialized single-shot run, i.e. the working-set
+    bound is not bought with an order-of-magnitude slowdown — gates on
+    full-size runs with ≥4 visible cores, per the carry-over
+    convention; the measured ratios land in the artifact regardless.
+    """
+    rows = STREAM_QUICK_ROWS if quick else STREAM_FULL_ROWS
+    from repro.query import build_plan
+
+    catalog = _build_stream_catalog(rows, ordered=False)
+    spec = "join:s1,s2:on=value"
+    mat_node = build_plan(catalog, spec)
+    mat = catalog.query(mat_node, epoch=1)
+    total_pairs = mat.oracle_count
+    build_rows = min(r.oracle_count for r in mat.inputs)
+    assert mat_node.peak_pairs == total_pairs  # the baseline holds it all
+    expected_active = ExactMoments.of(mat.rows[~mat.forgotten, 0])
+    expected_missed = ExactMoments.of(mat.rows[mat.forgotten, 0])
+
+    agg_node = build_plan(catalog, spec + ",agg=value")
+    join_node = agg_node.children[0]
+    agg = catalog.query(agg_node, epoch=1, batch_size=STREAM_BATCH)
+    assert agg.strategy == f"streamed-hash(batch={STREAM_BATCH})"
+    assert (agg.active, agg.missed) == (expected_active, expected_missed)
+    assert (agg.rf, agg.mf) == (mat.rf, mat.mf)
+    # The tentpole bound: the streamed peak is capped by batch × build
+    # rows and, at this bench shape, at least 10x under the pair set.
+    assert 0 < join_node.peak_pairs <= STREAM_BATCH * build_rows
+    assert join_node.peak_pairs * 10 <= total_pairs
+    streamed_peak = join_node.peak_pairs
+
+    ordered_catalog = _build_stream_catalog(rows, ordered=True)
+    merge_node = build_plan(ordered_catalog, spec + ",agg=value")
+    merge_join = merge_node.children[0]
+    merge = ordered_catalog.query(merge_node, epoch=1, batch_size=STREAM_BATCH)
+    assert merge.strategy == f"sort-merge(batch={STREAM_BATCH})"
+    assert (merge.active, merge.missed) == (expected_active, expected_missed)
+    # Key-group slabs cap the merge's working set at the batch size
+    # even though the hot key alone joins far wider than one batch.
+    assert 0 < merge_join.peak_pairs <= STREAM_BATCH
+
+    mat_time = _time_best_of(lambda: catalog.query(mat_node, epoch=1))
+    streamed_time = _time_best_of(
+        lambda: catalog.query(agg_node, epoch=1, batch_size=STREAM_BATCH)
+    )
+    merge_time = _time_best_of(
+        lambda: ordered_catalog.query(
+            merge_node, epoch=1, batch_size=STREAM_BATCH
+        )
+    )
+    _record("streaming", "materialized", mat_time, 1)
+    _record("streaming", "streamed-hash", streamed_time, 1)
+    _record("streaming", "sort-merge", merge_time, 1)
+    _ARTIFACT["streaming"].update(
+        {
+            "rows": rows,
+            "batch": STREAM_BATCH,
+            "total_pairs": int(total_pairs),
+            "build_rows": int(build_rows),
+            "materialized_peak_pairs": int(mat_node.peak_pairs),
+            "streamed_peak_pairs": int(streamed_peak),
+            "merge_peak_pairs": int(merge_join.peak_pairs),
+            "peak_shrink": round(total_pairs / max(streamed_peak, 1), 2),
+            "streamed_vs_materialized": round(mat_time / streamed_time, 2),
+            "merge_vs_materialized": round(mat_time / merge_time, 2),
+        }
+    )
+    print(
+        f"\nstreaming aggregate-over-join on 2x{rows} rows ({CPUS} cpus): "
+        f"peak pairs {total_pairs:,} -> {streamed_peak:,} streamed "
+        f"({total_pairs / max(streamed_peak, 1):.0f}x smaller), "
+        f"{merge_join.peak_pairs:,} sort-merge; materialized "
+        f"{mat_time * 1e3:.1f}ms vs streamed {streamed_time * 1e3:.1f}ms "
+        f"vs merge {merge_time * 1e3:.1f}ms"
+    )
+    catalog.close()
+    ordered_catalog.close()
+    if CPUS >= 4 and rows >= STREAM_FULL_ROWS:
+        ratio = mat_time / streamed_time
+        assert ratio >= 0.5, (
+            f"streaming cost more than 2x the materialized run on "
+            f"{rows} rows with {CPUS} cpus ({ratio:.2f}x)"
+        )
 
 
 def test_bench_planner_auto(history, once):

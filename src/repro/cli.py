@@ -22,11 +22,13 @@ from ._util.errors import QueryError
 from .core.config import (
     REBALANCE_POLICIES,
     STATS_MODES,
+    default_batch_size,
     default_cross_query,
     default_plan,
     default_rebalance,
     default_stats,
     default_workers,
+    set_default_batch_size,
     set_default_cross_query,
     set_default_plan,
     set_default_rebalance,
@@ -138,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default: {default_cross_query()!r})"
         ),
     )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        dest="batch_size",
+        help=(
+            "row-batch size for the streaming vectorized execution "
+            "layer (batch iterators and streamed aggregates; default: "
+            f"{default_batch_size()}; results are identical at any "
+            "size — only the peak working set changes)"
+        ),
+    )
     return parser
 
 
@@ -166,6 +180,12 @@ def main(argv=None, out=None) -> int:
     if getattr(args, "workers", None) is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if getattr(args, "batch_size", None) is not None and args.batch_size < 1:
+        print(
+            f"--batch-size must be >= 1, got {args.batch_size}",
+            file=sys.stderr,
+        )
+        return 2
     if getattr(args, "query", None) is not None:
         try:
             parse_query_spec(args.query)
@@ -177,8 +197,9 @@ def main(argv=None, out=None) -> int:
     previous_workers = default_workers()
     previous_rebalance = default_rebalance()
     previous_cross_query = default_cross_query()
+    previous_batch_size = default_batch_size()
     # Every set_default_* sits INSIDE the try: a setter raising midway
-    # (or any failure in the run itself) must restore all five process
+    # (or any failure in the run itself) must restore all six process
     # defaults — a leaked half-applied configuration would silently
     # reshape every later in-process run.
     try:
@@ -192,6 +213,8 @@ def main(argv=None, out=None) -> int:
             set_default_rebalance(args.rebalance)
         if getattr(args, "query", None) is not None:
             set_default_cross_query(args.query)
+        if getattr(args, "batch_size", None) is not None:
+            set_default_batch_size(args.batch_size)
         target = args.experiment.upper()
         if target == "ALL":
             for experiment_id in EXPERIMENTS:
@@ -226,6 +249,7 @@ def main(argv=None, out=None) -> int:
         set_default_workers(previous_workers)
         set_default_rebalance(previous_rebalance)
         set_default_cross_query(previous_cross_query)
+        set_default_batch_size(previous_batch_size)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,11 +24,13 @@ __all__ = [
     "REBALANCE_POLICIES",
     "STATS_MODES",
     "SimulationConfig",
+    "default_batch_size",
     "default_cross_query",
     "default_plan",
     "default_rebalance",
     "default_stats",
     "default_workers",
+    "set_default_batch_size",
     "set_default_cross_query",
     "set_default_plan",
     "set_default_rebalance",
@@ -75,6 +77,13 @@ _DEFAULT_REBALANCE = "hits"
 #: :func:`repro.query.plans.parse_query_spec`) — the CLI's ``--query``
 #: flag sets it, and the cross-table experiment (X5) runs it.
 _DEFAULT_CROSS_QUERY = "join:s1,s2:on=value"
+
+#: Process-wide default batch size (rows) for the streaming vectorized
+#: execution layer (:meth:`repro.query.plans.PlanNode.batches` and the
+#: streamed aggregates behind it) — the CLI's ``--batch-size`` flag
+#: sets it.  Purely an execution knob: results are bit-identical at
+#: any batch size; only the peak working set changes.
+_DEFAULT_BATCH_SIZE = 4096
 
 
 def default_plan() -> str:
@@ -127,6 +136,18 @@ def set_default_cross_query(spec: str) -> str:
     global _DEFAULT_CROSS_QUERY
     _DEFAULT_CROSS_QUERY = parse_query_spec(spec).render()
     return _DEFAULT_CROSS_QUERY
+
+
+def default_batch_size() -> int:
+    """The streaming-execution batch size new configs default to."""
+    return _DEFAULT_BATCH_SIZE
+
+
+def set_default_batch_size(rows: int) -> int:
+    """Set the process-wide default streaming batch size; returns it."""
+    global _DEFAULT_BATCH_SIZE
+    _DEFAULT_BATCH_SIZE = check_positive_int(rows, "batch_size")
+    return _DEFAULT_BATCH_SIZE
 
 
 def default_rebalance() -> str:
@@ -207,6 +228,14 @@ class SimulationConfig:
         process default.  Consumed by the cross-table experiment (X5);
         single-table runners validate and record it but have only one
         table to scan.
+    exec_batch:
+        Batch size (rows) for the streaming vectorized execution layer
+        (:meth:`repro.query.plans.PlanNode.batches` and streamed
+        aggregates); the CLI's ``--batch-size`` flag sets the process
+        default.  Distinct from the derived :attr:`batch_size`
+        property, which is the paper's *update* batch (tuples inserted
+        per epoch).  Execution-only: results are bit-identical at any
+        value; only the peak working set changes.
     """
 
     dbsize: int = 1000
@@ -221,6 +250,7 @@ class SimulationConfig:
     workers: int = field(default_factory=default_workers)
     rebalance: str = field(default_factory=default_rebalance)
     cross_query: str = field(default_factory=default_cross_query)
+    exec_batch: int = field(default_factory=default_batch_size)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")
@@ -232,6 +262,7 @@ class SimulationConfig:
         check_in(self.stats, STATS_MODES, "stats")
         check_positive_int(self.workers, "workers")
         check_in(self.rebalance, REBALANCE_POLICIES, "rebalance")
+        check_positive_int(self.exec_batch, "exec_batch")
         parse_query_spec(self.cross_query)  # grammar check; binding is lazy
         if not self.column:
             raise ValueError("column name must be non-empty")

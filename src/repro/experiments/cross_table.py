@@ -20,7 +20,9 @@ from ..amnesia.registry import make_policy
 from ..core.config import SimulationConfig
 from ..core.database import AmnesiaDatabase
 from ..datagen.distributions import ZipfianDistribution
+from ..indexes import SortedIndex
 from ..plotting.tables import render_table
+from ..query.plans import StreamedAggregate
 from ..storage.catalog import Catalog
 from .runner import ExperimentResult
 
@@ -54,6 +56,11 @@ def run_cross_table(
             plan=config.plan,
         )
         catalog.register(db.table)
+        # A sorted index per sensor keeps each leaf's value stream
+        # ordered by construction — which is what makes the streamed
+        # aggregate's sort-merge join eligible (``--query ...,agg=...``
+        # prices merge against hash and picks merge on ordered inputs).
+        catalog.create_index(name, "a", SortedIndex)
         sensors[name] = db
     distribution = ZipfianDistribution(domain=domain)
     rng = np.random.default_rng(derive_seed(seed, "cross-table-data"))
@@ -61,18 +68,25 @@ def run_cross_table(
     for batch in range(1, batches + 1):
         for db in sensors.values():
             db.insert({"a": distribution.sample(batch_size, rng)})
-        result = catalog.query(spec, epoch=batch)
-        series.append(
-            {
-                "batch": batch,
-                "rf": result.rf,
-                "mf": result.mf,
-                "precision": result.precision,
-                "inputs": [
-                    (r.rf, r.mf, round(r.precision, 4)) for r in result.inputs
-                ],
-            }
-        )
+        result = catalog.query(spec, epoch=batch, batch_size=config.exec_batch)
+        inputs = result.inputs
+        if isinstance(result, StreamedAggregate) and len(inputs) == 1:
+            # The aggregate wraps one union/join; report that child's
+            # per-sensor inputs, as the row-returning path would.
+            inputs = inputs[0].inputs
+        point = {
+            "batch": batch,
+            "rf": result.rf,
+            "mf": result.mf,
+            "precision": result.precision,
+            "inputs": [(r.rf, r.mf, round(r.precision, 4)) for r in inputs],
+        }
+        if isinstance(result, StreamedAggregate):
+            point["strategy"] = result.strategy
+            point["aggregate"] = (
+                result.active.as_dict() if result.rf else None
+            )
+        series.append(point)
     rows = [
         [
             point["batch"],

@@ -742,6 +742,36 @@ class PartitionedAmnesiaDatabase:
         Query-traffic counters for :meth:`rebalance` accumulate like
         :meth:`range_query`'s: coverage-based, never plan-dependent.
         """
+        outputs = self.scan_chunks(
+            low, high, record_access=record_access, epoch=epoch
+        )
+        return (
+            np.concatenate([o[0] for o in outputs]),
+            np.concatenate([o[1] for o in outputs]),
+            np.concatenate([o[2] for o in outputs]),
+        )
+
+    def scan_chunks(
+        self,
+        low: int | None = None,
+        high: int | None = None,
+        *,
+        record_access: bool = True,
+        epoch: int | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-shard ``(values, epochs, forgotten)`` chunks, in shard order.
+
+        The batch handoff behind :meth:`scan_rows` and the streaming
+        execution layer (:meth:`repro.query.plans.PlanNode.batches`):
+        identical matching, access accounting and traffic counters, but
+        the per-shard outputs are handed back *unconcatenated*, so a
+        batch iterator can re-chunk them to its batch size without ever
+        building the full concatenated stream.  All shards are scanned
+        under **one** acquisition of the read gate's shared side, so
+        the whole chunk list reflects a single published ingest epoch —
+        a consumer draining the chunks later still sees the snapshot
+        taken here, however the store advances in between.
+        """
         low, high = check_scan_bounds(low, high)
 
         def run_shard(partition: Partition):
@@ -773,14 +803,9 @@ class PartitionedAmnesiaDatabase:
                 )
 
         with self._gate.reading():
-            outputs = self._fanout.map_ordered(
+            return self._fanout.map_ordered(
                 run_shard, self._partitions, self.workers
             )
-        return (
-            np.concatenate([o[0] for o in outputs]),
-            np.concatenate([o[1] for o in outputs]),
-            np.concatenate([o[2] for o in outputs]),
-        )
 
     def estimate_scan(
         self, low: int | None = None, high: int | None = None, *, cost: bool = False

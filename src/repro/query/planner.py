@@ -88,6 +88,7 @@ from .._util.errors import QueryError
 from .._util.validation import check_in
 from ..indexes.base import Index
 from ..indexes.hash_index import HashIndex
+from ..indexes.sorted_index import SortedIndex
 from ..storage.cohorts import CohortZoneMap
 from ..storage.table import Table
 from .predicates import AndPredicate, PointPredicate, Predicate, RangePredicate
@@ -297,6 +298,21 @@ class QueryPlanner:
     def indexes_on(self, column: str) -> tuple[Index, ...]:
         """Registered indexes for ``column`` (possibly dropped ones too)."""
         return tuple(self._indexes.get(column, ()))
+
+    def ordered_index(self, column: str) -> Index | None:
+        """A live value-ordered index on ``column``, or ``None``.
+
+        Sort-merge eligibility probe for the cross-table layer: a
+        :class:`~repro.indexes.sorted_index.SortedIndex` keeps the
+        column's positions in value order by construction, so a leaf
+        over this table can hand the join an already-ordered key
+        stream — the condition under which the streaming cost model
+        prices a merge join below a hash join.
+        """
+        for index in self._indexes.get(column, ()):
+            if isinstance(index, SortedIndex) and not index.is_dropped:
+                return index
+        return None
 
     def declare_value_bounds(
         self, column: str, low: int | None, high: int | None

@@ -43,6 +43,22 @@ Every node renders into an EXPLAIN-style tree with per-node cost
 estimates via :func:`explain_plan` (estimates only) or
 :func:`render_executed` (estimates plus the actual RF/MF/precision).
 
+Above the materializing path sits the **streaming vectorized layer**:
+every node exposes :meth:`PlanNode.batches`, an iterator of fixed-size
+``(rows, forgotten)`` numpy batches in the same canonical order the
+materializing path produces (see the method's docstring for the full
+batch contract — ordering, forgotten-flag propagation and epoch
+snapshot semantics), and :class:`AggregateNode` consumes those batches
+into :class:`~repro.stats.moments.ExactMoments` so an aggregate over a
+join or union never materializes the joined row set: the peak working
+set is bounded by ``batch_size × build rows`` instead of the full
+output.  Aggregation is pushed below unions (per-input partials merged
+with Chan's rule), and the cost model prices a **sort-merge join**
+against the hash join — using the per-bin
+:class:`~repro.stats.TableHistogramStats` cardinalities — choosing
+merge when both inputs arrive ordered (sharded scans band by value;
+sorted-index-backed leaves are ordered by construction).
+
 Plans can also be written as compact specs for the CLI and the config
 layer (``--query``), parsed by :func:`parse_query_spec`::
 
@@ -51,6 +67,7 @@ layer (``--query``), parsed by :func:`parse_query_spec`::
     join:s1,s2:on=value              -- equi-join on the value column
     join:s1,s2:on=epoch,low=0,high=500
     join:s1,s2:on=value,block=512    -- blocked probe (bounded memory)
+    join:s1,s2:on=value,agg=value    -- streamed aggregate over the join
 
 >>> import numpy as np
 >>> from repro.storage import Catalog
@@ -67,6 +84,13 @@ layer (``--query``), parsed by :func:`parse_query_spec`::
 ...                        on="value"), epoch=1)
 >>> (j.rf, j.mf, round(j.precision, 3))
 (2, 1, 0.667)
+>>> a = cat.query("join:s1,s2:on=value,agg=value", epoch=1)
+>>> (a.rf, a.mf, a.active.total)     # SUM(l.value) over surviving pairs
+(2, 1, 5)
+>>> [b.shape[0] for b, _ in
+...  UnionNode(TableScanNode("s1"), TableScanNode("s2"))
+...  .batches(cat, epoch=1, batch_size=4)]
+[4, 2]
 """
 
 from __future__ import annotations
@@ -81,8 +105,10 @@ from .predicates import RangePredicate, TruePredicate
 
 __all__ = [
     "JOIN_KEYS",
+    "AggregateNode",
     "NodeResult",
     "PlanNode",
+    "StreamedAggregate",
     "TableScanNode",
     "ShardedScanNode",
     "UnionNode",
@@ -110,6 +136,127 @@ SCAN_COLUMNS = ("value", "epoch")
 
 def _empty_rows(width: int) -> np.ndarray:
     return np.empty((0, width), dtype=np.int64)
+
+
+# -- streaming plumbing ----------------------------------------------------
+
+
+def _resolve_batch_size(batch_size: int | None) -> int:
+    """``batch_size`` validated, or the process default when ``None``."""
+    if batch_size is None:
+        # Imported lazily: core.config imports this module for the
+        # spec grammar, so a module-level import would be circular.
+        from ..core.config import default_batch_size
+
+        return default_batch_size()
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise QueryError(f"batch size must be >= 1, got {batch_size}")
+    return batch_size
+
+
+def _batched(pieces, batch_size: int):
+    """Re-chunk a ``(rows, forgotten)`` piece stream to ``batch_size``.
+
+    Yields batches of exactly ``batch_size`` rows (the final batch may
+    be short), preserving row order across arbitrarily sized input
+    pieces — the normalization between producers that emit natural
+    units (leaf slices, per-shard chunks, per-probe-batch pair blocks)
+    and consumers that promise a fixed working-set bound.
+    """
+    pending_rows: list[np.ndarray] = []
+    pending_flags: list[np.ndarray] = []
+    buffered = 0
+    for rows, flags in pieces:
+        n = rows.shape[0]
+        if n == 0:
+            continue
+        pending_rows.append(rows)
+        pending_flags.append(flags)
+        buffered += n
+        if buffered < batch_size:
+            continue
+        rows_all = (
+            pending_rows[0]
+            if len(pending_rows) == 1
+            else np.concatenate(pending_rows)
+        )
+        flags_all = (
+            pending_flags[0]
+            if len(pending_flags) == 1
+            else np.concatenate(pending_flags)
+        )
+        start = 0
+        while buffered - start >= batch_size:
+            yield (
+                rows_all[start : start + batch_size],
+                flags_all[start : start + batch_size],
+            )
+            start += batch_size
+        if start < buffered:
+            pending_rows = [rows_all[start:]]
+            pending_flags = [flags_all[start:]]
+            buffered -= start
+        else:
+            pending_rows = []
+            pending_flags = []
+            buffered = 0
+    if buffered:
+        yield (
+            pending_rows[0]
+            if len(pending_rows) == 1
+            else np.concatenate(pending_rows),
+            pending_flags[0]
+            if len(pending_flags) == 1
+            else np.concatenate(pending_flags),
+        )
+
+
+def _drain(pieces) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize a piece stream into one ``(rows, forgotten)`` pair."""
+    chunks = list(pieces)
+    if not chunks:
+        return _empty_rows(0), np.empty(0, dtype=bool)
+    return (
+        np.concatenate([rows for rows, _ in chunks]),
+        np.concatenate([flags for _, flags in chunks]),
+    )
+
+
+class _StreamContext:
+    """Per-execution state threaded through a batch-stream walk.
+
+    ``payloads`` maps leaf node ids to their scanned inputs (produced
+    up front, under the source locks, so the stream holds one epoch
+    snapshot however long the consumer takes to drain it); ``counts``
+    accumulates each node's (oracle rows, forgotten rows) as its
+    output flows past, which is how streamed execution reports the
+    same per-node RF/MF accounting the materializing path keeps —
+    without retaining any rows.
+    """
+
+    def __init__(self, payloads: dict, batch_size: int):
+        self.payloads = payloads
+        self.batch_size = batch_size
+        self.counts: dict[int, list[int]] = {}
+
+    def tally(self, node: "PlanNode", flags: np.ndarray) -> None:
+        entry = self.counts.setdefault(id(node), [0, 0])
+        entry[0] += int(flags.size)
+        entry[1] += int(np.count_nonzero(flags))
+
+
+def _summarize_stream(node: "PlanNode", ctx: _StreamContext) -> tuple:
+    """(rf, mf, precision, children) skeleton from a drained stream."""
+    oracle, mf = ctx.counts.get(id(node), (0, 0))
+    rf = oracle - mf
+    precision = 1.0 if oracle == 0 else rf / oracle
+    return (
+        rf,
+        mf,
+        precision,
+        tuple(_summarize_stream(child, ctx) for child in node.children),
+    )
 
 
 @dataclass(frozen=True)
@@ -227,6 +374,91 @@ class PlanNode(ABC):
         """Key-mass model for join estimation (leaves may override)."""
         return None
 
+    def ordered_on(self, catalog, key: str) -> bool:
+        """True when this node's output arrives ordered by ``key``.
+
+        Feeds the join's sort-merge pricing; the default (unordered)
+        is always safe — strategy choice never changes results.
+        """
+        return False
+
+    def batches(
+        self,
+        catalog,
+        epoch: int,
+        batch_size: int | None = None,
+        *,
+        pool=None,
+        workers: int = 1,
+        record_access: bool = True,
+    ):
+        """Stream this node's output as fixed-size numpy batches.
+
+        Returns an iterator of ``(rows, forgotten)`` pairs — ``rows``
+        a ``(n, len(output_columns()))`` int64 matrix, ``forgotten``
+        the aligned bool flags — with ``n == batch_size`` for every
+        batch except possibly the last.  ``batch_size=None`` resolves
+        to :func:`repro.core.config.default_batch_size` (the CLI's
+        ``--batch-size``).
+
+        The batch contract:
+
+        **Ordering.**  Concatenating the batches reproduces, bit for
+        bit, the rows and flags :func:`execute_plan` materializes:
+        leaf scans stream in insertion-position order (sharded leaves
+        in shard order, each shard in position order), unions in child
+        order, and joins in canonical nested-loop order — ascending
+        (left row, right row) — so where the batch boundaries fall is
+        unobservable downstream.
+
+        **Forgotten-flag propagation.**  Every batch carries one flag
+        per row; a union row keeps its input's flag, and a join row is
+        flagged iff *either* contributing input row was — flags
+        compose under batching exactly as they do materialized, so
+        RF/MF/precision accounting is identical however the stream is
+        chunked.
+
+        **Epoch snapshot.**  All leaf scans run *eagerly, here* —
+        fanned out on ``pool`` under the source locks (sharded leaves
+        under one acquisition of their store's read gate) with access
+        recorded at ``epoch`` — before the iterator is returned.  The
+        stream therefore reflects one snapshot per *batch stream*, not
+        per batch: inserts, forgetting or epoch advances that land
+        while the consumer drains it are invisible until a new stream
+        is opened.
+
+        Peak memory above the leaves is bounded by the batch size (for
+        a join: ``batch_size × build rows`` during pair discovery),
+        never by the output size.
+
+        >>> import numpy as np
+        >>> from repro.storage import Catalog
+        >>> cat = Catalog()
+        >>> _ = cat.create_table("t", ["a"]).insert_batch(
+        ...     0, {"a": [5, 6, 7]})
+        >>> [(rows.shape, flags.tolist()) for rows, flags in
+        ...  TableScanNode("t").batches(cat, epoch=0, batch_size=2)]
+        [((2, 2), [False, False]), ((1, 2), [False])]
+        """
+        batch_size = _resolve_batch_size(batch_size)
+        self.validate(catalog)
+        payloads = _fan_out_leaves(
+            self, catalog, epoch, pool, workers, record_access, stream=True
+        )
+        ctx = _StreamContext(payloads, batch_size)
+        return _batched(self._stream(ctx), batch_size)
+
+    def _stream(self, ctx: _StreamContext):
+        """Yield ``(rows, forgotten)`` pieces in canonical order.
+
+        Internal producer behind :meth:`batches`: pieces may be any
+        size (consumers re-chunk via ``_batched``), must arrive in
+        canonical order, and every implementation tallies its output
+        into ``ctx.counts`` so streamed executions report the same
+        per-node accounting the materializing path keeps.
+        """
+        raise NotImplementedError  # pragma: no cover - all nodes override
+
     @abstractmethod
     def output_columns(self) -> tuple[str, ...]:
         """Column names of this node's output stream."""
@@ -322,6 +554,27 @@ class _ScanNode(PlanNode):
     def scan(self, catalog, epoch: int, record_access: bool) -> NodeResult:
         """Execute the leaf against the catalog."""
 
+    def scan_payload(self, catalog, epoch: int, record_access: bool):
+        """Scan for the streaming path (leaves may hand back chunks).
+
+        Identical matching and access accounting to :meth:`scan`; the
+        payload is whatever shape lets :meth:`_stream` re-chunk
+        without an extra copy (the plain leaf's ``NodeResult``, the
+        sharded leaf's per-shard chunk list).
+        """
+        return self.scan(catalog, epoch, record_access)
+
+    def _stream(self, ctx: _StreamContext):
+        result: NodeResult = ctx.payloads[id(self)]
+        step = ctx.batch_size
+        for start in range(0, result.oracle_count, step):
+            rows = result.rows[start : start + step]
+            flags = result.forgotten[start : start + step]
+            ctx.tally(self, flags)
+            yield rows, flags
+        if result.oracle_count == 0:
+            ctx.counts.setdefault(id(self), [0, 0])
+
 
 class TableScanNode(_ScanNode):
     """Leaf: planner-routed scan of one catalog table.
@@ -413,6 +666,18 @@ class TableScanNode(_ScanNode):
             )
         return float(catalog.get(self.source).total_rows)
 
+    def ordered_on(self, catalog, key: str) -> bool:
+        """Ordered by ``value`` when a live sorted index covers the column.
+
+        A :class:`~repro.indexes.SortedIndex` keeps the column in value
+        order by construction, so this leaf can feed a merge join an
+        already-ordered key stream — the sort-merge pricing signal.
+        """
+        if key != "value":
+            return False
+        planner = catalog.planner(self.source)
+        return planner.ordered_index(self._column(catalog)) is not None
+
     def describe(self, catalog=None) -> str:
         est = ""
         if catalog is not None:
@@ -453,6 +718,55 @@ class ShardedScanNode(_ScanNode):
         if rows.size == 0:
             rows = _empty_rows(2)
         return NodeResult(SCAN_COLUMNS, rows, flags)
+
+    def scan_payload(self, catalog, epoch: int, record_access: bool):
+        """Per-shard chunk handoff for the streaming path.
+
+        Uses the store's :meth:`~repro.partitioning.
+        PartitionedAmnesiaDatabase.scan_chunks` when it offers one —
+        identical matching and accounting to :meth:`scan`, but the
+        per-shard outputs stay unconcatenated (all taken under one
+        read-gate acquisition, so the stream is one epoch snapshot)
+        and :meth:`_stream` re-chunks them to the batch size without
+        ever building the full concatenated matrix.
+        """
+        store = catalog.sharded(self.source)
+        scan_chunks = getattr(store, "scan_chunks", None)
+        if scan_chunks is None:
+            return self.scan(catalog, epoch, record_access)
+        return scan_chunks(
+            self.low, self.high, record_access=record_access, epoch=epoch
+        )
+
+    def _stream(self, ctx: _StreamContext):
+        payload = ctx.payloads[id(self)]
+        if isinstance(payload, NodeResult):  # duck-typed store fallback
+            yield from super()._stream(ctx)
+            return
+        ctx.counts.setdefault(id(self), [0, 0])
+        step = ctx.batch_size
+        for values, epochs, flags in payload:
+            if values.size == 0:
+                continue
+            rows = np.column_stack([values, epochs]).astype(
+                np.int64, copy=False
+            )
+            for start in range(0, rows.shape[0], step):
+                piece_flags = flags[start : start + step]
+                ctx.tally(self, piece_flags)
+                yield rows[start : start + step], piece_flags
+
+    def ordered_on(self, catalog, key: str) -> bool:
+        """Ordered by ``value`` in shard bands.
+
+        Shard boundaries partition the value domain and
+        :meth:`scan_payload` hands chunks back in shard order, so the
+        stream is banded by value — every row in shard *i* sorts below
+        every row in shard *i+1*.  The merge path's within-band stable
+        sort is near-linear on such input, which is what the pricing
+        model credits.
+        """
+        return key == "value"
 
     def estimate_rows(self, catalog) -> float:
         return catalog.sharded(self.source).estimate_scan(self.low, self.high)
@@ -505,6 +819,13 @@ class UnionNode(PlanNode):
         rows = np.concatenate([r.rows for r in inputs])
         forgotten = np.concatenate([r.forgotten for r in inputs])
         return NodeResult(self.output_columns(), rows, forgotten, inputs)
+
+    def _stream(self, ctx: _StreamContext):
+        ctx.counts.setdefault(id(self), [0, 0])
+        for child in self.children:
+            for rows, flags in child._stream(ctx):
+                ctx.tally(self, flags)
+                yield rows, flags
 
     def estimate_rows(self, catalog) -> float:
         return sum(child.estimate_rows(catalog) for child in self.children)
@@ -572,6 +893,8 @@ class JoinNode(PlanNode):
         self.children = (left, right)
         self.on = on
         self._peak_pairs = 0
+        self._peak_batch_bytes = 0
+        self._last_strategy: str | None = None
 
     @property
     def peak_pairs(self) -> int:
@@ -583,8 +906,37 @@ class JoinNode(PlanNode):
         Introspection only, written once per execution: concurrent
         ``Catalog.query`` callers sharing one node object see the most
         recently finished execution's value (results are unaffected).
+        Streamed executions (:meth:`PlanNode.batches`, aggregates)
+        record their per-probe-batch peak here too — bounded by
+        ``batch_size × build rows`` instead of the output size.
         """
         return self._peak_pairs
+
+    @property
+    def peak_batch_bytes(self) -> int:
+        """Approximate bytes of the largest pair batch last execution held.
+
+        ``peak_pairs`` priced in memory: pairs × (8 bytes per int64
+        output column + 1 flag byte).  Same write-once introspection
+        contract as :attr:`peak_pairs`.
+        """
+        return self._peak_batch_bytes
+
+    @property
+    def last_strategy(self) -> str | None:
+        """How the last execution ran this join (introspection only).
+
+        ``"materialized-hash"`` for :func:`execute_plan`'s combine,
+        ``"streamed-hash(batch=N)"`` for a batch-iterator run, or
+        ``"sort-merge(batch=N)"`` when the cost model picked the merge
+        path for a streamed aggregate.  ``None`` before any execution.
+        """
+        return self._last_strategy
+
+    def _record_peak(self, peak: int, strategy: str) -> None:
+        self._peak_pairs = peak  # single write; see peak_pairs
+        self._peak_batch_bytes = peak * (8 * len(self.output_columns()) + 1)
+        self._last_strategy = strategy
 
     def output_columns(self) -> tuple[str, ...]:
         left, right = self.children
@@ -606,7 +958,23 @@ class JoinNode(PlanNode):
         bit-identical to the single-batch discovery.
         """
         order = np.argsort(build_keys, kind="stable")
-        sorted_keys = build_keys[order]
+        return self._probe_pairs(probe_keys, build_keys[order], order)
+
+    def _probe_pairs(
+        self,
+        probe_keys: np.ndarray,
+        sorted_keys: np.ndarray,
+        order: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Pair discovery against an already-sorted build side.
+
+        The shared core of :meth:`_match_pairs` and the streaming
+        probe (:meth:`_stream`), which sorts the build side once and
+        probes it batch after batch.  Probe indexes ascend, and within
+        one probe row the build indexes ascend too (the stable sort
+        keeps equal keys in original order), so the pair stream is
+        already in probe-major lexicographic order.
+        """
         step = probe_keys.size if self.block_size is None else self.block_size
         probe_chunks: list[np.ndarray] = []
         build_chunks: list[np.ndarray] = []
@@ -641,7 +1009,7 @@ class JoinNode(PlanNode):
             li, ri, peak = self._match_pairs(lkeys, rkeys)
         else:
             ri, li, peak = self._match_pairs(rkeys, lkeys)
-        self._peak_pairs = peak  # single write; see peak_pairs
+        self._record_peak(peak, "materialized-hash")
         order = np.lexsort((ri, li))
         li, ri = li[order], ri[order]
         rows = (
@@ -655,6 +1023,136 @@ class JoinNode(PlanNode):
     @staticmethod
     def _build_side(left: NodeResult, right: NodeResult) -> str:
         return "right" if right.oracle_count <= left.oracle_count else "left"
+
+    def _key_index(self, side: int) -> int:
+        key = self.left_on if side == 0 else self.right_on
+        return self.children[side].output_columns().index(key)
+
+    def _stream(self, ctx: _StreamContext):
+        """Canonical-order pair stream with a bounded working set.
+
+        The right child is the build side: drained, its keys sorted
+        once.  The left child probes in ``batch_size`` batches, so at
+        most ``batch_size × build rows`` pairs (further sub-blocked by
+        ``block_size`` when set) ever materialize at once — the full
+        pair set never exists.  Probing with the *left* side keeps the
+        stream in canonical ascending (left row, right row) order with
+        no global sort: probe indexes ascend across batches, and build
+        matches ascend within each probe row (stable build sort).
+        """
+        ctx.counts.setdefault(id(self), [0, 0])
+        left, right = self.children
+        rrows, rflags = _drain(right._stream(ctx))
+        rkeys = (
+            rrows[:, self._key_index(1)]
+            if rrows.shape[0]
+            else np.empty(0, dtype=np.int64)
+        )
+        order = np.argsort(rkeys, kind="stable")
+        sorted_keys = rkeys[order]
+        lkey_idx = self._key_index(0)
+        peak = 0
+        for lrows, lflags in _batched(left._stream(ctx), ctx.batch_size):
+            li, ri, batch_peak = self._probe_pairs(
+                lrows[:, lkey_idx], sorted_keys, order
+            )
+            peak = max(peak, batch_peak)
+            if li.size == 0:
+                continue
+            rows = np.hstack([lrows[li], rrows[ri]])
+            flags = lflags[li] | rflags[ri]
+            ctx.tally(self, flags)
+            yield rows, flags
+        self._record_peak(peak, f"streamed-hash(batch={ctx.batch_size})")
+
+    def _stream_merge(self, ctx: _StreamContext):
+        """Sort-merge pair stream: key order, working set ≤ batch size.
+
+        Both children drain, both key columns sort (near-linear on the
+        banded/ordered inputs that make this path eligible), and the
+        merge walks matching key groups, emitting each group's cross
+        product in slabs of at most ``batch_size`` pairs — so even a
+        single scorching-hot key never materializes its full pair
+        block.  Pairs arrive in *key* order, not the canonical
+        (left row, right row) order, which is why only order-
+        insensitive consumers — the streamed aggregates, whose
+        :class:`~repro.stats.moments.ExactMoments` are batch-order-
+        invariant — use it; row-returning paths stay on :meth:`_stream`.
+        RF/MF accounting is a row count, so it is identical either way.
+        """
+        ctx.counts.setdefault(id(self), [0, 0])
+        left, right = self.children
+        lrows, lflags = _drain(left._stream(ctx))
+        rrows, rflags = _drain(right._stream(ctx))
+        if lrows.shape[0] == 0 or rrows.shape[0] == 0:
+            self._record_peak(0, f"sort-merge(batch={ctx.batch_size})")
+            return
+        lkeys = lrows[:, self._key_index(0)]
+        rkeys = rrows[:, self._key_index(1)]
+        lorder = np.argsort(lkeys, kind="stable")
+        rorder = np.argsort(rkeys, kind="stable")
+        slk, srk = lkeys[lorder], rkeys[rorder]
+        step = ctx.batch_size
+        if self.block_size is not None:
+            step = min(step, self.block_size)
+        peak = 0
+        i = j = 0
+        nl, nr = slk.size, srk.size
+        while i < nl and j < nr:
+            key = slk[i]
+            if key < srk[j]:
+                i = int(np.searchsorted(slk, srk[j], side="left"))
+                continue
+            if key > srk[j]:
+                j = int(np.searchsorted(srk, key, side="left"))
+                continue
+            i2 = int(np.searchsorted(slk, key, side="right"))
+            j2 = int(np.searchsorted(srk, key, side="right"))
+            group_l = lorder[i:i2]
+            group_r = rorder[j:j2]
+            total = group_l.size * group_r.size
+            for start in range(0, total, step):
+                flat = np.arange(
+                    start, min(start + step, total), dtype=np.int64
+                )
+                li = group_l[flat // group_r.size]
+                ri = group_r[flat % group_r.size]
+                peak = max(peak, int(flat.size))
+                flags = lflags[li] | rflags[ri]
+                ctx.tally(self, flags)
+                yield np.hstack([lrows[li], rrows[ri]]), flags
+            i, j = i2, j2
+        self._record_peak(peak, f"sort-merge(batch={ctx.batch_size})")
+
+    def join_strategy(self, catalog) -> str:
+        """``"hash"`` or ``"merge"`` — the streamed-aggregate strategy.
+
+        Priced in rows-considered, with the pair cardinality common to
+        both sides coming from :meth:`estimate_rows` (per-bin
+        :class:`~repro.stats.TableHistogramStats` masses when both
+        leaves carry histograms).  The hash path pays a build over the
+        smaller input; the merge path pays ``n·log₂n`` sort terms
+        unless an input arrives ordered (sharded bands, sorted-index
+        leaves), in which case its sort term drops out.  Merge
+        therefore wins exactly when both inputs arrive ordered —
+        decided by the numbers, not a flag.  Strategy never changes
+        results, only the work and working set.
+        """
+        import math
+
+        left, right = self.children
+        l_rows = max(left.estimate_rows(catalog), 1.0)
+        r_rows = max(right.estimate_rows(catalog), 1.0)
+        pairs = self.estimate_rows(catalog)
+        hash_cost = l_rows + r_rows + 2.0 * min(l_rows, r_rows) + pairs
+        sort_l = 0.0 if left.ordered_on(catalog, self.left_on) else (
+            l_rows * math.log2(l_rows + 1.0)
+        )
+        sort_r = 0.0 if right.ordered_on(catalog, self.right_on) else (
+            r_rows * math.log2(r_rows + 1.0)
+        )
+        merge_cost = sort_l + sort_r + l_rows + r_rows + pairs
+        return "merge" if merge_cost < hash_cost else "hash"
 
     def estimate_rows(self, catalog) -> float:
         left, right = self.children
@@ -688,7 +1186,8 @@ class JoinNode(PlanNode):
                 else "left"
             )
             est = (
-                f", build≈{build} — ≈{self.estimate_rows(catalog):.0f} rows, "
+                f", build≈{build}, strategy≈{self.join_strategy(catalog)}"
+                f" — ≈{self.estimate_rows(catalog):.0f} rows, "
                 f"cost≈{self.estimate_cost(catalog):.0f}"
             )
         keys = (
@@ -700,7 +1199,324 @@ class JoinNode(PlanNode):
         return f"Join({keys}{block}{est})"
 
 
+# -- aggregation above the stream ------------------------------------------
+
+
+class _SummaryView:
+    """Read-only rf/mf/precision facade over one summary-tuple node.
+
+    Lets a :class:`StreamedAggregate` expose ``inputs`` with the same
+    per-input accounting attributes a :class:`NodeResult` tree carries
+    (``rf``/``mf``/``precision``/``inputs``) — without ever having
+    materialized the rows those inputs produced.
+    """
+
+    __slots__ = ("_summary",)
+
+    def __init__(self, summary: tuple):
+        self._summary = summary
+
+    @property
+    def rf(self) -> int:
+        return self._summary[0]
+
+    @property
+    def mf(self) -> int:
+        return self._summary[1]
+
+    @property
+    def precision(self) -> float:
+        return self._summary[2]
+
+    @property
+    def oracle_count(self) -> int:
+        return self._summary[0] + self._summary[1]
+
+    @property
+    def inputs(self) -> tuple["_SummaryView", ...]:
+        return tuple(_SummaryView(child) for child in self._summary[3])
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryView(rf={self.rf}, mf={self.mf}, "
+            f"precision={self.precision:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class StreamedAggregate:
+    """Result of a streamed aggregate: moments, no rows.
+
+    ``active`` aggregates the amnesiac-visible values (what the
+    forgetting DBMS would answer), ``missed`` the values on rows some
+    contributing tuple had forgotten — both
+    :class:`~repro.stats.moments.ExactMoments`, so COUNT/SUM/MEAN/
+    VAR/MIN/MAX are bit-identical at any batch size or merge order.
+    ``summary`` is the same nested ``(rf, mf, precision, children)``
+    skeleton :func:`summarize_result` produces for materialized runs,
+    and ``inputs`` exposes it with per-input accounting attributes —
+    so reporting code written against :class:`NodeResult` keeps
+    working.
+    """
+
+    on: str
+    active: "ExactMoments" = field(repr=False)
+    missed: "ExactMoments" = field(repr=False)
+    summary: tuple = field(repr=False)
+    strategy: str = "streamed"
+
+    @property
+    def oracle_count(self) -> int:
+        """Rows the complete (never-forgetting) database aggregates."""
+        return self.active.count + self.missed.count
+
+    @property
+    def rf(self) -> int:
+        """R_F: rows the amnesiac database actually aggregates."""
+        return self.active.count
+
+    @property
+    def mf(self) -> int:
+        """M_F: rows lost because some contributing tuple was forgotten."""
+        return self.missed.count
+
+    @property
+    def precision(self) -> float:
+        """P_F = RF / (RF + MF); 1.0 when the oracle result is empty."""
+        return 1.0 if self.oracle_count == 0 else self.rf / self.oracle_count
+
+    @property
+    def inputs(self) -> tuple[_SummaryView, ...]:
+        """Per-input accounting views (the aggregate's child subtrees)."""
+        return tuple(_SummaryView(child) for child in self.summary[3])
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamedAggregate(on={self.on!r}, rf={self.rf}, mf={self.mf}, "
+            f"precision={self.precision:.3f}, strategy={self.strategy!r})"
+        )
+
+
+class AggregateNode(PlanNode):
+    """Root-only aggregate over one child's batch stream.
+
+    Consumes the child's batches into two
+    :class:`~repro.stats.moments.ExactMoments` (active vs. missed
+    values of ``on``) without materializing any rows.  Execution picks
+    the streaming strategy per child shape:
+
+    - union child: aggregation is **pushed below the union** — each
+      input aggregates into its own partial, partials merge with
+      Chan's rule (exact under the integer sufficient statistics);
+    - join child: the cost model's :meth:`JoinNode.join_strategy`
+      picks the streamed hash probe or the sort-merge path (safe here
+      because moments are batch-order-invariant);
+    - leaf child: the leaf's batch stream feeds the moments directly.
+
+    ``on`` may be a bare leaf column (``value``/``epoch``); over a
+    join it resolves to the leftmost prefixed match (``l.value``
+    before ``r.value``).  Defaults to the child's first output column.
+    """
+
+    def __init__(self, child: PlanNode, on: str | None = None):
+        columns = child.output_columns()
+        if on is None:
+            resolved = columns[0]
+        elif on in columns:
+            resolved = on
+        else:
+            matches = [c for c in columns if c.split(".")[-1] == on]
+            if not matches:
+                raise QueryError(
+                    f"aggregate column {on!r} not in child columns {columns}"
+                )
+            resolved = matches[0]
+        self.on = resolved
+        self.children = (child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return (self.on,)
+
+    def validate(self, catalog) -> None:
+        super().validate(catalog)
+
+        def walk(n: PlanNode) -> None:
+            for child in n.children:
+                if isinstance(child, AggregateNode):
+                    raise QueryError(
+                        "aggregate nodes cannot nest; an aggregate must be "
+                        "the plan root"
+                    )
+                walk(child)
+
+        walk(self)
+
+    def batches(self, *args, **kwargs):
+        raise QueryError(
+            "an aggregate produces a scalar summary, not row batches; "
+            "execute it via Catalog.query / execute_plan"
+        )
+
+    def estimate_rows(self, catalog) -> float:
+        return 1.0
+
+    def estimate_cost(self, catalog) -> float:
+        child = self.children[0]
+        return child.estimate_cost(catalog) + child.estimate_rows(catalog)
+
+    def execution_strategy(self, catalog, batch_size: int | None = None) -> str:
+        """The streaming strategy execution will use (explain signal)."""
+        batch = _resolve_batch_size(batch_size)
+        child = self.children[0]
+        if isinstance(child, UnionNode):
+            return f"pushdown-union(batch={batch})"
+        if isinstance(child, JoinNode):
+            how = child.join_strategy(catalog)
+            name = "sort-merge" if how == "merge" else "streamed-hash"
+            return f"{name}(batch={batch})"
+        return f"streamed(batch={batch})"
+
+    def describe(self, catalog=None) -> str:
+        est = ""
+        if catalog is not None:
+            est = (
+                f" — {self.execution_strategy(catalog)}, "
+                f"cost≈{self.estimate_cost(catalog):.0f}"
+            )
+        return f"Aggregate(on={self.on!r}){est}"
+
+
 # -- execution engine ------------------------------------------------------
+
+
+def _fan_out_leaves(
+    node: PlanNode,
+    catalog,
+    epoch: int,
+    pool,
+    workers: int,
+    record_access: bool,
+    *,
+    stream: bool = False,
+) -> dict[int, object]:
+    """Run every leaf scan of ``node``'s tree; map leaf id → payload.
+
+    The shared leaf phase of the materializing and streaming paths:
+    leaves are collected depth-first, their lazily built planner/
+    executor caches resolved up front (construction mutates shared
+    dicts the worker threads then only read), grouped by source name —
+    so two scans of one table execute sequentially in tree order,
+    keeping access accounting race-free and identical to a sequential
+    walk — and fanned out over ``pool``.  With ``stream=True`` each
+    leaf hands back its :meth:`_ScanNode.scan_payload` (chunked, for
+    re-batching without a full concatenation); otherwise its
+    materialized :class:`NodeResult`.
+    """
+    leaves: list[_ScanNode] = []
+
+    def collect(n: PlanNode) -> None:
+        if isinstance(n, _ScanNode):
+            leaves.append(n)
+        for child in n.children:
+            collect(child)
+
+    collect(node)
+    if not leaves:  # pragma: no cover - unreachable via public nodes
+        raise QueryError("plan tree has no scan leaves")
+    for leaf in leaves:
+        if isinstance(leaf, ShardedScanNode):
+            catalog.sharded(leaf.source)
+        else:
+            catalog.planner(leaf.source)
+    groups: dict[str, list[int]] = {}
+    for i, leaf in enumerate(leaves):
+        groups.setdefault(leaf.source, []).append(i)
+    payloads: list[object] = [None] * len(leaves)
+
+    def run_group(indexes: list[int]) -> None:
+        for i in indexes:
+            # The source lock serializes against *other* catalog
+            # callers (another batch, another cross-table query); the
+            # per-source grouping already serializes within this plan.
+            with catalog.source_lock(leaves[i].source):
+                payloads[i] = (
+                    leaves[i].scan_payload(catalog, epoch, record_access)
+                    if stream
+                    else leaves[i].scan(catalog, epoch, record_access)
+                )
+
+    if pool is None:
+        run_group(list(range(len(leaves))))
+    else:
+        pool.map_ordered(run_group, list(groups.values()), workers)
+    return {id(leaf): payloads[i] for i, leaf in enumerate(leaves)}
+
+
+def _execute_aggregate(
+    node: AggregateNode,
+    catalog,
+    epoch: int,
+    *,
+    pool,
+    workers: int,
+    record_access: bool,
+    batch_size: int | None,
+) -> StreamedAggregate:
+    """Streamed-aggregate engine: batches in, moments out, no rows kept."""
+    # Lazy: plans is imported by core.config, whose grammar hook must
+    # not drag the statistics layer into the import cycle.
+    from ..stats.moments import ExactMoments
+
+    batch = _resolve_batch_size(batch_size)
+    child = node.children[0]
+    strategy = node.execution_strategy(catalog, batch)
+    payloads = _fan_out_leaves(
+        node, catalog, epoch, pool, workers, record_access, stream=True
+    )
+    ctx = _StreamContext(payloads, batch)
+    column = child.output_columns().index(node.on)
+    active = ExactMoments()
+    missed = ExactMoments()
+
+    def consume(pieces, into_active, into_missed) -> None:
+        for rows, flags in pieces:
+            values = rows[:, column]
+            into_active.update(values[~flags])
+            into_missed.update(values[flags])
+
+    if isinstance(child, UnionNode):
+        # Aggregation pushdown: each union input folds into its own
+        # partial, partials merge with Chan's rule — exact under the
+        # integer sufficient statistics, so the union's concatenated
+        # stream never exists even transiently.
+        ctx.counts.setdefault(id(child), [0, 0])
+        for sub in child.children:
+            part_active = ExactMoments()
+            part_missed = ExactMoments()
+
+            def tallied(pieces):
+                for rows, flags in pieces:
+                    ctx.tally(child, flags)
+                    yield rows, flags
+
+            consume(tallied(sub._stream(ctx)), part_active, part_missed)
+            active.merge(part_active)
+            missed.merge(part_missed)
+    elif isinstance(child, JoinNode) and child.join_strategy(catalog) == "merge":
+        # Key-order pair stream: safe because moments are batch-order-
+        # invariant; row-returning paths never take this branch.
+        consume(child._stream_merge(ctx), active, missed)
+    else:
+        consume(child._stream(ctx), active, missed)
+
+    ctx.counts[id(node)] = [active.count + missed.count, missed.count]
+    return StreamedAggregate(
+        on=node.on,
+        active=active,
+        missed=missed,
+        summary=_summarize_stream(node, ctx),
+        strategy=strategy,
+    )
 
 
 def execute_plan(
@@ -711,7 +1527,8 @@ def execute_plan(
     pool=None,
     workers: int = 1,
     record_access: bool = True,
-) -> NodeResult:
+    batch_size: int | None = None,
+) -> NodeResult | StreamedAggregate:
     """Execute a plan tree against ``catalog``; bit-identical at any width.
 
     All leaf scans run first, fanned out over ``pool`` — grouped by
@@ -721,49 +1538,31 @@ def execute_plan(
     sequential walk.  Unions and joins then combine the precomputed
     leaf results bottom-up on the calling thread; every combine merges
     in child order, so completion order never leaks into results.
+
+    An :class:`AggregateNode` root switches to the streaming engine:
+    the child's batches fold into :class:`StreamedAggregate` moments
+    without materializing any intermediate row set, with ``batch_size``
+    bounding the working set (``None`` = the process default).  For
+    row-returning plans ``batch_size`` is ignored — they materialize.
     """
     node.validate(catalog)
-    leaves: list[_ScanNode] = []
-    slot_of: dict[int, int] = {}
-
-    def collect(n: PlanNode) -> None:
-        if isinstance(n, _ScanNode):
-            slot_of[id(n)] = len(leaves)
-            leaves.append(n)
-        for child in n.children:
-            collect(child)
-
-    collect(node)
-    if not leaves:  # pragma: no cover - unreachable via public nodes
-        raise QueryError("plan tree has no scan leaves")
-    # Resolve lazily built planner/executor caches before the fan-out:
-    # construction mutates shared dicts the worker threads then only read.
-    for leaf in leaves:
-        if isinstance(leaf, ShardedScanNode):
-            catalog.sharded(leaf.source)
-        else:
-            catalog.planner(leaf.source)
-    groups: dict[str, list[int]] = {}
-    for i, leaf in enumerate(leaves):
-        groups.setdefault(leaf.source, []).append(i)
-    slots: list[NodeResult | None] = [None] * len(leaves)
-
-    def run_group(indexes: list[int]) -> None:
-        for i in indexes:
-            # The source lock serializes against *other* catalog
-            # callers (another batch, another cross-table query); the
-            # per-source grouping already serializes within this plan.
-            with catalog.source_lock(leaves[i].source):
-                slots[i] = leaves[i].scan(catalog, epoch, record_access)
-
-    if pool is None:
-        run_group(list(range(len(leaves))))
-    else:
-        pool.map_ordered(run_group, list(groups.values()), workers)
+    if isinstance(node, AggregateNode):
+        return _execute_aggregate(
+            node,
+            catalog,
+            epoch,
+            pool=pool,
+            workers=workers,
+            record_access=record_access,
+            batch_size=batch_size,
+        )
+    payloads = _fan_out_leaves(
+        node, catalog, epoch, pool, workers, record_access, stream=False
+    )
 
     def assemble(n: PlanNode) -> NodeResult:
         if isinstance(n, _ScanNode):
-            return slots[slot_of[id(n)]]
+            return payloads[id(n)]
         return n.combine(tuple(assemble(child) for child in n.children))
 
     return assemble(node)
@@ -797,13 +1596,17 @@ def render_executed(node: PlanNode, result: NodeResult, catalog=None) -> str:
     return render_summary(node, summarize_result(result), catalog)
 
 
-def summarize_result(result: NodeResult) -> tuple:
+def summarize_result(result) -> tuple:
     """Compress a result tree to nested ``(rf, mf, precision, children)``.
 
     The report-friendly skeleton of a :class:`NodeResult`: callers
     (the catalog's ``plan_report``) can keep it around without pinning
-    the materialized row matrices in memory.
+    the materialized row matrices in memory.  A
+    :class:`StreamedAggregate` already carries its skeleton (built
+    from the stream's tallies) and hands it back directly.
     """
+    if isinstance(result, StreamedAggregate):
+        return result.summary
     return (
         result.rf,
         result.mf,
@@ -834,7 +1637,15 @@ def render_summary(node: PlanNode, summary: tuple, catalog=None) -> str:
         except ReproError:
             described = n.describe(None)
         rf, mf, precision, _ = summaries[id(n)]
-        return f"{described} => rf={rf} mf={mf} precision={precision:.3f}"
+        rendered = f"{described} => rf={rf} mf={mf} precision={precision:.3f}"
+        # Every join in the tree reports its execution footprint — the
+        # walk covers *nested* join trees, not just a join at the root.
+        if isinstance(n, JoinNode) and n.last_strategy is not None:
+            rendered += (
+                f" [{n.last_strategy}: peak_pairs={n.peak_pairs}, "
+                f"peak_batch_bytes={n.peak_batch_bytes}]"
+            )
+        return rendered
 
     return "\n".join(_render_tree(node, line))
 
@@ -852,6 +1663,7 @@ class QuerySpec:
     low: int | None = None
     high: int | None = None
     block: int | None = None
+    agg: str | None = None
 
     def render(self) -> str:
         """The canonical spec string this object parses back from."""
@@ -863,6 +1675,8 @@ class QuerySpec:
             options.append(f"high={self.high}")
         if self.block is not None:
             options.append(f"block={self.block}")
+        if self.agg is not None:
+            options.append(f"agg={self.agg}")
         spec = f"{self.kind}:{','.join(self.tables)}"
         return spec + (f":{','.join(options)}" if options else "")
 
@@ -875,15 +1689,21 @@ def parse_query_spec(spec: str) -> QuerySpec:
         spec    := kind ":" table ("," table)+ [":" option ("," option)*]
         kind    := "union" | "join"
         option  := "on=" ("value" | "epoch") | "low=" int | "high=" int
-                 | "block=" int
+                 | "block=" int | "agg=" column
 
     ``block=`` (join only) streams the probe side in blocks of that
-    many rows — see :class:`JoinNode`'s blocked probe mode.
+    many rows — see :class:`JoinNode`'s blocked probe mode.  ``agg=``
+    (either kind) wraps the plan in an :class:`AggregateNode` over the
+    named column, switching execution to the streaming engine (bare
+    leaf names resolve — ``agg=value`` over a join aggregates
+    ``l.value``).
 
     >>> parse_query_spec("join:s1,s2:on=epoch,low=0,high=50")
-    QuerySpec(kind='join', tables=('s1', 's2'), on='epoch', low=0, high=50, block=None)
+    QuerySpec(kind='join', tables=('s1', 's2'), on='epoch', low=0, high=50, block=None, agg=None)
     >>> parse_query_spec("join:s1,s2:block=512").block
     512
+    >>> parse_query_spec("union:s1,s2:agg=value").render()
+    'union:s1,s2:agg=value'
     """
     parts = [part.strip() for part in str(spec).split(":")]
     if len(parts) not in (2, 3):
@@ -903,9 +1723,12 @@ def parse_query_spec(spec: str) -> QuerySpec:
                 raise QueryError(f"bad option {item!r} in query spec {spec!r}")
             key, _, value = item.partition("=")
             options[key.strip()] = value.strip()
-    unknown = set(options) - {"on", "low", "high", "block"}
+    unknown = set(options) - {"on", "low", "high", "block", "agg"}
     if unknown:
         raise QueryError(f"unknown query spec options {sorted(unknown)}")
+    agg = options.get("agg")
+    if agg is not None and not agg:
+        raise QueryError(f"agg= needs a column name in query spec {spec!r}")
     on = options.get("on", "value")
     if on not in JOIN_KEYS:
         raise QueryError(f"join key must be one of {JOIN_KEYS}, got {on!r}")
@@ -935,7 +1758,8 @@ def parse_query_spec(spec: str) -> QuerySpec:
             ) from None
         check_scan_bounds(low, high)  # reject reversed ranges up front
     return QuerySpec(
-        kind=kind, tables=tables, on=on, low=low, high=high, block=block
+        kind=kind, tables=tables, on=on, low=low, high=high, block=block,
+        agg=agg,
     )
 
 
@@ -962,24 +1786,28 @@ def build_plan(catalog, spec: QuerySpec | str) -> PlanNode:
         )
 
     if spec.kind == "union":
-        return UnionNode(*(leaf(name) for name in spec.tables))
-    node: PlanNode = JoinNode(
-        leaf(spec.tables[0]),
-        leaf(spec.tables[1]),
-        on=spec.on,
-        block_size=spec.block,
-    )
-    left_key = spec.on
-    for name in spec.tables[2:]:
-        # Left-deep chain: the previous join buried the leftmost leaf's
-        # key under one more l.-prefix; the fresh right scan keys bare.
-        left_key = f"l.{left_key}"
+        node: PlanNode = UnionNode(*(leaf(name) for name in spec.tables))
+    else:
         node = JoinNode(
-            node,
-            leaf(name),
+            leaf(spec.tables[0]),
+            leaf(spec.tables[1]),
             on=spec.on,
-            left_on=left_key,
-            right_on=spec.on,
             block_size=spec.block,
         )
+        left_key = spec.on
+        for name in spec.tables[2:]:
+            # Left-deep chain: the previous join buried the leftmost
+            # leaf's key under one more l.-prefix; the fresh right scan
+            # keys bare.
+            left_key = f"l.{left_key}"
+            node = JoinNode(
+                node,
+                leaf(name),
+                on=spec.on,
+                left_on=left_key,
+                right_on=spec.on,
+                block_size=spec.block,
+            )
+    if spec.agg is not None:
+        node = AggregateNode(node, on=spec.agg)
     return node

@@ -8,7 +8,7 @@ from .divergence import (
     total_variation,
 )
 from .histograms import EquiDepthHistogram, EquiWidthHistogram
-from .moments import StreamingMoments
+from .moments import ExactMoments, StreamingMoments
 from .table_stats import (
     STATS_BINS,
     TableHistogramStats,
@@ -26,6 +26,7 @@ __all__ = [
     "EquiDepthHistogram",
     "EquiWidthHistogram",
     "STATS_BINS",
+    "ExactMoments",
     "StreamingMoments",
     "TableHistogramStats",
     "traffic_weighted_median",

@@ -14,7 +14,7 @@ import numpy as np
 
 from .._util.errors import ConfigError
 
-__all__ = ["StreamingMoments"]
+__all__ = ["ExactMoments", "StreamingMoments"]
 
 
 class StreamingMoments:
@@ -127,4 +127,134 @@ class StreamingMoments:
         return (
             f"StreamingMoments(count={self.count}, mean={self.mean:.6g}, "
             f"std={self.std:.6g})"
+        )
+
+
+class ExactMoments:
+    """Batch-order-invariant moments over an integer stream.
+
+    The streaming execution layer (:mod:`repro.query.plans`) folds
+    query output into an accumulator batch by batch, and merges
+    per-input partials when aggregation is pushed below a union.  A
+    plain :class:`StreamingMoments` is numerically stable but its
+    mean/variance depend (in the last float bits) on *where the batch
+    boundaries fall* — which would make a streamed aggregate differ
+    from the materializing baseline it must be provably identical to.
+
+    ``ExactMoments`` wraps a Chan-merged :class:`StreamingMoments`
+    (kept for its count/min/max/total bookkeeping and so partials merge
+    with the same rule everywhere) and additionally carries the *exact*
+    integer sufficient statistics ``Σx`` and ``Σx²`` as Python ints.
+    The reported ``mean`` and ``variance`` derive from those exact sums
+    at read time, so any batching — one batch, a thousand, partials
+    merged in any order — yields bit-identical results.
+
+    >>> import numpy as np
+    >>> whole = ExactMoments.of(np.arange(1000))
+    >>> split = ExactMoments.of(np.arange(137))
+    >>> split.merge(ExactMoments.of(np.arange(137, 1000)))
+    >>> (whole.mean, whole.variance) == (split.mean, split.variance)
+    True
+    >>> whole.count, whole.total, whole.min, whole.max
+    (1000, 499500, 0, 999)
+    """
+
+    __slots__ = ("_float", "_isum", "_isumsq")
+
+    def __init__(self) -> None:
+        self._float = StreamingMoments()
+        self._isum = 0
+        self._isumsq = 0
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "ExactMoments":
+        """Accumulator over one integer value array."""
+        moments = cls()
+        moments.update(values)
+        return moments
+
+    def update(self, values: np.ndarray) -> None:
+        """Add a batch of integer observations."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        self._float.update(values)
+        # Python-int accumulation: arbitrary precision, so Σx and Σx²
+        # stay exact however large the history grows.
+        self._isum += int(values.sum(dtype=object))
+        self._isumsq += int((values.astype(object) ** 2).sum())
+
+    def merge(self, other: "ExactMoments") -> None:
+        """Fold another accumulator in (Chan's rule + exact int sums)."""
+        self._float.merge(other._float)
+        self._isum += other._isum
+        self._isumsq += other._isumsq
+
+    @property
+    def count(self) -> int:
+        return self._float.count
+
+    @property
+    def total(self) -> int:
+        """Exact integer sum of the stream."""
+        return self._isum
+
+    @property
+    def min(self) -> int | float:
+        value = self._float.min
+        return value if self.count == 0 else int(value)
+
+    @property
+    def max(self) -> int | float:
+        value = self._float.max
+        return value if self.count == 0 else int(value)
+
+    @property
+    def mean(self) -> float:
+        """Σx / n from the exact sum — identical under any batching."""
+        if self.count == 0:
+            return 0.0
+        return self._isum / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance from exact sums: (n·Σx² − (Σx)²) / n²."""
+        n = self.count
+        if n < 2:
+            return 0.0
+        return (n * self._isumsq - self._isum * self._isum) / (n * n)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for reports and summaries)."""
+        if self.count == 0:
+            raise ConfigError("no observations accumulated")
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "min": self.min,
+            "max": self.max,
+            "sum": self.total,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExactMoments):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self._isum == other._isum
+            and self._isumsq == other._isumsq
+            and self._float.min == other._float.min
+            and self._float.max == other._float.max
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactMoments(count={self.count}, sum={self.total}, "
+            f"mean={self.mean:.6g})"
         )

@@ -378,7 +378,14 @@ class Catalog:
 
     # -- cross-table queries -------------------------------------------------
 
-    def query(self, plan, epoch: int, *, record_access: bool = True):
+    def query(
+        self,
+        plan,
+        epoch: int,
+        *,
+        record_access: bool = True,
+        batch_size: int | None = None,
+    ):
         """Execute a cross-table plan tree (or compact spec string).
 
         ``plan`` is a :class:`~repro.query.plans.PlanNode` — built
@@ -389,7 +396,13 @@ class Catalog:
         :func:`~repro.query.plans.build_plan`.  Leaf scans fan out on
         the catalog's pool (``workers``), grouped by source so access
         accounting stays race-free; results are bit-identical at any
-        width.  Returns a :class:`~repro.query.plans.NodeResult`.
+        width.  Returns a :class:`~repro.query.plans.NodeResult` — or,
+        for an aggregate plan (an :class:`~repro.query.plans.
+        AggregateNode` root, or a spec with ``agg=``), a
+        :class:`~repro.query.plans.StreamedAggregate` computed by the
+        streaming engine without materializing intermediate rows;
+        ``batch_size`` bounds that engine's working set (``None`` = the
+        process default, the CLI's ``--batch-size``).
         """
         from ..query.plans import build_plan, execute_plan, summarize_result
 
@@ -401,6 +414,7 @@ class Catalog:
             pool=self._fanout,
             workers=self.workers,
             record_access=record_access,
+            batch_size=batch_size,
         )
         summary = summarize_result(result)
         with self._build_lock:

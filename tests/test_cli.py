@@ -212,9 +212,43 @@ class TestWorkersAndRebalanceFlags:
         assert (default_workers(), default_rebalance()) == before
 
 
+class TestBatchSizeFlag:
+    def test_parser_accepts_batch_size(self):
+        args = build_parser().parse_args(["run", "X5", "--batch-size", "512"])
+        assert args.batch_size == 512
+
+    def test_invalid_batch_size_fails_cleanly(self):
+        from repro.core.config import default_batch_size, default_plan
+
+        before = (default_plan(), default_batch_size())
+        out = io.StringIO()
+        assert main(
+            ["run", "F1", "--plan", "cost", "--batch-size", "0"], out=out
+        ) == 2
+        # The early error must not leak a half-applied configuration.
+        assert (default_plan(), default_batch_size()) == before
+
+    def test_flag_reaches_process_default_and_is_restored(self, monkeypatch):
+        from repro.core.config import default_batch_size
+
+        seen = {}
+
+        def fake_runner(seed=None):
+            seen["batch"] = default_batch_size()
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", fake_runner)
+        before = default_batch_size()
+        out = io.StringIO()
+        assert main(["run", "F1", "--batch-size", "64"], out=out) == 0
+        assert seen == {"batch": 64}
+        assert default_batch_size() == before
+
+
 class TestDefaultsRestoredOnFailure:
     def _snapshot(self):
         from repro.core.config import (
+            default_batch_size,
             default_cross_query,
             default_plan,
             default_rebalance,
@@ -228,11 +262,12 @@ class TestDefaultsRestoredOnFailure:
             default_workers(),
             default_rebalance(),
             default_cross_query(),
+            default_batch_size(),
         )
 
     def test_raising_run_restores_every_process_default(self, monkeypatch):
         """A run that explodes mid-experiment must not leak any of the
-        five process defaults it overrode — otherwise every later
+        six process defaults it overrode — otherwise every later
         in-process run silently inherits this invocation's flags."""
 
         def boom(seed=None):
@@ -249,6 +284,7 @@ class TestDefaultsRestoredOnFailure:
                     "--workers", "4",
                     "--rebalance", "adaptive",
                     "--query", "union:s1,s2",
+                    "--batch-size", "128",
                 ],
                 out=io.StringIO(),
             )
@@ -277,6 +313,7 @@ class TestDefaultsRestoredOnFailure:
                     "--plan", "cost",
                     "--stats", "hist",
                     "--workers", "4",
+                    "--batch-size", "128",
                 ],
                 out=io.StringIO(),
             )

@@ -176,3 +176,37 @@ class TestCrossQueryKnob:
             assert default_cross_query() == "join:x,y:on=epoch"
         finally:
             set_default_cross_query(before)
+
+
+class TestExecBatchKnob:
+    def test_default_and_config_field(self):
+        from repro.core.config import default_batch_size
+
+        assert default_batch_size() == 4096
+        config = SimulationConfig()
+        assert config.exec_batch == 4096
+        # Distinct knobs: exec_batch is the streaming batch size, the
+        # batch_size *property* stays the paper's derived update batch.
+        assert config.batch_size == 200
+
+    def test_validation(self):
+        with pytest.raises((ConfigError, ValueError)):
+            SimulationConfig(exec_batch=0)
+        assert SimulationConfig(exec_batch=1).exec_batch == 1
+
+    def test_set_default_round_trips(self):
+        from repro.core.config import (
+            default_batch_size,
+            set_default_batch_size,
+        )
+
+        before = default_batch_size()
+        try:
+            assert set_default_batch_size(256) == 256
+            assert SimulationConfig().exec_batch == 256
+            with pytest.raises(ConfigError):
+                set_default_batch_size(0)
+            # A failed set leaves the default untouched.
+            assert default_batch_size() == 256
+        finally:
+            set_default_batch_size(before)

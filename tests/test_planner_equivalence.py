@@ -11,6 +11,7 @@ regardless of the access path.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 
 import numpy as np
@@ -31,6 +32,8 @@ from repro.query import (
     RangePredicate,
     RangeQuery,
 )
+from repro.query.plans import build_plan, parse_query_spec
+from repro.stats import ExactMoments
 from repro.storage import Catalog, CohortZoneMap, Table
 
 #: Plan variants compared against the naive scan.
@@ -589,6 +592,57 @@ def _run_cross_table_scenario(
                     result.mf,
                     result.precision,
                     [(r.rf, r.mf, r.precision) for r in result.inputs],
+                ]
+            )
+            # Streamed paths must be bit-identical to the same oracle:
+            # (a) the batch iterator's concatenation reproduces the
+            # materialized rows and flags exactly, and (b) the streamed
+            # aggregate equals ExactMoments over the oracle's canonical
+            # rows — across every policy, plan mode, stats source and
+            # width this scenario is driven at.  record_access=False
+            # keeps the extra reads out of the policy-visible state the
+            # baseline comparison fingerprints.
+            pieces = list(
+                build_plan(catalog, spec).batches(
+                    catalog, batch, batch_size=7, record_access=False
+                )
+            )
+            streamed = (
+                (
+                    np.concatenate([r for r, _ in pieces]).tolist(),
+                    np.concatenate([f for _, f in pieces]).tolist(),
+                )
+                if pieces
+                else ([], [])
+            )
+            assert streamed == expected, (
+                f"{spec} batch stream diverged from the oracle under "
+                f"plan={plan} workers={workers}"
+            )
+            assert all(r.shape[0] == 7 for r, _ in pieces[:-1])
+            agg_spec = dataclasses.replace(
+                parse_query_spec(spec), agg="value"
+            ).render()
+            agg = catalog.query(
+                agg_spec, epoch=batch, record_access=False, batch_size=5
+            )
+            exp_rows = (
+                np.asarray(expected[0], dtype=np.int64)
+                if expected[0]
+                else np.empty((0, 2), dtype=np.int64)
+            )
+            exp_flags = np.asarray(expected[1], dtype=bool)
+            assert agg.active == ExactMoments.of(exp_rows[~exp_flags, 0])
+            assert agg.missed == ExactMoments.of(exp_rows[exp_flags, 0])
+            assert (agg.rf, agg.mf) == (result.rf, result.mf)
+            observed.append(
+                [
+                    agg.rf,
+                    agg.mf,
+                    agg.precision,
+                    agg.active.total,
+                    agg.missed.total,
+                    [(r.rf, r.mf, r.precision) for r in agg.inputs],
                 ]
             )
     for db in dbs.values():

@@ -457,3 +457,318 @@ class TestExplainAndReport:
         with pytest.raises(QueryError, match="no column"):
             result.column("serial")
         assert isinstance(result, NodeResult)
+
+
+class TestStreamingBatches:
+    """The batch-iterator contract: ordering, flags, snapshot, bounds."""
+
+    def _materialized(self, catalog, node_factory, epoch=2):
+        result = catalog.query(node_factory(), epoch=epoch, record_access=False)
+        return result.rows, result.forgotten
+
+    def _streamed(self, catalog, node, batch_size, epoch=2):
+        pieces = list(
+            node.batches(catalog, epoch, batch_size, record_access=False)
+        )
+        if not pieces:
+            return np.empty((0, 0)), np.empty(0, dtype=bool), pieces
+        return (
+            np.concatenate([r for r, _ in pieces]),
+            np.concatenate([f for _, f in pieces]),
+            pieces,
+        )
+
+    @pytest.mark.parametrize("batch_size", (1, 2, 3, 1000))
+    def test_union_batches_bit_identical(self, catalog, batch_size):
+        rows, flags = self._materialized(
+            catalog, lambda: UnionNode(TableScanNode("s1"), TableScanNode("s2"))
+        )
+        node = UnionNode(TableScanNode("s1"), TableScanNode("s2"))
+        srows, sflags, pieces = self._streamed(catalog, node, batch_size)
+        assert srows.tolist() == rows.tolist()
+        assert sflags.tolist() == flags.tolist()
+        # Every batch except the last is exactly batch_size rows.
+        assert all(r.shape[0] == batch_size for r, _ in pieces[:-1])
+        assert pieces[-1][0].shape[0] <= batch_size
+
+    @pytest.mark.parametrize("batch_size", (1, 2, 5, 1000))
+    def test_join_batches_bit_identical(self, catalog, batch_size):
+        rows, flags = self._materialized(
+            catalog,
+            lambda: JoinNode(
+                TableScanNode("s1"), TableScanNode("s2"), on="value"
+            ),
+        )
+        node = JoinNode(TableScanNode("s1"), TableScanNode("s2"), on="value")
+        srows, sflags, _ = self._streamed(catalog, node, batch_size)
+        assert srows.tolist() == rows.tolist()
+        assert sflags.tolist() == flags.tolist()
+        assert node.last_strategy == f"streamed-hash(batch={batch_size})"
+
+    def test_batch_larger_than_input_single_batch(self, catalog):
+        node = TableScanNode("s1")
+        pieces = list(node.batches(catalog, 2, 10_000, record_access=False))
+        assert len(pieces) == 1
+        assert pieces[0][0].shape[0] == 4
+
+    def test_empty_inputs_yield_no_batches(self):
+        cat = Catalog(plan="auto")
+        for name in ("e1", "e2"):
+            cat.create_table(name, ["a"])
+        union = UnionNode(TableScanNode("e1"), TableScanNode("e2"))
+        assert list(union.batches(cat, 0, 4)) == []
+        join = JoinNode(TableScanNode("e1"), TableScanNode("e2"))
+        assert list(join.batches(cat, 0, 4)) == []
+        assert join.peak_pairs == 0
+
+    def test_empty_build_side_streams_empty(self, catalog):
+        node = JoinNode(
+            TableScanNode("s1"), TableScanNode("s2", 90, 99), on="value"
+        )
+        assert list(node.batches(catalog, 2, 3, record_access=False)) == []
+
+    def test_batch_boundary_on_forgotten_run(self):
+        """A forgotten run straddling a batch boundary keeps its flags
+        aligned row-for-row on both sides of the cut."""
+        cat = Catalog(plan="auto")
+        table = cat.create_table("t", ["a"])
+        table.insert_batch(0, {"a": list(range(10))})
+        table.forget(np.array([3, 4, 5, 6]), epoch=1)  # run crosses 5
+        pieces = list(
+            TableScanNode("t").batches(cat, 1, 5, record_access=False)
+        )
+        assert [f.tolist() for _, f in pieces] == [
+            [False, False, False, True, True],
+            [True, True, False, False, False],
+        ]
+
+    def test_stream_holds_one_epoch_snapshot(self, catalog):
+        """Forgetting that lands after the stream opens is invisible to
+        it — the snapshot is per batch stream, not per batch."""
+        before_rows, before_flags = self._materialized(
+            catalog, lambda: TableScanNode("s1")
+        )
+        node = TableScanNode("s1")
+        stream = node.batches(catalog, 2, 1, record_access=False)
+        first = next(stream)  # stream is open (leaves already scanned)
+        catalog.get("s1").forget(np.array([2]), epoch=2)
+        rest = list(stream)
+        srows = np.concatenate([first[0]] + [r for r, _ in rest])
+        sflags = np.concatenate([first[1]] + [f for _, f in rest])
+        assert srows.tolist() == before_rows.tolist()
+        assert sflags.tolist() == before_flags.tolist()
+        # A *new* stream sees the new epoch's forgetting.
+        _, after_flags, _ = self._streamed(
+            catalog, TableScanNode("s1"), 2, epoch=2
+        )
+        assert after_flags.tolist() != before_flags.tolist()
+
+    def test_sharded_stream_snapshot_under_concurrent_ingest(self):
+        """A sharded leaf's chunks are taken under one read-gate
+        acquisition: ingest applied mid-drain cannot tear the stream."""
+        store = PartitionedAmnesiaDatabase(
+            "a",
+            (0, 4, 8),
+            total_budget=40,
+            policy_factory=FifoAmnesia,
+            plan="auto",
+        )
+        store.insert({"a": np.array([1, 3, 5, 9, -2])})
+        cat = Catalog(plan="auto")
+        cat.register_sharded("sh", store)
+        node = ShardedScanNode("sh")
+        stream = node.batches(cat, 1, 2, record_access=False)
+        first = next(stream)
+        store.insert({"a": np.array([2, 6])})  # lands after the snapshot
+        rest = list(stream)
+        values = np.concatenate([first[0]] + [r for r, _ in rest])[:, 0]
+        assert values.tolist() == [1, 3, -2, 5, 9]
+        store.close()
+
+    def test_invalid_batch_size_rejected(self, catalog):
+        with pytest.raises(QueryError, match="batch size"):
+            list(TableScanNode("s1").batches(catalog, 2, 0))
+
+    def test_none_resolves_to_process_default(self, catalog):
+        from repro.core.config import default_batch_size, set_default_batch_size
+
+        before = default_batch_size()
+        try:
+            set_default_batch_size(3)
+            pieces = list(
+                UnionNode(TableScanNode("s1"), TableScanNode("s2")).batches(
+                    catalog, 2, record_access=False
+                )
+            )
+            assert [r.shape[0] for r, _ in pieces] == [3, 3, 2]
+        finally:
+            set_default_batch_size(before)
+
+
+class TestStreamedAggregates:
+    def _exact_over(self, result):
+        from repro.stats import ExactMoments
+
+        values = result.rows[:, 0]
+        return (
+            ExactMoments.of(values[~result.forgotten]),
+            ExactMoments.of(values[result.forgotten]),
+        )
+
+    def test_agg_spec_parse_and_render(self):
+        spec = parse_query_spec("join:s1,s2:on=value,agg=value")
+        assert spec.agg == "value"
+        assert parse_query_spec(spec.render()) == spec
+        assert parse_query_spec("union:s1,s2:agg=epoch").agg == "epoch"
+        with pytest.raises(QueryError, match="agg"):
+            parse_query_spec("union:s1,s2:agg=")
+
+    def test_aggregate_over_join_equals_materialized(self, catalog):
+        mat = catalog.query("join:s1,s2:on=value", epoch=2)
+        exp_active, exp_missed = self._exact_over(mat)
+        for batch_size in (1, 3, 1000):
+            agg = catalog.query(
+                "join:s1,s2:on=value,agg=value",
+                epoch=2,
+                record_access=False,
+                batch_size=batch_size,
+            )
+            assert agg.active == exp_active
+            assert agg.missed == exp_missed
+            assert (agg.rf, agg.mf, agg.precision) == (
+                mat.rf, mat.mf, mat.precision,
+            )
+
+    def test_union_pushdown_equals_materialized(self, catalog):
+        mat = catalog.query("union:s1,s2", epoch=2)
+        exp_active, exp_missed = self._exact_over(mat)
+        agg = catalog.query(
+            "union:s1,s2:agg=value", epoch=2, record_access=False, batch_size=2
+        )
+        assert agg.strategy == "pushdown-union(batch=2)"
+        assert agg.active == exp_active and agg.missed == exp_missed
+        # Per-input accounting survives the pushdown.
+        assert [(v.rf, v.mf) for v in agg.inputs[0].inputs] == [
+            (r.rf, r.mf) for r in mat.inputs
+        ]
+
+    def test_join_never_materializes_pair_set(self):
+        """The tentpole bound: peak pairs ≤ batch_size × build rows,
+        strictly below the full pair matrix on skewed keys."""
+        cat = Catalog(plan="auto")
+        rng = np.random.default_rng(7)
+        for name in ("s1", "s2"):
+            t = cat.create_table(name, ["a"])
+            values = rng.integers(0, 30, 400)
+            values[rng.random(400) < 0.4] = 5  # hot key both sides
+            t.insert_batch(0, {"a": values})
+        node = build_plan(cat, "join:s1,s2:on=value")
+        mat = cat.query(node, epoch=0)
+        assert node.peak_pairs == mat.oracle_count
+        batch = 16
+        agg_node = build_plan(cat, "join:s1,s2:on=value,agg=value")
+        cat.query(agg_node, epoch=0, record_access=False, batch_size=batch)
+        join = agg_node.children[0]
+        build_rows = min(r.oracle_count for r in mat.inputs)
+        assert 0 < join.peak_pairs <= batch * build_rows
+        assert join.peak_pairs * 10 <= mat.oracle_count
+        assert join.peak_batch_bytes < mat.oracle_count * (8 * 4 + 1)
+
+    def test_sort_merge_chosen_on_ordered_inputs_and_identical(self, catalog):
+        from repro.indexes import SortedIndex
+
+        mat = catalog.query("join:s1,s2:on=value", epoch=2)
+        exp_active, exp_missed = self._exact_over(mat)
+        for name in ("s1", "s2"):
+            catalog.create_index(name, "a", SortedIndex)
+        node = build_plan(catalog, "join:s1,s2:on=value")
+        assert node.join_strategy(catalog) == "merge"
+        for batch_size in (1, 2, 1000):
+            agg = catalog.query(
+                "join:s1,s2:on=value,agg=value",
+                epoch=2,
+                record_access=False,
+                batch_size=batch_size,
+            )
+            assert agg.strategy == f"sort-merge(batch={batch_size})"
+            assert agg.active == exp_active
+            assert agg.missed == exp_missed
+        # Epoch keys carry no order signal: hash stays the strategy.
+        epoch_join = build_plan(catalog, "join:s1,s2:on=epoch")
+        assert epoch_join.join_strategy(catalog) == "hash"
+
+    def test_sort_merge_slabs_bound_hot_key_groups(self):
+        """One scorching key: the merge path emits its cross product in
+        slabs, so peak pairs stays ≤ batch_size even within a group."""
+        from repro.indexes import SortedIndex
+        from repro.query import AggregateNode
+
+        cat = Catalog(plan="auto")
+        for name in ("s1", "s2"):
+            t = cat.create_table(name, ["a"])
+            t.insert_batch(0, {"a": [7] * 40})  # 1600 pairs, one key
+            cat.create_index(name, "a", SortedIndex)
+        node = build_plan(cat, "join:s1,s2:on=value")
+        assert node.join_strategy(cat) == "merge"
+        agg = cat.query(
+            AggregateNode(node), epoch=0, record_access=False, batch_size=32
+        )
+        assert agg.rf == 1600
+        assert node.peak_pairs == 32
+
+    def test_agg_column_resolution(self, catalog):
+        from repro.query import AggregateNode
+
+        join = build_plan(catalog, "join:s1,s2:on=value")
+        assert AggregateNode(join, "value").on == "l.value"  # leftmost
+        assert AggregateNode(join, "r.epoch").on == "r.epoch"
+        assert AggregateNode(join).on == "l.value"  # default: first column
+        with pytest.raises(QueryError, match="aggregate column"):
+            AggregateNode(join, "nope")
+
+    def test_aggregate_must_be_root(self, catalog):
+        from repro.query import AggregateNode
+
+        inner = AggregateNode(TableScanNode("s1"))
+        outer = AggregateNode(JoinNode(inner, TableScanNode("s2"), on="value"))
+        with pytest.raises(QueryError, match="nest|root"):
+            outer.validate(catalog)
+        with pytest.raises(QueryError, match="batches"):
+            AggregateNode(TableScanNode("s1")).batches(catalog, 0)
+
+    def test_empty_aggregate(self):
+        cat = Catalog(plan="auto")
+        for name in ("e1", "e2"):
+            cat.create_table(name, ["a"])
+        agg = cat.query("union:e1,e2:agg=value", epoch=0)
+        assert (agg.rf, agg.mf, agg.precision) == (0, 0, 1.0)
+        assert agg.oracle_count == 0
+
+
+class TestNestedJoinReport:
+    def test_two_level_join_reports_peak_for_every_join(self, catalog):
+        """plan_report carries the execution footprint — strategy,
+        peak_pairs, peak_batch_bytes — for *nested* join trees, one
+        annotation per join node, not just the root."""
+        table = catalog.create_table("s3", ["a"])
+        table.insert_batch(0, {"a": [2, 3, 9]})
+        node = build_plan(catalog, "join:s1,s2,s3:on=value")
+        catalog.query(node, epoch=2)
+        report = catalog.plan_report()
+        assert report.count("peak_pairs=") == 2
+        assert report.count("peak_batch_bytes=") == 2
+        assert report.count("[materialized-hash:") == 2
+        inner, outer = node.children[0], node
+        assert f"peak_pairs={inner.peak_pairs}" in report
+        assert f"peak_pairs={outer.peak_pairs}" in report
+
+    def test_streamed_strategy_lands_in_report(self, catalog):
+        catalog.query(
+            "join:s1,s2:on=value,agg=value",
+            epoch=2,
+            batch_size=3,
+        )
+        report = catalog.plan_report()
+        assert "Aggregate(on='l.value')" in report
+        assert "[streamed-hash(batch=3):" in report
+        assert "peak_pairs=" in report
