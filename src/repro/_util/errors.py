@@ -21,6 +21,10 @@ __all__ = [
     "ColdStoreError",
     "CompressionError",
     "LifecycleError",
+    "ServingError",
+    "SessionError",
+    "ScopeError",
+    "AdmissionError",
 ]
 
 
@@ -92,3 +96,19 @@ class CompressionError(ReproError):
 
 class LifecycleError(ReproError):
     """A forgotten-data disposition was applied inconsistently."""
+
+
+class ServingError(ReproError):
+    """A serving-layer operation failed (see :mod:`repro.serving`)."""
+
+
+class SessionError(ServingError):
+    """A session token is unknown, expired, or malformed."""
+
+
+class ScopeError(ServingError):
+    """A tenant addressed a source or value range outside its scope."""
+
+
+class AdmissionError(ServingError):
+    """Admission control rejected the request (service at capacity)."""

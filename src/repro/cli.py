@@ -152,7 +152,108 @@ def build_parser() -> argparse.ArgumentParser:
             "size — only the peak working set changes)"
         ),
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a demo catalog over HTTP (multi-tenant, cached)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to listen on (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--plan",
+        choices=PLAN_MODES,
+        default="cost",
+        help="access-path mode for the served catalog (default: cost)",
+    )
+    serve.add_argument(
+        "--stats",
+        choices=STATS_MODES,
+        default="hist",
+        help="statistics source for the served catalog (default: hist)",
+    )
+    serve.add_argument(
+        "--rows",
+        type=int,
+        default=100_000,
+        help="rows preloaded into the demo table (default: 100000)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=20170108, help="demo-data seed"
+    )
+    serve.add_argument(
+        "--lifetime",
+        type=float,
+        default=0.0,
+        help=(
+            "seconds to serve before shutting down cleanly "
+            "(0 = serve until interrupted; smoke tests use a bound)"
+        ),
+    )
     return parser
+
+
+def _run_serve(args, out) -> int:
+    """Stand the demo catalog up behind the HTTP service.
+
+    Two tenants over one shared table: ``alice`` sees everything,
+    ``bob`` is clamped to the lower half of the value domain — the
+    smallest setup that exercises sessions, scoping and both caches.
+    """
+    import numpy as np
+
+    from .serving import QueryService, serve_in_thread
+    from .storage import Catalog
+
+    if args.rows < 1:
+        print(f"--rows must be >= 1, got {args.rows}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    catalog = Catalog(plan=args.plan, stats=args.stats)
+    table = catalog.create_table("obs", ["value", "sensor"])
+    half = 50_000
+    table.insert_batch(
+        0,
+        {
+            "value": rng.integers(0, 2 * half, size=args.rows),
+            "sensor": rng.integers(0, 16, size=args.rows),
+        },
+    )
+    service = QueryService(catalog)
+    service.register_tenant("alice", tables={"obs"})
+    service.register_tenant(
+        "bob", tables={"obs"}, value_bounds={"value": (0, half)}
+    )
+    server, thread = serve_in_thread(service, args.host, args.port)
+    host, port = server.server_address
+    print(
+        f"serving catalog on http://{host}:{port} "
+        f"(plan={args.plan}, stats={args.stats}, rows={args.rows}); "
+        "tenants: alice (full), bob (value < 50000)",
+        file=out,
+    )
+    try:
+        if args.lifetime > 0:
+            thread.join(args.lifetime)
+        else:  # pragma: no cover - interactive only
+            while thread.is_alive():
+                thread.join(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        thread.join()
+        server.server_close()
+        service.close()
+        catalog.close()
+    print("server stopped cleanly", file=out)
+    return 0
 
 
 def _run_one(experiment_id: str, seed: int | None, out) -> None:
@@ -174,6 +275,9 @@ def main(argv=None, out=None) -> int:
                 file=out,
             )
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args, out)
 
     # Validate before mutating any process default: an early error
     # return must not leak a half-applied configuration.

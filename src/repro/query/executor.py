@@ -90,12 +90,21 @@ class QueryExecutor:
 
     # -- range queries ------------------------------------------------------
 
-    def execute_range(self, query: RangeQuery, epoch: int) -> RangeResult:
-        """Run a range query; returns both views' match sets."""
+    def execute_range(
+        self, query: RangeQuery, epoch: int, *, plan=None
+    ) -> RangeResult:
+        """Run a range query; returns both views' match sets.
+
+        ``plan`` forwards a still-valid cached plan to
+        :meth:`~repro.query.planner.QueryPlanner.match` (see the
+        planner's ``generation`` contract); ``None`` plans per query.
+        """
         if not query.columns:
             raise QueryError("range query predicate references no column")
         self._require_rows()
-        active, missed, _ = self.planner.match(query.predicate, query.columns)
+        active, missed, _ = self.planner.match(
+            query.predicate, query.columns, plan=plan
+        )
         if self.record_access:
             self.table.record_access(active, epoch)
         return RangeResult(
@@ -105,7 +114,7 @@ class QueryExecutor:
     # -- aggregate queries -----------------------------------------------------
 
     def _aggregate_matches(
-        self, query: AggregateQuery, epoch: int
+        self, query: AggregateQuery, epoch: int, plan=None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Shared front half of both aggregate paths.
 
@@ -122,15 +131,19 @@ class QueryExecutor:
             )
         self._require_rows()
         active, missed, _ = self.planner.match(
-            query.effective_predicate(), query.columns
+            query.effective_predicate(), query.columns, plan=plan
         )
         if self.record_access:
             self.table.record_access(active, epoch)
         return active, missed, self.table.values(query.column)
 
-    def execute_aggregate(self, query: AggregateQuery, epoch: int) -> AggregateResult:
+    def execute_aggregate(
+        self, query: AggregateQuery, epoch: int, *, plan=None
+    ) -> AggregateResult:
         """Run an aggregate; computes amnesiac and oracle values."""
-        active, missed, column_values = self._aggregate_matches(query, epoch)
+        active, missed, column_values = self._aggregate_matches(
+            query, epoch, plan=plan
+        )
         amnesiac = query.function.compute(column_values[active])
         oracle_positions = np.concatenate([active, missed])
         oracle = query.function.compute(column_values[oracle_positions])
@@ -170,10 +183,10 @@ class QueryExecutor:
 
     # -- generic dispatch -------------------------------------------------------
 
-    def execute(self, query, epoch: int):
+    def execute(self, query, epoch: int, *, plan=None):
         """Dispatch on query type (convenience for mixed batches)."""
         if isinstance(query, RangeQuery):
-            return self.execute_range(query, epoch)
+            return self.execute_range(query, epoch, plan=plan)
         if isinstance(query, AggregateQuery):
-            return self.execute_aggregate(query, epoch)
+            return self.execute_aggregate(query, epoch, plan=plan)
         raise QueryError(f"unsupported query type {type(query).__name__}")

@@ -270,6 +270,9 @@ class QueryPlanner:
         if stats is not None and stats.table is not table:
             raise QueryError("histogram statistics observe a different table")
         self.table_stats = stats
+        #: Structural generation: bumped whenever the set of usable
+        #: access paths changes (index registration, new value bounds).
+        self._structures_generation = 0
         self._value_bounds: dict[str, tuple[int | None, int | None]] = {}
         for column, bounds in (value_bounds or {}).items():
             self.declare_value_bounds(column, *bounds)
@@ -293,6 +296,7 @@ class QueryPlanner:
         siblings = self._indexes.setdefault(index.column, [])
         if index not in siblings:
             siblings.append(index)
+            self._structures_generation += 1
         return index
 
     def indexes_on(self, column: str) -> tuple[Index, ...]:
@@ -328,12 +332,41 @@ class QueryPlanner:
         high = None if high is None else int(high)
         if low is not None and high is not None and high <= low:
             raise QueryError(f"value bounds [{low}, {high}) are empty")
+        if self._value_bounds.get(column) != (low, high):
+            self._structures_generation += 1
         self._value_bounds[column] = (low, high)
 
     @property
     def value_bounds(self) -> dict[str, tuple[int | None, int | None]]:
         """Declared per-column value invariants (a copy)."""
         return dict(self._value_bounds)
+
+    @property
+    def generation(self) -> tuple:
+        """Plan-validity token: equal generations guarantee equal plans.
+
+        Combines the planner's structural generation (index
+        registrations, value-bound declarations) with the data
+        generation of whichever statistics source prices plans in the
+        configured mode.  Two :meth:`plan` calls for the same predicate
+        under an unchanged generation return equal plans, which is the
+        contract the serving layer's plan cache keys on.  ``scan`` mode
+        plans are data-independent, so only the structural part varies.
+        """
+        if self.mode == "scan":
+            data: tuple = (0, 0)
+        elif self.zone_map is not None:
+            data = (
+                self.zone_map.generation,
+                self.table_stats.generation
+                if self.table_stats is not None
+                else -1,
+            )
+        else:
+            # No zone map: plans still depend on table shape through
+            # cost pricing (forgotten_count, total_rows).
+            data = (self.table.total_rows, self.table.forgotten_count)
+        return (self._structures_generation, *data)
 
     # -- planning -------------------------------------------------------
 
@@ -563,15 +596,21 @@ class QueryPlanner:
     # -- execution ------------------------------------------------------
 
     def match(
-        self, predicate: Predicate, columns: tuple[str, ...]
+        self,
+        predicate: Predicate,
+        columns: tuple[str, ...],
+        plan: QueryPlan | None = None,
     ) -> tuple[np.ndarray, np.ndarray, PlanExecution]:
         """Split matches of ``predicate`` into (active, missed) positions.
 
         Every path returns ascending int64 position arrays identical to
         what a full scan produces, so callers' precision and access
-        accounting are plan-independent.
+        accounting are plan-independent.  A caller holding a still-valid
+        plan for ``predicate`` (same :attr:`generation` — the serving
+        layer's plan cache) may pass it to skip re-planning.
         """
-        plan = self.plan(predicate)
+        if plan is None:
+            plan = self.plan(predicate)
         if plan.mode == "pruned":
             empty = np.empty(0, dtype=np.int64)
             active, missed, considered = empty, empty.copy(), 0

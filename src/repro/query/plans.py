@@ -59,6 +59,19 @@ against the hash join — using the per-bin
 merge when both inputs arrive ordered (sharded scans band by value;
 sorted-index-backed leaves are ordered by construction).
 
+**Cache-invalidation contract** (the serving layer,
+:mod:`repro.serving`, caches above this module): a plan may be reused
+only while its planner's ``generation`` stands still — any insert,
+forget, index registration or value-bound declaration bumps it, and a
+plan carrying a since-dropped index is evicted at lookup.  A cached
+*result* may be served only while no forget event touched the cohorts
+of its match set and no insert slipped past its predicate's guard
+bounds (:func:`repro.serving.result_cache.guard_bounds`); entries for
+a dropped or recreated source are purged through the catalog's
+lifecycle hooks.  Under that contract every cache hit is bit-identical
+to a fresh execution — the same invariant the equivalence harness
+enforces for every execution path in this module.
+
 Plans can also be written as compact specs for the CLI and the config
 layer (``--query``), parsed by :func:`parse_query_spec`::
 

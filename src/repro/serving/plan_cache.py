@@ -1,0 +1,150 @@
+"""Plan cache: reuse access-path decisions while statistics stand still.
+
+Planning is cheap but not free — ``cost`` mode prices every applicable
+path per query, and a serving workload repeats the same predicate
+shapes thousands of times.  The cache keys on ``(source, predicate
+shape)`` and stamps each entry with the planner's
+:attr:`~repro.query.planner.QueryPlanner.generation` at plan time.  A
+lookup only returns the entry while the planner still reports the same
+generation; any observer event (insert, forget), index registration or
+value-bound declaration bumps the generation, so a stale plan can never
+be executed — it is silently re-planned, never wrongly reused.
+
+A cached plan carrying a since-dropped index is evicted at lookup
+(index drops do not bump the generation — the index object flips its
+own ``is_dropped`` flag instead).
+
+Correctness note: plans only choose *how* a predicate is evaluated;
+every access path returns bit-identical results (the repo's core
+equivalence invariant), so even a wrongly reused plan could not corrupt
+a result — the generation key exists so cached executions also match
+the planner's *current* choice, keeping EXPLAIN output and cost
+accounting honest.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .._util.errors import QueryError
+from ..query.predicates import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+__all__ = ["predicate_shape", "PlanCache"]
+
+
+def predicate_shape(predicate: Predicate) -> tuple:
+    """A hashable structural key for ``predicate``.
+
+    Two predicates with equal shapes select exactly the same rows, so
+    the shape (plus the source name) is a sound cache key for both the
+    plan and the result cache.
+    """
+    if isinstance(predicate, RangePredicate):
+        return ("range", predicate.column, predicate.low, predicate.high)
+    if isinstance(predicate, PointPredicate):
+        return ("point", predicate.column, predicate.value)
+    if isinstance(predicate, AndPredicate):
+        return ("and", *(predicate_shape(c) for c in predicate.children))
+    if isinstance(predicate, OrPredicate):
+        return ("or", *(predicate_shape(c) for c in predicate.children))
+    if isinstance(predicate, NotPredicate):
+        return ("not", predicate_shape(predicate.child))
+    if isinstance(predicate, TruePredicate):
+        return ("true",)
+    raise QueryError(
+        f"cannot derive a cache shape for {type(predicate).__name__}"
+    )
+
+
+class PlanCache:
+    """Generation-keyed cache of :class:`~repro.query.planner.QueryPlan`.
+
+    ``max_entries`` bounds the cache LRU-style (reads refresh recency).
+    All methods are thread-safe; the service nevertheless calls them
+    under the source lock, which is what makes the check-then-execute
+    window sound — the generation cannot move between the lookup and
+    the execution it validates.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise QueryError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, source: str, shape: tuple, generation: tuple):
+        """The cached plan for ``(source, shape)`` at ``generation``.
+
+        Returns ``None`` (and evicts) when the entry was planned under
+        a different generation or references a dropped index.
+        """
+        key = (source, shape)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached_generation, plan = entry
+            stale = cached_generation != generation or (
+                plan.index is not None and plan.index.is_dropped
+            )
+            if stale:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def store(self, source: str, shape: tuple, generation: tuple, plan) -> None:
+        """Cache ``plan`` for ``(source, shape)`` at ``generation``."""
+        key = (source, shape)
+        with self._lock:
+            self._entries[key] = (generation, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate_source(self, source: str) -> int:
+        """Drop every entry for ``source`` (table dropped/recreated)."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == source]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for dashboards and tests."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,640 @@
+"""The catalog as a long-lived service.
+
+Two layers:
+
+* :class:`QueryService` — the transport-independent core: sessions and
+  tenant scoping (:mod:`repro.serving.sessions`), admission control (a
+  bounded in-flight semaphore), per-tenant traffic accounting, and the
+  two caches (:mod:`repro.serving.plan_cache`,
+  :mod:`repro.serving.result_cache`).  Requests and responses are plain
+  dicts, so tests and embedders can drive it without sockets.
+* :class:`CatalogServer` — a wire-simple HTTP/JSON front end on the
+  stdlib's threaded :class:`http.server.ThreadingHTTPServer` (no new
+  dependencies): ``POST /`` carries one JSON request, ``GET /health``
+  and ``GET /stats`` are unauthenticated probes.  Serving-layer errors
+  map to status codes (401 unknown session, 403 out of scope, 429
+  admission, 400 malformed, 500 internal).
+
+Correctness doctrine (the serving twin of the equivalence harness):
+every cache hit is **bit-identical** to a fresh execution.  The result
+cache guarantees it through cohort-set invalidation (see
+:mod:`repro.serving.result_cache`); the plan cache through generation
+keying (see :mod:`repro.serving.plan_cache`); and on every hit the
+entry's active positions are replayed through
+``table.record_access``, so the amnesia policies observe exactly the
+access stream an uncached service would have produced.  ``paranoid=
+True`` additionally re-executes every hit under the same source lock
+and raises :class:`~repro._util.errors.ServingError` on any mismatch —
+the smoke tests run paranoid, so "zero stale answers" is asserted, not
+assumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .._util.errors import (
+    AdmissionError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ScopeError,
+    ServingError,
+    SessionError,
+)
+from ..query.predicates import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from ..query.queries import AggregateFunction, AggregateQuery, RangeQuery
+from .plan_cache import PlanCache, predicate_shape
+from .result_cache import ResultCache, guard_bounds
+from .sessions import SessionManager, TenantScope
+
+__all__ = [
+    "QueryService",
+    "CatalogServer",
+    "make_server",
+    "serve_in_thread",
+    "run_server",
+    "predicate_from_json",
+]
+
+
+def predicate_from_json(obj) -> Predicate:
+    """Build a predicate from its JSON form.
+
+    ``{"type": "range", "column": c, "low": l, "high": h}`` /
+    ``{"type": "point", "column": c, "value": v}`` / ``{"type": "true"}``
+    and the combinators ``and`` / ``or`` (``"children": [...]``) and
+    ``not`` (``"child": {...}``).
+    """
+    if not isinstance(obj, dict) or "type" not in obj:
+        raise QueryError(f"malformed predicate {obj!r}")
+    kind = obj["type"]
+    try:
+        if kind == "range":
+            return RangePredicate(obj["column"], int(obj["low"]), int(obj["high"]))
+        if kind == "point":
+            return PointPredicate(obj["column"], int(obj["value"]))
+        if kind == "true":
+            return TruePredicate()
+        if kind == "and":
+            return AndPredicate(*map(predicate_from_json, obj["children"]))
+        if kind == "or":
+            return OrPredicate(*map(predicate_from_json, obj["children"]))
+        if kind == "not":
+            return NotPredicate(predicate_from_json(obj["child"]))
+    except KeyError as exc:
+        raise QueryError(f"predicate {kind!r} lacks field {exc}") from None
+    raise QueryError(f"unknown predicate type {kind!r}")
+
+
+def _fingerprint(positions: np.ndarray) -> str:
+    """Order-sensitive digest of a position array (bit-identity proof)."""
+    data = np.ascontiguousarray(positions, dtype=np.int64).tobytes()
+    return hashlib.sha1(data).hexdigest()
+
+
+class QueryService:
+    """Multi-tenant query service over one :class:`~repro.storage.Catalog`.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog to serve.  The service subscribes to its lifecycle
+        hooks, so dropping or recreating a source purges both caches
+        for that name.
+    max_inflight:
+        Admission-control bound: data operations beyond this many
+        concurrently in flight are rejected with
+        :class:`~repro._util.errors.AdmissionError` (HTTP 429) instead
+        of queueing without bound.  Session management is always
+        admitted.
+    paranoid:
+        Verify every result-cache hit against a fresh execution under
+        the same source lock; raise ``ServingError`` on mismatch.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        *,
+        max_inflight: int = 64,
+        plan_cache: PlanCache | None = None,
+        result_cache: ResultCache | None = None,
+        paranoid: bool = False,
+    ):
+        if max_inflight < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.catalog = catalog
+        self.paranoid = bool(paranoid)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.result_cache = (
+            result_cache if result_cache is not None else ResultCache()
+        )
+        self.sessions = SessionManager()
+        self._admission = threading.BoundedSemaphore(int(max_inflight))
+        self.max_inflight = int(max_inflight)
+        self._tenants: dict[str, TenantScope] = {}
+        self._traffic_lock = threading.Lock()
+        self._traffic: dict[str, dict] = {}
+        self._rejected = 0
+        self._stale_hits = 0
+        catalog.add_lifecycle_hook(self._on_lifecycle)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _on_lifecycle(self, event: str, name: str) -> None:
+        """Catalog hook: shed all cached state of a dropped/reused name."""
+        self.plan_cache.invalidate_source(name)
+        self.result_cache.unwatch(name)
+
+    def close(self) -> None:
+        """Detach from the catalog and close every session."""
+        self.catalog.remove_lifecycle_hook(self._on_lifecycle)
+        self.sessions.close_all()
+
+    # -- tenants & sessions ---------------------------------------------
+
+    def register_tenant(
+        self,
+        tenant: str,
+        *,
+        tables=None,
+        value_bounds: dict | None = None,
+    ) -> TenantScope:
+        """Declare a tenant and its scope; returns the scope."""
+        scope = TenantScope(
+            tables=None if tables is None else frozenset(tables),
+            value_bounds=None
+            if value_bounds is None
+            else {
+                column: (int(low), int(high))
+                for column, (low, high) in value_bounds.items()
+            },
+        )
+        self._tenants[tenant] = scope
+        return scope
+
+    def open_session(self, tenant: str):
+        """Open a session for a registered tenant; returns it."""
+        scope = self._tenants.get(tenant)
+        if scope is None:
+            raise SessionError(
+                f"unknown tenant {tenant!r} "
+                f"(registered: {sorted(self._tenants)})"
+            )
+        return self.sessions.open(tenant, scope)
+
+    # -- request entry point --------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one request dict; returns the response dict.
+
+        Raises the typed serving errors — the HTTP layer maps them to
+        status codes; embedded callers catch them directly.
+        """
+        if not isinstance(request, dict) or "op" not in request:
+            raise QueryError("request must be an object with an 'op' field")
+        op = request["op"]
+        if op == "open_session":
+            session = self.open_session(str(request.get("tenant", "")))
+            return {"ok": True, "token": session.token, "tenant": session.tenant}
+        if op == "close_session":
+            self.sessions.close(str(request.get("token", "")))
+            return {"ok": True}
+        if op == "stats":
+            return self.stats()
+        session = self.sessions.get(str(request.get("token", "")))
+        if not self._admission.acquire(blocking=False):
+            with self._traffic_lock:
+                self._rejected += 1
+                self._tenant_counters(session.tenant)["rejected"] += 1
+            raise AdmissionError(
+                f"service at capacity ({self.max_inflight} in flight)"
+            )
+        try:
+            with self._traffic_lock:
+                session.requests += 1
+            if op == "query":
+                return self._query(session, request)
+            if op == "ingest":
+                return self._ingest(session, request)
+            if op == "forget":
+                return self._forget(session, request)
+            if op == "explain":
+                return self._explain(session, request)
+            raise QueryError(f"unknown operation {op!r}")
+        finally:
+            self._admission.release()
+
+    # -- scoping --------------------------------------------------------
+
+    def _tenant_counters(self, tenant: str) -> dict:
+        return self._traffic.setdefault(
+            tenant,
+            {
+                "queries": 0,
+                "cache_hits": 0,
+                "ingests": 0,
+                "forgets": 0,
+                "rows_returned": 0,
+                "rows_ingested": 0,
+                "rows_forgotten": 0,
+                "rejected": 0,
+            },
+        )
+
+    def _check_query_scope(self, session, table, predicate: Predicate) -> None:
+        """Enforce the tenant's value clamps on a query predicate."""
+        scope = session.scope
+        if not scope.value_bounds:
+            return
+        guard = guard_bounds(predicate)
+        by_column = {} if guard is None else {c: (lo, hi) for c, lo, hi in guard}
+        for column in scope.value_bounds:
+            if not table.has_column(column):
+                continue
+            if column not in by_column:
+                raise ScopeError(
+                    f"tenant {session.tenant!r} is clamped on {column!r}: "
+                    "queries must carry provable bounds on it"
+                )
+            low, high = by_column[column]
+            scope.check_values(session.tenant, column, low, high)
+
+    # -- query path -----------------------------------------------------
+
+    def _parse_query(self, request: dict):
+        kind = request.get("kind", "range")
+        raw = request.get("predicate")  # absent and null both mean "all"
+        predicate = predicate_from_json(
+            raw if raw is not None else {"type": "true"}
+        )
+        if kind == "range":
+            query = RangeQuery(predicate)
+            key = ("range", predicate_shape(predicate))
+        elif kind == "aggregate":
+            try:
+                function = AggregateFunction(str(request["function"]))
+                column = str(request["column"])
+            except KeyError as exc:
+                raise QueryError(f"aggregate query lacks field {exc}") from None
+            except ValueError:
+                raise QueryError(
+                    f"unknown aggregate function {request.get('function')!r}"
+                ) from None
+            bare = request.get("predicate") is None
+            query = AggregateQuery(function, column, None if bare else predicate)
+            key = ("agg", function.value, column, predicate_shape(predicate))
+        else:
+            raise QueryError(f"unknown query kind {kind!r}")
+        return query, key
+
+    def _execute(self, table, query, epoch: int, *, plan=None):
+        """Planner-routed execution mirroring the catalog executor.
+
+        Same validation, same ``match``, same access accounting, same
+        aggregate arithmetic — the serving equivalence tests pin the
+        outputs to :meth:`Catalog.execute` across all plan/stats modes,
+        so this mirror cannot drift silently.  Returns
+        ``(payload, active, missed)``.
+        """
+        if table.total_rows == 0:
+            raise QueryError(f"table {table.name!r} is empty")
+        planner = self.catalog.planner(table.name)
+        if isinstance(query, RangeQuery):
+            if not query.columns:
+                raise QueryError("range query predicate references no column")
+            active, missed, _ = planner.match(
+                query.predicate, query.columns, plan=plan
+            )
+            table.record_access(active, epoch)
+            rf, mf = int(active.size), int(missed.size)
+            payload = {
+                "kind": "range",
+                "rf": rf,
+                "mf": mf,
+                "oracle_count": rf + mf,
+                "precision": 1.0 if rf + mf == 0 else rf / (rf + mf),
+            }
+        else:
+            if not table.has_column(query.column):
+                raise QueryError(
+                    f"aggregate column {query.column!r} not in table "
+                    f"{table.name!r}"
+                )
+            active, missed, _ = planner.match(
+                query.effective_predicate(), query.columns, plan=plan
+            )
+            table.record_access(active, epoch)
+            values = table.values(query.column)
+            amnesiac = query.function.compute(values[active])
+            oracle = query.function.compute(
+                values[np.concatenate([active, missed])]
+            )
+            payload = {
+                "kind": "aggregate",
+                "function": query.function.value,
+                "column": query.column,
+                "amnesiac_value": amnesiac,
+                "oracle_value": oracle,
+                "active_matches": int(active.size),
+                "oracle_matches": int(active.size + missed.size),
+            }
+        payload["fingerprint"] = {
+            "active": _fingerprint(active),
+            "missed": _fingerprint(missed),
+        }
+        return payload, active, missed
+
+    def _query(self, session, request: dict) -> dict:
+        name = str(request.get("source", ""))
+        session.scope.check_source(session.tenant, name)
+        query, key = self._parse_query(request)
+        predicate = (
+            query.predicate
+            if isinstance(query, RangeQuery)
+            else query.effective_predicate()
+        )
+        with self.catalog.source_lock(name):
+            table = self.catalog.get(name)
+            self._check_query_scope(session, table, predicate)
+            self.result_cache.watch(name, table)
+            epoch = max(table.cohorts.latest_epoch, 0)
+            entry = self.result_cache.lookup(name, key)
+            if entry is not None:
+                if self.paranoid:
+                    # Fresh execution does the access recording; the
+                    # two payloads must be bit-identical or the cache
+                    # broke its contract.
+                    fresh, _, _ = self._execute(table, query, epoch)
+                    if fresh != entry.payload:
+                        with self._traffic_lock:
+                            self._stale_hits += 1
+                        raise ServingError(
+                            f"stale cache hit on {name!r}: cached "
+                            f"{entry.payload} != fresh {fresh}"
+                        )
+                else:
+                    table.record_access(entry.active_positions, epoch)
+                payload = entry.payload
+                cached = True
+            else:
+                planner = self.catalog.planner(name)
+                shape = (
+                    key[-1],
+                    tuple(query.columns),
+                )  # predicate shape + projected columns
+                generation = planner.generation
+                plan = self.plan_cache.lookup(name, shape, generation)
+                if plan is None:
+                    plan = planner.plan(predicate)
+                    self.plan_cache.store(name, shape, generation, plan)
+                payload, active, missed = self._execute(
+                    table, query, epoch, plan=plan
+                )
+                self.result_cache.store(
+                    name,
+                    key,
+                    payload,
+                    active,
+                    missed,
+                    table,
+                    guard_bounds(predicate),
+                )
+                cached = False
+        with self._traffic_lock:
+            counters = self._tenant_counters(session.tenant)
+            counters["queries"] += 1
+            counters["cache_hits"] += int(cached)
+            counters["rows_returned"] += int(
+                payload.get("rf", payload.get("active_matches", 0))
+            )
+        response = dict(payload)
+        response.update(ok=True, cached=cached, source=name, epoch=epoch)
+        return response
+
+    def _explain(self, session, request: dict) -> dict:
+        name = str(request.get("source", ""))
+        session.scope.check_source(session.tenant, name)
+        query, _ = self._parse_query(request)
+        with self.catalog.source_lock(name):
+            plan = self.catalog.plan(name, query)
+        return {
+            "ok": True,
+            "source": name,
+            "mode": plan.mode,
+            "plan": plan.describe(),
+        }
+
+    # -- write path -----------------------------------------------------
+
+    def _ingest(self, session, request: dict) -> dict:
+        name = str(request.get("source", ""))
+        session.scope.check_source(session.tenant, name)
+        rows = request.get("rows")
+        if not isinstance(rows, dict) or not rows:
+            raise QueryError("ingest needs a non-empty 'rows' column mapping")
+        scope = session.scope
+        if scope.value_bounds:
+            for column, values in rows.items():
+                if column in scope.value_bounds and values:
+                    scope.check_values(
+                        session.tenant,
+                        column,
+                        int(min(values)),
+                        int(max(values)) + 1,
+                    )
+        with self.catalog.source_lock(name):
+            table = self.catalog.get(name)
+            self.result_cache.watch(name, table)
+            epoch = table.cohorts.latest_epoch + 1
+            positions = table.insert_batch(epoch, rows)
+        with self._traffic_lock:
+            counters = self._tenant_counters(session.tenant)
+            counters["ingests"] += 1
+            counters["rows_ingested"] += int(positions.size)
+        return {
+            "ok": True,
+            "source": name,
+            "inserted": int(positions.size),
+            "epoch": epoch,
+        }
+
+    def _forget(self, session, request: dict) -> dict:
+        name = str(request.get("source", ""))
+        session.scope.check_source(session.tenant, name)
+        with self.catalog.source_lock(name):
+            table = self.catalog.get(name)
+            self.result_cache.watch(name, table)
+            epoch = max(table.cohorts.latest_epoch, 0)
+            if "positions" in request:
+                positions = np.asarray(request["positions"], dtype=np.int64)
+            else:
+                n = int(request.get("n", 0))
+                if n < 1:
+                    raise QueryError("forget needs 'positions' or a positive 'n'")
+                positions = table.active_positions()[:n]
+            forgotten = table.forget(positions, epoch)
+        with self._traffic_lock:
+            counters = self._tenant_counters(session.tenant)
+            counters["forgets"] += 1
+            counters["rows_forgotten"] += int(forgotten)
+        return {"ok": True, "source": name, "forgotten": int(forgotten), "epoch": epoch}
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-wide counters: caches, sessions, per-tenant traffic.
+
+        Per-tenant ``access_total`` reuses the storage layer's access
+        counters — the same signal the rot/overuse policies learn from
+        — summed over the tenant's visible tables.
+        """
+        with self._traffic_lock:
+            traffic = {
+                tenant: dict(counters)
+                for tenant, counters in self._traffic.items()
+            }
+            rejected = self._rejected
+            stale = self._stale_hits
+        for tenant, counters in traffic.items():
+            scope = self._tenants.get(tenant)
+            total = 0
+            for name in self.catalog.names():
+                if scope is None or scope.tables is None or name in scope.tables:
+                    total += int(self.catalog.get(name).access_counts().sum())
+            counters["access_total"] = total
+        return {
+            "ok": True,
+            "sessions_open": self.sessions.open_count,
+            "sessions_opened": self.sessions.opened_total,
+            "rejected": rejected,
+            "stale_hits": stale,
+            "plan_cache": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+            "tenants": traffic,
+        }
+
+
+# -- HTTP layer ---------------------------------------------------------
+
+#: Serving error type → HTTP status.
+_STATUS = (
+    (SessionError, 401),
+    (ScopeError, 403),
+    (AdmissionError, 429),
+    (ServingError, 500),
+    (SchemaError, 400),
+    (QueryError, 400),
+    (ReproError, 400),
+)
+
+
+def _status_for(exc: Exception) -> int:
+    for kind, status in _STATUS:
+        if isinstance(exc, kind):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One JSON request per POST; probes on GET."""
+
+    service: QueryService  # set by make_server on the subclass
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service keeps its own counters; stderr stays quiet
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            self._reply(200, {"ok": True})
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        else:
+            self._reply(404, {"ok": False, "error": "NotFound"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            response = self.service.handle(request)
+            self._reply(200, response)
+        except json.JSONDecodeError as exc:
+            self._reply(400, {"ok": False, "error": "BadJSON", "detail": str(exc)})
+        except Exception as exc:  # typed errors → status codes
+            self._reply(
+                _status_for(exc),
+                {"ok": False, "error": type(exc).__name__, "detail": str(exc)},
+            )
+
+
+class CatalogServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The stdlib default backlog (5) resets connections under a
+    # concurrent-client burst; admission control, not the accept queue,
+    # is the intended load shedder.
+    request_queue_size = 128
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> CatalogServer:
+    """Build (but do not start) an HTTP server for ``service``.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``server.server_address``.
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return CatalogServer((host, port), handler)
+
+
+def serve_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[CatalogServer, threading.Thread]:
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    Stop with ``server.shutdown(); thread.join()``.
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="catalog-server", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(service: QueryService, host: str, port: int) -> None:
+    """Serve until interrupted (the CLI's blocking entry point)."""
+    server = make_server(service, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -156,6 +156,7 @@ class TableHistogramStats:
             name: None for name in names
         }
         self._dirty = set(names)
+        self._generation = 0
         table.add_observer(self)  # backfill arrives while still dirty
 
     # -- schema ---------------------------------------------------------
@@ -169,6 +170,19 @@ class TableHistogramStats:
         """True when ``column`` is tracked (a histogram may still be
         empty — estimates are simply 0 then)."""
         return column in self._active
+
+    @property
+    def generation(self) -> int:
+        """Monotonic statistics generation: bumped on every observer event.
+
+        The histogram twin of
+        :attr:`~repro.storage.cohorts.CohortZoneMap.generation`: an
+        unchanged generation guarantees the histograms (and every
+        estimate read from them) are unchanged, which is what lets the
+        serving layer's plan cache reuse a priced plan without
+        re-estimating.
+        """
+        return self._generation
 
     # -- maintenance ----------------------------------------------------
 
@@ -203,6 +217,7 @@ class TableHistogramStats:
 
     def on_insert(self, table, positions: np.ndarray) -> None:
         """Table hook: fold freshly inserted (active) values in."""
+        self._generation += 1
         if positions.size == 0:
             return
         for column in self._active:
@@ -216,6 +231,7 @@ class TableHistogramStats:
 
     def on_forget(self, table, positions: np.ndarray) -> None:
         """Table hook: move newly forgotten values across."""
+        self._generation += 1
         if positions.size == 0:
             return
         for column in self._active:

@@ -21,6 +21,27 @@ stores (:meth:`Catalog.register_sharded`) — with leaf scans fanned out
 on the catalog's worker pool under per-table locks, and
 :meth:`Catalog.explain_query` renders the node tree with per-node cost
 estimates.
+
+Cache-invalidation contract (the serving layer builds on this):
+
+* Every statistics structure a planner prices with carries a
+  **monotonic generation counter** bumped on each observer event
+  (:attr:`~repro.storage.cohorts.CohortZoneMap.generation`,
+  :attr:`~repro.stats.TableHistogramStats.generation`), folded into
+  :attr:`~repro.query.planner.QueryPlanner.generation`.  A cached plan
+  keyed on ``(source, predicate shape, generation)`` is valid exactly
+  as long as the generation it was planned under still stands.
+* Cached *results* record the **cohort set** their matches touched;
+  a forget event invalidates exactly the entries whose cohort sets it
+  intersects (the :class:`~repro.storage.table.TableObserver` protocol
+  delivers the newly forgotten positions), and an insert invalidates
+  entries whose predicate bounds cannot provably exclude the new rows
+  — so a cached answer is served iff it is bit-identical to a fresh
+  execution.
+* Dropping or re-creating a source is announced through the catalog's
+  **lifecycle hooks** (:meth:`Catalog.add_lifecycle_hook`), so caches
+  keyed by source name never serve an answer computed against a
+  previous table of the same name.
 """
 
 from __future__ import annotations
@@ -114,6 +135,12 @@ class Catalog:
         # one table and split its counters between them.
         self._build_lock = threading.Lock()
         self._sharded: dict[str, object] = {}
+        # Lifecycle subscribers: ``hook(event, name)`` with ``event``
+        # in {"create", "drop"} — fired after registry mutations,
+        # outside the catalog's locks (hooks may re-enter the catalog).
+        # The serving caches subscribe here so a drop→recreate under a
+        # reused name can never serve state of the previous table.
+        self._lifecycle_hooks: list = []
         self._cross_queries = 0
         #: (node, result summary) of the newest cross-table query —
         #: rendered lazily by :meth:`plan_report`, so the hot path
@@ -176,8 +203,7 @@ class Catalog:
         if name in self._sharded:
             raise SchemaError(f"{name!r} already names a sharded store")
         table = Table(name, column_names)
-        self._tables[name] = table
-        self._table_locks[name] = threading.Lock()
+        self._admit(name, table)
         return table
 
     def register(self, table: Table) -> None:
@@ -188,8 +214,29 @@ class Catalog:
             raise SchemaError(
                 f"{table.name!r} already names a sharded store"
             )
-        self._tables[table.name] = table
-        self._table_locks[table.name] = threading.Lock()
+        self._admit(table.name, table)
+
+    def _admit(self, name: str, table: Table) -> None:
+        """Install a new table in the registry and announce it.
+
+        Verifies — under ``_build_lock``, so no lazy build is mid-
+        flight — that no planner/executor of a previously dropped table
+        with the same name survived: a stale entry here would silently
+        serve the *old* table's plans and accounting (the drop-race
+        bug this guards against; :meth:`drop` now takes the same lock).
+        """
+        with self._build_lock:
+            stale = name in self._planners or any(
+                key[0] == name for key in self._executors
+            )
+            if stale:  # pragma: no cover - guarded by the drop fix
+                raise SchemaError(
+                    f"stale planner/executor cache survived for {name!r}; "
+                    "drop must purge caches before the name is reused"
+                )
+            self._tables[name] = table
+            self._table_locks[name] = threading.Lock()
+        self._notify("create", name)
 
     def register_sharded(self, name: str, store) -> None:
         """Register a :class:`~repro.partitioning.
@@ -212,6 +259,7 @@ class Catalog:
                 f"{type(store).__name__} lacks {missing}"
             )
         self._sharded[name] = store
+        self._notify("create", name)
 
     def sharded(self, name: str):
         """Look a registered sharded store up by name."""
@@ -236,17 +284,49 @@ class Catalog:
             raise SchemaError(f"no table named {name!r}") from None
 
     def drop(self, name: str) -> None:
-        """Remove a table or sharded store (its data is unreferenced)."""
+        """Remove a table or sharded store (its data is unreferenced).
+
+        Purges the planner/executor caches under ``_build_lock`` — the
+        same lock the lazy double-checked builds hold — so an in-flight
+        :meth:`planner`/:meth:`executor` call can never re-insert an
+        entry for the dropped table after the purge (the entry a table
+        re-created under the same name would then wrongly inherit).
+        """
         if name in self._sharded:
             del self._sharded[name]
+            self._notify("drop", name)
             return
-        if name not in self._tables:
-            raise SchemaError(f"no table named {name!r}")
-        del self._tables[name]
-        self._table_locks.pop(name, None)
-        self._planners.pop(name, None)
-        for key in [k for k in self._executors if k[0] == name]:
-            del self._executors[key]
+        with self._build_lock:
+            if name not in self._tables:
+                raise SchemaError(f"no table named {name!r}")
+            del self._tables[name]
+            self._table_locks.pop(name, None)
+            self._planners.pop(name, None)
+            for key in [k for k in self._executors if k[0] == name]:
+                del self._executors[key]
+        self._notify("drop", name)
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def add_lifecycle_hook(self, hook) -> None:
+        """Subscribe ``hook(event, name)`` to registry mutations.
+
+        ``event`` is ``"create"`` or ``"drop"``; hooks fire after the
+        mutation, outside the catalog's locks (they may re-enter the
+        catalog).  Caches keyed by source name subscribe here to shed
+        state across a drop→recreate of the same name.
+        """
+        if hook not in self._lifecycle_hooks:
+            self._lifecycle_hooks.append(hook)
+
+    def remove_lifecycle_hook(self, hook) -> None:
+        """Unsubscribe a hook registered via :meth:`add_lifecycle_hook`."""
+        if hook in self._lifecycle_hooks:
+            self._lifecycle_hooks.remove(hook)
+
+    def _notify(self, event: str, name: str) -> None:
+        for hook in list(self._lifecycle_hooks):
+            hook(event, name)
 
     # -- planning surface ----------------------------------------------------
 
@@ -326,17 +406,28 @@ class Catalog:
         """Serialization guard for one source's query pipeline.
 
         Tables return their catalog lock; sharded stores return a null
-        context because they already serialize per shard internally.
-        Every catalog-routed execution path (``execute``,
-        ``execute_batch``, cross-table plan leaves) acquires this
-        around the planner+executor pipeline, so concurrent callers —
-        two batches, or a batch racing a :meth:`query` — can never
-        race a table's access accounting or planner counters.
+        context because they already synchronize internally — their
+        write-preferring :class:`~repro._util.parallel.EpochGate`
+        serializes ingest publication against readers, and per-shard
+        locks cover each shard's planner+executor pipeline.  Every
+        catalog-routed execution path (``execute``, ``execute_batch``,
+        cross-table plan leaves) acquires this around the
+        planner+executor pipeline, so concurrent callers — two
+        batches, or a batch racing a :meth:`query` — can never race a
+        table's access accounting or planner counters.
+
+        Raises :class:`~repro._util.errors.SchemaError` for unknown
+        names, including a table dropped concurrently between the
+        existence check and the lock lookup.
         """
         if name in self._sharded:
             return nullcontext()
-        self.get(name)  # validates existence
-        return self._table_locks[name]
+        self.get(name)  # validates existence (clear error for unknowns)
+        try:
+            return self._table_locks[name]
+        except KeyError:
+            # The table was dropped between get() and the lookup.
+            raise SchemaError(f"no table named {name!r}") from None
 
     def execute(self, name: str, query, epoch: int):
         """Run a query against one table through its catalog executor."""

@@ -216,6 +216,7 @@ class CohortZoneMap:
         self._starts = np.empty(0, dtype=np.int64)
         self._stops = np.empty(0, dtype=np.int64)
         self._active = np.empty(0, dtype=np.int64)
+        self._generation = 0
         table.add_observer(self)  # backfill replays existing history
 
     # -- schema ---------------------------------------------------------
@@ -234,6 +235,18 @@ class CohortZoneMap:
         """Cohorts currently mapped."""
         self._sync()
         return int(self._active.size)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic statistics generation: bumped on every observer event.
+
+        Two reads of the zone map separated by an unchanged generation
+        are guaranteed to see identical statistics (no insert or forget
+        reached the table in between) — the staleness guard the serving
+        layer's plan cache keys on: a cached plan is valid exactly as
+        long as the generation it was priced under still stands.
+        """
+        return self._generation
 
     # -- observer hooks -------------------------------------------------
 
@@ -277,6 +290,7 @@ class CohortZoneMap:
 
     def on_insert(self, table, positions: np.ndarray) -> None:
         """Table hook: fold new rows into their cohorts' zones."""
+        self._generation += 1
         self._sync()
         if positions.size == 0:
             return
@@ -289,6 +303,7 @@ class CohortZoneMap:
 
     def on_forget(self, table, positions: np.ndarray) -> None:
         """Table hook: refresh active counts (zones stay as bounds)."""
+        self._generation += 1
         self._sync()
         if positions.size == 0:
             return

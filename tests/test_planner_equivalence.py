@@ -1001,3 +1001,303 @@ def test_simulator_reports_identical_across_plans(plan):
         ]
 
     assert run("scan") == run(plan)
+
+# -- served caches: hits must be bit-identical to uncached execution ----
+
+from repro.query import PointPredicate  # noqa: E402
+from repro.serving import QueryService  # noqa: E402
+from repro.serving.server import _fingerprint  # noqa: E402
+
+_SERVE_QUERIES = ((0, 40), (90, 60), (240, 80), (430, 50))
+
+
+def _served_range_payload(result):
+    """The service's range payload, rebuilt from a catalog result."""
+    rf, mf = result.rf, result.mf
+    return {
+        "kind": "range",
+        "rf": rf,
+        "mf": mf,
+        "oracle_count": rf + mf,
+        "precision": 1.0 if rf + mf == 0 else rf / (rf + mf),
+        "fingerprint": {
+            "active": _fingerprint(result.active_positions),
+            "missed": _fingerprint(result.missed_positions),
+        },
+    }
+
+
+def _served_aggregate_payload(result):
+    """The service's aggregate payload (sans position fingerprints —
+    :class:`AggregateResult` does not carry positions; the final-state
+    arrays compared at the end catch positional divergence anyway)."""
+    return {
+        "kind": "aggregate",
+        "function": result.query.function.value,
+        "column": result.query.column,
+        "amnesiac_value": result.amnesiac_value,
+        "oracle_value": result.oracle_value,
+        "active_matches": result.active_matches,
+        "oracle_matches": result.oracle_matches,
+    }
+
+
+def _run_served_scenario(
+    policy_name: str,
+    plan: str,
+    stats: str = "uniform",
+    workers: int = 1,
+    serve: str | None = None,
+):
+    """Drive policy-fed forgetting through the serving stack (or not).
+
+    ``serve=None`` is the uncached baseline: the same insert / query /
+    policy-forget trajectory through ``Catalog.execute`` directly, no
+    caches anywhere.  ``serve="paranoid"`` routes everything through a
+    :class:`QueryService` that re-executes every cache hit and raises
+    on any mismatch (hits are *proven* fresh); ``serve="replay"`` runs
+    the production path, where hits replay the entry's recorded access
+    positions — final table state equal to the baseline proves the
+    replay accounting exact.  Every query is issued twice per round so
+    the second issue can hit the cache.
+    """
+    catalog = Catalog(plan=plan, stats=stats, workers=workers)
+    table = catalog.create_table("t", ["a"])
+    if plan in ("index", "cost"):
+        catalog.create_index("t", "a", SortedIndex, merge_threshold=32)
+    service = token = None
+    if serve is not None:
+        service = QueryService(catalog, paranoid=(serve == "paranoid"))
+        service.register_tenant("tenant", tables={"t"})
+        token = service.open_session("tenant").token
+    policy = _make_policy(policy_name)
+    policy_rng = np.random.default_rng(7)
+    data_rng = np.random.default_rng(5)
+    observed: list = []
+    for _ in range(6):
+        batch = data_rng.integers(0, 500, 30)
+        epoch = table.cohorts.latest_epoch + 1
+        if service is not None:
+            service.handle(
+                {
+                    "op": "ingest",
+                    "token": token,
+                    "source": "t",
+                    "rows": {"a": batch.tolist()},
+                }
+            )
+        else:
+            with catalog.source_lock("t"):
+                table.insert_batch(epoch, {"a": batch})
+        for low, width in _SERVE_QUERIES:
+            for _repeat in range(2):
+                if service is not None:
+                    resp = service.handle(
+                        {
+                            "op": "query",
+                            "token": token,
+                            "source": "t",
+                            "kind": "range",
+                            "predicate": {
+                                "type": "range",
+                                "column": "a",
+                                "low": low,
+                                "high": low + width,
+                            },
+                        }
+                    )
+                    payload = {
+                        key: resp[key]
+                        for key in (
+                            "kind",
+                            "rf",
+                            "mf",
+                            "oracle_count",
+                            "precision",
+                            "fingerprint",
+                        )
+                    }
+                else:
+                    result = catalog.execute(
+                        "t",
+                        RangeQuery(RangePredicate("a", low, low + width)),
+                        epoch,
+                    )
+                    payload = _served_range_payload(result)
+                observed.append(payload)
+        for spec in (("avg", 50, 300), ("sum", None, None)):
+            function, agg_low, agg_high = spec
+            for _repeat in range(2):
+                if service is not None:
+                    request = {
+                        "op": "query",
+                        "token": token,
+                        "source": "t",
+                        "kind": "aggregate",
+                        "function": function,
+                        "column": "a",
+                        "predicate": None
+                        if agg_low is None
+                        else {
+                            "type": "range",
+                            "column": "a",
+                            "low": agg_low,
+                            "high": agg_high,
+                        },
+                    }
+                    resp = service.handle(request)
+                    payload = {
+                        key: resp[key]
+                        for key in (
+                            "kind",
+                            "function",
+                            "column",
+                            "amnesiac_value",
+                            "oracle_value",
+                            "active_matches",
+                            "oracle_matches",
+                        )
+                    }
+                else:
+                    query = AggregateQuery(
+                        AggregateFunction(function),
+                        "a",
+                        None
+                        if agg_low is None
+                        else RangePredicate("a", agg_low, agg_high),
+                    )
+                    result = catalog.execute("t", query, epoch)
+                    payload = _served_aggregate_payload(result)
+                observed.append(payload)
+        victims_n = min(12, table.active_count)
+        if victims_n:
+            victims = np.asarray(
+                policy.select_victims(table, victims_n, epoch, policy_rng),
+                dtype=np.int64,
+            )
+            if service is not None:
+                resp = service.handle(
+                    {
+                        "op": "forget",
+                        "token": token,
+                        "source": "t",
+                        "positions": victims.tolist(),
+                    }
+                )
+                observed.append(resp["forgotten"])
+            else:
+                with catalog.source_lock("t"):
+                    observed.append(int(table.forget(victims, epoch)))
+    observed.append(table.active_mask().tolist())
+    observed.append(table.access_counts().tolist())
+    observed.append(table.last_access_epochs().tolist())
+    observed.append(table.forgotten_epochs().tolist())
+    if service is not None:
+        status = service.stats()
+        # The workload must actually exercise the cache, and paranoid
+        # verification must never have caught a stale hit.
+        assert status["result_cache"]["hits"] > 0
+        assert status["stale_hits"] == 0
+        service.close()
+    catalog.close()
+    return observed
+
+
+_SERVED_BASELINES: dict = {}
+
+
+def _served_baseline(policy_name: str, stats: str = "uniform"):
+    key = (policy_name, stats)
+    if key not in _SERVED_BASELINES:
+        _SERVED_BASELINES[key] = _run_served_scenario(
+            policy_name, "scan", stats=stats, workers=1, serve=None
+        )
+    return _SERVED_BASELINES[key]
+
+
+@pytest.mark.parametrize("serve", ("paranoid", "replay"))
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_served_caches_identical_to_uncached(policy_name, plan, serve):
+    """The serving headline: every served answer — cache hits included
+    — and every policy-visible observable equals the uncached scan
+    baseline bit for bit, under active policy-driven forgetting, for
+    every amnesia policy and plan mode.  ``paranoid`` proves each hit
+    against a same-lock fresh execution; ``replay`` proves the
+    production hit path's access accounting leaves the policy
+    trajectory exactly where fresh execution leaves it."""
+    got = _run_served_scenario(policy_name, plan, serve=serve)
+    assert got == _served_baseline(policy_name)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("stats", ("uniform", "hist"))
+@pytest.mark.parametrize("policy_name", ("fifo", "rot"))
+def test_served_caches_identical_under_stats_and_workers(
+    policy_name, stats, workers
+):
+    """The serving stack composes with both statistics sources and any
+    catalog fan-out width: generation-keyed plan reuse over histogram
+    statistics changes nothing observable."""
+    got = _run_served_scenario(
+        policy_name, "cost", stats=stats, workers=workers, serve="replay"
+    )
+    assert got == _served_baseline(policy_name, stats=stats)
+
+
+def test_forget_invalidates_only_intersecting_cohorts():
+    """Selective invalidation: a forget event evicts exactly the cached
+    entries whose recorded cohort sets it touches."""
+    catalog = Catalog(plan="cost", stats="hist")
+    table = catalog.create_table("t", ["a"])
+    table.insert_batch(0, {"a": np.arange(0, 100)})
+    table.insert_batch(1, {"a": np.arange(1000, 1100)})
+    service = QueryService(catalog)
+    service.register_tenant("tenant", tables={"t"})
+    token = service.open_session("tenant").token
+
+    def query(low, high):
+        return service.handle(
+            {
+                "op": "query",
+                "token": token,
+                "source": "t",
+                "kind": "range",
+                "predicate": {
+                    "type": "range",
+                    "column": "a",
+                    "low": low,
+                    "high": high,
+                },
+            }
+        )
+
+    first_low = query(0, 100)
+    first_high = query(1000, 1100)
+    assert not first_low["cached"] and not first_high["cached"]
+    assert service.result_cache.entries_for("t") == 2
+
+    # Forget rows of cohort 1 only: the low-range entry must survive.
+    service.handle(
+        {
+            "op": "forget",
+            "token": token,
+            "source": "t",
+            "positions": list(range(100, 110)),
+        }
+    )
+    assert service.result_cache.entries_for("t") == 1
+    second_low = query(0, 100)
+    assert second_low["cached"]
+    assert second_low["fingerprint"] == first_low["fingerprint"]
+    second_high = query(1000, 1100)
+    assert not second_high["cached"]
+    assert second_high["rf"] == 90 and second_high["mf"] == 10
+
+    # And the surviving entry is really still fresh: paranoid re-check.
+    service.paranoid = True
+    third_low = query(0, 100)
+    assert third_low["cached"]
+    assert service.stats()["stale_hits"] == 0
+    service.close()
+    catalog.close()

@@ -1,0 +1,760 @@
+"""Serving layer: sessions, caches, the HTTP front end, and the smoke.
+
+The heavy bit-identity proofs live in ``test_planner_equivalence.py``
+(served caches vs uncached execution across policies × plan modes ×
+stats modes × shard widths).  This module covers the serving machinery
+itself: session/tenant scoping, both caches as units, the service's
+operation surface and admission control, the HTTP wire, and the
+concurrent multi-tenant smoke the CI step reruns against a live
+server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro._util.errors import (
+    AdmissionError,
+    QueryError,
+    ScopeError,
+    ServingError,
+    SessionError,
+)
+from repro.query import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    PointPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.serving import (
+    PlanCache,
+    QueryService,
+    ResultCache,
+    SessionManager,
+    TenantScope,
+    guard_bounds,
+    predicate_from_json,
+    predicate_shape,
+    serve_in_thread,
+)
+from repro.storage import Catalog, Table
+
+
+def _catalog(rows: int = 200, plan: str = "cost", stats: str = "hist") -> Catalog:
+    """A one-table catalog: ``obs(value, sensor)``, value = 0..rows-1."""
+    catalog = Catalog(plan=plan, stats=stats)
+    table = catalog.create_table("obs", ["value", "sensor"])
+    table.insert_batch(
+        0, {"value": np.arange(rows), "sensor": np.zeros(rows, dtype=np.int64)}
+    )
+    return catalog
+
+
+def _range_request(token: str, low: int, high: int, source: str = "obs") -> dict:
+    return {
+        "op": "query",
+        "token": token,
+        "source": source,
+        "kind": "range",
+        "predicate": {"type": "range", "column": "value", "low": low, "high": high},
+    }
+
+
+# -- sessions & scoping --------------------------------------------------
+
+
+class TestSessions:
+    def test_open_get_close_lifecycle(self):
+        manager = SessionManager()
+        scope = TenantScope()
+        session = manager.open("alice", scope)
+        assert session.token.startswith("alice-")
+        assert manager.get(session.token) is session
+        assert manager.open_count == 1 and manager.opened_total == 1
+        manager.close(session.token)
+        assert manager.open_count == 0 and manager.opened_total == 1
+        with pytest.raises(SessionError):
+            manager.get(session.token)
+        with pytest.raises(SessionError):
+            manager.close(session.token)
+
+    def test_close_all_counts_open_sessions(self):
+        manager = SessionManager()
+        for _ in range(3):
+            manager.open("t", TenantScope())
+        assert manager.close_all() == 3
+        assert manager.open_count == 0
+
+    def test_tokens_are_unique(self):
+        manager = SessionManager()
+        tokens = {manager.open("t", TenantScope()).token for _ in range(50)}
+        assert len(tokens) == 50
+
+
+class TestTenantScope:
+    def test_table_scope(self):
+        scope = TenantScope(tables=frozenset({"obs"}))
+        scope.check_source("alice", "obs")
+        with pytest.raises(ScopeError, match="may not address"):
+            scope.check_source("alice", "secrets")
+
+    def test_unscoped_tenant_sees_everything(self):
+        scope = TenantScope()
+        scope.check_source("root", "anything")
+        scope.check_values("root", "value", -10, 10**9)
+
+    def test_value_clamp(self):
+        scope = TenantScope(value_bounds={"value": (0, 100)})
+        scope.check_values("bob", "value", 10, 50)
+        scope.check_values("bob", "other", -5, 10**6)  # unclamped column
+        with pytest.raises(ScopeError, match="clamped"):
+            scope.check_values("bob", "value", 50, 150)
+        with pytest.raises(ScopeError, match="clamped"):
+            scope.check_values("bob", "value", -1, 10)
+
+
+# -- predicate JSON ------------------------------------------------------
+
+
+class TestPredicateJson:
+    def test_all_kinds_roundtrip_to_equal_shapes(self):
+        spec = {
+            "type": "and",
+            "children": [
+                {"type": "range", "column": "a", "low": 0, "high": 10},
+                {
+                    "type": "or",
+                    "children": [
+                        {"type": "point", "column": "b", "value": 3},
+                        {"type": "not", "child": {"type": "true"}},
+                    ],
+                },
+            ],
+        }
+        built = predicate_from_json(spec)
+        expected = AndPredicate(
+            RangePredicate("a", 0, 10),
+            OrPredicate(PointPredicate("b", 3), NotPredicate(TruePredicate())),
+        )
+        assert predicate_shape(built) == predicate_shape(expected)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            [],
+            "range",
+            {"column": "a"},
+            {"type": "rnage"},
+            {"type": "range", "column": "a", "low": 0},
+            {"type": "not"},
+        ],
+    )
+    def test_malformed_specs_raise_query_error(self, bad):
+        with pytest.raises(QueryError):
+            predicate_from_json(bad)
+
+
+# -- plan cache ----------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_hit_while_generation_stands_still(self):
+        catalog = _catalog()
+        planner = catalog.planner("obs")
+        plan = planner.plan(RangePredicate("value", 0, 50))
+        cache = PlanCache()
+        shape = predicate_shape(RangePredicate("value", 0, 50))
+        cache.store("obs", shape, planner.generation, plan)
+        assert cache.lookup("obs", shape, planner.generation) is plan
+        assert cache.stats()["hits"] == 1
+        catalog.close()
+
+    def test_generation_move_evicts(self):
+        catalog = _catalog()
+        planner = catalog.planner("obs")
+        table = catalog.get("obs")
+        plan = planner.plan(RangePredicate("value", 0, 50))
+        cache = PlanCache()
+        shape = ("range", "value", 0, 50)
+        cache.store("obs", shape, planner.generation, plan)
+        table.insert_batch(1, {"value": [999], "sensor": [0]})  # bumps generation
+        assert cache.lookup("obs", shape, planner.generation) is None
+        assert cache.stats()["invalidations"] == 1
+        assert len(cache) == 0
+        catalog.close()
+
+    def test_dropped_index_evicts_without_generation_move(self):
+        from repro.indexes import SortedIndex
+
+        catalog = _catalog()
+        index = catalog.create_index("obs", "value", SortedIndex)
+        planner = catalog.planner("obs")
+        plan = planner.plan(RangePredicate("value", 0, 50))
+        assert plan.index is index
+        cache = PlanCache()
+        generation = planner.generation
+        cache.store("obs", "shape", generation, plan)
+        index.drop()
+        assert planner.generation == generation  # drops don't bump it
+        assert cache.lookup("obs", "shape", generation) is None
+        catalog.close()
+
+    def test_lru_capacity_and_invalidate_source(self):
+        cache = PlanCache(max_entries=2)
+
+        class FakePlan:
+            index = None
+
+        a, b, c = FakePlan(), FakePlan(), FakePlan()
+        cache.store("s", "a", (0,), a)
+        cache.store("s", "b", (0,), b)
+        assert cache.lookup("s", "a", (0,)) is a  # refresh recency
+        cache.store("s", "c", (0,), c)  # evicts "b", the LRU entry
+        assert cache.lookup("s", "b", (0,)) is None
+        assert cache.lookup("s", "a", (0,)) is a
+        assert cache.invalidate_source("s") == 2
+        assert len(cache) == 0
+        with pytest.raises(QueryError):
+            PlanCache(max_entries=0)
+
+    def test_shape_rejects_unknown_predicate_types(self):
+        class Weird:
+            pass
+
+        with pytest.raises(QueryError, match="cache shape"):
+            predicate_shape(Weird())
+
+
+# -- result cache --------------------------------------------------------
+
+
+class TestResultCache:
+    def test_guard_bounds_decomposition(self):
+        assert guard_bounds(RangePredicate("a", 0, 10)) == (("a", 0, 10),)
+        point = guard_bounds(PointPredicate("a", 5))
+        assert point == (("a", 5, 6),)
+        conj = guard_bounds(
+            AndPredicate(RangePredicate("a", 0, 10), RangePredicate("b", 3, 7))
+        )
+        assert conj is not None and set(conj) == {("a", 0, 10), ("b", 3, 7)}
+        assert guard_bounds(TruePredicate()) is None
+        assert (
+            guard_bounds(
+                OrPredicate(RangePredicate("a", 0, 1), RangePredicate("a", 5, 6))
+            )
+            is None
+        )
+
+    def _seeded(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})
+        cache = ResultCache()
+        cache.watch("t", table)
+        cache.watch("t", table)  # idempotent: one observer, not two
+        active = np.arange(0, 10)
+        cache.store(
+            "t",
+            "key",
+            {"rf": 10},
+            active,
+            np.array([], dtype=np.int64),
+            table,
+            guard_bounds(RangePredicate("a", 0, 10)),
+        )
+        return table, cache
+
+    def test_insert_outside_guard_keeps_entry(self):
+        table, cache = self._seeded()
+        table.insert_batch(1, {"a": np.arange(500, 520)})
+        assert cache.lookup("t", "key") is not None
+
+    def test_insert_inside_guard_evicts(self):
+        table, cache = self._seeded()
+        table.insert_batch(1, {"a": [5]})
+        assert cache.lookup("t", "key") is None
+        assert cache.stats()["invalidations"] == 1
+
+    def test_unguarded_entry_evicts_on_any_insert(self):
+        table, cache = self._seeded()
+        cache.store(
+            "t",
+            "all",
+            {"rf": 100},
+            np.arange(100),
+            np.array([], dtype=np.int64),
+            table,
+            None,  # TruePredicate-style: no provable guard
+        )
+        table.insert_batch(1, {"a": [10**6]})
+        assert cache.lookup("t", "all") is None
+        # The guarded entry survived the same (out-of-range) batch.
+        assert cache.lookup("t", "key") is not None
+
+    def test_forget_evicts_only_intersecting_cohorts(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(100)})  # cohort 0
+        table.insert_batch(1, {"a": np.arange(1000, 1100)})  # cohort 1
+        cache = ResultCache()
+        cache.watch("t", table)
+        empty = np.array([], dtype=np.int64)
+        cache.store("t", "low", {}, np.arange(0, 100), empty, table,
+                    guard_bounds(RangePredicate("a", 0, 100)))
+        cache.store("t", "high", {}, np.arange(100, 200), empty, table,
+                    guard_bounds(RangePredicate("a", 1000, 1100)))
+        table.forget(np.array([150, 151]), epoch=1)  # cohort 1 only
+        assert cache.lookup("t", "high") is None
+        assert cache.lookup("t", "low") is not None
+
+    def test_unwatch_detaches_and_purges(self):
+        table, cache = self._seeded()
+        cache.unwatch("t", table)
+        assert len(cache) == 0
+        table.insert_batch(1, {"a": [5]})  # no observer left to notify
+        assert cache.stats()["invalidations"] == 1  # only the unwatch purge
+
+    def test_capacity_is_lru(self):
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(10)})
+        cache = ResultCache(max_entries=2)
+        empty = np.array([], dtype=np.int64)
+        for key in ("a", "b", "c"):
+            cache.store("t", key, {}, np.arange(3), empty, table, None)
+        assert cache.lookup("t", "a") is None
+        assert cache.lookup("t", "b") is not None
+        assert cache.lookup("t", "c") is not None
+        with pytest.raises(QueryError):
+            ResultCache(max_entries=0)
+
+
+# -- the service ---------------------------------------------------------
+
+
+class TestQueryService:
+    def _service(self, **kwargs):
+        catalog = _catalog()
+        service = QueryService(catalog, **kwargs)
+        service.register_tenant("alice", tables={"obs"})
+        service.register_tenant(
+            "bob", tables={"obs"}, value_bounds={"value": (0, 100)}
+        )
+        return catalog, service
+
+    def test_query_miss_then_hit_with_replayed_accounting(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        first = service.handle(_range_request(token, 0, 10))
+        second = service.handle(_range_request(token, 0, 10))
+        assert first["ok"] and second["ok"]
+        assert (first["cached"], second["cached"]) == (False, True)
+        assert second["rf"] == 10 and second["fingerprint"] == first["fingerprint"]
+        # The hit replayed record_access: both issues count, exactly as
+        # an uncached service would have counted them.
+        assert catalog.get("obs").access_counts()[:10].tolist() == [2] * 10
+        stats = service.stats()
+        assert stats["tenants"]["alice"]["cache_hits"] == 1
+        assert stats["tenants"]["alice"]["rows_returned"] == 20
+        assert stats["tenants"]["alice"]["access_total"] == 20
+        catalog.close()
+
+    def test_aggregate_query_roundtrip(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        request = {
+            "op": "query",
+            "token": token,
+            "source": "obs",
+            "kind": "aggregate",
+            "function": "avg",
+            "column": "value",
+            "predicate": None,  # whole table
+        }
+        result = service.handle(request)
+        assert result["kind"] == "aggregate"
+        assert result["amnesiac_value"] == pytest.approx(99.5)
+        assert service.handle(request)["cached"] is True
+        catalog.close()
+
+    def test_ingest_advances_epoch_and_respects_guards(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        service.handle(_range_request(token, 0, 10))
+        # Out-of-guard batch: the cached entry must survive.
+        ingest = service.handle(
+            {
+                "op": "ingest",
+                "token": token,
+                "source": "obs",
+                "rows": {"value": [500, 501], "sensor": [1, 1]},
+            }
+        )
+        assert ingest["inserted"] == 2 and ingest["epoch"] == 1
+        assert service.handle(_range_request(token, 0, 10))["cached"] is True
+        # In-guard batch: evicted, and the fresh answer sees the row.
+        service.handle(
+            {
+                "op": "ingest",
+                "token": token,
+                "source": "obs",
+                "rows": {"value": [5], "sensor": [2]},
+            }
+        )
+        requery = service.handle(_range_request(token, 0, 10))
+        assert requery["cached"] is False and requery["rf"] == 11
+        catalog.close()
+
+    def test_forget_invalidates_and_counts(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        service.handle(_range_request(token, 0, 10))
+        gone = service.handle(
+            {"op": "forget", "token": token, "source": "obs", "positions": [3, 4]}
+        )
+        assert gone["forgotten"] == 2
+        requery = service.handle(_range_request(token, 0, 10))
+        assert requery["cached"] is False
+        assert requery["rf"] == 8 and requery["mf"] == 2
+        assert service.stats()["tenants"]["alice"]["rows_forgotten"] == 2
+        catalog.close()
+
+    def test_scope_enforcement(self):
+        catalog, service = self._service()
+        alice = service.open_session("alice").token
+        bob = service.open_session("bob").token
+        with pytest.raises(ScopeError):  # table out of scope
+            service.handle(_range_request(alice, 0, 10, source="other"))
+        # bob is clamped to value < 100: in-range succeeds…
+        assert service.handle(_range_request(bob, 0, 50))["ok"]
+        with pytest.raises(ScopeError):  # …beyond the clamp fails
+            service.handle(_range_request(bob, 50, 150))
+        with pytest.raises(ScopeError):  # no provable bounds on the clamp
+            service.handle(
+                {
+                    "op": "query",
+                    "token": bob,
+                    "source": "obs",
+                    "kind": "range",
+                    "predicate": {"type": "true"},
+                }
+            )
+        with pytest.raises(ScopeError):  # ingest outside the clamp
+            service.handle(
+                {
+                    "op": "ingest",
+                    "token": bob,
+                    "source": "obs",
+                    "rows": {"value": [150], "sensor": [0]},
+                }
+            )
+        with pytest.raises(SessionError):  # unknown token → 401 path
+            service.handle(_range_request("nope", 0, 10))
+        catalog.close()
+
+    def test_malformed_requests(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        with pytest.raises(QueryError):
+            service.handle("not a dict")
+        with pytest.raises(QueryError):
+            service.handle({"op": "frobnicate", "token": token})
+        with pytest.raises(QueryError):
+            service.handle(
+                {"op": "query", "token": token, "source": "obs", "kind": "cube"}
+            )
+        with pytest.raises(QueryError):
+            service.handle({"op": "ingest", "token": token, "source": "obs"})
+        with pytest.raises(QueryError):
+            service.handle({"op": "forget", "token": token, "source": "obs"})
+        with pytest.raises(SessionError):
+            service.open_session("mallory")  # unregistered tenant
+        catalog.close()
+
+    def test_admission_control_rejects_at_capacity(self):
+        catalog, service = self._service(max_inflight=1)
+        token = service.open_session("alice").token
+        assert service._admission.acquire(blocking=False)  # fill the slot
+        try:
+            with pytest.raises(AdmissionError):
+                service.handle(_range_request(token, 0, 10))
+        finally:
+            service._admission.release()
+        stats = service.stats()
+        assert stats["rejected"] == 1
+        assert stats["tenants"]["alice"]["rejected"] == 1
+        # Session ops are always admitted; the slot is free again.
+        assert service.handle({"op": "stats"})["ok"]
+        assert service.handle(_range_request(token, 0, 10))["ok"]
+        with pytest.raises(ServingError):
+            QueryService(_catalog(), max_inflight=0)
+        catalog.close()
+
+    def test_explain_reports_the_plan(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        result = service.handle(
+            {
+                "op": "explain",
+                "token": token,
+                "source": "obs",
+                "kind": "range",
+                "predicate": {
+                    "type": "range",
+                    "column": "value",
+                    "low": 0,
+                    "high": 10,
+                },
+            }
+        )
+        assert result["ok"] and result["mode"] in {"scan", "zonemap", "index"}
+        assert result["plan"]
+        catalog.close()
+
+    def test_drop_recreate_purges_service_caches(self):
+        catalog, service = self._service()
+        token = service.open_session("alice").token
+        service.handle(_range_request(token, 0, 10))
+        assert service.result_cache.entries_for("obs") == 1
+        catalog.drop("obs")
+        assert service.result_cache.entries_for("obs") == 0
+        assert len(service.plan_cache) == 0
+        # Recreate under the same name with different data: the service
+        # must serve the new table, never the old cache.
+        table = catalog.create_table("obs", ["value", "sensor"])
+        table.insert_batch(0, {"value": [1, 2, 3], "sensor": [0, 0, 0]})
+        result = service.handle(_range_request(token, 0, 10))
+        assert result["cached"] is False and result["rf"] == 3
+        catalog.close()
+
+    def test_paranoid_mode_verifies_hits(self):
+        catalog, service = self._service(paranoid=True)
+        token = service.open_session("alice").token
+        first = service.handle(_range_request(token, 0, 10))
+        second = service.handle(_range_request(token, 0, 10))
+        assert second["cached"] is True
+        assert second["fingerprint"] == first["fingerprint"]
+        assert service.stats()["stale_hits"] == 0
+        # Paranoid hits re-execute, so accounting still matches an
+        # uncached service: one bump per issue.
+        assert catalog.get("obs").access_counts()[:10].tolist() == [2] * 10
+        # Corrupt an entry by hand: the paranoid check must catch it.
+        entry = service.result_cache.lookup(
+            "obs", ("range", ("range", "value", 0, 10))
+        )
+        entry.payload["rf"] = 99
+        with pytest.raises(ServingError, match="stale cache hit"):
+            service.handle(_range_request(token, 0, 10))
+        assert service.stats()["stale_hits"] == 1
+        catalog.close()
+
+    def test_close_detaches_from_catalog(self):
+        catalog, service = self._service()
+        service.open_session("alice")
+        service.close()
+        assert service.sessions.open_count == 0
+        # Lifecycle events no longer reach the detached service.
+        catalog.drop("obs")
+        catalog.create_table("obs", ["value"])
+        catalog.close()
+
+
+# -- HTTP front end ------------------------------------------------------
+
+
+def _post(port: int, body: dict) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST", "/", json.dumps(body), {"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _get(port: int, path: str) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestHTTPServer:
+    def test_end_to_end_over_the_wire(self):
+        catalog = _catalog()
+        service = QueryService(catalog)
+        service.register_tenant("alice", tables={"obs"})
+        service.register_tenant(
+            "bob", tables={"obs"}, value_bounds={"value": (0, 100)}
+        )
+        server, thread = serve_in_thread(service)
+        port = server.server_address[1]
+        try:
+            assert _get(port, "/health") == (200, {"ok": True})
+            status, body = _post(port, {"op": "open_session", "tenant": "alice"})
+            assert status == 200 and body["ok"]
+            token = body["token"]
+
+            status, first = _post(port, _range_request(token, 0, 10))
+            assert status == 200 and first["cached"] is False
+            status, second = _post(port, _range_request(token, 0, 10))
+            assert status == 200 and second["cached"] is True
+            assert second["fingerprint"] == first["fingerprint"]
+
+            # Typed errors map to their status codes.
+            assert _post(port, _range_request("bad-token", 0, 10))[0] == 401
+            status, body = _post(port, {"op": "open_session", "tenant": "bob"})
+            bob = body["token"]
+            assert _post(port, _range_request(bob, 50, 150))[0] == 403
+            assert _post(port, {"op": "nope", "token": token})[0] == 400
+            assert _get(port, "/missing")[0] == 404
+
+            # Raw bad JSON is a 400, not a hung connection.
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request("POST", "/", "{not json")
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
+
+            status, stats = _get(port, "/stats")
+            assert status == 200
+            assert stats["result_cache"]["hits"] >= 1
+            assert stats["sessions_open"] == 2
+
+            status, body = _post(port, {"op": "close_session", "token": token})
+            assert status == 200 and body["ok"]
+            assert _post(port, _range_request(token, 0, 10))[0] == 401
+        finally:
+            server.shutdown()
+            thread.join(5)
+            server.server_close()
+            service.close()
+            catalog.close()
+        assert not thread.is_alive()
+
+
+# -- the concurrent smoke ------------------------------------------------
+
+
+class TestConcurrentSmoke:
+    """~100 concurrent HTTP clients, two tenants, paranoid service.
+
+    This is the CI smoke contract from the issue: cache hit-rate above
+    zero, zero stale answers (asserted by the paranoid re-execution on
+    every hit, not assumed), and a clean shutdown.
+    """
+
+    CLIENTS = 100
+
+    def _client(self, port: int, index: int) -> list:
+        tenant = "alice" if index % 2 == 0 else "bob"
+        outcomes = []
+
+        def call(body: dict) -> dict:
+            # 429 is legal under admission control; back off and retry.
+            for attempt in range(40):
+                status, payload = _post(port, body)
+                if status != 429:
+                    outcomes.append((status, body["op"], payload))
+                    return payload
+                time.sleep(0.01 * (attempt + 1))
+            raise AssertionError("admission control never let the client in")
+
+        token = call({"op": "open_session", "tenant": tenant})["token"]
+        # A small shared shape pool so distinct clients collide on the
+        # cache; bob's shapes stay inside the [0, 1000) clamp.
+        low = (index % 5) * 100
+        call(_range_request(token, low, low + 100))
+        call(_range_request(token, low, low + 100))
+        call(
+            {
+                "op": "query",
+                "token": token,
+                "source": "obs",
+                "kind": "aggregate",
+                "function": "sum",
+                "column": "value",
+                "predicate": {
+                    "type": "range",
+                    "column": "value",
+                    "low": 0,
+                    "high": 500,
+                },
+            }
+        )
+        if tenant == "alice" and index % 10 == 0:
+            call(
+                {
+                    "op": "ingest",
+                    "token": token,
+                    "source": "obs",
+                    "rows": {"value": [1500 + index], "sensor": [index]},
+                }
+            )
+        if tenant == "alice" and index % 20 == 0:
+            call({"op": "forget", "token": token, "source": "obs", "n": 1})
+        call({"op": "close_session", "token": token})
+        return outcomes
+
+    def test_hundred_clients_two_tenants_zero_stale(self):
+        catalog = Catalog(plan="cost", stats="hist")
+        table = catalog.create_table("obs", ["value", "sensor"])
+        rng = np.random.default_rng(20170108)
+        table.insert_batch(
+            0,
+            {
+                "value": rng.integers(0, 1000, size=2000),
+                "sensor": rng.integers(0, 16, size=2000),
+            },
+        )
+        service = QueryService(catalog, max_inflight=64, paranoid=True)
+        service.register_tenant("alice", tables={"obs"})
+        service.register_tenant(
+            "bob", tables={"obs"}, value_bounds={"value": (0, 1000)}
+        )
+        server, thread = serve_in_thread(service)
+        port = server.server_address[1]
+        try:
+            with ThreadPoolExecutor(max_workers=self.CLIENTS) as pool:
+                futures = [
+                    pool.submit(self._client, port, index)
+                    for index in range(self.CLIENTS)
+                ]
+                outcomes = [f.result(timeout=120) for f in futures]
+            for client_outcomes in outcomes:
+                for status, op, payload in client_outcomes:
+                    assert status == 200, (op, payload)
+            stats = service.stats()
+            # Every hit was re-executed and compared by the paranoid
+            # service: a hit rate with zero stale hits is a *proof* of
+            # bit-identical serving under concurrent mutation.
+            assert stats["stale_hits"] == 0
+            assert stats["result_cache"]["hits"] > 0
+            assert stats["result_cache"]["hit_rate"] > 0
+            assert stats["sessions_opened"] == self.CLIENTS
+            assert stats["sessions_open"] == 0  # every client closed
+            for tenant in ("alice", "bob"):
+                assert stats["tenants"][tenant]["queries"] > 0
+                assert stats["tenants"][tenant]["access_total"] > 0
+            assert stats["tenants"]["alice"]["rows_ingested"] == 10
+            assert stats["tenants"]["alice"]["rows_forgotten"] == 5
+        finally:
+            server.shutdown()
+            thread.join(10)
+            server.server_close()
+            service.close()
+            catalog.close()
+        assert not thread.is_alive(), "server thread must stop cleanly"
