@@ -8,6 +8,7 @@ Usage::
     python -m repro run F3 --seed 7      # override the root seed
     python -m repro run F3 --plan scan   # force the query access path
     python -m repro run F3 --stats hist  # histogram-backed estimates
+    python -m repro run F3 --compress on # compressed cold cohorts
 
 Every experiment prints the same rows/series the paper's figures and
 tables report, rendered as ASCII heat maps, line charts and tables.
@@ -20,15 +21,18 @@ import sys
 
 from ._util.errors import QueryError
 from .core.config import (
+    COMPRESS_MODES,
     REBALANCE_POLICIES,
     STATS_MODES,
     default_batch_size,
+    default_compress,
     default_cross_query,
     default_plan,
     default_rebalance,
     default_stats,
     default_workers,
     set_default_batch_size,
+    set_default_compress,
     set_default_cross_query,
     set_default_plan,
     set_default_rebalance,
@@ -150,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
             "layer (batch iterators and streamed aggregates; default: "
             f"{default_batch_size()}; results are identical at any "
             "size — only the peak working set changes)"
+        ),
+    )
+    run.add_argument(
+        "--compress",
+        choices=COMPRESS_MODES,
+        default=None,
+        help=(
+            "compressed-execution mode for every store the experiment "
+            "builds (default: off; 'on' demotes cold cohorts into "
+            "best-codec compressed blocks and evaluates range "
+            "predicates directly on the encoded form; results are "
+            "identical under either mode)"
         ),
     )
 
@@ -302,8 +318,9 @@ def main(argv=None, out=None) -> int:
     previous_rebalance = default_rebalance()
     previous_cross_query = default_cross_query()
     previous_batch_size = default_batch_size()
+    previous_compress = default_compress()
     # Every set_default_* sits INSIDE the try: a setter raising midway
-    # (or any failure in the run itself) must restore all six process
+    # (or any failure in the run itself) must restore all seven process
     # defaults — a leaked half-applied configuration would silently
     # reshape every later in-process run.
     try:
@@ -319,6 +336,8 @@ def main(argv=None, out=None) -> int:
             set_default_cross_query(args.query)
         if getattr(args, "batch_size", None) is not None:
             set_default_batch_size(args.batch_size)
+        if getattr(args, "compress", None) is not None:
+            set_default_compress(args.compress)
         target = args.experiment.upper()
         if target == "ALL":
             for experiment_id in EXPERIMENTS:
@@ -354,6 +373,7 @@ def main(argv=None, out=None) -> int:
         set_default_rebalance(previous_rebalance)
         set_default_cross_query(previous_cross_query)
         set_default_batch_size(previous_batch_size)
+        set_default_compress(previous_compress)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,6 +5,17 @@ non-negative codes; packing those codes at their minimal bit width is
 where the actual compression happens.  These helpers implement real
 bit-level packing via :func:`numpy.packbits`, so reported footprints
 are what a columnar engine would genuinely write.
+
+Domain contract: packed values live in the **uint64 code domain**
+``[0, 2**64 - 1]``.  :func:`pack_ints` interprets its input as uint64
+(negative int64 inputs are rejected up front rather than silently
+reinterpreted), and :func:`unpack_ints` reconstructs in uint64.  The
+return dtype is chosen by the caller: the default ``dtype=np.int64``
+is a *checked* narrowing — any recovered value ≥ 2**63 raises
+:class:`CompressionError` instead of wrapping negative (the same
+checked-cast doctrine the ingest path applies to user input) — while
+``dtype=np.uint64`` hands back the full code domain for callers, like
+the frame-of-reference codec, whose offsets legitimately span it.
 """
 
 from __future__ import annotations
@@ -14,6 +25,8 @@ import numpy as np
 from .._util.errors import CompressionError
 
 __all__ = ["bits_needed", "pack_ints", "unpack_ints"]
+
+_INT64_SIGN_BIT = 1 << 63
 
 
 def bits_needed(max_value: int) -> int:
@@ -36,10 +49,15 @@ def pack_ints(values: np.ndarray, bits: int) -> np.ndarray:
     >>> unpack_ints(packed, bits=2, count=3).tolist()
     [1, 2, 3]
     """
-    values = np.asarray(values, dtype=np.uint64)
+    raw = np.asarray(values)
+    if np.issubdtype(raw.dtype, np.signedinteger) and raw.size and raw.min() < 0:
+        raise CompressionError(
+            f"pack_ints packs non-negative codes, got {int(raw.min())}"
+        )
+    values = raw.astype(np.uint64, copy=False)
     if not 1 <= bits <= 64:
         raise CompressionError(f"bits must be in [1, 64], got {bits}")
-    if values.size and int(values.max()) >= (1 << bits):
+    if values.size and bits < 64 and int(values.max()) >= (1 << bits):
         raise CompressionError(
             f"value {int(values.max())} does not fit in {bits} bits"
         )
@@ -52,17 +70,40 @@ def pack_ints(values: np.ndarray, bits: int) -> np.ndarray:
     return np.packbits(bit_matrix.ravel())
 
 
-def unpack_ints(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_ints`: recover ``count`` values."""
+def unpack_ints(
+    packed: np.ndarray, bits: int, count: int, *, dtype=np.int64
+) -> np.ndarray:
+    """Inverse of :func:`pack_ints`: recover ``count`` values.
+
+    Reconstruction happens in uint64; ``dtype`` picks the return
+    domain.  ``np.int64`` (the default) is checked — a recovered value
+    ≥ 2**63 cannot be represented and raises :class:`CompressionError`
+    rather than wrapping negative.  ``np.uint64`` returns the full
+    code domain unchecked (every packed value fits by construction).
+    """
     if not 1 <= bits <= 64:
         raise CompressionError(f"bits must be in [1, 64], got {bits}")
     if count < 0:
         raise CompressionError(f"count must be >= 0, got {count}")
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.int64), np.dtype(np.uint64)):
+        raise CompressionError(
+            f"unpack_ints returns int64 or uint64, got {dtype}"
+        )
     if count == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=dtype)
     packed = np.asarray(packed, dtype=np.uint8)
     needed_bits = count * bits
     unpacked = np.unpackbits(packed, count=needed_bits)
     bit_matrix = unpacked.reshape(count, bits).astype(np.uint64)
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
-    return (bit_matrix << shifts).sum(axis=1).astype(np.int64)
+    codes = (bit_matrix << shifts).sum(axis=1, dtype=np.uint64)
+    if dtype == np.dtype(np.uint64):
+        return codes
+    if bits == 64 and codes.size and int(codes.max()) >= _INT64_SIGN_BIT:
+        overflow = int(codes.max())
+        raise CompressionError(
+            f"unpacked value {overflow} does not fit in int64; "
+            "request dtype=np.uint64 to read the full code domain"
+        )
+    return codes.astype(np.int64)

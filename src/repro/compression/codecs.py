@@ -3,10 +3,36 @@
 "Data compression can be called upon to postpone the decisions to
 forget data" (§4.4): at a fixed *byte* budget, a compressed column
 holds more tuples, so fewer must be forgotten.  Experiment C2
-quantifies exactly that trade per data distribution.
+quantifies exactly that trade per data distribution, and the
+``CompressedCohortStore`` (``storage/compressed.py``) routes cold
+cohorts through :func:`best_codec` on the live query path.
 
-Every codec round-trips exactly (lossless) and reports its true encoded
-footprint, including per-block metadata.
+Every codec round-trips exactly (lossless) over the **full int64
+domain** and reports its true encoded footprint, including per-block
+metadata.
+
+Block format.  A :class:`CompressedBlock` is ``_HEADER_BYTES`` of
+fixed header (codec id, value count, two codec params) plus a codec
+payload:
+
+- ``raw``:  the int64 values verbatim (8 bytes each).
+- ``rle``:  parallel int64 ``runs`` / ``lengths`` arrays (16 bytes per
+  run).
+- ``dict``: the sorted int64 ``dictionary`` (``np.unique`` order, so
+  codes are rank-in-sorted-order — range predicates binary-search it)
+  plus codes bit-packed at ``bits = bits_needed(len(dictionary) - 1)``.
+- ``for``:  an int64 ``reference`` (the block minimum) plus offsets
+  bit-packed at ``bits = bits_needed(max_offset)``.
+
+Offset-domain contract (the PR 9 bugfix): frame-of-reference offsets
+``v - reference`` are computed **in uint64 two's-complement
+arithmetic**, never int64.  For int64 values ``v >= r`` the wrapped
+difference ``(v - r) mod 2**64`` equals the true spread exactly, and
+the spread of a legal int64 block can reach ``2**64 - 1`` — an int64
+subtraction overflows for any block wider than ``2**63 - 1`` and
+previously crashed the chooser on valid input.  Decode adds the
+reference back in uint64 and reinterprets the bit pattern via
+``.view(np.int64)``, restoring every int64 exactly.
 """
 
 from __future__ import annotations
@@ -186,7 +212,12 @@ class FrameOfReferenceCodec(Codec):
         if values.size == 0:
             return CompressedBlock(self.name, 0, {"reference": 0, "packed": np.empty(0, dtype=np.uint8), "bits": 1}, _HEADER_BYTES)
         reference = int(values.min())
-        offsets = values - reference
+        # Offsets live in the uint64 domain: an int64 block's spread can
+        # reach 2**64 - 1, which int64 subtraction would wrap (the old
+        # crash on e.g. [-2**62, 2**62]).  Two's complement makes the
+        # wrapped uint64 difference exact for every v >= reference.
+        ref_u = np.uint64(reference & 0xFFFFFFFFFFFFFFFF)
+        offsets = values.view(np.uint64) - ref_u
         bits = bits_needed(int(offsets.max()))
         packed = pack_ints(offsets, bits)
         nbytes = _HEADER_BYTES + packed.nbytes
@@ -202,9 +233,16 @@ class FrameOfReferenceCodec(Codec):
         if block.n_values == 0:
             return np.empty(0, dtype=np.int64)
         offsets = unpack_ints(
-            block.payload["packed"], block.payload["bits"], block.n_values
+            block.payload["packed"],
+            block.payload["bits"],
+            block.n_values,
+            dtype=np.uint64,
         )
-        return offsets + block.payload["reference"]
+        # Undo the encode-side wrap: add the reference back in uint64,
+        # then reinterpret the bit pattern as int64 (exact inverse).
+        reference = int(block.payload["reference"])
+        ref_u = np.uint64(reference & 0xFFFFFFFFFFFFFFFF)
+        return (offsets + ref_u).view(np.int64)
 
 
 _CODECS = {
@@ -229,7 +267,29 @@ def best_codec(values: np.ndarray) -> CompressedBlock:
     """Encode with every codec and keep the smallest block.
 
     This is the per-block "lightweight compression chooser" columnar
-    engines run at load time.
+    engines run at load time.  A codec that cannot encode a particular
+    block is skipped, not fatal — the chooser never raises on a valid
+    int64 block (raw always succeeds).  Invalid input (wrong shape,
+    non-integral values) still raises crisply.  Ties on ``nbytes``
+    break deterministically by registration order
+    (raw, rle, dict, for) via the stability of :func:`min`.
     """
-    blocks = [codec.encode(values) for codec in _CODECS.values()]
+    # Validate once up front so bad input fails with the real reason
+    # instead of "no codec could encode".
+    probe = np.asarray(values)
+    if probe.ndim != 1:
+        raise CompressionError(
+            f"codecs encode 1-D arrays, got shape {probe.shape}"
+        )
+    blocks = []
+    for codec in _CODECS.values():
+        try:
+            blocks.append(codec.encode(values))
+        except CompressionError:
+            continue
+    if not blocks:
+        raise CompressionError(
+            "no codec could encode the block; input is not a valid "
+            "int64 array"
+        )
     return min(blocks, key=lambda b: b.nbytes)

@@ -21,16 +21,19 @@ from ..query.planner import PLAN_MODES
 from ..query.plans import parse_query_spec
 
 __all__ = [
+    "COMPRESS_MODES",
     "REBALANCE_POLICIES",
     "STATS_MODES",
     "SimulationConfig",
     "default_batch_size",
+    "default_compress",
     "default_cross_query",
     "default_plan",
     "default_rebalance",
     "default_stats",
     "default_workers",
     "set_default_batch_size",
+    "set_default_compress",
     "set_default_cross_query",
     "set_default_plan",
     "set_default_rebalance",
@@ -77,6 +80,17 @@ _DEFAULT_REBALANCE = "hits"
 #: :func:`repro.query.plans.parse_query_spec`) — the CLI's ``--query``
 #: flag sets it, and the cross-table experiment (X5) runs it.
 _DEFAULT_CROSS_QUERY = "join:s1,s2:on=value"
+
+#: Compressed-execution modes: ``off`` keeps every cohort raw, ``on``
+#: demotes cold cohorts into best-codec compressed blocks
+#: (:class:`~repro.storage.CompressedCohortStore`) that pruned access
+#: paths evaluate directly.  Execution-only: results are bit-identical
+#: under either mode; only bytes held and work per probed row change.
+COMPRESS_MODES = ("off", "on")
+
+#: Process-wide default for :attr:`SimulationConfig.compress` — the
+#: CLI's ``--compress`` flag sets it, like ``--plan``.
+_DEFAULT_COMPRESS = "off"
 
 #: Process-wide default batch size (rows) for the streaming vectorized
 #: execution layer (:meth:`repro.query.plans.PlanNode.batches` and the
@@ -148,6 +162,18 @@ def set_default_batch_size(rows: int) -> int:
     global _DEFAULT_BATCH_SIZE
     _DEFAULT_BATCH_SIZE = check_positive_int(rows, "batch_size")
     return _DEFAULT_BATCH_SIZE
+
+
+def default_compress() -> str:
+    """The compressed-execution mode new configs and databases default to."""
+    return _DEFAULT_COMPRESS
+
+
+def set_default_compress(mode: str) -> str:
+    """Set the process-wide default compressed-execution mode; returns it."""
+    global _DEFAULT_COMPRESS
+    _DEFAULT_COMPRESS = check_in(mode, COMPRESS_MODES, "compress")
+    return _DEFAULT_COMPRESS
 
 
 def default_rebalance() -> str:
@@ -236,6 +262,17 @@ class SimulationConfig:
         property, which is the paper's *update* batch (tuples inserted
         per epoch).  Execution-only: results are bit-identical at any
         value; only the peak working set changes.
+    compress:
+        Compressed-execution mode (one of :data:`COMPRESS_MODES`):
+        ``"on"`` attaches a
+        :class:`~repro.storage.CompressedCohortStore` that demotes
+        cold cohorts into best-codec compressed blocks and lets pruned
+        access paths evaluate range predicates directly on the encoded
+        form; ``"off"`` (default) keeps every cohort raw.  The CLI's
+        ``--compress`` flag sets the process default.  Execution-only:
+        query results are bit-identical under either mode; only the
+        bytes held per retained tuple and the work per probed row
+        change.
     """
 
     dbsize: int = 1000
@@ -251,6 +288,7 @@ class SimulationConfig:
     rebalance: str = field(default_factory=default_rebalance)
     cross_query: str = field(default_factory=default_cross_query)
     exec_batch: int = field(default_factory=default_batch_size)
+    compress: str = field(default_factory=default_compress)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")
@@ -263,6 +301,7 @@ class SimulationConfig:
         check_positive_int(self.workers, "workers")
         check_in(self.rebalance, REBALANCE_POLICIES, "rebalance")
         check_positive_int(self.exec_batch, "exec_batch")
+        check_in(self.compress, COMPRESS_MODES, "compress")
         parse_query_spec(self.cross_query)  # grammar check; binding is lazy
         if not self.column:
             raise ValueError("column name must be non-empty")

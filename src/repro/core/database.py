@@ -41,8 +41,15 @@ from ..query.queries import (
 )
 from ..stats.table_stats import TableHistogramStats
 from ..storage.cohorts import CohortZoneMap
+from ..storage.compressed import CompressedCohortStore
 from ..storage.table import Table
-from .config import STATS_MODES, default_plan, default_stats
+from .config import (
+    COMPRESS_MODES,
+    STATS_MODES,
+    default_compress,
+    default_plan,
+    default_stats,
+)
 
 __all__ = ["AmnesiaDatabase"]
 
@@ -91,6 +98,19 @@ class AmnesiaDatabase:
         :func:`repro.core.config.default_stats`, so the CLI's
         ``--stats`` flag reaches facade-backed experiments.  Estimate
         -only: query results are identical under either source.
+    compress:
+        Compressed-execution mode (see
+        :data:`repro.core.config.COMPRESS_MODES`): ``"on"`` attaches a
+        :class:`~repro.storage.CompressedCohortStore` — after every
+        insert's budget enforcement, cohorts old enough to be cold are
+        demoted into best-codec compressed blocks, and the planner's
+        pruned access paths evaluate range predicates directly on the
+        encoded form.  Skipped in ``"scan"`` plan mode like the zone
+        map: the trust-nothing baseline reads raw columns only.
+        ``None`` (default) resolves to
+        :func:`repro.core.config.default_compress`, so the CLI's
+        ``--compress`` flag reaches facade-backed experiments.
+        Execution-only: query results are bit-identical either way.
     """
 
     def __init__(
@@ -104,6 +124,7 @@ class AmnesiaDatabase:
         plan: str | None = None,
         value_bounds: dict | None = None,
         stats: str | None = None,
+        compress: str | None = None,
     ):
         if budget < 1:
             raise ConfigError(f"budget must be >= 1, got {budget}")
@@ -127,12 +148,24 @@ class AmnesiaDatabase:
             if self.stats_mode == "hist" and self.plan_mode != "scan"
             else None
         )
+        if compress is None:
+            compress = default_compress()
+        self.compress_mode = check_in(compress, COMPRESS_MODES, "compress")
+        # Like the zone map, the compressed store is skipped in scan
+        # mode: the trust-nothing baseline must read raw columns only,
+        # which is what makes compressed execution checkable against it.
+        self.compressed = (
+            CompressedCohortStore(self.table)
+            if self.compress_mode == "on" and self.plan_mode != "scan"
+            else None
+        )
         self.planner = QueryPlanner(
             self.table,
             mode=self.plan_mode,
             zone_map=zone_map,
             value_bounds=value_bounds,
             stats=table_stats,
+            compressed=self.compressed,
         )
         self.executor = QueryExecutor(
             self.table, record_access=True, planner=self.planner
@@ -224,6 +257,11 @@ class AmnesiaDatabase:
         positions = self.table.insert_batch(self._epoch, values_by_column)
         self.policy.on_insert(self.table, positions, self._epoch)
         self.enforce_budget()
+        if self.compressed is not None:
+            # Age-based demotion keyed on the insert timeline alone, so
+            # every configuration demotes the same cohorts at the same
+            # epochs (results are plan/worker independent either way).
+            self.compressed.demote_cold(self._epoch)
         return positions
 
     def enforce_budget(self) -> None:
@@ -350,6 +388,10 @@ class AmnesiaDatabase:
             "cohorts": len(self.table.cohorts),
             "plan": self.plan_mode,
             "stats": self.stats_mode,
+            "compress": self.compress_mode,
+            "compressed": (
+                None if self.compressed is None else self.compressed.byte_report()
+            ),
         }
 
     def __repr__(self) -> str:

@@ -37,6 +37,7 @@ from ..stats.divergence import js_divergence
 from ..stats.histograms import EquiWidthHistogram
 from ..stats.table_stats import TableHistogramStats
 from ..storage.cohorts import CohortZoneMap
+from ..storage.compressed import CompressedCohortStore
 from ..storage.table import Table
 from .config import SimulationConfig
 
@@ -107,8 +108,19 @@ class AmnesiaSimulator:
             if config.stats == "hist" and config.plan != "scan"
             else None
         )
+        # Like the zone map, compressed execution is skipped in scan
+        # mode: the trust-nothing baseline reads raw columns only.
+        self.compressed = (
+            CompressedCohortStore(self.table, columns=[config.column])
+            if config.compress == "on" and config.plan != "scan"
+            else None
+        )
         self.planner = QueryPlanner(
-            self.table, mode=config.plan, zone_map=zone_map, stats=table_stats
+            self.table,
+            mode=config.plan,
+            zone_map=zone_map,
+            stats=table_stats,
+            compressed=self.compressed,
         )
         if config.plan == "index":
             # Forced index mode would otherwise degrade to zone maps on
@@ -174,6 +186,10 @@ class AmnesiaSimulator:
         precision = self._run_query_batch(epoch)
         inserted = self._run_insert_batch(epoch)
         forgotten = self._run_amnesia(epoch)
+        if self.compressed is not None:
+            # Demote cohorts that just went cold; age-based, so the
+            # demotion schedule depends only on the epoch sequence.
+            self.compressed.demote_cold(epoch)
 
         self._epoch = epoch
         return self._snapshot(

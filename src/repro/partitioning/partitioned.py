@@ -80,8 +80,10 @@ from .._util.rng import DEFAULT_SEED, derive_seed
 from .._util.validation import check_in, checked_int64
 from ..amnesia.base import AmnesiaPolicy
 from ..core.config import (
+    COMPRESS_MODES,
     REBALANCE_POLICIES,
     STATS_MODES,
+    default_compress,
     default_rebalance,
     default_stats,
     default_workers,
@@ -146,6 +148,7 @@ class Partition:
         edge_high: bool = False,
         table_name: str | None = None,
         stats: str | None = None,
+        compress: str | None = None,
     ):
         if high <= low:
             raise ConfigError(f"partition range [{low}, {high}) is empty")
@@ -164,6 +167,7 @@ class Partition:
             plan=plan,
             value_bounds={column: (self.bound_low, self.bound_high)},
             stats=stats,
+            compress=compress,
         )
         self.lock = threading.Lock()
         self.query_hits = 0
@@ -313,6 +317,14 @@ class PartitionedAmnesiaDatabase:
         counters, both plan-mode- and worker-count-independent, so the
         boundary trajectory stays bit-identical across plans and
         widths.
+    compress:
+        Compressed-execution mode for every shard (see
+        :data:`repro.core.config.COMPRESS_MODES`); ``None`` resolves
+        to :func:`repro.core.config.default_compress`.  Under ``"on"``
+        each shard demotes its cold cohorts into best-codec compressed
+        blocks after every insert, and boundary splits/merges carry
+        the mode over (migrated history re-demotes by the same
+        age rule).  Execution-only: results are bit-identical.
     workers:
         Fan-out width for reads *and* ingest appliers: how many
         per-shard pipelines may run concurrently (``None`` resolves to
@@ -354,6 +366,7 @@ class PartitionedAmnesiaDatabase:
         split_threshold: float = 2.0,
         max_partitions: int | None = None,
         stats: str | None = None,
+        compress: str | None = None,
     ):
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
@@ -376,6 +389,9 @@ class PartitionedAmnesiaDatabase:
         if stats is None:
             stats = default_stats()
         check_in(stats, STATS_MODES, "stats")
+        if compress is None:
+            compress = default_compress()
+        check_in(compress, COMPRESS_MODES, "compress")
         if split_threshold < 1.0:
             raise ConfigError(
                 f"split_threshold must be >= 1.0, got {split_threshold}"
@@ -392,6 +408,7 @@ class PartitionedAmnesiaDatabase:
         self.workers = int(workers)
         self.rebalance_policy = rebalance
         self.stats_mode = stats
+        self.compress_mode = compress
         self.split_threshold = float(split_threshold)
         self.max_partitions = int(max_partitions)
         self._seed = seed
@@ -421,6 +438,7 @@ class PartitionedAmnesiaDatabase:
                 edge_low=(i == 0),
                 edge_high=(i == n_partitions - 1),
                 stats=stats,
+                compress=compress,
             )
             for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
         ]
@@ -933,9 +951,14 @@ class PartitionedAmnesiaDatabase:
             edge_high=edge_high,
             table_name=f"partition_g{self._generation}_{low}_{high}",
             stats=self.stats_mode,
+            compress=self.compress_mode,
         )
         partition.adopt_history(sources)
         partition.db.advance_epoch_to(epoch)
+        if partition.db.compressed is not None:
+            # The replayed cohorts keep their original epochs, so the
+            # migrated shard demotes exactly what the sources had cold.
+            partition.db.compressed.demote_cold(epoch)
         partition.query_hits = query_hits
         partition.query_rows = query_rows
         return partition

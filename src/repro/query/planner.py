@@ -90,6 +90,7 @@ from ..indexes.base import Index
 from ..indexes.hash_index import HashIndex
 from ..indexes.sorted_index import SortedIndex
 from ..storage.cohorts import CohortZoneMap
+from ..storage.compressed import CompressedCohortStore
 from ..storage.table import Table
 from .predicates import AndPredicate, PointPredicate, Predicate, RangePredicate
 from .queries import AggregateQuery, RangeQuery
@@ -250,6 +251,18 @@ class QueryPlanner:
         :meth:`estimate` (and the ``cost`` mode behind it) reads match
         cardinalities from the value histograms instead of per-cohort
         uniformity — estimates sharpen, results stay bit-identical.
+    compressed:
+        Optional :class:`~repro.storage.compressed.
+        CompressedCohortStore` holding demoted (cold) cohorts.  Pruned
+        access paths (``zonemap``, the AND-intersection path and the
+        index plans' missed side) answer demoted ranges from the
+        compressed blocks — evaluating range predicates directly on
+        dictionary codes / frame-of-reference offsets where the codec
+        allows — and the ``cost`` mode prices a decode term so plans
+        route around expensive decompression.  ``scan`` plans ignore
+        it by design: the trust-nothing baseline reads raw columns
+        only, which is exactly what makes compressed execution
+        checkable in the equivalence harness.
     """
 
     def __init__(
@@ -261,6 +274,7 @@ class QueryPlanner:
         indexes=(),
         value_bounds: dict | None = None,
         stats=None,
+        compressed: CompressedCohortStore | None = None,
     ):
         self.table = table
         self.mode = check_in(mode, PLAN_MODES, "plan mode")
@@ -270,6 +284,9 @@ class QueryPlanner:
         if stats is not None and stats.table is not table:
             raise QueryError("histogram statistics observe a different table")
         self.table_stats = stats
+        if compressed is not None and compressed.table is not table:
+            raise QueryError("compressed store holds a different table")
+        self.compressed = compressed
         #: Structural generation: bumped whenever the set of usable
         #: access paths changes (index registration, new value bounds).
         self._structures_generation = 0
@@ -366,6 +383,11 @@ class QueryPlanner:
             # No zone map: plans still depend on table shape through
             # cost pricing (forgotten_count, total_rows).
             data = (self.table.total_rows, self.table.forgotten_count)
+        if self.compressed is not None and self.mode != "scan":
+            # Demotions change the decode term the cost model prices,
+            # so cached plans must be invalidated like on an index
+            # registration.
+            data = (*data, self.compressed.generation)
         return (self._structures_generation, *data)
 
     # -- planning -------------------------------------------------------
@@ -430,6 +452,21 @@ class QueryPlanner:
             )
         return None
 
+    def _decode_penalty(
+        self, column: str, low: int, high: int, *, require: str = "any"
+    ) -> float:
+        """Rows-equivalent decompression surcharge for a pruned probe."""
+        if (
+            self.compressed is None
+            or self.zone_map is None
+            or not self.zone_map.covers(column)
+        ):
+            return 0.0
+        ranges = self.zone_map.candidate_ranges(
+            column, low, high, require=require
+        )
+        return self.compressed.decode_penalty(ranges, column)
+
     def _plan_cost(
         self, column: str, low: int, high: int
     ) -> QueryPlan:
@@ -442,6 +479,11 @@ class QueryPlanner:
             # Without a zone map the missed (M_F) side scans every
             # forgotten position.
             missed_cost = self.table.forgotten_count
+        # The missed side of an index plan reads forgotten-holding
+        # cohorts, which may be demoted: charge their decode term too.
+        missed_cost = float(missed_cost) + self._decode_penalty(
+            column, low, high, require="forgotten"
+        )
         # Candidates in auto's preference order, so exact cost ties
         # resolve the same way auto would.
         choices: list[tuple[float, str, Index | None, str]] = []
@@ -458,13 +500,17 @@ class QueryPlanner:
                 (cost, "index", index, f"{type(index).__name__}≈{cost:.0f}")
             )
         if estimate is not None:
-            choices.append(
-                (
-                    float(estimate.candidate_rows),
-                    "zonemap",
-                    None,
-                    f"zonemap={estimate.candidate_rows}",
+            zonemap_cost = float(
+                estimate.candidate_rows
+            ) + self._decode_penalty(column, low, high)
+            zonemap_detail = f"zonemap={estimate.candidate_rows}"
+            if zonemap_cost > estimate.candidate_rows:
+                zonemap_detail = (
+                    f"zonemap={estimate.candidate_rows}+decode"
+                    f"{zonemap_cost - estimate.candidate_rows:.0f}"
                 )
+            choices.append(
+                (zonemap_cost, "zonemap", None, zonemap_detail)
             )
         choices.append((float(total), "scan", None, f"scan={total}"))
         cost, mode, index, _ = min(choices, key=lambda choice: choice[0])
@@ -642,6 +688,29 @@ class QueryPlanner:
         missed = np.flatnonzero(mask & ~active_mask)
         return active, missed, self.table.total_rows
 
+    def _window_range_mask(
+        self,
+        column: str,
+        start: int,
+        stop: int,
+        low: int,
+        high: int,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        """Mask of ``low <= value < high`` over positions ``[start, stop)``.
+
+        Answered from the compressed store when the range is a demoted
+        cohort — the predicate runs directly on dictionary codes /
+        frame-of-reference offsets, bit-identical to the raw window by
+        the codecs' lossless contract — else from the raw column.
+        """
+        if self.compressed is not None:
+            found = self.compressed.block_at(start, stop, column)
+            if found is not None:
+                return self.compressed.range_mask(found[0], column, low, high)
+        window = values[start:stop]
+        return (window >= low) & (window < high)
+
     def _match_zonemap(
         self, plan: QueryPlan
     ) -> tuple[np.ndarray, np.ndarray, int]:
@@ -653,8 +722,9 @@ class QueryPlanner:
         ranges = self.zone_map.candidate_ranges(plan.column, plan.low, plan.high)
         for start, stop in ranges:
             considered += stop - start
-            window = values[start:stop]
-            mask = (window >= plan.low) & (window < plan.high)
+            mask = self._window_range_mask(
+                plan.column, start, stop, plan.low, plan.high, values
+            )
             if not mask.any():
                 continue
             active_window = active_mask[start:stop]
@@ -705,8 +775,22 @@ class QueryPlanner:
         )
         for start, stop in ranges:
             considered += stop - start
-            window = {name: arr[start:stop] for name, arr in values.items()}
-            mask = predicate.mask(window)
+            if self.compressed is not None:
+                # plan.and_bounds carries the same-column-merged bounds
+                # of every conjunct, so ANDing the per-column range
+                # masks is exactly predicate.mask — and each column's
+                # mask can come off its compressed block.
+                mask = None
+                for column, low, high in plan.and_bounds:
+                    column_mask = self._window_range_mask(
+                        column, start, stop, low, high, values[column]
+                    )
+                    mask = (
+                        column_mask if mask is None else mask & column_mask
+                    )
+            else:
+                window = {name: arr[start:stop] for name, arr in values.items()}
+                mask = predicate.mask(window)
             if not mask.any():
                 continue
             active_window = active_mask[start:stop]
@@ -740,8 +824,9 @@ class QueryPlanner:
             )
             for start, stop in ranges:
                 considered += stop - start
-                window = values[start:stop]
-                mask = (window >= low) & (window < high) & ~active_mask[start:stop]
+                mask = self._window_range_mask(
+                    column, start, stop, low, high, values
+                ) & ~active_mask[start:stop]
                 hits = np.flatnonzero(mask)
                 if hits.size:
                     chunks.append(hits + start)
@@ -784,6 +869,9 @@ class QueryPlanner:
             "zone_map_cohorts": (
                 self.zone_map.cohort_count if self.zone_map is not None else 0
             ),
+            "compressed": (
+                None if self.compressed is None else self.compressed.stats()
+            ),
             "histogram_stats": (
                 None
                 if self.table_stats is None
@@ -812,6 +900,13 @@ class QueryPlanner:
             structures.append(
                 f"histograms over {len(self.table_stats.columns)} column(s), "
                 f"{self.table_stats.bins} bins"
+            )
+        if self.compressed is not None:
+            report = self.compressed.byte_report()
+            structures.append(
+                f"compressed store: {report['demoted_cohorts']} demoted "
+                f"cohorts, {report['compressed_nbytes']:,} B "
+                f"({report['ratio']:.2f}x of raw)"
             )
         for column, kinds in stats["indexes"].items():
             structures.append(f"{'+'.join(kinds)} on {column!r}")

@@ -10,6 +10,7 @@ from .bitmap import Bitmap
 from .catalog import Catalog
 from .cohorts import Cohort, CohortLog, CohortZoneMap
 from .column import IntColumn
+from .compressed import CompressedCohortStore
 from .io import load_store, load_table, save_store, save_table
 from .table import Table, TableObserver
 from .vectors import GrowableIntVector
@@ -20,6 +21,7 @@ __all__ = [
     "Cohort",
     "CohortLog",
     "CohortZoneMap",
+    "CompressedCohortStore",
     "IntColumn",
     "GrowableIntVector",
     "Table",

@@ -1,9 +1,13 @@
 """Persistence: checkpoint and restore tables, stores and catalogs.
 
 Long amnesia studies (the §4.3 "increased run length" experiments and
-anything larger) want checkpoints.  Format 2 extends the original
+anything larger) want checkpoints.  Format 2 extended the original
 table-only path — one compressed ``.npz`` with a JSON header — to the
-whole storage hierarchy behind a single pair of entry points:
+whole storage hierarchy; format 3 adds the compressed-execution state
+(the ``compress`` mode plus kind-tagged compressed-block payloads for
+every demoted cohort, so a restored store answers from the same
+encoded blocks without re-encoding).  One pair of entry points covers
+it all:
 
 * :func:`save_table` / :func:`load_table` — one bare
   :class:`~repro.storage.table.Table` (values, activity bitmap,
@@ -43,8 +47,12 @@ __all__ = ["save_table", "load_table", "save_store", "load_store"]
 
 #: Format version embedded in every checkpoint.  Version 2 added the
 #: store/catalog payloads (kind-tagged headers, prefixed array
-#: namespaces); version-1 files must be re-created.
-FORMAT_VERSION = 2
+#: namespaces); version 3 added compressed-block payloads (the
+#: database/sharded ``compress`` mode plus one kind-tagged record per
+#: demoted (cohort, column) block, scalars in the JSON header and
+#: payload arrays under ``{prefix}cb{k}:{field}``).  Version 1 and 2
+#: files must be re-created.
+FORMAT_VERSION = 3
 
 
 # -- table payload (shared by every kind) --------------------------------
@@ -117,7 +125,45 @@ def _replay_table(
 # -- store payloads -------------------------------------------------------
 
 
+def _compressed_payload(db, prefix: str) -> tuple[list, dict]:
+    """Kind-tagged compressed-block records for one database.
+
+    One record per demoted (cohort, column) block: scalars (codec name,
+    span, exact value bounds, codec params) live in the JSON header
+    with the payload-array field names recorded under ``"arrays"``; the
+    arrays themselves are written as ``{prefix}cb{k}:{field}`` npz
+    entries.
+    """
+    records: list[dict] = []
+    arrays: dict = {}
+    if getattr(db, "compressed", None) is None:
+        return records, arrays
+    for k, record in enumerate(db.compressed.state()):
+        records.append(
+            {**record["scalars"], "arrays": sorted(record["arrays"])}
+        )
+        for field, value in record["arrays"].items():
+            arrays[f"{prefix}cb{k}:{field}"] = value
+    return records, arrays
+
+
+def _restore_compressed(db, records, bundle, prefix: str) -> None:
+    """Rebuild a database's demoted blocks from v3 checkpoint records."""
+    if db.compressed is None or not records:
+        return
+    full = []
+    for k, rec in enumerate(records):
+        scalars = {key: val for key, val in rec.items() if key != "arrays"}
+        payload_arrays = {
+            field: bundle[f"{prefix}cb{k}:{field}"]
+            for field in rec.get("arrays", ())
+        }
+        full.append({"scalars": scalars, "arrays": payload_arrays})
+    db.compressed.load_state(full)
+
+
 def _database_payload(db, prefix: str) -> tuple[dict, dict]:
+    compressed_records, compressed_arrays = _compressed_payload(db, prefix)
     header = {
         "kind": "database",
         "budget": db.budget,
@@ -125,12 +171,16 @@ def _database_payload(db, prefix: str) -> tuple[dict, dict]:
         "policy": db.policy.name,
         "plan": db.plan_mode,
         "stats": db.stats_mode,
+        "compress": db.compress_mode,
+        "compressed_blocks": compressed_records,
         # The victim-selection stream's position: restoring it lets a
         # randomized policy draw exactly what the live run would have.
         "policy_rng": db._policy_rng.bit_generator.state,
         "table": _table_header(db.table),
     }
-    return header, _table_arrays(db.table, prefix)
+    arrays = _table_arrays(db.table, prefix)
+    arrays.update(compressed_arrays)
+    return header, arrays
 
 
 def _sharded_payload(store, prefix: str) -> tuple[dict, dict]:
@@ -143,6 +193,7 @@ def _sharded_payload(store, prefix: str) -> tuple[dict, dict]:
         "seed": store._seed,
         "plan": store.plan_mode,
         "stats": store.stats_mode,
+        "compress": store.compress_mode,
         "workers": store.workers,
         "rebalance": store.rebalance_policy,
         "split_threshold": store.split_threshold,
@@ -150,23 +201,29 @@ def _sharded_payload(store, prefix: str) -> tuple[dict, dict]:
         "generation": store._generation,
         "adaptations": list(store.adaptations),
         "ingest_epoch": store.ingest_epoch,
-        "partitions": [
-            {
-                "low": p.low,
-                "high": p.high,
-                "budget": p.budget,
-                "epoch": p.db.epoch,
-                "query_hits": p.query_hits,
-                "query_rows": p.query_rows,
-                "policy_rng": p.db._policy_rng.bit_generator.state,
-                "table": _table_header(p.db.table),
-            }
-            for p in partitions
-        ],
+        "partitions": [],
     }
     arrays: dict = {}
     for i, partition in enumerate(partitions):
-        arrays.update(_table_arrays(partition.db.table, f"{prefix}p{i}:"))
+        shard_prefix = f"{prefix}p{i}:"
+        compressed_records, compressed_arrays = _compressed_payload(
+            partition.db, shard_prefix
+        )
+        header["partitions"].append(
+            {
+                "low": partition.low,
+                "high": partition.high,
+                "budget": partition.budget,
+                "epoch": partition.db.epoch,
+                "query_hits": partition.query_hits,
+                "query_rows": partition.query_rows,
+                "policy_rng": partition.db._policy_rng.bit_generator.state,
+                "table": _table_header(partition.db.table),
+                "compressed_blocks": compressed_records,
+            }
+        )
+        arrays.update(_table_arrays(partition.db.table, shard_prefix))
+        arrays.update(compressed_arrays)
     return header, arrays
 
 
@@ -266,7 +323,8 @@ def _read_header(bundle, path: Path) -> dict:
         raise StorageError(
             f"checkpoint format {version} not supported (expected "
             f"{FORMAT_VERSION}; format 1 files predate store/catalog "
-            "checkpoints — re-create them with save_table/save_store)"
+            "checkpoints and format 2 files predate compressed-block "
+            "payloads — re-create them with save_table/save_store)"
         )
     return header
 
@@ -287,6 +345,7 @@ def _load_database(header: dict, bundle, prefix: str, policy_factory):
         table_name=table_header["name"],
         plan=header["plan"],
         stats=header["stats"],
+        compress=header["compress"],
     )
     _replay_table(
         db.table,
@@ -297,6 +356,9 @@ def _load_database(header: dict, bundle, prefix: str, policy_factory):
     )
     db.advance_epoch_to(header["epoch"])
     db._policy_rng.bit_generator.state = header["policy_rng"]
+    # Demoted blocks restore from their saved payloads — no re-encode,
+    # so codec choices and byte accounting come back bit-identical.
+    _restore_compressed(db, header["compressed_blocks"], bundle, prefix)
     return db
 
 
@@ -322,6 +384,7 @@ def _load_sharded(header: dict, bundle, prefix: str, policy_factory):
         split_threshold=header["split_threshold"],
         max_partitions=header["max_partitions"],
         stats=header["stats"],
+        compress=header["compress"],
     )
     for i, (partition, saved) in enumerate(zip(store.partitions, parts)):
         db = partition.db
@@ -334,6 +397,9 @@ def _load_sharded(header: dict, bundle, prefix: str, policy_factory):
             on_insert=db.policy.on_insert,
         )
         db.advance_epoch_to(saved["epoch"])
+        _restore_compressed(
+            db, saved["compressed_blocks"], bundle, f"{prefix}p{i}:"
+        )
         # Direct budget restore: the saved state already satisfies it,
         # and set_budget's enforcement would let overshoot-style
         # policies purge rows the checkpoint still holds.

@@ -245,10 +245,37 @@ class TestBatchSizeFlag:
         assert default_batch_size() == before
 
 
+class TestCompressFlag:
+    def test_parser_accepts_compress(self):
+        args = build_parser().parse_args(["run", "F3", "--compress", "on"])
+        assert args.compress == "on"
+
+    def test_parser_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "F3", "--compress", "zstd"])
+
+    def test_flag_reaches_process_default_and_is_restored(self, monkeypatch):
+        from repro.core.config import default_compress
+
+        seen = {}
+
+        def fake_runner(seed=None):
+            seen["compress"] = default_compress()
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", fake_runner)
+        before = default_compress()
+        out = io.StringIO()
+        assert main(["run", "F1", "--compress", "on"], out=out) == 0
+        assert seen == {"compress": "on"}
+        assert default_compress() == before
+
+
 class TestDefaultsRestoredOnFailure:
     def _snapshot(self):
         from repro.core.config import (
             default_batch_size,
+            default_compress,
             default_cross_query,
             default_plan,
             default_rebalance,
@@ -263,11 +290,12 @@ class TestDefaultsRestoredOnFailure:
             default_rebalance(),
             default_cross_query(),
             default_batch_size(),
+            default_compress(),
         )
 
     def test_raising_run_restores_every_process_default(self, monkeypatch):
         """A run that explodes mid-experiment must not leak any of the
-        six process defaults it overrode — otherwise every later
+        seven process defaults it overrode — otherwise every later
         in-process run silently inherits this invocation's flags."""
 
         def boom(seed=None):
@@ -285,6 +313,7 @@ class TestDefaultsRestoredOnFailure:
                     "--rebalance", "adaptive",
                     "--query", "union:s1,s2",
                     "--batch-size", "128",
+                    "--compress", "on",
                 ],
                 out=io.StringIO(),
             )
@@ -314,6 +343,7 @@ class TestDefaultsRestoredOnFailure:
                     "--stats", "hist",
                     "--workers", "4",
                     "--batch-size", "128",
+                    "--compress", "on",
                 ],
                 out=io.StringIO(),
             )

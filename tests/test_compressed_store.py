@@ -1,0 +1,235 @@
+"""Tests for repro.storage.compressed: the compressed cohort store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.errors import StorageError
+from repro.storage import CompressedCohortStore, Table
+from repro.storage.compressed import DECODE_FACTORS
+
+
+def make_table(batches):
+    """A table with one int column 'a' and one cohort per batch."""
+    table = Table("t", ["a"])
+    for epoch, values in enumerate(batches):
+        table.insert_batch(epoch, {"a": np.asarray(values, dtype=np.int64)})
+    return table
+
+
+@pytest.fixture
+def store():
+    """Three demoted cohorts with distinct codec-friendly shapes."""
+    table = make_table(
+        [
+            np.repeat([5, 9], 50),                   # rle-friendly
+            np.arange(1_000_000, 1_000_100),         # for-friendly
+            np.tile([3, 17, 99], 40),                # dict-friendly
+        ]
+    )
+    s = CompressedCohortStore(table, min_age=1)
+    s.demote_cold(current_epoch=3)
+    return s
+
+
+class TestConstruction:
+    def test_validates_columns(self):
+        table = make_table([np.arange(10)])
+        with pytest.raises(StorageError):
+            CompressedCohortStore(table, columns=["missing"])
+        with pytest.raises(StorageError):
+            CompressedCohortStore(table, columns=[])
+
+    def test_validates_min_age(self):
+        table = make_table([np.arange(10)])
+        with pytest.raises(StorageError):
+            CompressedCohortStore(table, min_age=0)
+
+    def test_covers(self, store):
+        assert store.covers("a")
+        assert not store.covers("b")
+
+
+class TestDemotion:
+    def test_demote_cold_uses_age_rule(self):
+        table = make_table([np.arange(10)] * 4)  # epochs 0..3
+        s = CompressedCohortStore(table, min_age=2)
+        assert s.demote_cold(current_epoch=3) == 2  # epochs 0 and 1
+        assert s.demoted_count == 2
+        # Re-running at the same epoch is a no-op.
+        assert s.demote_cold(current_epoch=3) == 0
+        assert s.demote_cold(current_epoch=4) == 1  # epoch 2 goes cold
+
+    def test_demote_is_idempotent(self, store):
+        generation = store.generation
+        assert store.demote(0) is False
+        assert store.generation == generation
+
+    def test_demote_skips_empty_cohorts(self):
+        table = make_table([np.arange(10), np.empty(0, dtype=np.int64)])
+        s = CompressedCohortStore(table, min_age=1)
+        assert s.demote_cold(current_epoch=5) == 1
+        assert s.demoted_count == 1
+
+    def test_generation_bumps_on_demotion(self):
+        table = make_table([np.arange(10), np.arange(10)])
+        s = CompressedCohortStore(table, min_age=1)
+        g0 = s.generation
+        s.demote_cold(current_epoch=2)
+        assert s.generation > g0
+
+    def test_demoted_rows(self, store):
+        assert store.demoted_rows == 100 + 100 + 120
+
+
+class TestLookup:
+    def test_block_at_exact_span(self, store):
+        cohort = store.table.cohorts[1]
+        found = store.block_at(cohort.start, cohort.stop, "a")
+        assert found is not None
+        ordinal, block = found
+        assert ordinal == 1
+        assert block.n_values == cohort.size
+
+    def test_block_at_misses(self, store):
+        cohort = store.table.cohorts[1]
+        # Wrong stop, unknown start, uncovered column: all miss.
+        assert store.block_at(cohort.start, cohort.stop - 1, "a") is None
+        assert store.block_at(cohort.start + 1, cohort.stop, "a") is None
+        assert store.block_at(cohort.start, cohort.stop, "b") is None
+
+    def test_bounds_are_exact(self, store):
+        for ordinal, cohort in enumerate(store.table.cohorts):
+            window = store.table.values("a")[cohort.start : cohort.stop]
+            assert store.bounds_at(ordinal, "a") == (
+                int(window.min()),
+                int(window.max()),
+            )
+
+
+class TestRangeMask:
+    """Direct predicate evaluation must match the raw-window oracle."""
+
+    PROBES = [
+        (0, 1),                    # below every block
+        (5, 10),                   # inside the rle block
+        (9, 10),                   # single value
+        (1_000_010, 1_000_050),    # inside the for block
+        (3, 100),                  # covers the dict block
+        (-(2**62), 2**62),         # huge span (full cover)
+        (2**62, 2**63),            # above every block
+    ]
+
+    @pytest.mark.parametrize("low,high", PROBES)
+    def test_matches_raw_oracle(self, store, low, high):
+        for ordinal, cohort in enumerate(store.table.cohorts):
+            window = store.table.values("a")[cohort.start : cohort.stop]
+            expected = (window >= low) & (window < high)
+            got = store.range_mask(ordinal, "a", low, high)
+            assert got.dtype == bool
+            assert np.array_equal(got, expected)
+
+    def test_quick_reject_and_accept_skip_payload(self, store):
+        before = store.stats()["blocks_pruned"]
+        assert not store.range_mask(0, "a", 1_000, 2_000).any()  # reject
+        assert store.range_mask(0, "a", 0, 1_000).all()          # accept
+        assert store.stats()["blocks_pruned"] == before + 2
+
+    def test_partial_probe_counts_direct(self, store):
+        before = store.stats()["blocks_direct"]
+        store.range_mask(0, "a", 6, 100)  # splits the {5, 9} rle block
+        assert store.stats()["blocks_direct"] == before + 1
+
+    def test_wide_domain_for_block(self):
+        # A demoted cohort spanning the full int64 domain: the offset
+        # shift must survive spreads >= 2**63 (the PR 9 bugfix) and the
+        # upper bound may exceed the reference by the full span.
+        table = make_table([[-(2**62), 0, 2**62]])
+        s = CompressedCohortStore(table, min_age=1)
+        s.demote_cold(current_epoch=2)
+        window = table.values("a")
+        for low, high in [
+            (-(2**62), 2**62),
+            (-(2**62), 2**62 + 1),
+            (0, 2**62 + 1),
+            (-(2**63), 2**63 - 1),
+        ]:
+            expected = (window >= low) & (window < high)
+            assert np.array_equal(s.range_mask(0, "a", low, high), expected)
+
+
+class TestDecode:
+    def test_decode_round_trips(self, store):
+        for ordinal, cohort in enumerate(store.table.cohorts):
+            window = store.table.values("a")[cohort.start : cohort.stop]
+            assert np.array_equal(store.decode(ordinal, "a"), window)
+
+
+class TestDecodePenalty:
+    def test_prices_demoted_ranges_only(self, store):
+        cohort = store.table.cohorts[1]
+        block = store.block_at(cohort.start, cohort.stop, "a")[1]
+        factor = DECODE_FACTORS[block.codec_name]
+        ranges = [(cohort.start, cohort.stop), (10_000, 10_100)]
+        expected = cohort.size * (factor - 1.0)
+        assert store.decode_penalty(ranges, "a") == pytest.approx(expected)
+
+    def test_zero_without_demotions(self):
+        table = make_table([np.arange(10)])
+        s = CompressedCohortStore(table)
+        assert s.decode_penalty([(0, 10)], "a") == 0.0
+
+
+class TestAccounting:
+    def test_byte_report(self, store):
+        report = store.byte_report()
+        assert report["demoted_cohorts"] == 3
+        assert report["demoted_rows"] == store.demoted_rows
+        assert report["compressed_nbytes"] == store.compressed_nbytes()
+        assert report["raw_nbytes_covered"] == store.demoted_rows * 8
+        assert 0 < report["ratio"] < 1  # these shapes all compress
+        assert report["bytes_per_row"] < 8
+
+    def test_empty_report(self):
+        table = make_table([np.arange(10)])
+        report = CompressedCohortStore(table).byte_report()
+        assert report["demoted_cohorts"] == 0
+        assert report["ratio"] == 1.0
+        assert report["bytes_per_row"] == 0.0
+
+    def test_stats_counts_codecs(self, store):
+        stats = store.stats()
+        assert sum(stats["codecs"].values()) == 3
+        assert stats["columns"] == ["a"]
+        assert stats["min_age"] == 1
+
+
+class TestPersistence:
+    def test_state_round_trip(self, store):
+        records = store.state()
+        restored = CompressedCohortStore(store.table, min_age=1)
+        restored.load_state(records)
+        assert restored.demoted_count == store.demoted_count
+        assert restored.demoted_rows == store.demoted_rows
+        assert restored.compressed_nbytes() == store.compressed_nbytes()
+        for ordinal, cohort in enumerate(store.table.cohorts):
+            assert np.array_equal(
+                restored.decode(ordinal, "a"), store.decode(ordinal, "a")
+            )
+            assert restored.bounds_at(ordinal, "a") == store.bounds_at(
+                ordinal, "a"
+            )
+            found = restored.block_at(cohort.start, cohort.stop, "a")
+            assert found is not None
+            window = store.table.values("a")[cohort.start : cohort.stop]
+            expected = (window >= 5) & (window < 1_000_050)
+            assert np.array_equal(
+                restored.range_mask(ordinal, "a", 5, 1_000_050), expected
+            )
+
+    def test_load_state_bumps_generation(self, store):
+        restored = CompressedCohortStore(store.table, min_age=1)
+        g0 = restored.generation
+        restored.load_state(store.state())
+        assert restored.generation > g0

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
 
 from repro._util.errors import CompressionError
 from repro.compression import (
@@ -18,6 +21,9 @@ from repro.compression import (
     pack_ints,
     unpack_ints,
 )
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
 
 
 class TestBitpack:
@@ -129,6 +135,156 @@ class TestCompressionRatios:
         values = rng.integers(0, 100, 100)
         codec = FrameOfReferenceCodec()
         assert codec.compressed_nbytes(values) == codec.encode(values).nbytes
+
+
+class TestWideDomainRegression:
+    """Pinned repros for the wide-domain int64 crash (PR 9 bugfix).
+
+    ``FrameOfReferenceCodec`` used to compute ``values - reference`` in
+    int64; a block whose spread reached 2**63 wrapped and either tripped
+    ``bits_needed``'s negative guard or died inside ``pack_ints`` with a
+    misleading "does not fit in 1 bits".  ``best_codec`` then raised on
+    perfectly valid input.
+    """
+
+    def test_for_roundtrips_wide_spread(self):
+        # The original crash repro: spread is exactly 2**63.
+        values = np.array([-(2**62), 2**62], dtype=np.int64)
+        block = FrameOfReferenceCodec().encode(values)
+        assert np.array_equal(FrameOfReferenceCodec().decode(block), values)
+
+    def test_for_roundtrips_full_int64_domain(self):
+        values = np.array([INT64_MIN, -1, 0, 1, INT64_MAX], dtype=np.int64)
+        block = FrameOfReferenceCodec().encode(values)
+        assert block.payload["bits"] == 64
+        assert np.array_equal(FrameOfReferenceCodec().decode(block), values)
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    def test_every_codec_survives_extremes(self, codec_name):
+        values = np.array(
+            [INT64_MIN, INT64_MIN + 1, -(2**62), 0, 2**62, INT64_MAX],
+            dtype=np.int64,
+        )
+        codec = make_codec(codec_name)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_best_codec_never_raises_on_wide_blocks(self):
+        # The headline symptom: the chooser crashed on valid input.
+        for values in (
+            np.array([-(2**62), 2**62]),
+            np.array([INT64_MIN, INT64_MAX]),
+            np.array([INT64_MIN]),
+            np.full(100, INT64_MAX),
+        ):
+            block = best_codec(values)
+            codec = make_codec(block.codec_name)
+            assert np.array_equal(codec.decode(block), values)
+
+    def test_best_codec_raises_on_invalid_input(self):
+        # Genuinely invalid input (not 1-D) still fails loudly rather
+        # than being silently skipped by the per-codec try/except.
+        with pytest.raises(CompressionError):
+            best_codec(np.zeros((3, 3), dtype=np.int64))
+
+    def test_best_codec_deterministic_ties(self):
+        values = np.arange(1000, dtype=np.int64)
+        names = {best_codec(values).codec_name for _ in range(5)}
+        assert len(names) == 1
+
+    def test_unpack_bits64_sign_wrap_is_checked(self):
+        # A 64-bit code >= 2**63 cannot be represented as int64; the
+        # old code wrapped it silently negative.  Now it raises unless
+        # the caller asks for the full uint64 code domain.
+        packed = pack_ints(np.array([2**63], dtype=np.uint64), bits=64)
+        with pytest.raises(CompressionError, match="does not fit in int64"):
+            unpack_ints(packed, bits=64, count=1)
+        out = unpack_ints(packed, bits=64, count=1, dtype=np.uint64)
+        assert out.dtype == np.uint64
+        assert int(out[0]) == 2**63
+
+    def test_unpack_bits64_in_range_still_int64(self):
+        packed = pack_ints(np.array([INT64_MAX], dtype=np.uint64), bits=64)
+        out = unpack_ints(packed, bits=64, count=1)
+        assert out.dtype == np.int64
+        assert int(out[0]) == INT64_MAX
+
+    def test_pack_rejects_negative_signed_codes(self):
+        with pytest.raises(CompressionError, match="non-negative"):
+            pack_ints(np.array([-1], dtype=np.int64), bits=4)
+
+
+# Full-domain int64 arrays, biased toward the extremes that used to
+# crash the frame-of-reference encoder.
+extreme_int64_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 200),
+    elements=st.one_of(
+        st.integers(INT64_MIN, INT64_MAX),
+        st.sampled_from(
+            [INT64_MIN, INT64_MIN + 1, -(2**62), -1, 0, 1, 2**62, INT64_MAX]
+        ),
+    ),
+)
+
+
+class TestCodecProperties:
+    """Hypothesis suites over the full int64 domain (PR 9)."""
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    @given(values=extreme_int64_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_identity(self, codec_name, values):
+        codec = make_codec(codec_name)
+        block = codec.encode(values)
+        out = codec.decode(block)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, values)
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    @given(values=extreme_int64_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_nbytes_accounts_for_payload(self, codec_name, values):
+        block = make_codec(codec_name).encode(values)
+        payload = sum(
+            v.nbytes
+            for v in block.payload.values()
+            if isinstance(v, np.ndarray)
+        )
+        assert block.nbytes >= payload
+        assert block.n_values == values.size
+        if values.size:
+            assert block.bytes_per_value == block.nbytes / values.size
+
+    @given(values=extreme_int64_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_best_codec_never_raises_on_valid_int64(self, values):
+        block = best_codec(values)
+        codec = make_codec(block.codec_name)
+        assert np.array_equal(codec.decode(block), values)
+        for name in CODEC_NAMES:
+            try:
+                other = make_codec(name).encode(values)
+            except CompressionError:
+                continue
+            assert block.nbytes <= other.nbytes
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    @given(
+        value=st.integers(INT64_MIN, INT64_MAX),
+        n=st.integers(1, 64),
+        repeats=st.integers(2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_per_value_monotone_on_repeats(
+        self, codec_name, value, n, repeats
+    ):
+        # Repeating a block never worsens per-value cost: fixed header
+        # and dictionary/reference overheads amortise.
+        codec = make_codec(codec_name)
+        base = np.full(n, value, dtype=np.int64)
+        small = codec.encode(base)
+        large = codec.encode(np.tile(base, repeats))
+        assert large.bytes_per_value <= small.bytes_per_value + 1e-9
 
 
 class TestRegistry:

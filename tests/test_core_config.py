@@ -210,3 +210,31 @@ class TestExecBatchKnob:
             assert default_batch_size() == 256
         finally:
             set_default_batch_size(before)
+
+
+class TestCompressKnob:
+    def test_default_and_config_field(self):
+        from repro.core.config import COMPRESS_MODES, default_compress
+
+        assert COMPRESS_MODES == ("off", "on")
+        assert default_compress() == "off"
+        assert SimulationConfig().compress == "off"
+
+    def test_validation(self):
+        assert SimulationConfig(compress="on").compress == "on"
+        with pytest.raises(ConfigError):
+            SimulationConfig(compress="zstd")
+
+    def test_set_default_round_trips(self):
+        from repro.core.config import default_compress, set_default_compress
+
+        before = default_compress()
+        try:
+            assert set_default_compress("on") == "on"
+            assert SimulationConfig().compress == "on"
+            with pytest.raises(ConfigError):
+                set_default_compress("lz4")
+            # A failed set leaves the default untouched.
+            assert default_compress() == "on"
+        finally:
+            set_default_compress(before)

@@ -27,6 +27,7 @@ from repro.partitioning import PartitionedAmnesiaDatabase
 from repro.query import (
     AggregateFunction,
     AggregateQuery,
+    AndPredicate,
     QueryExecutor,
     QueryPlanner,
     RangePredicate,
@@ -34,7 +35,12 @@ from repro.query import (
 )
 from repro.query.plans import build_plan, parse_query_spec
 from repro.stats import ExactMoments
-from repro.storage import Catalog, CohortZoneMap, Table
+from repro.storage import (
+    Catalog,
+    CohortZoneMap,
+    CompressedCohortStore,
+    Table,
+)
 
 #: Plan variants compared against the naive scan.
 PLAN_VARIANTS = ("zonemap", "auto", "index", "cost")
@@ -163,7 +169,12 @@ def _make_policy(name):
     return make_policy(name, **kwargs)
 
 
-def _run_facade_scenario(policy_name: str, plan: str, stats: str = "uniform"):
+def _run_facade_scenario(
+    policy_name: str,
+    plan: str,
+    stats: str = "uniform",
+    compress: str = "off",
+):
     """Drive an AmnesiaDatabase end to end; return every observable."""
     db = AmnesiaDatabase(
         budget=60,
@@ -171,6 +182,7 @@ def _run_facade_scenario(policy_name: str, plan: str, stats: str = "uniform"):
         seed=11,
         plan=plan,
         stats=stats,
+        compress=compress,
     )
     if plan in ("index", "cost"):
         db.create_index("a", kind="sorted", merge_threshold=32)
@@ -187,6 +199,10 @@ def _run_facade_scenario(policy_name: str, plan: str, stats: str = "uniform"):
     observed.append(db.table.access_counts().tolist())
     observed.append(db.table.last_access_epochs().tolist())
     observed.append(db.table.forgotten_epochs().tolist())
+    if compress == "on" and plan != "scan":
+        # Vacuity guard: a compressed run must actually have answered
+        # from compressed blocks, or the equivalence proves nothing.
+        assert db.compressed is not None and db.compressed.demoted_count > 0
     return observed
 
 
@@ -215,6 +231,175 @@ def test_histogram_statistics_are_estimate_only(policy_name, plan):
     assert _run_facade_scenario(
         policy_name, plan, stats="hist"
     ) == _run_facade_scenario(policy_name, "scan", stats="uniform")
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_compressed_execution_identical_across_policies_and_plans(
+    policy_name, plan
+):
+    """Compressed execution is invisible to results (PR 9 tentpole).
+
+    ``--compress on`` demotes cold cohorts into best-codec blocks and
+    answers range probes directly on the encoded form; every observable
+    — results, precision, access accounting, final table state — must
+    equal the uncompressed trust-nothing scan baseline bit for bit.
+    The scenario runner asserts cohorts were actually demoted, so the
+    equality is never vacuous.
+    """
+    assert _run_facade_scenario(
+        policy_name, plan, compress="on"
+    ) == _run_facade_scenario(policy_name, "scan", compress="off")
+
+
+@pytest.mark.parametrize("plan", ("scan",) + PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_compressed_with_histogram_statistics(policy_name, plan):
+    """Compression and histogram statistics compose: both on together
+    still equals the uniform-statistics uncompressed scan baseline."""
+    assert _run_facade_scenario(
+        policy_name, plan, stats="hist", compress="on"
+    ) == _run_facade_scenario(
+        policy_name, "scan", stats="uniform", compress="off"
+    )
+
+
+def test_scan_mode_never_builds_a_compressed_store():
+    """The trust-nothing baseline reads raw columns only: under
+    ``plan="scan"`` no store is built even with ``compress="on"``
+    (mirroring the zone-map and statistics rules)."""
+    from repro.amnesia import FifoAmnesia
+
+    db = AmnesiaDatabase(
+        budget=50, policy=FifoAmnesia(), plan="scan", compress="on"
+    )
+    assert db.compressed is None
+    db_on = AmnesiaDatabase(
+        budget=50, policy=FifoAmnesia(), plan="cost", compress="on"
+    )
+    assert db_on.compressed is not None
+
+
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+def test_compressed_and_path_matches_scan(plan):
+    """Multi-column AND predicates route through per-column compressed
+    range masks; the conjunction must match the scan baseline."""
+    table = Table("t", ["a", "b"])
+    rng = np.random.default_rng(7)
+    for epoch in range(5):
+        table.insert_batch(
+            epoch,
+            {
+                "a": rng.integers(0, 200, 40),
+                "b": rng.integers(0, 50, 40),
+            },
+        )
+    table.forget(np.arange(0, 200, 3), epoch=5)
+    compressed = CompressedCohortStore(table)
+    compressed.demote_cold(current_epoch=6)
+    assert compressed.demoted_count > 0
+    zone_map = CohortZoneMap(table)
+    indexes = [SortedIndex(table, "a", merge_threshold=16)]
+    scan = QueryExecutor(
+        table, record_access=False, planner=QueryPlanner(table, mode="scan")
+    )
+    pruned = QueryExecutor(
+        table,
+        record_access=False,
+        planner=QueryPlanner(
+            table,
+            mode=plan,
+            zone_map=zone_map,
+            indexes=indexes,
+            compressed=compressed,
+        ),
+    )
+    probes = [
+        ((0, 100), (0, 25)),
+        ((50, 150), (10, 40)),
+        ((150, 400), (0, 10)),     # partially out of domain on a
+        ((-50, 20), (45, 100)),    # straddles both domain edges
+        ((300, 400), (60, 80)),    # fully out of domain
+    ]
+    for (a_low, a_high), (b_low, b_high) in probes:
+        query = RangeQuery(
+            AndPredicate(
+                RangePredicate("a", a_low, a_high),
+                RangePredicate("b", b_low, b_high),
+            )
+        )
+        baseline = _range_fingerprint(scan.execute_range(query, 7))
+        assert _range_fingerprint(pruned.execute_range(query, 7)) == baseline
+
+
+@given(interleavings())
+@settings(max_examples=25, deadline=None)
+def test_compressed_paths_answer_identically(workload):
+    """Hypothesis sweep: with cohorts demoted after every mutation
+    step, every compressed access path == the naive scan."""
+    steps, queries, function = workload
+    table = Table("t", ["a"])
+    compressed = CompressedCohortStore(table, min_age=1)
+    zone_map = CohortZoneMap(table)
+    sorted_idx = SortedIndex(table, "a", merge_threshold=16)
+    planners = {
+        "scan": QueryPlanner(table, mode="scan"),
+        "zonemap": QueryPlanner(
+            table, mode="zonemap", zone_map=zone_map, compressed=compressed
+        ),
+        "auto": QueryPlanner(
+            table,
+            mode="auto",
+            zone_map=zone_map,
+            indexes=[sorted_idx],
+            compressed=compressed,
+        ),
+        "index": QueryPlanner(
+            table,
+            mode="index",
+            zone_map=zone_map,
+            indexes=[sorted_idx],
+            compressed=compressed,
+        ),
+        "cost": QueryPlanner(
+            table,
+            mode="cost",
+            zone_map=zone_map,
+            indexes=[sorted_idx],
+            compressed=compressed,
+        ),
+    }
+    executors = {
+        name: QueryExecutor(table, record_access=False, planner=planner)
+        for name, planner in planners.items()
+    }
+    for epoch, (values, forget_seed, forget_fraction) in enumerate(steps):
+        table.insert_batch(epoch, {"a": values})
+        forget_rng = np.random.default_rng(forget_seed)
+        victims = np.flatnonzero(
+            forget_rng.random(table.total_rows) < forget_fraction
+        )
+        table.forget(victims, epoch=epoch)
+        compressed.demote_cold(epoch)
+        for low, width in queries:
+            query = RangeQuery(RangePredicate("a", low, low + width))
+            baseline = _range_fingerprint(
+                executors["scan"].execute_range(query, epoch)
+            )
+            for name, executor in executors.items():
+                got = _range_fingerprint(executor.execute_range(query, epoch))
+                assert got == baseline, f"{name} diverged on {query}"
+            windowed = AggregateQuery(
+                function, "a", RangePredicate("a", low, low + width)
+            )
+            baseline = _aggregate_fingerprint(
+                executors["scan"].execute_aggregate(windowed, epoch)
+            )
+            for name, executor in executors.items():
+                got = _aggregate_fingerprint(
+                    executor.execute_aggregate(windowed, epoch)
+                )
+                assert got == baseline, f"{name} diverged on {windowed}"
 
 
 @pytest.mark.parametrize("plan", PLAN_VARIANTS)
@@ -267,6 +452,7 @@ def _run_partitioned_scenario(
     workers: int = 1,
     rebalance: str = "hits",
     stats: str = "uniform",
+    compress: str = "off",
 ):
     """Drive a sharded store end to end; return every observable.
 
@@ -289,6 +475,7 @@ def _run_partitioned_scenario(
         rebalance=rebalance,
         split_threshold=1.5,
         stats=stats,
+        compress=compress,
     )
     rng = np.random.default_rng(3)
     observed = []
@@ -313,6 +500,16 @@ def _run_partitioned_scenario(
         observed.append(partition.db.table.active_mask().tolist())
         observed.append(partition.db.table.access_counts().tolist())
         observed.append(partition.db.table.last_access_epochs().tolist())
+    if compress == "on" and plan != "scan":
+        # Vacuity guard: at least one shard must hold demoted cohorts.
+        assert (
+            sum(
+                p.db.compressed.demoted_count
+                for p in store.partitions
+                if p.db.compressed is not None
+            )
+            > 0
+        )
     store.close()
     return observed
 
@@ -350,6 +547,22 @@ def test_parallel_fanout_identical_to_sequential_scan(policy_name, plan):
     ]
     assert any("split shard" in event for event in adaptations)
     assert any("merged shards" in event for event in adaptations)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("plan", PLAN_VARIANTS)
+@pytest.mark.parametrize("policy_name", ("fifo", "rot", "uniform"))
+def test_compressed_partitioned_identical_across_workers(
+    policy_name, plan, workers
+):
+    """Compressed execution inside every shard, at fan-out widths 1 and
+    4 — including mid-run shard spawns that adopt migrated history —
+    matches the sequential uncompressed scan baseline bit for bit."""
+    baseline = _run_partitioned_scenario(policy_name, "scan", compress="off")
+    got = _run_partitioned_scenario(
+        policy_name, plan, workers=workers, compress="on"
+    )
+    assert got == baseline
 
 
 @pytest.mark.parametrize("rebalance", ("hits", "rows"))

@@ -334,6 +334,121 @@ class TestShardedRoundTrip:
         restored.close()
 
 
+class TestCompressedRoundTrip:
+    """Checkpoint format v3: compressed blocks restore without
+    re-encoding and the restored store answers bit-identically."""
+
+    def _build_db(self):
+        db = AmnesiaDatabase(
+            budget=60,
+            policy=_make_policy("fifo"),
+            columns=("k",),
+            seed=11,
+            plan="cost",
+            compress="on",
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            db.insert({"k": rng.integers(0, 500, 25)})
+            db.range_query("k", 100, 300)
+        return db
+
+    def test_database_blocks_survive(self, tmp_path):
+        db = self._build_db()
+        assert db.compressed is not None and db.compressed.demoted_count > 0
+        path = db.checkpoint(tmp_path / "c.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        assert restored.compress_mode == "on"
+        assert restored.compressed is not None
+        got, want = restored.compressed, db.compressed
+        assert got.demoted_count == want.demoted_count
+        assert got.compressed_nbytes() == want.compressed_nbytes()
+        assert got.byte_report() == want.byte_report()
+        for ordinal in range(want.demoted_count):
+            assert np.array_equal(
+                got.decode(ordinal, "k"), want.decode(ordinal, "k")
+            )
+            assert got.bounds_at(ordinal, "k") == want.bounds_at(
+                ordinal, "k"
+            )
+
+    def test_restored_run_continues_bit_identically(self, tmp_path):
+        def drive(db, rng):
+            observed = []
+            for _ in range(3):
+                db.insert({"k": rng.integers(0, 500, 25)})
+                for low in (0, 150, 350):
+                    result = db.range_query("k", low, low + 100)
+                    observed.append((result.rf, result.mf, result.precision))
+            observed.append(_table_fingerprint(db.table))
+            observed.append(db.compressed.demoted_count)
+            return observed
+
+        db = self._build_db()
+        path = db.checkpoint(tmp_path / "mid.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        assert drive(restored, np.random.default_rng(77)) == drive(
+            db, np.random.default_rng(77)
+        )
+
+    def test_sharded_blocks_survive(self, tmp_path):
+        store = PartitionedAmnesiaDatabase(
+            "k",
+            (0, 250, 500, 1000),
+            total_budget=120,
+            policy_factory=lambda: _make_policy("fifo"),
+            seed=9,
+            plan="cost",
+            compress="on",
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            store.insert({"k": rng.integers(-100, 1100, 60)})
+            store.range_query(0, 300)
+        demoted = [
+            p.db.compressed.demoted_count for p in store.partitions
+        ]
+        assert sum(demoted) > 0
+        path = store.checkpoint(tmp_path / "s.npz")
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        assert restored.compress_mode == "on"
+        for got, want in zip(restored.partitions, store.partitions):
+            g, w = got.db.compressed, want.db.compressed
+            assert g.demoted_count == w.demoted_count
+            assert g.compressed_nbytes() == w.compressed_nbytes()
+        def probe(target):
+            out = []
+            for low, width in ((0, 150), (10, 80), (500, 400)):
+                result = target.range_query(low, low + width)
+                out.append((result.rf, result.mf, result.precision))
+            return out
+        assert probe(restored) == probe(store)
+        store.close()
+        restored.close()
+
+    def test_compress_off_checkpoints_stay_lean(self, tmp_path):
+        """A compress=off database writes no block payloads and
+        restores with no store."""
+        db = AmnesiaDatabase(
+            budget=30, policy=_make_policy("fifo"), columns=("k",), seed=1
+        )
+        db.insert({"k": np.arange(20)})
+        path = db.checkpoint(tmp_path / "off.npz")
+        with np.load(path) as bundle:
+            assert not [n for n in bundle.files if "cb" in n]
+        restored = load_store(
+            path, policy_factory=lambda: _make_policy("fifo")
+        )
+        assert restored.compress_mode == "off"
+        assert restored.compressed is None
+
+
 class TestCatalogRoundTrip:
     def test_catalog_with_sharded_member_roundtrips(self, tmp_path):
         catalog = Catalog(workers=2)
@@ -416,6 +531,19 @@ class TestErrors:
             path, header=np.frombuffer(header.encode(), dtype=np.uint8)
         )
         with pytest.raises(StorageError, match="format 1"):
+            load_store(path)
+
+    def test_format_2_is_refused_clearly(self, tmp_path):
+        """Format 2 predates compressed-block payloads; a v2 file must
+        be refused with a re-create hint, not half-restored."""
+        import json
+
+        header = json.dumps({"format_version": 2, "kind": "database"})
+        path = tmp_path / "v2.npz"
+        np.savez(
+            path, header=np.frombuffer(header.encode(), dtype=np.uint8)
+        )
+        with pytest.raises(StorageError, match="format 2"):
             load_store(path)
 
     def test_load_table_refuses_store_checkpoints(self, tmp_path):
