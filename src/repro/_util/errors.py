@@ -25,6 +25,7 @@ __all__ = [
     "SessionError",
     "ScopeError",
     "AdmissionError",
+    "TransientFault",
 ]
 
 
@@ -112,3 +113,12 @@ class ScopeError(ServingError):
 
 class AdmissionError(ServingError):
     """Admission control rejected the request (service at capacity)."""
+
+
+class TransientFault(ReproError):
+    """A transient, retryable failure (injected or environmental).
+
+    Unlike a crash, a transient fault is part of the caller's contract:
+    retry with backoff (see :class:`repro.serving.retry.RetryPolicy`).
+    The serving layer maps it to HTTP 503 with a ``Retry-After`` header.
+    """

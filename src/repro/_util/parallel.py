@@ -146,7 +146,12 @@ class FanOutPool:
 
         Results are returned in ``items`` order regardless of which
         group task finished first.  Exceptions from any group propagate
-        to the caller.
+        to the caller — but only after **every** group has finished.
+        Callers use this as a barrier: a flush that releases its
+        exclusive gate hold after map_ordered raises must know no
+        applier thread is still mutating a shard behind it.  The first
+        failure (in group order) is the one re-raised; crash-style
+        ``BaseException`` faults propagate the same way.
         """
         items = list(items)
         n = len(items)
@@ -165,8 +170,15 @@ class FanOutPool:
         with self._pool_lock:
             pool = self._ensure_locked(groups)
             futures = [pool.submit(run_group, k) for k in range(groups)]
+        failure: BaseException | None = None
         for future in futures:
-            future.result()
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - see docstring
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
         return results
 
     def _ensure_locked(self, workers: int) -> ThreadPoolExecutor:

@@ -9,37 +9,48 @@ Usage::
     python -m repro run F3 --plan scan   # force the query access path
     python -m repro run F3 --stats hist  # histogram-backed estimates
     python -m repro run F3 --compress on # compressed cold cohorts
+    python -m repro run F3 --checkpoint /tmp/ckpt.npz   # per-epoch saves
+    python -m repro run F3 --faults "checkpoint.tmp:crash@2"  # injection
+    python -m repro recover /tmp/ckpt.npz               # verify/restore
 
 Every experiment prints the same rows/series the paper's figures and
 tables report, rendered as ASCII heat maps, line charts and tables.
+Exit codes: 0 success, 1 recovery failure, 2 bad usage, 3 an injected
+crash fault fired (the run stopped exactly where the plan said).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from ._util.errors import QueryError
+from ._util.errors import ConfigError, QueryError, StorageError
 from .core.config import (
     COMPRESS_MODES,
     REBALANCE_POLICIES,
     STATS_MODES,
     default_batch_size,
+    default_checkpoint,
     default_compress,
     default_cross_query,
+    default_faults,
     default_plan,
     default_rebalance,
     default_stats,
     default_workers,
     set_default_batch_size,
+    set_default_checkpoint,
     set_default_compress,
     set_default_cross_query,
+    set_default_faults,
     set_default_plan,
     set_default_rebalance,
     set_default_stats,
     set_default_workers,
 )
 from .experiments import EXPERIMENTS
+from .faults import FaultInjected, parse_fault_plan
 from .query.planner import PLAN_MODES
 from .query.plans import parse_query_spec
 
@@ -168,6 +179,52 @@ def build_parser() -> argparse.ArgumentParser:
             "identical under either mode)"
         ),
     )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "checkpoint the simulator's table to PATH (atomically, "
+            "with .prev rotation) after the initial load and after "
+            "every epoch; 'repro recover PATH' restores the newest "
+            "fully-valid snapshot"
+        ),
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm deterministic fault injection for the run (falls back "
+            "to the REPRO_FAULTS env var): semicolon-separated "
+            "'point:crash[@N]' / 'point:delay=S' / 'point:flaky=P' "
+            "entries plus an optional 'seed=N'; e.g. "
+            "'checkpoint.tmp:crash@2'.  An injected crash exits with "
+            "code 3"
+        ),
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="restore (and verify) the newest valid checkpoint at PATH",
+    )
+    recover.add_argument(
+        "path",
+        help=(
+            "checkpoint path as given to --checkpoint / save_store; "
+            "PATH.prev is tried when PATH itself is torn or corrupt"
+        ),
+    )
+    recover.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help=(
+            "amnesia policy to rebuild for database/sharded/catalog "
+            "checkpoints (policies are rebuilt, not serialized); plain "
+            "table checkpoints need none"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -272,6 +329,37 @@ def _run_serve(args, out) -> int:
     return 0
 
 
+def _run_recover(args, out) -> int:
+    """Restore the newest valid checkpoint and report what was found."""
+    from .storage import Table
+    from .storage.io import recover_store
+
+    policy_factory = None
+    if args.policy is not None:
+        from .amnesia import make_policy
+
+        try:
+            make_policy(args.policy)  # validate the name before any I/O
+        except ConfigError as error:
+            print(f"--policy: {error}", file=sys.stderr)
+            return 2
+        policy_factory = lambda: make_policy(args.policy)  # noqa: E731
+    try:
+        store, used = recover_store(args.path, policy_factory)
+    except StorageError as error:
+        print(f"recover failed: {error}", file=sys.stderr)
+        return 1
+    if isinstance(store, Table) or hasattr(store, "active_count"):
+        detail = f"{store.active_count} active / {store.total_rows} rows"
+    else:  # a Catalog: per-table counts live one level down
+        detail = f"{len(store.names())} tables"
+    print(
+        f"recovered {type(store).__name__} from {used} ({detail})",
+        file=out,
+    )
+    return 0
+
+
 def _run_one(experiment_id: str, seed: int | None, out) -> None:
     runner = EXPERIMENTS[experiment_id]
     result = runner(seed=seed) if seed is not None else runner()
@@ -295,6 +383,9 @@ def main(argv=None, out=None) -> int:
     if args.command == "serve":
         return _run_serve(args, out)
 
+    if args.command == "recover":
+        return _run_recover(args, out)
+
     # Validate before mutating any process default: an early error
     # return must not leak a half-applied configuration.
     if getattr(args, "workers", None) is not None and args.workers < 1:
@@ -312,6 +403,15 @@ def main(argv=None, out=None) -> int:
         except QueryError as error:
             print(f"--query: {error}", file=sys.stderr)
             return 2
+    faults_spec = getattr(args, "faults", None)
+    if faults_spec is None:
+        faults_spec = os.environ.get("REPRO_FAULTS") or None
+    if faults_spec is not None:
+        try:
+            parse_fault_plan(faults_spec)
+        except ConfigError as error:
+            print(f"--faults: {error}", file=sys.stderr)
+            return 2
     previous_plan = default_plan()
     previous_stats = default_stats()
     previous_workers = default_workers()
@@ -319,10 +419,14 @@ def main(argv=None, out=None) -> int:
     previous_cross_query = default_cross_query()
     previous_batch_size = default_batch_size()
     previous_compress = default_compress()
+    previous_faults = default_faults()
+    previous_checkpoint = default_checkpoint()
     # Every set_default_* sits INSIDE the try: a setter raising midway
-    # (or any failure in the run itself) must restore all seven process
+    # (or any failure in the run itself) must restore all nine process
     # defaults — a leaked half-applied configuration would silently
-    # reshape every later in-process run.
+    # reshape every later in-process run.  Restoring the faults default
+    # also re-arms (or disarms) the previous injection plan, so no
+    # crash can leave a plan armed for the next in-process caller.
     try:
         if getattr(args, "plan", None) is not None:
             set_default_plan(args.plan)
@@ -338,6 +442,10 @@ def main(argv=None, out=None) -> int:
             set_default_batch_size(args.batch_size)
         if getattr(args, "compress", None) is not None:
             set_default_compress(args.compress)
+        if faults_spec is not None:
+            set_default_faults(faults_spec)
+        if getattr(args, "checkpoint", None) is not None:
+            set_default_checkpoint(args.checkpoint)
         target = args.experiment.upper()
         if target == "ALL":
             for experiment_id in EXPERIMENTS:
@@ -366,6 +474,13 @@ def main(argv=None, out=None) -> int:
             raise
         print(f"query error: {error}", file=sys.stderr)
         return 2
+    except FaultInjected as fault:
+        # The armed plan stopped the run exactly where it said it
+        # would — a simulated kill, not an error in the experiment.
+        # Distinct exit code so crash-recover harnesses can tell
+        # "crashed as planned" (3) from bad usage (2) or failure (1).
+        print(f"crash fault injected: {fault}", file=sys.stderr)
+        return 3
     finally:
         set_default_plan(previous_plan)
         set_default_stats(previous_stats)
@@ -374,6 +489,8 @@ def main(argv=None, out=None) -> int:
         set_default_cross_query(previous_cross_query)
         set_default_batch_size(previous_batch_size)
         set_default_compress(previous_compress)
+        set_default_faults(previous_faults)
+        set_default_checkpoint(previous_checkpoint)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,15 +26,19 @@ __all__ = [
     "STATS_MODES",
     "SimulationConfig",
     "default_batch_size",
+    "default_checkpoint",
     "default_compress",
     "default_cross_query",
+    "default_faults",
     "default_plan",
     "default_rebalance",
     "default_stats",
     "default_workers",
     "set_default_batch_size",
+    "set_default_checkpoint",
     "set_default_compress",
     "set_default_cross_query",
+    "set_default_faults",
     "set_default_plan",
     "set_default_rebalance",
     "set_default_stats",
@@ -98,6 +102,20 @@ _DEFAULT_COMPRESS = "off"
 #: sets it.  Purely an execution knob: results are bit-identical at
 #: any batch size; only the peak working set changes.
 _DEFAULT_BATCH_SIZE = 4096
+
+#: Process-wide fault-injection spec (see :mod:`repro.faults`) — the
+#: CLI's ``--faults`` flag (or the ``REPRO_FAULTS`` env var) sets it;
+#: setting it also arms/disarms the process-wide plan.  Empty means
+#: disarmed: every injection point is a no-op.
+_DEFAULT_FAULTS = ""
+
+#: Process-wide per-epoch checkpoint path — the CLI's ``--checkpoint``
+#: flag sets it; a :class:`~repro.core.simulator.AmnesiaSimulator` run
+#: with :attr:`SimulationConfig.checkpoint` set saves its table there
+#: (atomically, with rotation) after the initial load and after every
+#: epoch, so ``repro recover`` always finds a fully-valid snapshot.
+#: Empty disables checkpointing.
+_DEFAULT_CHECKPOINT = ""
 
 
 def default_plan() -> str:
@@ -174,6 +192,38 @@ def set_default_compress(mode: str) -> str:
     global _DEFAULT_COMPRESS
     _DEFAULT_COMPRESS = check_in(mode, COMPRESS_MODES, "compress")
     return _DEFAULT_COMPRESS
+
+
+def default_faults() -> str:
+    """The fault-injection spec currently in force ('' = disarmed)."""
+    return _DEFAULT_FAULTS
+
+
+def set_default_faults(spec: str) -> str:
+    """Set (and arm) the process-wide fault-injection spec; returns it.
+
+    The spec is parsed *before* anything changes — a malformed spec
+    raises :class:`~repro._util.errors.ConfigError` and leaves the
+    previous plan armed.  The empty string disarms injection entirely.
+    """
+    from ..faults import arm
+
+    global _DEFAULT_FAULTS
+    arm(spec)
+    _DEFAULT_FAULTS = spec.strip()
+    return _DEFAULT_FAULTS
+
+
+def default_checkpoint() -> str:
+    """The per-epoch checkpoint path new configs default to ('' = off)."""
+    return _DEFAULT_CHECKPOINT
+
+
+def set_default_checkpoint(path: str) -> str:
+    """Set the process-wide default checkpoint path; returns it."""
+    global _DEFAULT_CHECKPOINT
+    _DEFAULT_CHECKPOINT = str(path).strip()
+    return _DEFAULT_CHECKPOINT
 
 
 def default_rebalance() -> str:
@@ -273,6 +323,14 @@ class SimulationConfig:
         query results are bit-identical under either mode; only the
         bytes held per retained tuple and the work per probed row
         change.
+    checkpoint:
+        Path the simulator checkpoints its table to — atomically, with
+        ``.prev`` rotation — after the initial load and after every
+        epoch (see :func:`repro.storage.save_table` and
+        :func:`repro.storage.recover_store`).  The CLI's
+        ``--checkpoint`` flag sets the process default; the empty
+        string (default) disables checkpointing.  Durability-only:
+        the run's results are identical with or without it.
     """
 
     dbsize: int = 1000
@@ -289,6 +347,7 @@ class SimulationConfig:
     cross_query: str = field(default_factory=default_cross_query)
     exec_batch: int = field(default_factory=default_batch_size)
     compress: str = field(default_factory=default_compress)
+    checkpoint: str = field(default_factory=default_checkpoint)
 
     def __post_init__(self) -> None:
         check_positive_int(self.dbsize, "dbsize")

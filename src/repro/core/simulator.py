@@ -152,7 +152,7 @@ class AmnesiaSimulator:
         """EXPLAIN-style report of the planner's activity so far."""
         return self.planner.plan_report()
 
-    def checkpoint(self, path):
+    def checkpoint(self, path, rotate: bool = False):
         """Save the simulator's table state to ``path``.
 
         Persists everything the table owns — values, activity bitmap,
@@ -161,10 +161,22 @@ class AmnesiaSimulator:
         :func:`repro.storage.load_table`; config, policy and RNG
         streams rebuild from code (they are inputs, not state), so a
         resumed study re-declares them and adopts the restored table.
+        With ``rotate=True`` the previous checkpoint survives as
+        ``path.prev`` for :func:`repro.storage.recover_store`.
         """
         from ..storage.io import save_table
 
-        return save_table(self.table, path)
+        return save_table(self.table, path, rotate=rotate)
+
+    def _auto_checkpoint(self) -> None:
+        """Per-epoch durability: checkpoint when the config asks for it.
+
+        Rotation keeps the previous epoch's snapshot as ``.prev``, so
+        a crash *during* this save (or anywhere between two saves)
+        always leaves a fully-valid checkpoint for ``repro recover``.
+        """
+        if self.config.checkpoint:
+            self.checkpoint(self.config.checkpoint, rotate=True)
 
     def load_initial(self) -> EpochReport:
         """Epoch 0: fill the table up to DBSIZE."""
@@ -175,6 +187,7 @@ class AmnesiaSimulator:
         self.policy.on_insert(self.table, self.table.cohorts[0].positions(), 0)
         self._epoch = 0
         report = self._snapshot(inserted=self.config.dbsize, forgotten=0, precision=None)
+        self._auto_checkpoint()
         return report
 
     def step(self) -> EpochReport:
@@ -192,9 +205,11 @@ class AmnesiaSimulator:
             self.compressed.demote_cold(epoch)
 
         self._epoch = epoch
-        return self._snapshot(
+        report = self._snapshot(
             inserted=inserted, forgotten=forgotten, precision=precision
         )
+        self._auto_checkpoint()
+        return report
 
     def run(self) -> RunReport:
         """Execute the configured number of epochs and return the report."""

@@ -1,0 +1,428 @@
+"""Deterministic fault injection: named points, one armed plan.
+
+The robustness twin of the equivalence harness: every layer that can
+lose or corrupt state declares **named injection points** (the
+checkpoint writer, the ingest appliers, the serving dispatch), and a
+process-wide :class:`FaultPlan` decides what happens when execution
+reaches one.  Three behaviours cover the failure modes worth proving
+against:
+
+* :class:`CrashPoint` — simulate a process death at exactly the Nth
+  arrival: raises :class:`FaultInjected`, which derives from
+  ``BaseException`` so no library ``except Exception`` / ``except
+  ReproError`` recovery clause can accidentally swallow the "kill".
+  ``finally`` blocks and context managers still run — deliberately, so
+  the suite also proves that lock/gate cleanup survives an applier
+  dying mid-critical-section.  One-shot: hit N fires, every other hit
+  passes, which lets a test inject, recover and *continue* in one
+  process.
+* :class:`DelayPoint` — wedge the site (sleep) on every arrival; the
+  serving deadline tests drive a slow handler this way.
+* :class:`FlakyPoint` — raise a *catchable*
+  :class:`~repro._util.errors.TransientFault` with seeded-RNG
+  probability per arrival (the serving layer maps it to HTTP 503, the
+  retry helper backs off and retries).
+
+Determinism doctrine: a plan is a pure function of its spec string —
+crash counts are exact hit ordinals, flaky draws come from a generator
+seeded by ``(plan seed, point name)`` — so a failing fault scenario
+replays bit-identically from its ``--faults`` spec alone.
+
+Disarmed cost is one module-global read and a falsy branch per
+:func:`fault_point` call; no site pays for the framework unless a plan
+is armed.
+
+Spec grammar (the CLI's ``--faults`` / the ``REPRO_FAULTS`` env var)::
+
+    spec     := entry (";" entry)*
+    entry    := "seed=" INT
+              | POINT ":crash" ["@" HIT]        # crash on the HITth arrival (default 1)
+              | POINT ":delay=" SECONDS         # sleep SECONDS on every arrival
+              | POINT ":flaky=" RATE            # TransientFault with probability RATE
+
+    e.g.  --faults "checkpoint.tmp:crash@2"
+          --faults "serve.handle:delay=0.2;seed=7;serve.query:flaky=0.3"
+
+Point names must be registered (see :func:`registered_points`) —
+arming a typo is a :class:`~repro._util.errors.ConfigError`, not a
+silently dead plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from .._util.errors import ConfigError, TransientFault
+from .._util.rng import DEFAULT_SEED, derive_seed
+
+__all__ = [
+    "FaultInjected",
+    "FaultPoint",
+    "CrashPoint",
+    "DelayPoint",
+    "FlakyPoint",
+    "FaultPlan",
+    "parse_fault_plan",
+    "register_point",
+    "registered_points",
+    "fault_point",
+    "arm",
+    "disarm",
+    "active_plan",
+    "active_spec",
+    "armed",
+]
+
+
+class FaultInjected(BaseException):
+    """A :class:`CrashPoint` fired — a simulated process death.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    generic ``except Exception`` recovery code cannot swallow the
+    simulated kill: the crash propagates to the top of the stack the
+    way a real ``SIGKILL`` would end the process.  ``finally`` blocks
+    still run, which is exactly what the fault suite exploits to prove
+    that locks, gates and queues are restored on *any* unwind.
+    """
+
+    def __init__(self, point: str, hit: int):
+        self.point = point
+        self.hit = hit
+        super().__init__(f"injected crash at fault point {point!r} (hit {hit})")
+
+
+class FaultPoint:
+    """One armed behaviour bound to a named injection point."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+
+    def fire(self, hit: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CrashPoint(FaultPoint):
+    """Simulated process death on exactly the ``at``-th arrival."""
+
+    def __init__(self, name: str, at: int = 1):
+        if at < 1:
+            raise ConfigError(f"crash hit ordinal must be >= 1, got {at}")
+        super().__init__(name)
+        self.at = int(at)
+
+    def fire(self, hit: int) -> None:
+        if hit == self.at:
+            raise FaultInjected(self.name, hit)
+
+    def describe(self) -> str:
+        return f"{self.name}:crash@{self.at}"
+
+
+class DelayPoint(FaultPoint):
+    """Wedge the site: sleep ``seconds`` on every arrival."""
+
+    def __init__(self, name: str, seconds: float, sleep=time.sleep):
+        if not seconds > 0:
+            raise ConfigError(f"delay must be > 0 seconds, got {seconds}")
+        super().__init__(name)
+        self.seconds = float(seconds)
+        self._sleep = sleep
+
+    def fire(self, hit: int) -> None:
+        self._sleep(self.seconds)
+
+    def describe(self) -> str:
+        return f"{self.name}:delay={self.seconds:g}"
+
+
+class FlakyPoint(FaultPoint):
+    """Transient failure with seeded probability ``rate`` per arrival.
+
+    Raises :class:`~repro._util.errors.TransientFault` — an ordinary
+    :class:`~repro._util.errors.ReproError`, because a flaky dependency
+    is a failure the caller is *supposed* to handle (retry, back off),
+    unlike a crash.
+    """
+
+    def __init__(self, name: str, rate: float, seed: int = DEFAULT_SEED):
+        if not 0.0 < rate <= 1.0:
+            raise ConfigError(f"flaky rate must be in (0, 1], got {rate}")
+        super().__init__(name)
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(derive_seed(seed, f"flaky:{name}"))
+
+    def fire(self, hit: int) -> None:
+        if self._rng.random() < self.rate:
+            raise TransientFault(
+                f"injected transient fault at {self.name!r} (hit {hit})"
+            )
+
+    def describe(self) -> str:
+        return f"{self.name}:flaky={self.rate:g}"
+
+
+class FaultPlan:
+    """A set of armed fault points, hit-counted under one lock.
+
+    ``hit`` is the only hot-path entry: unknown names (points the plan
+    does not arm) return after one dict probe.  Hit counting is
+    serialized so crash ordinals are exact even when concurrent serving
+    threads or parallel ingest appliers arrive at the same point.
+    """
+
+    def __init__(self, points, seed: int = DEFAULT_SEED):
+        self._points: dict[str, FaultPoint] = {}
+        self.seed = int(seed)
+        for point in points:
+            if point.name in self._points:
+                raise ConfigError(f"fault point {point.name!r} armed twice")
+            self._points[point.name] = point
+        self._lock = threading.Lock()
+
+    @property
+    def points(self) -> dict[str, FaultPoint]:
+        """The armed points by name (read-only view semantics)."""
+        return dict(self._points)
+
+    def hit(self, name: str) -> None:
+        """Arrival at injection point ``name``; may raise or sleep."""
+        point = self._points.get(name)
+        if point is None:
+            return
+        with self._lock:
+            point.hits += 1
+            hit = point.hits
+        point.fire(hit)
+
+    def hits(self, name: str) -> int:
+        """How many times ``name`` has been reached under this plan."""
+        point = self._points.get(name)
+        return 0 if point is None else point.hits
+
+    def spec(self) -> str:
+        """Canonical spec string reproducing this plan."""
+        parts = [point.describe() for point in self._points.values()]
+        if self.seed != DEFAULT_SEED:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r})"
+
+
+# -- the point registry ---------------------------------------------------
+
+#: Every named injection point in the codebase: name -> one-line
+#: contract of where it sits and what a crash there must leave behind.
+#: The fault property suite iterates this registry, so adding a point
+#: without extending the suite's coverage map fails the build.
+_REGISTRY: dict[str, str] = {}
+
+
+def register_point(name: str, description: str) -> str:
+    """Declare an injection point; returns ``name`` for use as a constant."""
+    _REGISTRY[name] = description
+    return name
+
+
+def registered_points() -> dict[str, str]:
+    """All declared injection points (name -> description)."""
+    return dict(_REGISTRY)
+
+
+# The catalog of points.  Defined centrally (not at each site) so the
+# registry is complete as soon as :mod:`repro.faults` imports, letting
+# spec parsing validate names strictly and the property suite enumerate
+# every failure path without importing the whole library first.
+
+CHECKPOINT_TMP = register_point(
+    "checkpoint.tmp",
+    "checkpoint writer: temp file fully written and fsynced, before any "
+    "rename — a crash here leaves the destination untouched",
+)
+CHECKPOINT_ROTATE = register_point(
+    "checkpoint.rotate",
+    "checkpoint writer: previous checkpoint rotated to .prev, before the "
+    "new file is moved in — a crash here leaves only the .prev snapshot",
+)
+CHECKPOINT_DONE = register_point(
+    "checkpoint.done",
+    "checkpoint writer: new checkpoint atomically in place, before "
+    "returning — a crash here loses nothing",
+)
+INGEST_ENQUEUE = register_point(
+    "ingest.enqueue",
+    "partitioned enqueue: batch validated, before it is routed into any "
+    "shard queue — a crash here drops the whole batch atomically "
+    "(the writer re-enqueues on retry)",
+)
+INGEST_APPLY = register_point(
+    "ingest.apply",
+    "flush applier: before each queued chunk is inserted into its shard "
+    "— a crash here rolls the chunk (and its shard's tail) back to the "
+    "pending queue; only fully-applied batches publish",
+)
+INGEST_APPLIED = register_point(
+    "ingest.applied",
+    "flush: every applier finished, before the epoch publish — a crash "
+    "here still publishes the applied batches (publish runs on the "
+    "unwind path, inside the exclusive gate hold)",
+)
+REBALANCE_ADAPT = register_point(
+    "rebalance.adapt",
+    "rebalance: queues drained and published, before any boundary "
+    "adaptation or budget move — a crash here leaves the layout exactly "
+    "as it was (retry the rebalance)",
+)
+SERVE_HANDLE = register_point(
+    "serve.handle",
+    "serving: request admitted, before dispatch — a crash here drops "
+    "the connection without a reply (client retries); a delay wedges "
+    "the handler (deadline aborts); flaky returns 503",
+)
+SERVE_QUERY = register_point(
+    "serve.query",
+    "serving query path: source resolved, before execution or any "
+    "access accounting — a crash here mutates nothing (retry is "
+    "bit-identical)",
+)
+
+
+# -- the armed plan -------------------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+
+
+def fault_point(name: str) -> None:
+    """Arrival at injection point ``name``.
+
+    The disarmed fast path is one global read and a ``None`` check —
+    call sites pay nothing unless a plan is armed.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.hit(name)
+
+
+def parse_fault_plan(spec: str, *, sleep=time.sleep) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
+
+    See the module docstring for the grammar.  Unknown point names,
+    malformed directives and out-of-range parameters raise
+    :class:`~repro._util.errors.ConfigError` with the full menu of
+    registered points — an armed typo must fail loudly, not silently
+    inject nothing.
+    """
+    entries = [entry.strip() for entry in spec.split(";") if entry.strip()]
+    if not entries:
+        raise ConfigError(f"empty fault spec {spec!r}")
+    seed = DEFAULT_SEED
+    raw_points: list[tuple[str, str]] = []
+    for entry in entries:
+        if entry.startswith("seed="):
+            try:
+                seed = int(entry[len("seed=") :])
+            except ValueError:
+                raise ConfigError(f"fault seed must be an integer: {entry!r}") from None
+            continue
+        name, sep, directive = entry.partition(":")
+        if not sep or not directive:
+            raise ConfigError(
+                f"fault entry {entry!r} is not 'point:directive' "
+                "(e.g. 'checkpoint.tmp:crash@2')"
+            )
+        if name not in _REGISTRY:
+            raise ConfigError(
+                f"unknown fault point {name!r} "
+                f"(registered: {', '.join(sorted(_REGISTRY))})"
+            )
+        raw_points.append((name, directive))
+    points: list[FaultPoint] = []
+    for name, directive in raw_points:
+        if directive == "crash" or directive.startswith("crash@"):
+            at = 1
+            if directive.startswith("crash@"):
+                try:
+                    at = int(directive[len("crash@") :])
+                except ValueError:
+                    raise ConfigError(
+                        f"crash hit ordinal must be an integer: "
+                        f"{name}:{directive}"
+                    ) from None
+            points.append(CrashPoint(name, at=at))
+        elif directive.startswith("delay="):
+            try:
+                seconds = float(directive[len("delay=") :])
+            except ValueError:
+                raise ConfigError(
+                    f"delay must be a number of seconds: {name}:{directive}"
+                ) from None
+            points.append(DelayPoint(name, seconds, sleep=sleep))
+        elif directive.startswith("flaky="):
+            try:
+                rate = float(directive[len("flaky=") :])
+            except ValueError:
+                raise ConfigError(
+                    f"flaky rate must be a number: {name}:{directive}"
+                ) from None
+            points.append(FlakyPoint(name, rate, seed=seed))
+        else:
+            raise ConfigError(
+                f"unknown fault directive {directive!r} for point {name!r} "
+                "(expected crash[@N], delay=SECONDS or flaky=RATE)"
+            )
+    return FaultPlan(points, seed=seed)
+
+
+def arm(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Install ``plan`` as the process-wide fault plan; returns it.
+
+    Accepts a :class:`FaultPlan`, a spec string (parsed first — so a
+    bad spec never half-arms), or ``None`` / ``""`` to disarm.
+    """
+    global _ACTIVE
+    if isinstance(plan, str):
+        plan = parse_fault_plan(plan) if plan.strip() else None
+    _ACTIVE = plan
+    return plan
+
+
+def disarm() -> None:
+    """Remove the armed plan; every point becomes a no-op again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan, or ``None`` when injection is off."""
+    return _ACTIVE
+
+
+def active_spec() -> str:
+    """Canonical spec of the armed plan ('' when disarmed)."""
+    return "" if _ACTIVE is None else _ACTIVE.spec()
+
+
+@contextmanager
+def armed(plan: FaultPlan | str | None):
+    """Arm ``plan`` for the scope of a ``with`` block, then restore.
+
+    Yields the armed plan (``None`` when ``plan`` disarms).  The
+    previously armed plan — not necessarily none — comes back whatever
+    the block raises, so test scopes never leak injection into each
+    other.
+    """
+    previous = _ACTIVE
+    installed = arm(plan)
+    try:
+        yield installed
+    finally:
+        arm(previous)

@@ -89,6 +89,13 @@ from ..core.config import (
     default_workers,
 )
 from ..core.database import AmnesiaDatabase
+from ..faults import (
+    INGEST_APPLIED,
+    INGEST_APPLY,
+    INGEST_ENQUEUE,
+    REBALANCE_ADAPT,
+    fault_point,
+)
 from ..query.planner import QueryPlan
 from ..query.plans import check_scan_bounds, merge_match_sides
 from ..query.predicates import RangePredicate, TruePredicate
@@ -175,10 +182,13 @@ class Partition:
         #: covering query — a plan-mode-independent rows signal.
         self.query_rows = 0
         #: Ingest queue: routed-but-unapplied value chunks, FIFO.  One
-        #: chunk per enqueued batch that touched this shard; appliers
-        #: drain each chunk as one ``db.insert`` (one shard epoch), so
-        #: the applied sequence is exactly the sequential one.
-        self.pending: list[np.ndarray] = []
+        #: ``(batch_seq, chunk)`` entry per enqueued batch that touched
+        #: this shard; appliers drain each chunk as one ``db.insert``
+        #: (one shard epoch), so the applied sequence is exactly the
+        #: sequential one.  The batch sequence number lets a failed
+        #: apply wave report which *batches* remain partially queued —
+        #: only batches with no chunk left anywhere count as applied.
+        self.pending: list[tuple[int, np.ndarray]] = []
 
     @property
     def budget(self) -> int:
@@ -421,6 +431,7 @@ class PartitionedAmnesiaDatabase:
         self._ingest_lock = threading.Lock()
         self._gate = EpochGate()
         self._pending_batches = 0
+        self._ingest_seq = 0
         self._generation = 0
         self._adaptations: list[str] = []
         base = total_budget // n_partitions
@@ -559,6 +570,9 @@ class PartitionedAmnesiaDatabase:
             values_by_column[self.column],
             f"insert values for column {self.column!r}",
         )
+        # Crash here (before any routing) drops the whole batch
+        # atomically: no queue holds a chunk, the writer re-enqueues.
+        fault_point(INGEST_ENQUEUE)
         with self._ingest_lock:
             # Routing under the ingest lock keeps the snapshot honest:
             # layout swaps (rebalance) also hold this lock, so a chunk
@@ -567,16 +581,18 @@ class PartitionedAmnesiaDatabase:
             # stays closed without serializing whole-shard inserts.
             partitions, bounds = self._layout
             owners = self._partition_of(values, bounds, len(partitions))
+            seq = self._ingest_seq
+            self._ingest_seq += 1
             for i, partition in enumerate(partitions):
                 chunk = values[owners == i]
                 if chunk.size:
-                    partition.pending.append(chunk)
+                    partition.pending.append((seq, chunk))
             self._pending_batches += 1
             return self._pending_batches
 
-    def _apply_pending_locked(self, partitions) -> int:
+    def _apply_pending_locked(self, partitions) -> None:
         """Drain every non-empty shard queue; caller holds the ingest
-        lock and the gate's exclusive side.  Returns batches applied.
+        lock and the gate's exclusive side.
 
         Appliers fan out on the shared pool (``workers`` wide): each
         drains its shard FIFO, one queued chunk per ``db.insert`` call
@@ -584,22 +600,48 @@ class PartitionedAmnesiaDatabase:
         is exactly what the sequential loop would have produced, and
         the equivalence harness can hold every observable bit-identical
         across worker counts.
+
+        Failure semantics: an applier that raises (or hits an injected
+        crash) rolls its *unapplied* chunk tail — including the chunk
+        that failed — back to the front of its shard's queue before the
+        exception propagates, preserving the FIFO order a retried flush
+        needs for the equivalence contract.  The fan-out pool is a
+        barrier (it re-raises only after every applier finished), so by
+        the time the caller's unwind path runs, no applier is still
+        mutating a shard.
         """
-        applied = self._pending_batches
-        if applied == 0:
-            return 0
         busy = [p for p in partitions if p.pending]
 
         def drain(partition: Partition) -> None:
             with partition.lock:
                 chunks, partition.pending = partition.pending, []
-                for chunk in chunks:
-                    partition.db.insert({self.column: chunk})
+                for i, (seq, chunk) in enumerate(chunks):
+                    try:
+                        fault_point(INGEST_APPLY)
+                        partition.db.insert({self.column: chunk})
+                    except BaseException:
+                        partition.pending = chunks[i:] + partition.pending
+                        raise
 
         if busy:
             self._fanout.map_ordered(drain, busy, self.workers)
-        self._pending_batches = 0
-        return applied
+
+    def _publish_applied_locked(self, partitions) -> int:
+        """Publish every *fully-applied* batch; caller holds the ingest
+        lock and the gate's exclusive side.  Returns batches published.
+
+        Runs on both the success and the unwind path of an apply wave:
+        a batch counts as applied only when no shard queue holds one of
+        its chunks any more (the seq tags make that checkable), so a
+        crashed wave publishes exactly the batches it completed — never
+        a torn one — and the remainder stays queued for the retry.
+        """
+        remaining = {seq for p in partitions for seq, _ in p.pending}
+        fully = self._pending_batches - len(remaining)
+        self._pending_batches = len(remaining)
+        if fully > 0:
+            self._gate.publish(fully)
+        return fully
 
     def flush(self) -> int:
         """Apply every queued batch and publish them atomically.
@@ -610,14 +652,28 @@ class PartitionedAmnesiaDatabase:
         advances by the number of batches applied — the handoff that
         makes the whole wave visible at once.  Returns the published
         ingest epoch.
+
+        If an applier fails mid-wave, the publish still happens on the
+        unwind path *inside* the exclusive hold: completed batches
+        become visible, the failed batch's chunks are already rolled
+        back to their queues, and the gate releases cleanly (no reader
+        deadlock, no torn epoch).  A retried ``flush`` finishes the
+        wave; note that rows a failed wave inserted into *some* shards
+        are visible to queries before the retry — the published epoch
+        counts fully-applied batches, per-shard FIFO order is what the
+        retry contract preserves.
         """
         with self._ingest_lock:
             partitions, _ = self._layout
             if self._pending_batches == 0:
                 return self._gate.epoch
             with self._gate.writing():
-                applied = self._apply_pending_locked(partitions)
-                return self._gate.publish(applied)
+                try:
+                    self._apply_pending_locked(partitions)
+                    fault_point(INGEST_APPLIED)
+                finally:
+                    self._publish_applied_locked(partitions)
+                return self._gate.epoch
 
     def insert(self, values_by_column: dict) -> None:
         """Route a batch to partitions by value, apply, and publish.
@@ -1202,10 +1258,18 @@ class PartitionedAmnesiaDatabase:
         with self._ingest_lock, self._gate.writing():
             # Drain queues before snapshotting shards: an enqueued-but-
             # unapplied batch was routed by the current layout and must
-            # land (and publish) before any migration rebuilds it.
-            applied = self._apply_pending_locked(self._partitions)
-            if applied:
-                self._gate.publish(applied)
+            # land (and publish) before any migration rebuilds it.  The
+            # publish runs on the unwind path too, so a crashed drain
+            # still publishes its completed batches and leaves the
+            # layout untouched for the retry.
+            try:
+                self._apply_pending_locked(self._partitions)
+            finally:
+                self._publish_applied_locked(self._partitions)
+            # Crash here: queues drained and published, boundaries and
+            # budgets exactly as before — a retried rebalance is a
+            # fresh, complete one.
+            fault_point(REBALANCE_ADAPT)
             if policy == "adaptive":
                 self._adapt_boundaries(floor)
             partitions = self._partitions

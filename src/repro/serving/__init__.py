@@ -12,6 +12,7 @@ See :mod:`repro.serving.server` for the doctrine.  Quick start::
 
 from .plan_cache import PlanCache, predicate_shape
 from .result_cache import ResultCache, ResultEntry, guard_bounds
+from .retry import RetryPolicy, ServiceClient
 from .server import (
     CatalogServer,
     QueryService,
@@ -34,6 +35,8 @@ __all__ = [
     "serve_in_thread",
     "run_server",
     "predicate_from_json",
+    "RetryPolicy",
+    "ServiceClient",
     "Session",
     "SessionManager",
     "TenantScope",

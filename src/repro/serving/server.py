@@ -27,6 +27,18 @@ True`` additionally re-executes every hit under the same source lock
 and raises :class:`~repro._util.errors.ServingError` on any mismatch —
 the smoke tests run paranoid, so "zero stale answers" is asserted, not
 assumed.
+
+Resilience doctrine: the service degrades before it dies.  Admission
+control rejects with 429 + ``Retry-After`` instead of queueing without
+bound; per-request deadlines (``make_server(..., deadline=...)``)
+abort a wedged handler with 503 instead of occupying its slot forever;
+sustained overload flips a *degraded mode* that sheds the paranoid
+re-execution and result-cache writes — accuracy scaffolding — before
+it would ever shed queries; and ``GET /health`` surfaces in-flight
+depth plus the degraded flag so a load balancer can act on the same
+signals.  :class:`~repro.serving.retry.RetryPolicy` is the client half
+of the contract: exponential backoff with deterministic jitter,
+honoring ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -46,7 +60,9 @@ from .._util.errors import (
     ScopeError,
     ServingError,
     SessionError,
+    TransientFault,
 )
+from ..faults import SERVE_HANDLE, SERVE_QUERY, FaultInjected, fault_point
 from ..query.predicates import (
     AndPredicate,
     NotPredicate,
@@ -124,6 +140,15 @@ class QueryService:
     paranoid:
         Verify every result-cache hit against a fresh execution under
         the same source lock; raise ``ServingError`` on mismatch.
+    degrade_after:
+        Graceful-degradation trigger: after this many consecutive
+        admissions at or above the high-water depth (3/4 of
+        ``max_inflight``), the service enters *degraded mode* — it
+        sheds the paranoid re-execution and stops writing the result
+        cache (accuracy scaffolding) while still answering every
+        admitted query.  Depth falling to the low-water mark (1/4)
+        exits the mode; the hysteresis stops flapping.  ``/health``
+        surfaces the flag.
     """
 
     def __init__(
@@ -134,9 +159,14 @@ class QueryService:
         plan_cache: PlanCache | None = None,
         result_cache: ResultCache | None = None,
         paranoid: bool = False,
+        degrade_after: int = 8,
     ):
         if max_inflight < 1:
             raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        if degrade_after < 1:
+            raise ServingError(
+                f"degrade_after must be >= 1, got {degrade_after}"
+            )
         self.catalog = catalog
         self.paranoid = bool(paranoid)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -146,6 +176,13 @@ class QueryService:
         self.sessions = SessionManager()
         self._admission = threading.BoundedSemaphore(int(max_inflight))
         self.max_inflight = int(max_inflight)
+        self.degrade_after = int(degrade_after)
+        self._high_water = max(1, (3 * int(max_inflight)) // 4)
+        self._low_water = int(max_inflight) // 4
+        self._inflight = 0
+        self._overload_streak = 0
+        self._degraded = False
+        self._shed_writes = 0
         self._tenants: dict[str, TenantScope] = {}
         self._traffic_lock = threading.Lock()
         self._traffic: dict[str, dict] = {}
@@ -227,6 +264,9 @@ class QueryService:
         try:
             with self._traffic_lock:
                 session.requests += 1
+                self._inflight += 1
+                self._note_load_locked()
+            fault_point(SERVE_HANDLE)
             if op == "query":
                 return self._query(session, request)
             if op == "ingest":
@@ -238,6 +278,49 @@ class QueryService:
             raise QueryError(f"unknown operation {op!r}")
         finally:
             self._admission.release()
+            with self._traffic_lock:
+                self._inflight -= 1
+
+    def _note_load_locked(self) -> None:
+        """Track sustained overload; caller holds ``_traffic_lock``.
+
+        Hysteresis: ``degrade_after`` consecutive admissions at or
+        above the high-water depth enter degraded mode; only falling
+        back to the low-water depth exits it.  In between, the mode
+        holds whatever it was — no flapping at the boundary.
+        """
+        if self._inflight >= self._high_water:
+            self._overload_streak += 1
+            if self._overload_streak >= self.degrade_after:
+                self._degraded = True
+        else:
+            self._overload_streak = 0
+            if self._inflight <= self._low_water:
+                self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """Is the service currently shedding accuracy scaffolding?"""
+        with self._traffic_lock:
+            return self._degraded
+
+    def health(self) -> dict:
+        """Liveness probe payload: load and degradation signals.
+
+        ``inflight`` is the instantaneous admitted-request depth,
+        ``degraded`` the graceful-degradation flag, ``rejected`` and
+        ``shed_writes`` the cumulative shed counters — everything a
+        load balancer needs to route around a hot replica.
+        """
+        with self._traffic_lock:
+            return {
+                "ok": True,
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "degraded": self._degraded,
+                "rejected": self._rejected,
+                "shed_writes": self._shed_writes,
+            }
 
     # -- scoping --------------------------------------------------------
 
@@ -368,6 +451,10 @@ class QueryService:
             if isinstance(query, RangeQuery)
             else query.effective_predicate()
         )
+        # Nothing is mutated yet — no lock held, no access recorded —
+        # so a crash injected here retries bit-identically.
+        fault_point(SERVE_QUERY)
+        degraded = self.degraded
         with self.catalog.source_lock(name):
             table = self.catalog.get(name)
             self._check_query_scope(session, table, predicate)
@@ -375,7 +462,11 @@ class QueryService:
             epoch = max(table.cohorts.latest_epoch, 0)
             entry = self.result_cache.lookup(name, key)
             if entry is not None:
-                if self.paranoid:
+                # Degraded mode sheds the paranoid re-execution (the
+                # most expensive accuracy scaffolding) before anything
+                # else; the cohort-invalidated cache entry is still
+                # correct, just no longer double-checked.
+                if self.paranoid and not degraded:
                     # Fresh execution does the access recording; the
                     # two payloads must be bit-identical or the cache
                     # broke its contract.
@@ -405,15 +496,22 @@ class QueryService:
                 payload, active, missed = self._execute(
                     table, query, epoch, plan=plan
                 )
-                self.result_cache.store(
-                    name,
-                    key,
-                    payload,
-                    active,
-                    missed,
-                    table,
-                    guard_bounds(predicate),
-                )
+                if degraded:
+                    # Shed the cache write, not the query: the answer
+                    # still ships, the service just stops investing in
+                    # future hits while overloaded.
+                    with self._traffic_lock:
+                        self._shed_writes += 1
+                else:
+                    self.result_cache.store(
+                        name,
+                        key,
+                        payload,
+                        active,
+                        missed,
+                        table,
+                        guard_bounds(predicate),
+                    )
                 cached = False
         with self._traffic_lock:
             counters = self._tenant_counters(session.tenant)
@@ -531,16 +629,24 @@ class QueryService:
 
 # -- HTTP layer ---------------------------------------------------------
 
-#: Serving error type → HTTP status.
+#: Serving error type → HTTP status.  ``TransientFault`` (an injected
+#: or environmental blip the client should retry) maps to 503 and
+#: carries ``Retry-After``, like the deadline timeout.
 _STATUS = (
     (SessionError, 401),
     (ScopeError, 403),
     (AdmissionError, 429),
+    (TransientFault, 503),
     (ServingError, 500),
     (SchemaError, 400),
     (QueryError, 400),
     (ReproError, 400),
 )
+
+#: Backoff hint (seconds) sent with every 429/503 — coarse on purpose:
+#: it is a floor for the client's jittered exponential backoff, not a
+#: schedule (see :class:`repro.serving.retry.RetryPolicy`).
+RETRY_AFTER_SECONDS = 1
 
 
 def _status_for(exc: Exception) -> int:
@@ -564,12 +670,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if status in (429, 503):
+            # Shed-load statuses carry the backoff hint load balancers
+            # and RetryPolicy honor.
+            self.send_header("Retry-After", str(RETRY_AFTER_SECONDS))
         self.end_headers()
         self.wfile.write(data)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/health":
-            self._reply(200, {"ok": True})
+            self._reply(200, self.service.health())
         elif self.path == "/stats":
             self._reply(200, self.service.stats())
         else:
@@ -579,15 +689,45 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", 0))
             request = json.loads(self.rfile.read(length) or b"{}")
-            response = self.service.handle(request)
+            response = self._dispatch(request)
             self._reply(200, response)
         except json.JSONDecodeError as exc:
             self._reply(400, {"ok": False, "error": "BadJSON", "detail": str(exc)})
+        except FaultInjected:
+            # A simulated worker crash: drop the connection without a
+            # reply, exactly what a killed process would do.  The
+            # client sees a torn connection and retries.
+            self.close_connection = True
+        except FutureTimeoutError:
+            # Deadline exceeded: the handler slot is freed with a 503
+            # while the wedged execution finishes in the dispatch pool
+            # (its admission slot stays held until then — sustained
+            # wedging therefore drives the degradation signal).
+            self._reply(
+                503,
+                {
+                    "ok": False,
+                    "error": "DeadlineExceeded",
+                    "detail": f"request exceeded {self.server.deadline}s",
+                },
+            )
         except Exception as exc:  # typed errors → status codes
             self._reply(
                 _status_for(exc),
                 {"ok": False, "error": type(exc).__name__, "detail": str(exc)},
             )
+
+    def _dispatch(self, request: dict) -> dict:
+        """Run one request, under the server's deadline if it has one."""
+        deadline = self.server.deadline
+        if deadline is None:
+            return self.service.handle(request)
+        future = self.server.dispatch_pool.submit(self.service.handle, request)
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeoutError:
+            future.cancel()  # best-effort; a running handler finishes
+            raise
 
 
 class CatalogServer(ThreadingHTTPServer):
@@ -600,27 +740,58 @@ class CatalogServer(ThreadingHTTPServer):
     # is the intended load shedder.
     request_queue_size = 128
 
+    #: Per-request deadline in seconds (None: no deadline) and the
+    #: executor that enforces it; both set by :func:`make_server`.
+    deadline: float | None = None
+    dispatch_pool: ThreadPoolExecutor | None = None
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.dispatch_pool is not None:
+            self.dispatch_pool.shutdown(wait=False)
+
 
 def make_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    deadline: float | None = None,
 ) -> CatalogServer:
     """Build (but do not start) an HTTP server for ``service``.
 
     ``port=0`` binds an ephemeral port; read it back from
-    ``server.server_address``.
+    ``server.server_address``.  With ``deadline`` (seconds), each POST
+    executes on a dispatch pool and a request still running at the
+    deadline returns 503 + ``Retry-After`` instead of wedging its
+    handler slot — the execution itself runs to completion in the
+    background, so no lock is ever abandoned mid-flight.
     """
     handler = type("BoundHandler", (_Handler,), {"service": service})
-    return CatalogServer((host, port), handler)
+    server = CatalogServer((host, port), handler)
+    if deadline is not None:
+        if not deadline > 0:
+            raise ServingError(f"deadline must be > 0 seconds, got {deadline}")
+        server.deadline = float(deadline)
+        server.dispatch_pool = ThreadPoolExecutor(
+            max_workers=service.max_inflight + 4,
+            thread_name_prefix="repro-dispatch",
+        )
+    return server
 
 
 def serve_in_thread(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    deadline: float | None = None,
 ) -> tuple[CatalogServer, threading.Thread]:
     """Start a server on a daemon thread; returns ``(server, thread)``.
 
     Stop with ``server.shutdown(); thread.join()``.
     """
-    server = make_server(service, host, port)
+    server = make_server(service, host, port, deadline=deadline)
     thread = threading.Thread(
         target=server.serve_forever, name="catalog-server", daemon=True
     )

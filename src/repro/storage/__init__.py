@@ -11,7 +11,7 @@ from .catalog import Catalog
 from .cohorts import Cohort, CohortLog, CohortZoneMap
 from .column import IntColumn
 from .compressed import CompressedCohortStore
-from .io import load_store, load_table, save_store, save_table
+from .io import load_store, load_table, recover_store, save_store, save_table
 from .table import Table, TableObserver
 from .vectors import GrowableIntVector
 
@@ -28,6 +28,7 @@ __all__ = [
     "TableObserver",
     "load_store",
     "load_table",
+    "recover_store",
     "save_store",
     "save_table",
 ]

@@ -31,28 +31,77 @@ same victims the uncheckpointed run would have, as long as the policy
 object itself carries no internal working state — policies that do
 (e.g. the area policy's mold-area list) rebuild fresh from
 ``policy_factory`` and resume approximately.
+
+Durability & recovery (format 4)
+--------------------------------
+
+The paper's thesis is that forgetting must be a *deliberate* act; a
+checkpoint destroyed by unlucky crash timing would be accidental
+amnesia.  Format 4 therefore makes the write path crash-safe and the
+read path corruption-evident:
+
+* **Atomic writes.**  Every save goes to ``<path>.tmp`` first, is
+  flushed and fsynced, then moved into place with
+  :func:`os.replace` (atomic on POSIX).  A kill at any instant leaves
+  either the complete old file or the complete new file — never a
+  torn one.  With ``rotate=True`` the previous checkpoint is first
+  moved to ``<path>.prev``, keeping one generation of fallback.
+* **Checksummed manifest.**  The JSON header carries a ``"manifest"``
+  mapping every payload array name to the CRC-32 of its bytes.
+  :func:`load_store` verifies the whole manifest — every listed array
+  present and matching, no unlisted strays — *before* replaying
+  anything, so a silently corrupted file raises
+  :class:`~repro._util.errors.StorageError` instead of restoring
+  garbage.
+* **Recovery.**  :func:`recover_store` tries ``path`` then
+  ``path.prev`` in order and returns the newest fully-valid snapshot
+  (plus which file it used); it raises only when *no* candidate
+  passes verification.  Combined with atomic writes this yields the
+  recovery contract the fault suite proves: no crash injected at any
+  point of the write path can leave a state ``recover_store`` refuses
+  to load.
+
+The write path exposes named fault-injection points
+(``checkpoint.tmp`` / ``checkpoint.rotate`` / ``checkpoint.done`` —
+see :mod:`repro.faults`) at each durability boundary.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from .._util.errors import ReproError, StorageError
+from ..faults import (
+    CHECKPOINT_DONE,
+    CHECKPOINT_ROTATE,
+    CHECKPOINT_TMP,
+    fault_point,
+)
 from .table import Table
 
-__all__ = ["save_table", "load_table", "save_store", "load_store"]
+__all__ = [
+    "save_table",
+    "load_table",
+    "save_store",
+    "load_store",
+    "recover_store",
+]
 
 #: Format version embedded in every checkpoint.  Version 2 added the
 #: store/catalog payloads (kind-tagged headers, prefixed array
 #: namespaces); version 3 added compressed-block payloads (the
 #: database/sharded ``compress`` mode plus one kind-tagged record per
 #: demoted (cohort, column) block, scalars in the JSON header and
-#: payload arrays under ``{prefix}cb{k}:{field}``).  Version 1 and 2
-#: files must be re-created.
-FORMAT_VERSION = 3
+#: payload arrays under ``{prefix}cb{k}:{field}``); version 4 added
+#: the durability envelope (atomic tmp+fsync+replace writes and the
+#: per-array CRC-32 ``"manifest"`` in the header, verified in full
+#: before any replay).  Version 1–3 files must be re-created.
+FORMAT_VERSION = 4
 
 
 # -- table payload (shared by every kind) --------------------------------
@@ -253,19 +302,75 @@ def _catalog_payload(catalog) -> tuple[dict, dict]:
 # -- save ----------------------------------------------------------------
 
 
-def _write_bundle(path, header: dict, arrays: dict) -> Path:
+def _array_crc(value) -> int:
+    array = np.ascontiguousarray(np.asarray(value))
+    return zlib.crc32(array.tobytes())
+
+
+def _checkpoint_path(path) -> Path:
+    # np.savez_compressed appended ``.npz`` to bare paths in formats
+    # 1–3; keep that behaviour now that we write through a file handle.
     path = Path(path)
-    header = {"format_version": FORMAT_VERSION, **header}
-    np.savez_compressed(
-        path,
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        **arrays,
-    )
+    if path.suffix != ".npz":
+        path = Path(str(path) + ".npz")
     return path
 
 
-def save_table(table: Table, path) -> Path:
+def _write_bundle(path, header: dict, arrays: dict, rotate: bool = False) -> Path:
+    """Atomically persist one checkpoint bundle.
+
+    Write order is the durability argument: (1) the complete bundle —
+    header with per-array CRC-32 manifest, then every array — lands in
+    ``<path>.tmp`` and is fsynced; (2) with ``rotate``, any existing
+    destination moves to ``<path>.prev``; (3) the tmp file moves into
+    place with :func:`os.replace`.  Steps 2 and 3 are atomic renames,
+    so a crash between any two steps leaves at least one fully-valid
+    snapshot among ``path``/``path.prev`` (the fault points after each
+    step let the property suite prove exactly that).
+    """
+    path = _checkpoint_path(path)
+    manifest = {name: _array_crc(value) for name, value in arrays.items()}
+    header = {
+        "format_version": FORMAT_VERSION,
+        "manifest": manifest,
+        **header,
+    }
+    tmp = Path(str(path) + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            header=np.frombuffer(
+                json.dumps(header).encode(), dtype=np.uint8
+            ),
+            **arrays,
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    fault_point(CHECKPOINT_TMP)
+    if rotate and path.exists():
+        os.replace(path, str(path) + ".prev")
+        fault_point(CHECKPOINT_ROTATE)
+    os.replace(tmp, path)
+    fault_point(CHECKPOINT_DONE)
+    try:
+        # Make the renames themselves durable; best-effort, since not
+        # every filesystem lets a directory be opened for fsync.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+    return path
+
+
+def save_table(table: Table, path, rotate: bool = False) -> Path:
     """Write ``table`` to ``path`` as a compressed ``.npz`` checkpoint.
+
+    The write is atomic (tmp + fsync + :func:`os.replace`); with
+    ``rotate=True`` the previous checkpoint survives as ``path.prev``
+    for :func:`recover_store` to fall back to.
 
     >>> import tempfile, os
     >>> t = Table("obs", ["a"])
@@ -275,10 +380,10 @@ def save_table(table: Table, path) -> Path:
     3
     """
     header = {"kind": "table", **_table_header(table)}
-    return _write_bundle(path, header, _table_arrays(table, ""))
+    return _write_bundle(path, header, _table_arrays(table, ""), rotate=rotate)
 
 
-def save_store(store, path) -> Path:
+def save_store(store, path, rotate: bool = False) -> Path:
     """Write a table, database, sharded store or catalog to ``path``.
 
     One format, one file: the payload is tagged with its kind, and
@@ -286,24 +391,26 @@ def save_store(store, path) -> Path:
     is flushed first (queued batches apply and publish), then
     snapshotted under its epoch gate's shared side, so the saved state
     is always a published ingest epoch — never a half-applied batch.
+    The write is atomic; ``rotate=True`` keeps the previous checkpoint
+    as ``path.prev`` (see :func:`recover_store`).
     """
     from ..core.database import AmnesiaDatabase
     from ..partitioning.partitioned import PartitionedAmnesiaDatabase
     from .catalog import Catalog
 
     if isinstance(store, Table):
-        return save_table(store, path)
+        return save_table(store, path, rotate=rotate)
     if isinstance(store, AmnesiaDatabase):
         header, arrays = _database_payload(store, "")
-        return _write_bundle(path, header, arrays)
+        return _write_bundle(path, header, arrays, rotate=rotate)
     if isinstance(store, PartitionedAmnesiaDatabase):
         store.flush()
         with store.gate.reading():
             header, arrays = _sharded_payload(store, "")
-        return _write_bundle(path, header, arrays)
+        return _write_bundle(path, header, arrays, rotate=rotate)
     if isinstance(store, Catalog):
         header, arrays = _catalog_payload(store)
-        return _write_bundle(path, header, arrays)
+        return _write_bundle(path, header, arrays, rotate=rotate)
     raise StorageError(
         f"cannot checkpoint a {type(store).__name__}; expected a Table, "
         "AmnesiaDatabase, PartitionedAmnesiaDatabase or Catalog"
@@ -323,10 +430,43 @@ def _read_header(bundle, path: Path) -> dict:
         raise StorageError(
             f"checkpoint format {version} not supported (expected "
             f"{FORMAT_VERSION}; format 1 files predate store/catalog "
-            "checkpoints and format 2 files predate compressed-block "
-            "payloads — re-create them with save_table/save_store)"
+            "checkpoints, format 2 files predate compressed-block "
+            "payloads and format 3 files predate the checksummed "
+            "durability manifest — re-create them with "
+            "save_table/save_store)"
         )
     return header
+
+
+def _verify_manifest(bundle, header: dict, path: Path) -> None:
+    """Check every payload array against the header's CRC-32 manifest.
+
+    Runs in full *before* any replay: a corrupt checkpoint must raise,
+    not restore garbage into a fresh store.  Both directions are
+    verified — a listed array that is missing or mismatched, and an
+    unlisted stray array, each mean the file does not carry the state
+    its header promises.
+    """
+    manifest = header["manifest"]
+    members = set(bundle.files) - {"header"}
+    missing = sorted(set(manifest) - members)
+    stray = sorted(members - set(manifest))
+    if missing or stray:
+        detail = []
+        if missing:
+            detail.append(f"missing arrays: {', '.join(missing)}")
+        if stray:
+            detail.append(f"unlisted arrays: {', '.join(stray)}")
+        raise StorageError(
+            f"{path} is corrupt ({'; '.join(detail)})"
+        )
+    for name, expected in manifest.items():
+        actual = _array_crc(bundle[name])
+        if actual != expected:
+            raise StorageError(
+                f"{path} is corrupt (checksum mismatch for array "
+                f"{name!r}: expected {expected}, got {actual})"
+            )
 
 
 def _load_database(header: dict, bundle, prefix: str, policy_factory):
@@ -452,6 +592,7 @@ def load_store(path, policy_factory=None):
     try:
         with np.load(path) as bundle:
             header = _read_header(bundle, path)
+            _verify_manifest(bundle, header, path)
             kind = header.get("kind", "table")
             if kind == "table":
                 table = Table(header["name"], header["columns"])
@@ -473,6 +614,34 @@ def load_store(path, policy_factory=None):
         raise StorageError(
             f"{path} is not a readable checkpoint: {exc}"
         ) from exc
+
+
+def recover_store(path, policy_factory=None):
+    """Restore the newest fully-valid snapshot at or behind ``path``.
+
+    Tries ``path`` first, then the ``path.prev`` rotation fallback
+    (written by ``save_store(..., rotate=True)``), returning
+    ``(store, used_path)`` for the first candidate whose manifest
+    verifies in full.  Raises :class:`~repro._util.errors.StorageError`
+    only when every candidate is missing, torn or corrupt — with one
+    line per attempt so the operator sees exactly what was tried.
+
+    This is the recovery half of the durability contract: because the
+    write path is atomic-with-rotation, a crash at any instant leaves
+    at least one candidate this function accepts.
+    """
+    path = _checkpoint_path(path)
+    candidates = [path, Path(str(path) + ".prev")]
+    failures: list[str] = []
+    for candidate in candidates:
+        try:
+            return load_store(candidate, policy_factory), candidate
+        except StorageError as exc:
+            failures.append(f"{candidate}: {exc}")
+    raise StorageError(
+        "no recoverable checkpoint; tried "
+        + "; ".join(failures)
+    )
 
 
 def load_table(path) -> Table:

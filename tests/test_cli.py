@@ -275,8 +275,10 @@ class TestDefaultsRestoredOnFailure:
     def _snapshot(self):
         from repro.core.config import (
             default_batch_size,
+            default_checkpoint,
             default_compress,
             default_cross_query,
+            default_faults,
             default_plan,
             default_rebalance,
             default_stats,
@@ -291,11 +293,13 @@ class TestDefaultsRestoredOnFailure:
             default_cross_query(),
             default_batch_size(),
             default_compress(),
+            default_faults(),
+            default_checkpoint(),
         )
 
     def test_raising_run_restores_every_process_default(self, monkeypatch):
         """A run that explodes mid-experiment must not leak any of the
-        seven process defaults it overrode — otherwise every later
+        nine process defaults it overrode — otherwise every later
         in-process run silently inherits this invocation's flags."""
 
         def boom(seed=None):
@@ -314,10 +318,15 @@ class TestDefaultsRestoredOnFailure:
                     "--query", "union:s1,s2",
                     "--batch-size", "128",
                     "--compress", "on",
+                    "--faults", "serve.query:crash@999",
+                    "--checkpoint", "/tmp/never-written.npz",
                 ],
                 out=io.StringIO(),
             )
         assert self._snapshot() == before
+        from repro import faults
+
+        assert faults.active_plan() is None, "fault plan must be disarmed"
 
     def test_raising_setter_restores_prior_overrides(self, monkeypatch):
         """Even a setter raising midway through the override sequence
@@ -354,3 +363,102 @@ class TestDefaultsRestoredOnFailure:
 class _FakeResult:
     def render(self):
         return "ok"
+
+
+class TestFaultsAndRecovery:
+    """The --faults / --checkpoint flags and the recover subcommand."""
+
+    def test_parser_accepts_faults_checkpoint_and_recover(self):
+        args = build_parser().parse_args(
+            ["run", "F1", "--faults", "checkpoint.tmp:crash@2",
+             "--checkpoint", "/tmp/ck.npz"]
+        )
+        assert args.faults == "checkpoint.tmp:crash@2"
+        assert args.checkpoint == "/tmp/ck.npz"
+        args = build_parser().parse_args(
+            ["recover", "/tmp/ck.npz", "--policy", "fifo"]
+        )
+        assert args.command == "recover"
+        assert args.path == "/tmp/ck.npz"
+        assert args.policy == "fifo"
+
+    def test_bad_faults_spec_rejected_before_running(self, monkeypatch, capsys):
+        ran = []
+        monkeypatch.setitem(
+            EXPERIMENTS, "F1", lambda seed=None: ran.append(1) or _FakeResult()
+        )
+        assert (
+            main(["run", "F1", "--faults", "nosuchpoint:crash"], out=io.StringIO())
+            == 2
+        )
+        assert ran == [], "experiment must not start under a bad fault spec"
+        assert "--faults" in capsys.readouterr().err
+
+    def test_injected_crash_exits_3_and_restores_defaults(
+        self, monkeypatch, capsys
+    ):
+        from repro import faults
+        from repro.core.config import default_checkpoint, default_faults
+
+        def crashing(seed=None):
+            faults.fault_point("serve.query")
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", crashing)
+        code = main(
+            ["run", "F1", "--faults", "serve.query:crash",
+             "--checkpoint", "/tmp/unused-ck.npz"],
+            out=io.StringIO(),
+        )
+        assert code == 3
+        assert "crash fault injected" in capsys.readouterr().err
+        assert faults.active_plan() is None
+        assert default_faults() == ""
+        assert default_checkpoint() == ""
+
+    def test_faults_env_var_is_honored(self, monkeypatch):
+        from repro import faults as faults_module
+
+        def crashing(seed=None):
+            faults_module.fault_point("serve.query")
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "F1", crashing)
+        monkeypatch.setenv("REPRO_FAULTS", "serve.query:crash")
+        assert main(["run", "F1"], out=io.StringIO()) == 3
+        assert faults_module.active_plan() is None
+
+    def test_bad_faults_env_var_exits_2(self, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENTS, "F1", lambda seed=None: _FakeResult()
+        )
+        monkeypatch.setenv("REPRO_FAULTS", "nosuchpoint:crash")
+        assert main(["run", "F1"], out=io.StringIO()) == 2
+
+    def test_recover_restores_a_table_checkpoint(self, tmp_path):
+        import numpy as np
+
+        from repro.storage import Table, save_table
+
+        table = Table("t", ["a"])
+        table.insert_batch(0, {"a": np.arange(40)})
+        path = save_table(table, tmp_path / "ck")
+        out = io.StringIO()
+        assert main(["recover", str(path)], out=out) == 0
+        text = out.getvalue()
+        assert "recovered Table" in text
+        assert "40 active / 40 rows" in text
+
+    def test_recover_missing_checkpoint_exits_1(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nope.npz")], out=io.StringIO()) == 1
+        assert "recover failed" in capsys.readouterr().err
+
+    def test_recover_unknown_policy_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                ["recover", str(tmp_path / "ck.npz"), "--policy", "nosuch"],
+                out=io.StringIO(),
+            )
+            == 2
+        )
+        assert "nosuch" in capsys.readouterr().err

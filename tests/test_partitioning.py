@@ -817,3 +817,216 @@ class TestPlanReportOrdering:
         assert headers == [
             f"shard {i} [{lo}, {hi}):" for i, (lo, hi) in enumerate(bounds)
         ]
+
+
+class TestIngestFailureSemantics:
+    """EpochGate failure contract: an applier dying mid-writing() must
+    not leak the exclusive side, starve readers, or publish a torn
+    epoch — and a retried flush must converge to the uninterrupted
+    run's exact state."""
+
+    def test_crash_mid_apply_rolls_back_and_releases_gate(self):
+        from repro import faults
+
+        store = make_store()
+        store.enqueue({"a": np.arange(100)})
+        store.enqueue({"a": np.arange(100) + 450})
+        with faults.armed("ingest.apply:crash@1"):
+            with pytest.raises(faults.FaultInjected):
+                store.flush()
+        # No torn epoch: nothing fully applied, nothing published.
+        assert store.ingest_epoch == 0
+        assert store.pending_batches == 2
+        # The exclusive side is released: a reader proceeds immediately
+        # and a retried flush completes the wave.
+        store.range_query(0, 1000)
+        assert store.flush() == 2
+        assert store.pending_batches == 0
+        assert store.active_count == 100  # budget-limited, all applied
+
+    def test_partial_wave_publishes_only_complete_batches(self):
+        from repro import faults
+
+        store = make_store(total_budget=1000)
+        store.enqueue({"a": np.full(10, 100)})   # batch 0 -> shard 0 only
+        store.enqueue({"a": np.full(10, 700)})   # batch 1 -> shard 1 only
+        # workers=1 drains shard 0 fully (batch 0 chunk) then crashes on
+        # shard 1's first chunk: batch 0 is complete, batch 1 is not.
+        with faults.armed("ingest.apply:crash@2"):
+            with pytest.raises(faults.FaultInjected):
+                store.flush()
+        assert store.ingest_epoch == 1
+        assert store.pending_batches == 1
+        assert store.flush() == 2
+
+    def test_failed_wave_preserves_fifo_order_for_retry(self):
+        from repro import faults
+
+        store = make_store(total_budget=1000)
+        batches = [np.arange(20) + 30 * i for i in range(4)]
+        for batch in batches:
+            store.enqueue({"a": batch})
+        with faults.armed("ingest.apply:crash@3"):
+            with pytest.raises(faults.FaultInjected):
+                store.flush()
+        store.flush()
+
+        mirror = make_store(total_budget=1000)
+        for batch in batches:
+            mirror.insert({"a": batch})
+        for crashed, clean in zip(store.partitions, mirror.partitions):
+            assert np.array_equal(
+                crashed.db.table.values("a"), clean.db.table.values("a")
+            )
+            assert np.array_equal(
+                crashed.db.table.insert_epochs(),
+                clean.db.table.insert_epochs(),
+            )
+
+    def test_readers_see_old_epochs_full_view_during_failed_flush(self):
+        """Barrier-started reader threads must observe the pre-flush
+        epoch's complete answer after a crashed apply wave — the gate
+        handed them either the old or the (never-published) new state,
+        not a mixture, and nobody deadlocks."""
+        import threading
+
+        from repro import faults
+
+        store = make_store(total_budget=1000)
+        store.insert({"a": np.arange(0, 1000, 10)})  # epoch 1: 100 rows
+        store.enqueue({"a": np.arange(5) + 100})
+        store.enqueue({"a": np.arange(5) + 600})
+        n_readers = 4
+        barrier = threading.Barrier(n_readers + 1)
+        results, errors = [], []
+
+        def reader():
+            barrier.wait()
+            try:
+                result = store.range_query(0, 1000)
+                results.append(result.rf + result.mf)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(n_readers)
+        ]
+        for t in threads:
+            t.start()
+        with faults.armed("ingest.apply:crash@1"):
+            barrier.wait()
+            with pytest.raises(faults.FaultInjected):
+                store.flush()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads), "reader starved"
+        assert not errors
+        # Epoch never advanced, so every reader saw the 100-row view.
+        assert results == [100] * n_readers
+        assert store.ingest_epoch == 1
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_crashed_then_retried_flush_is_bit_identical(self, workers):
+        from repro import faults
+
+        def build():
+            return PartitionedAmnesiaDatabase(
+                "a",
+                (0, 250, 500, 750, 1000),
+                200,
+                policy_factory=FifoAmnesia,
+                seed=7,
+                workers=workers,
+            )
+
+        crashed = build()
+        for i in range(5):
+            crashed.enqueue({"a": (np.arange(40) * 23 + i * 7) % 1000})
+        with faults.armed("ingest.apply:crash@4"):
+            try:
+                crashed.flush()
+            except faults.FaultInjected:
+                pass
+        crashed.flush()
+
+        clean = build()
+        for i in range(5):
+            clean.enqueue({"a": (np.arange(40) * 23 + i * 7) % 1000})
+        clean.flush()
+
+        assert crashed.ingest_epoch == clean.ingest_epoch
+        for a, b in zip(crashed.partitions, clean.partitions):
+            assert np.array_equal(
+                a.db.table.values("a"), b.db.table.values("a")
+            )
+            assert np.array_equal(
+                a.db.table.active_mask(), b.db.table.active_mask()
+            )
+
+    def test_crash_before_publish_still_publishes_applied_wave(self):
+        """ingest.applied fires after every applier succeeded; the
+        publish lives on the unwind path, so the wave is not lost."""
+        from repro import faults
+
+        store = make_store()
+        store.enqueue({"a": np.arange(100)})
+        with faults.armed("ingest.applied:crash"):
+            with pytest.raises(faults.FaultInjected):
+                store.flush()
+        assert store.ingest_epoch == 1
+        assert store.pending_batches == 0
+        assert store.range_query(0, 1000).oracle_count == 100
+
+    def test_crash_at_enqueue_drops_batch_atomically(self):
+        from repro import faults
+
+        store = make_store()
+        with faults.armed("ingest.enqueue:crash"):
+            with pytest.raises(faults.FaultInjected):
+                store.enqueue({"a": np.arange(10)})
+        assert store.pending_batches == 0
+        assert all(not p.pending for p in store.partitions)
+        store.enqueue({"a": np.arange(10)})  # the writer's retry
+        assert store.flush() == 1
+
+    def test_crash_at_rebalance_adapt_leaves_layout_intact(self):
+        from repro import faults
+
+        store = make_store()
+        store.enqueue({"a": np.arange(100)})
+        before_bounds = list(store.stats()["boundaries"])
+        before_budgets = [p.budget for p in store.partitions]
+        with faults.armed("rebalance.adapt:crash"):
+            with pytest.raises(faults.FaultInjected):
+                store.rebalance(policy="adaptive")
+        # Backlog drained and published; layout untouched.
+        assert store.ingest_epoch == 1
+        assert store.pending_batches == 0
+        assert list(store.stats()["boundaries"]) == before_bounds
+        assert [p.budget for p in store.partitions] == before_budgets
+        store.rebalance(policy="adaptive")  # the retry is a full one
+
+    def test_map_ordered_waits_for_all_groups_before_raising(self):
+        """The fan-out barrier: a failing group must not leave other
+        groups running when map_ordered raises."""
+        import threading
+        import time
+
+        from repro._util.parallel import FanOutPool
+
+        pool = FanOutPool()
+        done = []
+
+        def work(item):
+            if item == 0:
+                raise ValueError("group zero dies")
+            time.sleep(0.05)
+            done.append(item)
+
+        try:
+            with pytest.raises(ValueError, match="group zero"):
+                pool.map_ordered(work, list(range(4)), workers=4)
+            # Every surviving group finished before the raise.
+            assert sorted(done) == [1, 2, 3]
+        finally:
+            pool.close()

@@ -11,6 +11,7 @@ regardless of the access path.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import threading
 
@@ -20,7 +21,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import AmnesiaDatabase, AmnesiaSimulator, SimulationConfig
+from repro import faults
+from repro._util.errors import TransientFault
 from repro.amnesia.registry import POLICY_NAMES, make_policy
+from repro.faults import FaultInjected
+from repro.serving import QueryService
 from repro.datagen import UniformDistribution
 from repro.indexes import BlockRangeIndex, HashIndex, SortedIndex
 from repro.partitioning import PartitionedAmnesiaDatabase
@@ -40,6 +45,7 @@ from repro.storage import (
     CohortZoneMap,
     CompressedCohortStore,
     Table,
+    recover_store,
 )
 
 #: Plan variants compared against the naive scan.
@@ -1514,3 +1520,293 @@ def test_forget_invalidates_only_intersecting_cohorts():
     assert service.stats()["stale_hits"] == 0
     service.close()
     catalog.close()
+
+
+# -- crash-at-every-point: failure-path equivalence -------------------------
+#
+# The harness invariant, extended from "every execution path" to "every
+# failure path": for each registered fault point, inject a crash there,
+# recover the way a restarted driver would, continue the run, and the
+# final state — results, access accounting, on-disk checkpoints — must
+# be bit-identical to the uninterrupted run.  A completeness test pins
+# these scenarios to ``faults.registered_points()`` so a new point
+# cannot be added without extending the suite.
+
+#: Checkpoint-path points, each crashed on the *second* save (the first
+#: save of a fresh run has nothing durable behind it yet — the one
+#: documented window where recovery has nothing to offer).
+_CHECKPOINT_CRASH_POINTS = (
+    "checkpoint.tmp",
+    "checkpoint.rotate",
+    "checkpoint.done",
+)
+
+#: Ingest-path points with crash ordinals chosen to land mid-run.
+_INGEST_CRASH_SPECS = {
+    "ingest.enqueue": "ingest.enqueue:crash@7",
+    "ingest.apply": "ingest.apply:crash@8",
+    "ingest.applied": "ingest.applied:crash@3",
+    "rebalance.adapt": "rebalance.adapt:crash@3",
+}
+
+#: Serving-path fault specs; "transient" marks the flaky (retryable
+#: 503) flavour rather than a hard crash.
+_SERVE_FAULT_SPECS = (
+    ("serve.handle:crash@4", "serve.handle"),
+    ("serve.query:crash@3", "serve.query"),
+    ("serve.query:flaky=0.35;seed=13", "transient"),
+)
+
+
+def test_crash_suite_covers_every_registered_point():
+    """Adding a fault point without a crash-recovery scenario fails here."""
+    exercised = (
+        set(_CHECKPOINT_CRASH_POINTS)
+        | set(_INGEST_CRASH_SPECS)
+        | {"serve.handle", "serve.query"}
+    )
+    assert exercised == set(faults.registered_points())
+
+
+def _checkpointed_sim_run(base_dir, plan: str, spec: str | None = None):
+    """A checkpointing simulator run under ``spec``; the driver recovers
+    from injected checkpoint crashes the way a restarted process would:
+    prove ``recover_store`` finds a valid snapshot, redo the lost save,
+    continue.  Returns ``(fingerprint, crash_points)``."""
+    base_dir.mkdir(parents=True, exist_ok=True)
+    config = SimulationConfig(
+        dbsize=80,
+        epochs=4,
+        queries_per_epoch=6,
+        plan=plan,
+        checkpoint=str(base_dir / "ckpt"),
+    )
+    sim = AmnesiaSimulator(config, UniformDistribution(500), _make_policy("fifo"))
+    crashes: list[str] = []
+    context = faults.armed(spec) if spec else contextlib.nullcontext()
+    with context:
+        sim.load_initial()  # save #1 — crashes are armed at hit 2
+        while sim.current_epoch < config.epochs:
+            try:
+                sim.step()
+            except FaultInjected as fault:
+                crashes.append(fault.point)
+                # The crash interrupted the save only: prove the disk
+                # still holds a loadable snapshot, then redo the save
+                # the crash destroyed (the epoch itself completed).
+                recovered, _ = recover_store(config.checkpoint)
+                assert recovered.active_count == config.dbsize
+                sim.checkpoint(config.checkpoint, rotate=True)
+    digest: list = [
+        (r.epoch, r.active_rows, r.total_rows, r.inserted, r.forgotten,
+         r.divergence_js)
+        for r in sim.reports
+    ]
+    digest.append(sim.table.values(config.column).tolist())
+    digest.append(sim.table.active_mask().tolist())
+    digest.append(sim.table.access_counts().tolist())
+    # The durable state must converge too: the final checkpoint of a
+    # crashed-and-recovered run equals the uninterrupted run's.
+    final, _ = recover_store(config.checkpoint)
+    digest.append(final.values(config.column).tolist())
+    digest.append(final.active_mask().tolist())
+    return digest, crashes
+
+
+@pytest.mark.parametrize("point", _CHECKPOINT_CRASH_POINTS)
+@pytest.mark.parametrize("plan", ("scan", "cost"))
+def test_crash_during_checkpoint_invisible_after_recovery(
+    tmp_path, point, plan
+):
+    clean, no_crashes = _checkpointed_sim_run(tmp_path / "clean", plan)
+    assert no_crashes == []
+    faulted, crashes = _checkpointed_sim_run(
+        tmp_path / "faulted", plan, f"{point}:crash@2"
+    )
+    assert crashes == [point]
+    assert faulted == clean
+
+
+def _crash_recovering_ingest_run(
+    policy_name: str, workers: int, spec: str | None = None
+):
+    """Batched sharded ingest where every write operation survives one
+    injected crash by retrying — the in-process equivalent of a driver
+    restart against intact shared state.  Returns
+    ``(fingerprint, crash_points)``."""
+    store = PartitionedAmnesiaDatabase(
+        "a",
+        (0, 250, 500, 1000),
+        total_budget=120,
+        policy_factory=lambda: _make_policy(policy_name),
+        seed=9,
+        plan="cost",
+        workers=workers,
+        rebalance="adaptive",
+        split_threshold=1.5,
+    )
+    rng = np.random.default_rng(3)
+    observed: list = []
+    crashes: list[str] = []
+
+    def attempt(operation):
+        try:
+            return operation()
+        except FaultInjected as fault:
+            crashes.append(fault.point)
+            return operation()
+
+    context = faults.armed(spec) if spec else contextlib.nullcontext()
+    with context:
+        for _ in range(5):
+            for batch in (rng.integers(-100, 1100, 40) for _ in range(3)):
+                attempt(lambda b=batch: store.enqueue({"a": b}))
+            observed.append(attempt(store.flush))
+            assert store.pending_batches == 0
+            for low, width in _INGEST_QUERIES:
+                result = store.range_query(low, low + width)
+                observed.append((result.rf, result.mf, result.precision))
+            observed.append(attempt(lambda: store.rebalance(floor=5)))
+            observed.append(store.boundaries)
+    observed.append(store.adaptations)
+    for partition in store.partitions:
+        observed.append(partition.db.table.active_mask().tolist())
+        observed.append(partition.db.table.access_counts().tolist())
+        observed.append(partition.db.table.last_access_epochs().tolist())
+        observed.append(partition.db.table.forgotten_epochs().tolist())
+    store.close()
+    return observed, crashes
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+@pytest.mark.parametrize("policy_name", ("fifo", "uniform"))
+@pytest.mark.parametrize("point", sorted(_INGEST_CRASH_SPECS))
+def test_crash_during_ingest_invisible_after_retry(
+    point, policy_name, workers
+):
+    """A crash in enqueue/apply/publish/rebalance, once recovered by a
+    retry, leaves every observable — results, epochs, boundaries,
+    access accounting, forgetting — bit-identical to the crash-free
+    run, at both worker widths."""
+    clean, no_crashes = _crash_recovering_ingest_run(policy_name, workers)
+    assert no_crashes == []
+    faulted, crashes = _crash_recovering_ingest_run(
+        policy_name, workers, _INGEST_CRASH_SPECS[point]
+    )
+    assert crashes == [point]
+    assert faulted == clean
+
+
+def _crash_recovering_service_run(plan: str, spec: str | None = None):
+    """Drive a paranoid QueryService through queries, cache hits,
+    ingests and forgets, retrying through injected crashes and
+    transient faults.  Returns ``(fingerprint, crash_points)``."""
+    catalog = Catalog(plan=plan, stats="hist")
+    table = catalog.create_table("obs", ["value"])
+    table.insert_batch(0, {"value": np.arange(300) % 211})
+    service = QueryService(catalog, paranoid=True)
+    service.register_tenant("alice")
+    token = service.open_session("alice").token
+    observed: list = []
+    crashes: list[str] = []
+
+    def attempt(operation):
+        for _ in range(10):
+            try:
+                return operation()
+            except FaultInjected as fault:
+                crashes.append(fault.point)
+            except TransientFault:
+                crashes.append("transient")
+        raise AssertionError("retry budget exhausted")
+
+    context = faults.armed(spec) if spec else contextlib.nullcontext()
+    with context:
+        for round_no in range(3):
+            for low in (0, 40, 80, 0, 40):  # repeats drive cache hits
+                request = {
+                    "op": "query",
+                    "token": token,
+                    "source": "obs",
+                    "kind": "range",
+                    "predicate": {
+                        "type": "range",
+                        "column": "value",
+                        "low": low,
+                        "high": low + 50,
+                    },
+                }
+                response = attempt(lambda r=request: service.handle(r))
+                observed.append(
+                    (
+                        response["rf"],
+                        response["mf"],
+                        response["cached"],
+                        response["epoch"],
+                        response["fingerprint"],
+                    )
+                )
+            aggregate = attempt(
+                lambda: service.handle(
+                    {
+                        "op": "query",
+                        "token": token,
+                        "source": "obs",
+                        "kind": "aggregate",
+                        "function": "avg",
+                        "column": "value",
+                        "predicate": {
+                            "type": "range",
+                            "column": "value",
+                            "low": 20,
+                            "high": 160,
+                        },
+                    }
+                )
+            )
+            observed.append(
+                (
+                    aggregate["amnesiac_value"],
+                    aggregate["oracle_value"],
+                    aggregate["cached"],
+                )
+            )
+            ingested = attempt(
+                lambda r=round_no: service.handle(
+                    {
+                        "op": "ingest",
+                        "token": token,
+                        "source": "obs",
+                        "rows": {"value": list(range(r * 5, r * 5 + 7))},
+                    }
+                )
+            )
+            observed.append((ingested["inserted"], ingested["epoch"]))
+            forgotten = attempt(
+                lambda: service.handle(
+                    {"op": "forget", "token": token, "source": "obs", "n": 7}
+                )
+            )
+            observed.append((forgotten["forgotten"], forgotten["epoch"]))
+    observed.append(table.values("value").tolist())
+    observed.append(table.active_mask().tolist())
+    observed.append(table.access_counts().tolist())
+    service.close()
+    catalog.close()
+    return observed, crashes
+
+
+@pytest.mark.parametrize("plan", ("cost", "zonemap"))
+@pytest.mark.parametrize("spec,point", _SERVE_FAULT_SPECS)
+def test_fault_during_serving_invisible_after_retry(plan, spec, point):
+    """Both serving points fire before any mutation, so a crashed or
+    transiently-failed request retried by the client leaves responses,
+    cache behaviour and access accounting bit-identical to the
+    fault-free run — including under paranoid cache validation."""
+    clean, no_crashes = _crash_recovering_service_run(plan)
+    assert no_crashes == []
+    faulted, crashes = _crash_recovering_service_run(plan, spec)
+    assert crashes and set(crashes) == {point}
+    if "crash" in spec:
+        assert crashes == [point]  # one-shot: exactly one retry needed
+    assert faulted == clean

@@ -20,12 +20,14 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro import faults
 from repro._util.errors import (
     AdmissionError,
     QueryError,
     ScopeError,
     ServingError,
     SessionError,
+    TransientFault,
 )
 from repro.query import (
     AndPredicate,
@@ -46,6 +48,8 @@ from repro.serving import (
     predicate_shape,
     serve_in_thread,
 )
+from repro.serving import RetryPolicy, ServiceClient
+from repro.serving.server import RETRY_AFTER_SECONDS
 from repro.storage import Catalog, Table
 
 
@@ -602,7 +606,12 @@ class TestHTTPServer:
         server, thread = serve_in_thread(service)
         port = server.server_address[1]
         try:
-            assert _get(port, "/health") == (200, {"ok": True})
+            status, health = _get(port, "/health")
+            assert status == 200
+            assert health["ok"] is True
+            assert health["inflight"] == 0
+            assert health["max_inflight"] == service.max_inflight
+            assert health["degraded"] is False
             status, body = _post(port, {"op": "open_session", "tenant": "alice"})
             assert status == 200 and body["ok"]
             token = body["token"]
@@ -758,3 +767,269 @@ class TestConcurrentSmoke:
             service.close()
             catalog.close()
         assert not thread.is_alive(), "server thread must stop cleanly"
+
+
+# -- resilience ----------------------------------------------------------
+
+
+def _post_raw(port: int, body: dict) -> tuple[int, dict, dict]:
+    """Like ``_post``, but also returns the response headers."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST", "/", json.dumps(body), {"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return (
+            response.status,
+            dict(response.getheaders()),
+            json.loads(response.read()),
+        )
+    finally:
+        conn.close()
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_backoff_sequence(self):
+        first = RetryPolicy(seed=5, sleep=lambda s: None)
+        second = RetryPolicy(seed=5, sleep=lambda s: None)
+        other = RetryPolicy(seed=6, sleep=lambda s: None)
+        sequence = [first.backoff(k) for k in range(5)]
+        assert sequence == [second.backoff(k) for k in range(5)]
+        assert sequence != [other.backoff(k) for k in range(5)]
+
+    def test_backoff_is_capped_exponential(self):
+        bare = RetryPolicy(
+            jitter=0.0, base_delay=0.05, multiplier=2.0, max_delay=0.15
+        )
+        assert [bare.backoff(k) for k in range(4)] == [0.05, 0.1, 0.15, 0.15]
+
+    def test_retry_after_floors_the_delay(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.02, jitter=0.0)
+        assert policy.backoff(0) == 0.01
+        assert policy.backoff(0, retry_after=3.5) == 3.5
+
+    def test_call_retries_then_succeeds(self):
+        slept: list[float] = []
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        calls: list[int] = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                fault = TransientFault("not yet")
+                fault.retry_after = 0.7
+                raise fault
+            return "done"
+
+        assert policy.call(flaky) == "done"
+        assert len(calls) == 3
+        assert len(slept) == 2 and all(s >= 0.7 for s in slept)
+
+    def test_call_exhausts_budget_and_raises(self):
+        calls: list[int] = []
+
+        def always_failing():
+            calls.append(1)
+            raise TransientFault("still down")
+
+        policy = RetryPolicy(attempts=2, sleep=lambda s: None)
+        with pytest.raises(TransientFault):
+            policy.call(always_failing)
+        assert len(calls) == 2
+
+    def test_non_transient_errors_are_not_retried(self):
+        calls: list[int] = []
+
+        def broken():
+            calls.append(1)
+            raise ServingError("permanent")
+
+        policy = RetryPolicy(attempts=5, sleep=lambda s: None)
+        with pytest.raises(ServingError):
+            policy.call(broken)
+        assert len(calls) == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServingError):
+            RetryPolicy(base_delay=-1)
+
+
+class TestDegradedMode:
+    """Graceful degradation: hysteresis and what exactly gets shed."""
+
+    @staticmethod
+    def _admit_at_depth(service, depth: int) -> None:
+        with service._traffic_lock:
+            service._inflight = depth
+            service._note_load_locked()
+
+    def test_hysteresis_enters_and_exits(self):
+        catalog = _catalog()
+        service = QueryService(catalog, max_inflight=4, degrade_after=2)
+        try:
+            assert (service._high_water, service._low_water) == (3, 1)
+            # One admission at high water is not "sustained" yet.
+            self._admit_at_depth(service, 3)
+            assert service.degraded is False
+            self._admit_at_depth(service, 2)  # streak broken
+            self._admit_at_depth(service, 3)
+            self._admit_at_depth(service, 3)  # degrade_after reached
+            assert service.degraded is True
+            # Between the water marks the mode holds — no flapping.
+            self._admit_at_depth(service, 2)
+            assert service.degraded is True
+            self._admit_at_depth(service, 1)  # low water: recover
+            assert service.degraded is False
+        finally:
+            service.close()
+            catalog.close()
+
+    def test_degraded_sheds_paranoia_and_cache_writes(self):
+        catalog = _catalog()
+        # max_inflight=3: low water is 0, so single-threaded requests
+        # (depth 1) neither enter nor exit the mode on their own.
+        service = QueryService(catalog, max_inflight=3, paranoid=True)
+        try:
+            service.register_tenant("alice")
+            token = service.open_session("alice").token
+            executions: list[int] = []
+            real_execute = service._execute
+
+            def counting_execute(table, query, epoch, *, plan=None):
+                executions.append(1)
+                return real_execute(table, query, epoch, plan=plan)
+
+            service._execute = counting_execute
+            request = _range_request(token, 10, 40)
+            assert service.handle(request)["cached"] is False
+            # Healthy paranoid hit re-executes to validate the cache.
+            assert service.handle(request)["cached"] is True
+            assert len(executions) == 2
+            with service._traffic_lock:
+                service._degraded = True
+            # Degraded hit skips the paranoid re-execution...
+            assert service.handle(request)["cached"] is True
+            assert len(executions) == 2
+            # ...and a degraded miss answers but sheds the cache write.
+            other = _range_request(token, 50, 90)
+            assert service.handle(other)["cached"] is False
+            assert service.handle(other)["cached"] is False  # still no entry
+            health = service.health()
+            assert health["degraded"] is True
+            assert health["shed_writes"] == 2
+        finally:
+            service.close()
+            catalog.close()
+
+
+class TestResilientWire:
+    """The failure half of the HTTP contract, over real sockets."""
+
+    def _serve(self, *, max_inflight=4, deadline=None):
+        catalog = _catalog()
+        service = QueryService(catalog, max_inflight=max_inflight)
+        service.register_tenant("alice")
+        server, thread = serve_in_thread(service, deadline=deadline)
+        return catalog, service, server, thread, server.server_address[1]
+
+    @staticmethod
+    def _stop(catalog, service, server, thread) -> None:
+        server.shutdown()
+        thread.join(10)
+        server.server_close()
+        service.close()
+        catalog.close()
+
+    @staticmethod
+    def _drain_inflight(service, timeout: float = 5.0) -> None:
+        deadline = time.time() + timeout
+        while service.health()["inflight"] and time.time() < deadline:
+            time.sleep(0.01)
+
+    def test_429_carries_retry_after_header(self):
+        catalog, service, server, thread, port = self._serve(max_inflight=1)
+        try:
+            _, body = _post(port, {"op": "open_session", "tenant": "alice"})
+            token = body["token"]
+            assert service._admission.acquire(blocking=False)
+            try:
+                status, headers, body = _post_raw(
+                    port, _range_request(token, 0, 10)
+                )
+            finally:
+                service._admission.release()
+            assert status == 429
+            assert headers.get("Retry-After") == str(RETRY_AFTER_SECONDS)
+            assert body["error"] == "AdmissionError"
+        finally:
+            self._stop(catalog, service, server, thread)
+
+    def test_deadline_returns_503_with_retry_after(self):
+        catalog, service, server, thread, port = self._serve(deadline=0.1)
+        try:
+            _, body = _post(port, {"op": "open_session", "tenant": "alice"})
+            token = body["token"]
+            with faults.armed("serve.handle:delay=0.6"):
+                status, headers, body = _post_raw(
+                    port, _range_request(token, 0, 10)
+                )
+            assert status == 503
+            assert headers.get("Retry-After") == str(RETRY_AFTER_SECONDS)
+            assert body["error"] == "DeadlineExceeded"
+            # The zombie request finishes in the dispatch pool and only
+            # then frees its admission slot — wait so shutdown is clean.
+            self._drain_inflight(service)
+            assert service.health()["inflight"] == 0
+        finally:
+            self._stop(catalog, service, server, thread)
+
+    def test_client_retries_through_a_crashed_worker(self):
+        catalog, service, server, thread, port = self._serve()
+        try:
+            client = ServiceClient(
+                "127.0.0.1",
+                port,
+                policy=RetryPolicy(attempts=3, sleep=lambda s: None),
+            )
+            token = client.request({"op": "open_session", "tenant": "alice"})[
+                "token"
+            ]
+            with faults.armed("serve.handle:crash") as plan:
+                response = client.request(_range_request(token, 0, 50))
+                # Crash on hit 1 dropped the connection without a reply;
+                # the retry (hit 2) answered.
+                assert plan.hits("serve.handle") == 2
+            assert response["ok"] is True
+            assert response["rf"] == 50
+        finally:
+            self._stop(catalog, service, server, thread)
+
+    def test_flaky_backend_503s_honor_retry_after_floor(self):
+        catalog, service, server, thread, port = self._serve()
+        try:
+            _, body = _post(port, {"op": "open_session", "tenant": "alice"})
+            token = body["token"]
+            slept: list[float] = []
+            client = ServiceClient(
+                "127.0.0.1",
+                port,
+                policy=RetryPolicy(
+                    attempts=3,
+                    base_delay=0.01,
+                    max_delay=0.02,
+                    sleep=slept.append,
+                ),
+            )
+            with faults.armed("serve.query:flaky=1.0"):
+                with pytest.raises(TransientFault):
+                    client.request(_range_request(token, 0, 10))
+            # Every backoff was floored by the server's Retry-After.
+            assert len(slept) == 2
+            assert all(s >= RETRY_AFTER_SECONDS for s in slept)
+            # Disarmed, the same client recovers immediately.
+            assert client.request(_range_request(token, 0, 10))["ok"] is True
+        finally:
+            self._stop(catalog, service, server, thread)

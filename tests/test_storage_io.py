@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -590,3 +592,153 @@ class TestSimulatorCheckpoint:
         assert np.array_equal(
             restored.access_counts(), simulator.table.access_counts()
         )
+
+
+class TestDurability:
+    """Format 4: atomic writes, checksummed manifest, recovery."""
+
+    def _two_state_table(self):
+        first = Table("obs", ["a"])
+        first.insert_batch(0, {"a": list(range(50))})
+        return first
+
+    def test_crash_mid_save_leaves_previous_checkpoint_byte_identical(
+        self, tmp_path
+    ):
+        """The atomic-write regression: a crash injected mid-save (tmp
+        written, nothing renamed) must leave the previous checkpoint
+        loadable byte-for-byte."""
+        from repro import faults
+
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz")
+        before = path.read_bytes()
+        table.insert_batch(1, {"a": list(range(50, 90))})
+        with faults.armed("checkpoint.tmp:crash"):
+            with pytest.raises(faults.FaultInjected):
+                save_table(table, path, rotate=True)
+        assert path.read_bytes() == before
+        assert load_table(path).total_rows == 50
+
+    @pytest.mark.parametrize(
+        "point", ["checkpoint.tmp", "checkpoint.rotate", "checkpoint.done"]
+    )
+    def test_crash_at_every_checkpoint_point_recovers(self, tmp_path, point):
+        """No injected crash can leave a state recover_store refuses to
+        load — and what it loads is a complete snapshot (the old or the
+        new), never a torn mixture."""
+        from repro import faults
+        from repro.storage import recover_store
+
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz", rotate=True)
+        table.insert_batch(1, {"a": list(range(50, 90))})
+        with faults.armed(f"{point}:crash"):
+            with pytest.raises(faults.FaultInjected):
+                save_table(table, path, rotate=True)
+        recovered, used = recover_store(path)
+        assert recovered.total_rows in (50, 90)
+        if point == "checkpoint.tmp":
+            # Nothing renamed yet: the primary still holds the old state.
+            assert used == path and recovered.total_rows == 50
+        if point == "checkpoint.done":
+            # Replace happened: the primary holds the new state.
+            assert used == path and recovered.total_rows == 90
+        if point == "checkpoint.rotate":
+            # Between the two renames only .prev is valid — and it is.
+            assert used == Path(str(path) + ".prev")
+            assert recovered.total_rows == 50
+
+    def test_checksum_mismatch_is_detected_before_replay(self, tmp_path):
+        """A silently corrupted array fails the manifest check with a
+        'corrupt' diagnostic instead of restoring garbage."""
+        import json
+
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz")
+        with np.load(path) as bundle:
+            members = {name: bundle[name] for name in bundle.files}
+        members["active"] = ~members["active"]  # bit-flip, header kept
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **members)
+        with pytest.raises(StorageError, match="corrupt"):
+            load_store(path)
+
+    def test_missing_and_stray_arrays_are_detected(self, tmp_path):
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz")
+        with np.load(path) as bundle:
+            members = {name: bundle[name] for name in bundle.files}
+        del members["active"]
+        members["smuggled"] = np.arange(3)
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **members)
+        with pytest.raises(StorageError, match="corrupt"):
+            load_store(path)
+
+    def test_recover_falls_back_to_prev_on_torn_primary(self, tmp_path):
+        from repro.storage import recover_store
+
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz")
+        table.insert_batch(1, {"a": [1, 2]})
+        save_table(table, path, rotate=True)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # tear the primary
+        recovered, used = recover_store(path)
+        assert used == Path(str(path) + ".prev")
+        assert recovered.total_rows == 50
+
+    def test_recover_failure_lists_every_attempt(self, tmp_path):
+        from repro.storage import recover_store
+
+        with pytest.raises(StorageError, match=r"ck\.npz.*ck\.npz\.prev"):
+            recover_store(tmp_path / "ck.npz")
+
+    def test_format_3_is_refused_clearly(self, tmp_path):
+        """v3 files predate the durability manifest and must be refused
+        with a re-create hint, not half-restored."""
+        import json
+
+        header = json.dumps({"format_version": 3, "kind": "table"})
+        path = tmp_path / "v3.npz"
+        np.savez(
+            path, header=np.frombuffer(header.encode(), dtype=np.uint8)
+        )
+        with pytest.raises(StorageError, match="format 3"):
+            load_store(path)
+
+    def test_manifest_covers_every_saved_array(self, tmp_path):
+        import json
+
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz")
+        with np.load(path) as bundle:
+            header = json.loads(bytes(bundle["header"].tobytes()).decode())
+            members = set(bundle.files) - {"header"}
+        assert header["format_version"] == 4
+        assert set(header["manifest"]) == members
+
+    def test_no_tmp_file_left_behind_on_success(self, tmp_path):
+        table = self._two_state_table()
+        path = save_table(table, tmp_path / "ck.npz", rotate=True)
+        save_table(table, path, rotate=True)
+        leftovers = {p.name for p in tmp_path.iterdir()}
+        assert leftovers == {"ck.npz", "ck.npz.prev"}
+
+    def test_sharded_store_rotating_save_recovers(self, tmp_path):
+        from repro.storage import recover_store
+
+        store = PartitionedAmnesiaDatabase(
+            "v", [0, 50, 100], 500, lambda: _make_policy("fifo"), seed=3
+        )
+        store.insert({"v": np.arange(100)})
+        path = save_store(store, tmp_path / "shards.npz", rotate=True)
+        store.insert({"v": np.arange(100)})
+        save_store(store, path, rotate=True)
+        recovered, used = recover_store(
+            path, lambda: _make_policy("fifo")
+        )
+        assert used == path
+        assert recovered.total_rows == 200
+        assert recovered.ingest_epoch == store.ingest_epoch
